@@ -1,0 +1,487 @@
+// Package repro holds the repository-level benchmark harness: one
+// benchmark group per experiment E1–E15 (see EXPERIMENTS.md). These
+// benchmarks measure the experiment kernels; the full parameter sweeps
+// with formatted tables are produced by cmd/eebench.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/catalogue"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/dl/datasets"
+	"repro/internal/federate"
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/geotriples"
+	"repro/internal/hopsfs"
+	"repro/internal/interlink"
+	"repro/internal/kvstore"
+	"repro/internal/pcdss"
+	"repro/internal/promet"
+	"repro/internal/raster"
+	"repro/internal/seaice"
+	"repro/internal/sentinel"
+	"repro/internal/sparql"
+	"repro/internal/trainingset"
+)
+
+var benchExtent = geom.NewRect(0, 0, 10000, 10000)
+
+// --- E1: point selections ---
+
+func pointStore(b *testing.B, mode geostore.Mode, n int) *geostore.Store {
+	b.Helper()
+	st := geostore.New(mode)
+	for _, f := range geostore.GeneratePointFeatures(n, 42, benchExtent) {
+		if err := st.AddFeature(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.Build()
+	return st
+}
+
+func benchSelection(b *testing.B, query func(string) (interface{ Len() int }, error)) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	windows := make([]string, 16)
+	for i := range windows {
+		windows[i] = geostore.SelectionQuery(geostore.RandomWindow(rng, benchExtent, 0.01))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query(windows[i%len(windows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_PointSelection_Naive(b *testing.B) {
+	st := pointStore(b, geostore.ModeNaive, 10000)
+	benchSelection(b, func(q string) (interface{ Len() int }, error) { return st.QueryString(q) })
+}
+
+func BenchmarkE1_PointSelection_Indexed(b *testing.B) {
+	st := pointStore(b, geostore.ModeIndexed, 10000)
+	benchSelection(b, func(q string) (interface{ Len() int }, error) { return st.QueryString(q) })
+}
+
+func BenchmarkE1_PointSelection_Partitioned(b *testing.B) {
+	ps := geostore.NewPartitioned(4)
+	for _, f := range geostore.GeneratePointFeatures(10000, 42, benchExtent) {
+		if err := ps.AddFeature(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ps.Build()
+	benchSelection(b, func(q string) (interface{ Len() int }, error) { return ps.QueryString(q) })
+}
+
+// --- E2: multi-polygon complexity ---
+
+func benchMultiPolygon(b *testing.B, mode geostore.Mode, vertices int) {
+	st := geostore.New(mode)
+	for _, f := range geostore.GenerateMultiPolygonFeatures(1000, 2, vertices/2, 11, benchExtent) {
+		if err := st.AddFeature(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.Build()
+	benchSelection(b, func(q string) (interface{ Len() int }, error) { return st.QueryString(q) })
+}
+
+func BenchmarkE2_MultiPolygon64_Naive(b *testing.B)   { benchMultiPolygon(b, geostore.ModeNaive, 64) }
+func BenchmarkE2_MultiPolygon64_Indexed(b *testing.B) { benchMultiPolygon(b, geostore.ModeIndexed, 64) }
+func BenchmarkE2_MultiPolygon512_Naive(b *testing.B)  { benchMultiPolygon(b, geostore.ModeNaive, 512) }
+func BenchmarkE2_MultiPolygon512_Indexed(b *testing.B) {
+	benchMultiPolygon(b, geostore.ModeIndexed, 512)
+}
+
+// --- E3: information extraction ---
+
+func BenchmarkE3_InformationExtraction(b *testing.B) {
+	platform := core.NewPlatform(4, 4)
+	train := datasets.EuroSATVectors(4000, 71)
+	net, _ := core.TrainLandCoverClassifier(dl.SingleWorker{}, train, 6, 1, 71)
+	scenes := core.GenerateSceneProducts(2, 48, 72, benchExtent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := platform.ExtractInformation(scenes, net)
+		if res.Ratio < 0.3 {
+			b.Fatalf("ratio = %v", res.Ratio)
+		}
+	}
+}
+
+// --- E4: distributed training ---
+
+func benchTraining(b *testing.B, s dl.Strategy, workers int) {
+	base := datasets.EuroSATVectors(4000, 17)
+	spec := dl.ModelSpec{Arch: dl.ArchMLP, In: 13, Hidden: 128, Classes: 10, Seed: 17}
+	cfg := dl.TrainConfig{Epochs: 1, BatchSize: 256, LR: 0.2, Momentum: 0.9, Workers: workers, Seed: 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := &dl.Dataset{X: base.X.Clone(), Y: append([]int(nil), base.Y...), Classes: base.Classes}
+		s.Train(spec, ds, cfg)
+	}
+}
+
+func BenchmarkE4_Train_Single(b *testing.B)       { benchTraining(b, dl.SingleWorker{}, 1) }
+func BenchmarkE4_Train_AllReduce4(b *testing.B)   { benchTraining(b, dl.AllReduce{}, 4) }
+func BenchmarkE4_Train_ParamServer4(b *testing.B) { benchTraining(b, dl.ParameterServer{}, 4) }
+
+// --- E5: EuroSAT classification ---
+
+func BenchmarkE5_EuroSAT_CentroidPredict(b *testing.B) {
+	ds := datasets.EuroSATVectors(4000, 21)
+	train, test := ds.Split(0.8)
+	nc := dl.FitNearestCentroid(train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nc.Predict(test.X)
+	}
+}
+
+func BenchmarkE5_EuroSAT_MLPPredict(b *testing.B) {
+	ds := datasets.EuroSATVectors(4000, 21)
+	train, test := ds.Split(0.8)
+	spec := dl.ModelSpec{Arch: dl.ArchMLP, In: 13, Hidden: 64, Classes: 10, Seed: 21}
+	net, _ := dl.SingleWorker{}.Train(spec, train, dl.TrainConfig{Epochs: 3, Seed: 21})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(test.X)
+	}
+}
+
+func BenchmarkE5_EuroSAT_CNNTrainStep(b *testing.B) {
+	patch := datasets.EuroSATPatches(256, 8, 22)
+	spec := dl.ModelSpec{Arch: dl.ArchCNN, In: 13, PatchH: 8, PatchW: 8, Hidden: 32, Classes: 10, Seed: 22}
+	net := spec.Build()
+	x, y := patch.Batch(0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainStep(x, y)
+	}
+}
+
+// --- E6: training set generation ---
+
+func BenchmarkE6_TrainingSetGen(b *testing.B) {
+	grid := raster.NewGrid(benchExtent.Min, benchExtent.Width()/200, 200, 200)
+	layers := trainingset.GenerateCartography(benchExtent, 100, 23)
+	truth := trainingset.Rasterize(layers, grid)
+	scene := sentinel.GenerateS2Scene(truth, 24)
+	cfg := trainingset.HarvestConfig{SamplesPerFeature: 50, Workers: 4, Seed: 25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, _ := trainingset.Harvest(layers, scene, cfg)
+		if ds.Len() == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// --- E7: GeoTriples ---
+
+func benchGeoTriples(b *testing.B, workers int) {
+	src := benchFieldSource(5000)
+	m := &geotriples.Mapping{
+		SubjectTemplate: "http://extremeearth.eu/field/{id}",
+		Class:           "http://extremeearth.eu/ontology#Field",
+		POMs: []geotriples.PredicateObjectMap{
+			{Predicate: "http://extremeearth.eu/ontology#crop",
+				Kind: geotriples.ObjectIRI, Template: "http://extremeearth.eu/crop/{crop}"},
+		},
+		GeometryColumn: "wkt",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, stats, err := geotriples.TransformParallel(src, m, workers); err != nil || stats.Errors > 0 {
+			b.Fatalf("transform: %v, %+v", err, stats)
+		}
+	}
+}
+
+func benchFieldSource(n int) *geotriples.Source {
+	rng := rand.New(rand.NewSource(51))
+	src := &geotriples.Source{Name: "fields", Columns: []string{"id", "crop", "wkt"}}
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		src.Records = append(src.Records, geotriples.Record{
+			"id":   fmt.Sprintf("%d", i),
+			"crop": fmt.Sprintf("crop%d", i%5),
+			"wkt":  geom.NewRect(x, y, x+50, y+50).WKT(),
+		})
+	}
+	return src
+}
+
+func BenchmarkE7_GeoTriples_1Mapper(b *testing.B)  { benchGeoTriples(b, 1) }
+func BenchmarkE7_GeoTriples_8Mappers(b *testing.B) { benchGeoTriples(b, 8) }
+
+// --- E8: interlinking ---
+
+func benchEntities(n int, seed int64, prefix string) []interlink.Entity {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]interlink.Entity, n)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		s := 50 + rng.Float64()*200
+		out[i] = interlink.Entity{
+			IRI:      fmt.Sprintf("http://extremeearth.eu/%s/%d", prefix, i),
+			Geometry: geom.NewRect(x, y, x+s, y+s),
+		}
+	}
+	return out
+}
+
+func benchInterlink(b *testing.B, f func(a, bs []interlink.Entity, cfg interlink.Config) ([]interlink.Link, interlink.Stats)) {
+	a := benchEntities(1000, 61, "a")
+	bs := benchEntities(1000, 62, "b")
+	cfg := interlink.Config{Relation: interlink.RelIntersects, Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, bs, cfg)
+	}
+}
+
+func BenchmarkE8_Interlink_Naive(b *testing.B)   { benchInterlink(b, interlink.DiscoverNaive) }
+func BenchmarkE8_Interlink_Blocked(b *testing.B) { benchInterlink(b, interlink.DiscoverBlocked) }
+func BenchmarkE8_Interlink_MetaBlocked(b *testing.B) {
+	benchInterlink(b, interlink.DiscoverMetaBlocked)
+}
+
+// --- E9: federation ---
+
+func benchFederation(b *testing.B, disableSelection bool) {
+	fed := federate.New()
+	const k = 8
+	stripW := benchExtent.Width() / k
+	for i := 0; i < k; i++ {
+		region := geom.NewRect(benchExtent.Min.X+float64(i)*stripW, benchExtent.Min.Y,
+			benchExtent.Min.X+float64(i+1)*stripW, benchExtent.Max.Y)
+		st := geostore.New(geostore.ModeIndexed)
+		for _, f := range geostore.GeneratePointFeatures(1000, int64(100+i), region) {
+			if err := st.AddFeature(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st.Build()
+		fed.Register(federate.NewStoreEndpoint(fmt.Sprintf("ep%d", i), st, 0))
+	}
+	q := geostore.SelectionQuery(geom.NewRect(100, 1000, 900, 3000))
+	parsed, err := parseBenchQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fed.Query(parsed, federate.Options{DisableSourceSelection: disableSelection}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9_Federation_SelectionOn(b *testing.B)  { benchFederation(b, false) }
+func BenchmarkE9_Federation_SelectionOff(b *testing.B) { benchFederation(b, true) }
+
+// --- E10: semantic catalogue ---
+
+func benchCatalogue(b *testing.B, n int) *catalogue.Catalogue {
+	b.Helper()
+	c := catalogue.New()
+	for _, p := range sentinel.GenerateProducts(n, 3, benchExtent) {
+		if err := c.AddProduct(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	barrier := geom.Polygon{Shell: geom.Ring{
+		{X: 2000, Y: 2000}, {X: 6000, Y: 2200}, {X: 6200, Y: 5800}, {X: 1900, Y: 5600},
+	}}
+	if err := c.AddIceBarrier("NorskeOer", 2017, barrier); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		p := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		if err := c.AddIceberg(fmt.Sprintf("b%d", i), 2016+rng.Intn(3), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Build()
+	return c
+}
+
+func BenchmarkE10_Catalogue_AreaYear(b *testing.B) {
+	c := benchCatalogue(b, 20000)
+	window := geom.NewRect(1000, 1000, 3000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ProductsInYearOverArea(2018, window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_Catalogue_IcebergQuery(b *testing.B) {
+	c := benchCatalogue(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.IcebergsEmbedded("NorskeOer", 2017); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: HopsFS metadata ---
+
+func benchFS(b *testing.B, shards, inline int, blockCost time.Duration) *hopsfs.FS {
+	b.Helper()
+	fs := hopsfs.New(kvstore.New(shards),
+		hopsfs.WithInlineThreshold(inline),
+		hopsfs.WithBlockStore(hopsfs.NewBlockStore(blockCost)))
+	if err := fs.MkdirAll("/bench"); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkE11_HopsFS_Create(b *testing.B) {
+	fs := benchFS(b, 8, 4096, 0)
+	payload := []byte("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Create(fmt.Sprintf("/bench/f%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_HopsFS_Stat(b *testing.B) {
+	fs := benchFS(b, 8, 4096, 0)
+	if err := fs.Create("/bench/target", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/bench/target"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_HopsFS_List100(b *testing.B) {
+	fs := benchFS(b, 8, 4096, 0)
+	for i := 0; i < 100; i++ {
+		if err := fs.Create(fmt.Sprintf("/bench/f%03d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		names, err := fs.List("/bench")
+		if err != nil || len(names) != 100 {
+			b.Fatalf("list: %v, %d", err, len(names))
+		}
+	}
+}
+
+func benchSmallFileRead(b *testing.B, inline int) {
+	fs := benchFS(b, 8, inline, hopsfs.DefaultBlockAccessCost)
+	payload := make([]byte, 1024)
+	if err := fs.Create("/bench/small", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Read("/bench/small"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_SmallFileRead_Inline(b *testing.B)     { benchSmallFileRead(b, 4096) }
+func BenchmarkE11_SmallFileRead_BlockStore(b *testing.B) { benchSmallFileRead(b, 0) }
+
+// --- E12: water maps ---
+
+func BenchmarkE12_WaterMaps(b *testing.B) {
+	grid := raster.NewGrid(benchExtent.Min, 10, 64, 64)
+	truth := sentinel.GenerateLandCover(grid, 8, 31)
+	weather := promet.GenerateWeather(150, 33)
+	cfg := promet.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := promet.Run(truth, weather, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: sea-ice classification ---
+
+func BenchmarkE13_SeaIce_ClassifyScene(b *testing.B) {
+	grid := raster.NewGrid(benchExtent.Min, 100, 64, 64)
+	truth := sentinel.GenerateIceChart(grid, 6, 41)
+	scene := sentinel.GenerateS1Scene(truth, 8, 42)
+	clf, _ := seaice.TrainClassifier(2000, 8, 5, 43)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seaice.ClassifyScene(scene, clf)
+	}
+}
+
+func BenchmarkE13_SeaIce_MakeChart(b *testing.B) {
+	grid := raster.NewGrid(benchExtent.Min, 100, 128, 128)
+	truth := sentinel.GenerateIceChart(grid, 10, 41)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seaice.MakeChart(truth, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: PCDSS codecs ---
+
+func benchChart() *raster.ClassMap {
+	grid := raster.NewGrid(benchExtent.Min, 1000, 128, 128)
+	return sentinel.GenerateIceChart(grid, 10, 81)
+}
+
+func BenchmarkE14_PCDSS_EncodeRLE(b *testing.B) {
+	cm := benchChart()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pcdss.EncodeRLE(cm)
+	}
+}
+
+func BenchmarkE14_PCDSS_EncodeQuadtree(b *testing.B) {
+	cm := benchChart()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pcdss.EncodeQuadtree(cm)
+	}
+}
+
+// --- E15: archive velocity ---
+
+func BenchmarkE15_Velocity_Ingest(b *testing.B) {
+	products := sentinel.GenerateProducts(b.N, 91, benchExtent)
+	arch := sentinel.NewArchive()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := arch.Ingest(products[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// parseBenchQuery parses an stSPARQL query for the federation benchmark.
+func parseBenchQuery(q string) (*sparql.Query, error) { return sparql.Parse(q) }

@@ -1,0 +1,45 @@
+// Command eebench runs the ExtremeEarth experiment suite (E1–E15 of
+// EXPERIMENTS.md) and prints each experiment's result table.
+//
+// Usage:
+//
+//	eebench              # run everything at full scale
+//	eebench -quick       # reduced workloads (~seconds)
+//	eebench -exp E4,E11  # selected experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	start := time.Now()
+	if *exp == "" {
+		for _, t := range experiments.All(cfg) {
+			t.Fprint(os.Stdout)
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			run, ok := experiments.ByID(id)
+			if !ok {
+				log.Fatalf("eebench: unknown experiment %q (use E1..E15)", id)
+			}
+			run(cfg).Fprint(os.Stdout)
+		}
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

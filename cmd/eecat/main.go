@@ -1,0 +1,72 @@
+// Command eecat builds a synthetic Copernicus archive, mirrors it into
+// the semantic catalogue, and answers both a conventional area+year
+// search and the paper's flagship iceberg query from the command line.
+//
+// Usage:
+//
+//	eecat -products 5000 -bergs 500 -year 2017
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/catalogue"
+	"repro/internal/geom"
+	"repro/internal/sentinel"
+)
+
+func main() {
+	log.SetFlags(0)
+	nProducts := flag.Int("products", 5000, "synthetic products to catalogue")
+	nBergs := flag.Int("bergs", 500, "synthetic iceberg observations")
+	year := flag.Int("year", 2017, "observation year for the iceberg query")
+	flag.Parse()
+
+	extent := geom.NewRect(0, 0, 10000, 10000)
+	cat := catalogue.New()
+
+	start := time.Now()
+	for _, p := range sentinel.GenerateProducts(*nProducts, 1, extent) {
+		if err := cat.AddProduct(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	barrier := geom.Polygon{Shell: geom.Ring{
+		{X: 2000, Y: 2000}, {X: 6000, Y: 2200}, {X: 6200, Y: 5800}, {X: 1900, Y: 5600},
+	}}
+	if err := cat.AddIceBarrier("NorskeOer", *year, barrier); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < *nBergs; i++ {
+		p := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		if err := cat.AddIceberg(fmt.Sprintf("b%d", i), *year-1+rng.Intn(3), p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cat.Build()
+	fmt.Printf("catalogued %d products, %d iceberg observations, 1 barrier (%d triples) in %v\n",
+		*nProducts, *nBergs, cat.Len(), time.Since(start).Round(time.Millisecond))
+
+	window := geom.NewRect(1000, 1000, 4000, 4000)
+	start = time.Now()
+	count, err := cat.ProductsInYearOverArea(2018, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional search: %d products over the window in 2018 (%v)\n",
+		count, time.Since(start).Round(time.Microsecond))
+
+	start = time.Now()
+	bergs, err := cat.IcebergsEmbedded("NorskeOer", *year)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic search: %d icebergs embedded in the Norske Oer Ice Barrier "+
+		"at its maximum extent in %d (%v)\n",
+		bergs, *year, time.Since(start).Round(time.Microsecond))
+}

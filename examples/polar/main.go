@@ -1,0 +1,114 @@
+// Command polar runs the A2 application: sea-ice mapping from synthetic
+// Sentinel-1 SAR, WMO-coded ice charts at 1 km, iceberg detection
+// published into the semantic catalogue, and PCDSS delivery of the chart
+// over a restricted 64 kbps link.
+//
+// Run: go run ./examples/polar
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/catalogue"
+	"repro/internal/geom"
+	"repro/internal/pcdss"
+	"repro/internal/raster"
+	"repro/internal/seaice"
+	"repro/internal/sentinel"
+	"repro/internal/sextant"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== Polar TEP (A2): sea-ice mapping and delivery ==")
+
+	// Scene: 12.8 km x 12.8 km at 100 m (S1 GRD-ish resolution).
+	grid := raster.NewGrid(geom.Point{}, 100, 128, 128)
+	truth := sentinel.GenerateIceChart(grid, 10, 31)
+	scene := sentinel.GenerateS1Scene(truth, 8, 32)
+	fmt.Printf("SAR scene: %dx%d px at %.0f m, true ice concentration %.2f\n",
+		grid.Width, grid.Height, grid.CellSize, sentinel.IceConcentration(truth))
+
+	// Train and apply the C1 sea-ice classifier.
+	clf, acc := seaice.TrainClassifier(6000, 8, 12, 33)
+	fmt.Printf("sea-ice classifier held-out accuracy: %.2f\n", acc)
+	classified := seaice.ClassifyScene(scene, clf)
+	fmt.Printf("scene classification agreement with truth: %.2f\n",
+		raster.Agreement(truth, classified))
+
+	// 1 km WMO product.
+	chart, err := seaice.MakeChart(classified, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1 km ice chart: concentration %.2f, %d icebergs detected\n",
+		chart.Concentration, chart.Icebergs)
+	for class := uint8(0); class < sentinel.NumIceClasses; class++ {
+		if f := chart.StageFractions[class]; f > 0 {
+			fmt.Printf("  %-14s %5.1f%%\n", sentinel.IceClassName(class), f*100)
+		}
+	}
+
+	// Publish iceberg observations into the semantic catalogue (C4).
+	cat := catalogue.New()
+	barrier := geom.Polygon{Shell: geom.Ring{
+		{X: 2000, Y: 2000}, {X: 10000, Y: 2300}, {X: 10500, Y: 10500}, {X: 1800, Y: 9800},
+	}}
+	if err := cat.AddIceBarrier("NorskeOer", 2017, barrier); err != nil {
+		log.Fatal(err)
+	}
+	for i, obs := range seaice.IcebergLocations(classified) {
+		if err := cat.AddIceberg(fmt.Sprintf("obs%d", i), 2017,
+			geom.Point{X: obs.X, Y: obs.Y}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cat.Build()
+	embedded, err := cat.IcebergsEmbedded("NorskeOer", 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic catalogue: %d icebergs embedded in the barrier's 2017 maximum extent\n", embedded)
+
+	// Sextant: publish the iceberg observations as a GeoJSON map layer.
+	layer := sextant.Layer{Name: "icebergs-2017"}
+	for i, obs := range seaice.IcebergLocations(classified) {
+		layer.Features = append(layer.Features, sextant.Feature{
+			ID:       fmt.Sprintf("berg%d", i),
+			Geometry: geom.Point{X: obs.X, Y: obs.Y},
+			Properties: map[string]any{
+				"cells": obs.Cells,
+			},
+		})
+	}
+	var geojson bytes.Buffer
+	if err := sextant.WriteGeoJSON(&geojson, layer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sextant layer %q: %d features, %d bytes of GeoJSON\n",
+		layer.Name, len(layer.Features), geojson.Len())
+
+	// PCDSS delivery over a restricted link (E14's scenario).
+	raw := pcdss.EncodeRaw(chart.Map)
+	rle := pcdss.EncodeRLE(chart.Map)
+	qt := pcdss.EncodeQuadtree(chart.Map)
+	link := pcdss.Link{BitsPerSecond: 64_000, RTT: 700 * time.Millisecond}
+	fmt.Println("PCDSS delivery over 64 kbps satellite link:")
+	fmt.Printf("  raw      %6d B  %8v\n", len(raw), link.TransferTime(len(raw)).Round(time.Millisecond))
+	fmt.Printf("  RLE      %6d B  %8v\n", len(rle), link.TransferTime(len(rle)).Round(time.Millisecond))
+	fmt.Printf("  quadtree %6d B  %8v\n", len(qt), link.TransferTime(len(qt)).Round(time.Millisecond))
+
+	// Prioritized delivery schedule for a vessel.
+	deliveries := pcdss.Schedule(link, []pcdss.ProductPriority{
+		{Name: "ice-edge-chart", SafetyCritical: true, AgeHours: 2, SizeBytes: len(rle)},
+		{Name: "weekly-overview", AgeHours: 96, SizeBytes: len(raw)},
+		{Name: "iceberg-bulletin", SafetyCritical: true, AgeHours: 1, SizeBytes: 2048},
+	})
+	fmt.Println("delivery schedule:")
+	for _, d := range deliveries {
+		fmt.Printf("  %-16s completes after %v\n", d.Product.Name, d.CompletesAfter.Round(time.Millisecond))
+	}
+}

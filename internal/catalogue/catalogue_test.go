@@ -1,0 +1,163 @@
+package catalogue
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/sentinel"
+)
+
+func TestAddProductAndSearch(t *testing.T) {
+	c := New()
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	products := sentinel.GenerateProducts(100, 1, extent)
+	for _, p := range products {
+		if err := c.AddProduct(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Build()
+	if c.Len() == 0 {
+		t.Fatal("catalogue empty")
+	}
+	window := geom.NewRect(0, 0, 400, 400)
+	year := 2018
+	got, err := c.ProductsInYearOverArea(year, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range products {
+		if p.SensingTime.Year() == year && p.Footprint.Intersects(window) {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("ProductsInYearOverArea = %d, want %d", got, want)
+	}
+}
+
+// TestIcebergFlagshipQuery reproduces the paper's C4 example: "How many
+// icebergs were embedded in the Norske Øer Ice Barrier at its maximum
+// extent in 2017?"
+func TestIcebergFlagshipQuery(t *testing.T) {
+	c := New()
+	barrier := geom.Polygon{Shell: geom.Ring{
+		{X: 100, Y: 100}, {X: 500, Y: 120}, {X: 520, Y: 480}, {X: 90, Y: 460},
+	}}
+	if err := c.AddIceBarrier("NorskeOer", 2017, barrier); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	inside, outside, wrongYear := 0, 0, 0
+	for i := 0; i < 200; i++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		year := 2016 + rng.Intn(3) // 2016..2018
+		if err := c.AddIceberg(fmt.Sprintf("b%d", i), year, p); err != nil {
+			t.Fatal(err)
+		}
+		if geom.Contains(barrier, p) {
+			if year == 2017 {
+				inside++
+			} else {
+				wrongYear++
+			}
+		} else {
+			outside++
+		}
+	}
+	c.Build()
+	got, err := c.IcebergsEmbedded("NorskeOer", 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != inside {
+		t.Fatalf("IcebergsEmbedded = %d, want %d (outside=%d wrongYear=%d)",
+			got, inside, outside, wrongYear)
+	}
+}
+
+func TestIcebergQueryUnknownBarrier(t *testing.T) {
+	c := New()
+	if _, err := c.IcebergsEmbedded("Nowhere", 2017); err == nil {
+		t.Fatal("unknown barrier should error")
+	}
+}
+
+func TestCropFieldKnowledge(t *testing.T) {
+	c := New()
+	if err := c.AddCropField("f1", "wheat", 12.5, geom.NewRect(0, 0, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCropField("f2", "maize", 8.0, geom.NewRect(200, 200, 300, 300)); err != nil {
+		t.Fatal(err)
+	}
+	c.Build()
+	res, err := c.Query(fmt.Sprintf(`
+		PREFIX ee: <%s>
+		SELECT ?f ?crop WHERE {
+			?f a ee:CropField .
+			?f ee:cropType ?crop .
+			FILTER(?crop = "wheat")
+		}`, NS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("wheat fields = %d", res.Len())
+	}
+}
+
+func TestSemanticVsConventionalParity(t *testing.T) {
+	// The semantic catalogue must agree with the conventional archive on
+	// the classic area+date search.
+	arch := sentinel.NewArchive()
+	cat := New()
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	products := sentinel.GenerateProducts(150, 5, extent)
+	for _, p := range products {
+		if err := arch.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddProduct(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.Build()
+	window := geom.NewRect(200, 200, 700, 700)
+	from := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2018, 12, 31, 23, 59, 59, 0, time.UTC)
+	conventional := arch.Query(window, from, to)
+	semantic, err := cat.ProductsInYearOverArea(2018, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conventional) != semantic {
+		t.Fatalf("conventional = %d, semantic = %d", len(conventional), semantic)
+	}
+}
+
+func TestLookupLatencyGrowsSublinearly(t *testing.T) {
+	// E10 sanity: query over 4x more records should cost far less than 4x
+	// (indexed). We assert only correctness of counts here; timing is the
+	// bench's job.
+	for _, n := range []int{200, 800} {
+		c := New()
+		for _, p := range sentinel.GenerateProducts(n, 7, geom.NewRect(0, 0, 1000, 1000)) {
+			if err := c.AddProduct(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Build()
+		got, err := c.ProductsInYearOverArea(2018, geom.NewRect(0, 0, 100, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 || got > n {
+			t.Fatalf("count out of range: %d", got)
+		}
+	}
+}

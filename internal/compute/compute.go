@@ -1,0 +1,283 @@
+// Package compute implements the parallel-processing substrate of
+// Challenge C5: the role Apache Spark plays on the HOPS platform. It
+// provides lazy, partitioned datasets with map/filter/reduce
+// transformations, hash-shuffled reduceByKey, and a worker-pool engine
+// that executes each stage's partitions concurrently.
+//
+// Transformations compose lazily (each wraps its parent's thunk); actions
+// (Collect, Count, Reduce) trigger execution. Narrow transformations
+// (Map, Filter, FlatMap) preserve partitioning; ReduceByKey performs a
+// hash shuffle into the engine's default partition count, like a Spark
+// wide dependency.
+package compute
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Engine schedules partition tasks onto a bounded worker pool.
+type Engine struct {
+	workers    int
+	partitions int
+}
+
+// NewEngine returns an engine with the given worker count and default
+// partition count; non-positive values default to GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, partitions: workers}
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// runStage executes fn for every partition index concurrently, bounded by
+// the worker pool.
+func (e *Engine) runStage(n int, fn func(p int)) {
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Dataset is a lazy, partitioned collection of T.
+type Dataset[T any] struct {
+	eng *Engine
+	// compute materializes all partitions.
+	compute func() [][]T
+}
+
+// Parallelize distributes items over the engine's default partition count.
+func Parallelize[T any](e *Engine, items []T) *Dataset[T] {
+	n := e.partitions
+	if n > len(items) && len(items) > 0 {
+		n = len(items)
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Dataset[T]{
+		eng: e,
+		compute: func() [][]T {
+			parts := make([][]T, n)
+			chunk := (len(items) + n - 1) / n
+			for p := 0; p < n; p++ {
+				lo := p * chunk
+				hi := lo + chunk
+				if lo > len(items) {
+					lo = len(items)
+				}
+				if hi > len(items) {
+					hi = len(items)
+				}
+				parts[p] = items[lo:hi]
+			}
+			return parts
+		},
+	}
+}
+
+// FromPartitions wraps pre-partitioned data.
+func FromPartitions[T any](e *Engine, parts [][]T) *Dataset[T] {
+	return &Dataset[T]{eng: e, compute: func() [][]T { return parts }}
+}
+
+// Map applies f to every element (narrow transformation).
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return &Dataset[U]{
+		eng: d.eng,
+		compute: func() [][]U {
+			in := d.compute()
+			out := make([][]U, len(in))
+			d.eng.runStage(len(in), func(p int) {
+				part := make([]U, len(in[p]))
+				for i, v := range in[p] {
+					part[i] = f(v)
+				}
+				out[p] = part
+			})
+			return out
+		},
+	}
+}
+
+// Filter keeps elements where pred is true (narrow transformation).
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		eng: d.eng,
+		compute: func() [][]T {
+			in := d.compute()
+			out := make([][]T, len(in))
+			d.eng.runStage(len(in), func(p int) {
+				var part []T
+				for _, v := range in[p] {
+					if pred(v) {
+						part = append(part, v)
+					}
+				}
+				out[p] = part
+			})
+			return out
+		},
+	}
+}
+
+// FlatMap applies f and concatenates the results (narrow transformation).
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		eng: d.eng,
+		compute: func() [][]U {
+			in := d.compute()
+			out := make([][]U, len(in))
+			d.eng.runStage(len(in), func(p int) {
+				var part []U
+				for _, v := range in[p] {
+					part = append(part, f(v)...)
+				}
+				out[p] = part
+			})
+			return out
+		},
+	}
+}
+
+// KV is a key-value pair for shuffle operations.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// ReduceByKey hash-shuffles pairs by key and reduces values per key with
+// the associative function f (wide transformation).
+func ReduceByKey[K comparable, V any](d *Dataset[KV[K, V]], f func(a, b V) V) *Dataset[KV[K, V]] {
+	return &Dataset[KV[K, V]]{
+		eng: d.eng,
+		compute: func() [][]KV[K, V] {
+			in := d.compute()
+			n := d.eng.partitions
+			// Shuffle write: each input partition buckets its pairs.
+			buckets := make([][]map[K]V, len(in)) // [inPart][outPart]
+			d.eng.runStage(len(in), func(p int) {
+				local := make([]map[K]V, n)
+				for i := range local {
+					local[i] = make(map[K]V)
+				}
+				for _, kv := range in[p] {
+					b := int(hashKey(kv.K)) % n
+					if cur, ok := local[b][kv.K]; ok {
+						local[b][kv.K] = f(cur, kv.V)
+					} else {
+						local[b][kv.K] = kv.V
+					}
+				}
+				buckets[p] = local
+			})
+			// Shuffle read: merge each output partition's buckets.
+			out := make([][]KV[K, V], n)
+			d.eng.runStage(n, func(b int) {
+				merged := make(map[K]V)
+				for p := range buckets {
+					for k, v := range buckets[p][b] {
+						if cur, ok := merged[k]; ok {
+							merged[k] = f(cur, v)
+						} else {
+							merged[k] = v
+						}
+					}
+				}
+				part := make([]KV[K, V], 0, len(merged))
+				for k, v := range merged {
+					part = append(part, KV[K, V]{k, v})
+				}
+				out[b] = part
+			})
+			return out
+		},
+	}
+}
+
+func hashKey[K comparable](k K) uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%v", k)
+	return h.Sum32()
+}
+
+// Collect materializes the dataset into one slice (action).
+func (d *Dataset[T]) Collect() []T {
+	parts := d.compute()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the element count (action).
+func (d *Dataset[T]) Count() int {
+	parts := d.compute()
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}
+
+// NumPartitions reports the partition count after materialization.
+func (d *Dataset[T]) NumPartitions() int { return len(d.compute()) }
+
+// Reduce folds all elements with the associative function f (action).
+// ok is false for an empty dataset.
+func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, bool) {
+	parts := d.compute()
+	partials := make([]T, 0, len(parts))
+	var mu sync.Mutex
+	d.eng.runStage(len(parts), func(p int) {
+		if len(parts[p]) == 0 {
+			return
+		}
+		acc := parts[p][0]
+		for _, v := range parts[p][1:] {
+			acc = f(acc, v)
+		}
+		mu.Lock()
+		partials = append(partials, acc)
+		mu.Unlock()
+	})
+	if len(partials) == 0 {
+		var zero T
+		return zero, false
+	}
+	acc := partials[0]
+	for _, v := range partials[1:] {
+		acc = f(acc, v)
+	}
+	return acc, true
+}
+
+// Foreach applies f to every element in parallel (action with side
+// effects; f must be safe for concurrent use across partitions).
+func (d *Dataset[T]) Foreach(f func(T)) {
+	parts := d.compute()
+	d.eng.runStage(len(parts), func(p int) {
+		for _, v := range parts[p] {
+			f(v)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package compute
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	e := NewEngine(4)
+	d := Parallelize(e, ints(100))
+	got := d.Collect()
+	if len(got) != 100 {
+		t.Fatalf("Collect len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order not preserved at %d: %d", i, v)
+		}
+	}
+	if d.Count() != 100 {
+		t.Errorf("Count = %d", d.Count())
+	}
+	if d.NumPartitions() < 1 || d.NumPartitions() > 4 {
+		t.Errorf("NumPartitions = %d", d.NumPartitions())
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	e := NewEngine(4)
+	d := Parallelize(e, []int{})
+	if d.Count() != 0 {
+		t.Errorf("Count = %d", d.Count())
+	}
+	if _, ok := Reduce(d, func(a, b int) int { return a + b }); ok {
+		t.Error("Reduce on empty dataset reported ok")
+	}
+}
+
+func TestMapFilter(t *testing.T) {
+	e := NewEngine(4)
+	d := Parallelize(e, ints(1000))
+	squares := Map(d, func(x int) int { return x * x })
+	evens := Filter(squares, func(x int) bool { return x%2 == 0 })
+	got := evens.Collect()
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if (i*i)%2 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("filtered = %d, want %d", len(got), want)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	e := NewEngine(2)
+	d := Parallelize(e, []string{"a b", "c", "d e f"})
+	words := FlatMap(d, func(s string) []string {
+		var out []string
+		start := 0
+		for i := 0; i <= len(s); i++ {
+			if i == len(s) || s[i] == ' ' {
+				if i > start {
+					out = append(out, s[start:i])
+				}
+				start = i + 1
+			}
+		}
+		return out
+	})
+	if words.Count() != 6 {
+		t.Fatalf("words = %v", words.Collect())
+	}
+}
+
+func TestReduce(t *testing.T) {
+	e := NewEngine(8)
+	d := Parallelize(e, ints(101)) // sum 0..100 = 5050
+	sum, ok := Reduce(d, func(a, b int) int { return a + b })
+	if !ok || sum != 5050 {
+		t.Fatalf("Reduce = %d, %v", sum, ok)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	e := NewEngine(4)
+	var pairs []KV[string, int]
+	for i := 0; i < 300; i++ {
+		pairs = append(pairs, KV[string, int]{K: []string{"a", "b", "c"}[i%3], V: 1})
+	}
+	d := Parallelize(e, pairs)
+	counts := ReduceByKey(d, func(a, b int) int { return a + b }).Collect()
+	if len(counts) != 3 {
+		t.Fatalf("keys = %d: %v", len(counts), counts)
+	}
+	for _, kv := range counts {
+		if kv.V != 100 {
+			t.Errorf("count[%s] = %d, want 100", kv.K, kv.V)
+		}
+	}
+}
+
+func TestWordCountPipeline(t *testing.T) {
+	// The canonical Spark example end to end.
+	e := NewEngine(4)
+	docs := []string{"the cat", "the dog", "the cat and the dog"}
+	d := Parallelize(e, docs)
+	words := FlatMap(d, func(s string) []string {
+		var out []string
+		start := 0
+		for i := 0; i <= len(s); i++ {
+			if i == len(s) || s[i] == ' ' {
+				if i > start {
+					out = append(out, s[start:i])
+				}
+				start = i + 1
+			}
+		}
+		return out
+	})
+	pairs := Map(words, func(w string) KV[string, int] { return KV[string, int]{w, 1} })
+	counts := ReduceByKey(pairs, func(a, b int) int { return a + b }).Collect()
+	got := map[string]int{}
+	for _, kv := range counts {
+		got[kv.K] = kv.V
+	}
+	want := map[string]int{"the": 4, "cat": 2, "dog": 2, "and": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestForeach(t *testing.T) {
+	e := NewEngine(4)
+	d := Parallelize(e, ints(500))
+	var total atomic.Int64
+	d.Foreach(func(x int) { total.Add(int64(x)) })
+	if total.Load() != 124750 {
+		t.Errorf("Foreach sum = %d", total.Load())
+	}
+}
+
+func TestLaziness(t *testing.T) {
+	e := NewEngine(2)
+	var calls atomic.Int32
+	d := Parallelize(e, ints(10))
+	mapped := Map(d, func(x int) int {
+		calls.Add(1)
+		return x
+	})
+	if calls.Load() != 0 {
+		t.Fatal("Map executed eagerly")
+	}
+	mapped.Collect()
+	if calls.Load() != 10 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestFromPartitions(t *testing.T) {
+	e := NewEngine(2)
+	d := FromPartitions(e, [][]int{{1, 2}, {3}, {}})
+	if d.NumPartitions() != 3 {
+		t.Errorf("NumPartitions = %d", d.NumPartitions())
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count = %d", d.Count())
+	}
+}
+
+func TestReduceByKeyQuickProperty(t *testing.T) {
+	// Property: ReduceByKey(+) over KV{k mod m, 1} gives per-key counts
+	// that sum to n regardless of worker count.
+	f := func(n uint16, workers uint8) bool {
+		nn := int(n%500) + 1
+		w := int(workers%8) + 1
+		e := NewEngine(w)
+		pairs := make([]KV[int, int], nn)
+		for i := range pairs {
+			pairs[i] = KV[int, int]{i % 7, 1}
+		}
+		counts := ReduceByKey(Parallelize(e, pairs), func(a, b int) int { return a + b }).Collect()
+		total := 0
+		for _, kv := range counts {
+			total += kv.V
+		}
+		return total == nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicCollectOrder(t *testing.T) {
+	e := NewEngine(8)
+	d := Map(Parallelize(e, ints(1000)), func(x int) int { return x * 2 })
+	a := d.Collect()
+	b := d.Collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Collect order not deterministic for narrow pipelines")
+		}
+	}
+	if !sort.IntsAreSorted(a) {
+		t.Error("narrow pipeline should preserve input order")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/dl/datasets"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/seaice"
+	"repro/internal/sentinel"
+)
+
+func TestPlatformIngestAndCatalogue(t *testing.T) {
+	p := NewPlatform(4, 4)
+	products := sentinel.GenerateProducts(50, 1, geom.NewRect(0, 0, 1000, 1000))
+	if err := p.IngestAndCatalogue(products); err != nil {
+		t.Fatal(err)
+	}
+	if p.Archive.Len() != 50 {
+		t.Errorf("archive = %d", p.Archive.Len())
+	}
+	names, err := p.FS.List("/products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 50 {
+		t.Errorf("fs products = %d", len(names))
+	}
+	data, err := p.FS.Read("/products/" + products[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), products[0].ID) {
+		t.Error("product metadata file content wrong")
+	}
+	// Catalogue answers the semantic search.
+	n, err := p.Catalogue.ProductsInYearOverArea(2018, geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("catalogue products = %d", n)
+	}
+}
+
+func TestGenerateSceneProducts(t *testing.T) {
+	scenes := GenerateSceneProducts(3, 32, 2, geom.NewRect(0, 0, 1000, 1000))
+	if len(scenes) != 3 {
+		t.Fatalf("scenes = %d", len(scenes))
+	}
+	for _, s := range scenes {
+		if len(s.Image.Bands) != 13 {
+			t.Errorf("bands = %d", len(s.Image.Bands))
+		}
+		if s.Image.Grid.NumCells() != 32*32 {
+			t.Errorf("cells = %d", s.Image.Grid.NumCells())
+		}
+		if s.Product.SizeBytes != s.Image.SizeBytes() {
+			t.Errorf("size mismatch")
+		}
+	}
+}
+
+func trainTestNet(t *testing.T) *dl.Network {
+	t.Helper()
+	ds := datasets.EuroSATVectors(4000, 3)
+	net, _ := TrainLandCoverClassifier(dl.SingleWorker{}, ds, 10, 1, 3)
+	return net
+}
+
+func TestExtractScene(t *testing.T) {
+	net := trainTestNet(t)
+	scenes := GenerateSceneProducts(1, 48, 4, geom.NewRect(0, 0, 1000, 1000))
+	k := ExtractScene(scenes[0], net)
+	if k.Accuracy < 0.6 {
+		t.Errorf("scene classification accuracy = %v", k.Accuracy)
+	}
+	if len(k.NDVI.Data) != 48*48 {
+		t.Errorf("NDVI cells = %d", len(k.NDVI.Data))
+	}
+	if k.SizeBytes() <= 0 {
+		t.Error("knowledge size = 0")
+	}
+}
+
+func TestExtractInformationRatio(t *testing.T) {
+	// E3's shape: knowledge/data ratio near the paper's implied 0.45
+	// (our knowledge products: 1B class + 20B confidence + 4B NDVI per
+	// pixel over 52B of 13-band float32 data = 25/52 ~ 0.48).
+	p := NewPlatform(4, 4)
+	net := trainTestNet(t)
+	scenes := GenerateSceneProducts(4, 32, 5, geom.NewRect(0, 0, 1000, 1000))
+	res := p.ExtractInformation(scenes, net)
+	if res.Products != 4 {
+		t.Fatalf("products = %d", res.Products)
+	}
+	if res.Ratio < 0.4 || res.Ratio > 0.6 {
+		t.Errorf("knowledge/data ratio = %v, want ~0.48", res.Ratio)
+	}
+	if res.MeanAccuracy < 0.6 {
+		t.Errorf("mean accuracy = %v", res.MeanAccuracy)
+	}
+}
+
+func TestTrainLandCoverClassifierStrategies(t *testing.T) {
+	ds := datasets.EuroSATVectors(2000, 6)
+	for _, s := range []dl.Strategy{dl.SingleWorker{}, dl.AllReduce{}} {
+		dsCopy := &dl.Dataset{X: ds.X.Clone(), Y: append([]int(nil), ds.Y...), Classes: ds.Classes}
+		net, stats := TrainLandCoverClassifier(s, dsCopy, 5, 4, 6)
+		if stats.Steps == 0 {
+			t.Errorf("%s: no steps", s.Name())
+		}
+		if acc := net.Accuracy(ds.X, ds.Y); acc < 0.7 {
+			t.Errorf("%s accuracy = %v", s.Name(), acc)
+		}
+	}
+}
+
+// TestEndToEndPolarIntegration drives the full A2 chain through the
+// platform: synthetic SAR -> classifier -> ice chart -> iceberg
+// knowledge into the catalogue -> semantic COUNT query.
+func TestEndToEndPolarIntegration(t *testing.T) {
+	p := NewPlatform(4, 4)
+	grid := raster.NewGrid(geom.Point{X: 1000, Y: 1000}, 100, 64, 64)
+	truth := sentinel.GenerateIceChart(grid, 6, 51)
+	scene := sentinel.GenerateS1Scene(truth, 8, 52)
+
+	clf, acc := seaice.TrainClassifier(4000, 8, 10, 53)
+	if acc < 0.6 {
+		t.Fatalf("classifier accuracy = %v", acc)
+	}
+	classified := seaice.ClassifyScene(scene, clf)
+
+	barrier := geom.NewRect(1000, 1000, 7400, 7400) // covers the whole scene
+	if err := p.Catalogue.AddIceBarrier("TestBarrier", 2017, barrier); err != nil {
+		t.Fatal(err)
+	}
+	obs := seaice.IcebergLocations(classified)
+	for i, o := range obs {
+		if err := p.Catalogue.AddIceberg(fmt.Sprintf("o%d", i), 2017,
+			geom.Point{X: o.X, Y: o.Y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Catalogue.Build()
+	count, err := p.Catalogue.IcebergsEmbedded("TestBarrier", 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(obs) {
+		t.Fatalf("catalogue counted %d of %d observed bergs inside covering barrier",
+			count, len(obs))
+	}
+}

@@ -1,0 +1,152 @@
+package dl
+
+import "math/rand"
+
+// Dataset is a labelled sample matrix: one row per sample.
+type Dataset struct {
+	X Matrix
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// Shuffle permutes samples in place.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	for i := d.X.Rows - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ri, rj := d.X.Row(i), d.X.Row(j)
+		for k := range ri {
+			ri[k], rj[k] = rj[k], ri[k]
+		}
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	}
+}
+
+// Batch returns the mini-batch starting at sample lo (exclusive upper
+// bound clamped to the dataset end). The matrix shares storage with the
+// dataset.
+func (d *Dataset) Batch(lo, size int) (Matrix, []int) {
+	hi := lo + size
+	if hi > d.X.Rows {
+		hi = d.X.Rows
+	}
+	return Matrix{
+		Rows: hi - lo,
+		Cols: d.X.Cols,
+		Data: d.X.Data[lo*d.X.Cols : hi*d.X.Cols],
+	}, d.Y[lo:hi]
+}
+
+// Split partitions the dataset into a training prefix and test suffix;
+// trainFrac is clamped to (0, 1).
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	if trainFrac <= 0 {
+		trainFrac = 0.5
+	}
+	if trainFrac >= 1 {
+		trainFrac = 0.9
+	}
+	n := int(float64(d.X.Rows) * trainFrac)
+	train = &Dataset{
+		X:       Matrix{Rows: n, Cols: d.X.Cols, Data: d.X.Data[:n*d.X.Cols]},
+		Y:       d.Y[:n],
+		Classes: d.Classes,
+	}
+	test = &Dataset{
+		X:       Matrix{Rows: d.X.Rows - n, Cols: d.X.Cols, Data: d.X.Data[n*d.X.Cols:]},
+		Y:       d.Y[n:],
+		Classes: d.Classes,
+	}
+	return train, test
+}
+
+// Shard returns worker w's horizontal slice out of n shards (for
+// data-parallel training).
+func (d *Dataset) Shard(w, n int) *Dataset {
+	per := (d.X.Rows + n - 1) / n
+	lo := w * per
+	hi := lo + per
+	if lo > d.X.Rows {
+		lo = d.X.Rows
+	}
+	if hi > d.X.Rows {
+		hi = d.X.Rows
+	}
+	return &Dataset{
+		X:       Matrix{Rows: hi - lo, Cols: d.X.Cols, Data: d.X.Data[lo*d.X.Cols : hi*d.X.Cols]},
+		Y:       d.Y[lo:hi],
+		Classes: d.Classes,
+	}
+}
+
+// NearestCentroid is the classical baseline classifier of experiment E5:
+// class means in feature space, prediction by minimum Euclidean distance.
+type NearestCentroid struct {
+	Centroids Matrix
+}
+
+// FitNearestCentroid computes per-class centroids.
+func FitNearestCentroid(d *Dataset) *NearestCentroid {
+	nc := &NearestCentroid{Centroids: NewMatrix(d.Classes, d.X.Cols)}
+	counts := make([]int, d.Classes)
+	for r := 0; r < d.X.Rows; r++ {
+		c := d.Y[r]
+		counts[c]++
+		row := d.X.Row(r)
+		crow := nc.Centroids.Row(c)
+		for i, v := range row {
+			crow[i] += v
+		}
+	}
+	for c := 0; c < d.Classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		crow := nc.Centroids.Row(c)
+		inv := 1 / float32(counts[c])
+		for i := range crow {
+			crow[i] *= inv
+		}
+	}
+	return nc
+}
+
+// Predict returns the nearest centroid class per sample.
+func (nc *NearestCentroid) Predict(x Matrix) []int {
+	out := make([]int, x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		best, bestD := 0, float32(1e38)
+		for c := 0; c < nc.Centroids.Rows; c++ {
+			crow := nc.Centroids.Row(c)
+			var d float32
+			for i := range row {
+				diff := row[i] - crow[i]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// Accuracy evaluates the baseline on a dataset.
+func (nc *NearestCentroid) Accuracy(d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	pred := nc.Predict(d.X)
+	hit := 0
+	for i, p := range pred {
+		if p == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}

@@ -1,0 +1,107 @@
+// Package datasets builds the training corpora of Challenge C2: the
+// synthetic EuroSAT-mirror benchmark (13 bands, 10 classes, 27 000
+// samples, matching Helber et al. [11] in cardinality and shape) and the
+// sea-ice training set for the Polar application, both drawn from the
+// class-conditional generative model of internal/sentinel.
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/dl"
+	"repro/internal/sentinel"
+)
+
+// EuroSATSize is the sample count of the original EuroSAT benchmark.
+const EuroSATSize = 27000
+
+// EuroSATVectors generates the pixel-spectrum variant of the benchmark:
+// each sample is a 13-band reflectance vector with a balanced class
+// distribution. It is the MLP/centroid workload of experiment E5.
+func EuroSATVectors(n int, seed int64) *dl.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &dl.Dataset{
+		X:       dl.NewMatrix(n, 13),
+		Y:       make([]int, n),
+		Classes: sentinel.NumLandCoverClasses,
+	}
+	for i := 0; i < n; i++ {
+		class := uint8(i % sentinel.NumLandCoverClasses)
+		copy(ds.X.Row(i), sentinel.SampleS2Pixel(class, rng))
+		ds.Y[i] = int(class)
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+// EuroSATPatches generates the CNN variant: each sample is a flattened
+// [13][k][k] patch of one class (uniform class per patch, per-pixel
+// noise), the patch-classification workload of E5's CNN row.
+func EuroSATPatches(n, k int, seed int64) *dl.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &dl.Dataset{
+		X:       dl.NewMatrix(n, 13*k*k),
+		Y:       make([]int, n),
+		Classes: sentinel.NumLandCoverClasses,
+	}
+	for i := 0; i < n; i++ {
+		class := uint8(i % sentinel.NumLandCoverClasses)
+		row := ds.X.Row(i)
+		for py := 0; py < k; py++ {
+			for px := 0; px < k; px++ {
+				pix := sentinel.SampleS2Pixel(class, rng)
+				for b := 0; b < 13; b++ {
+					// channel-major layout [C][H][W]
+					row[b*k*k+py*k+px] = pix[b]
+				}
+			}
+		}
+		ds.Y[i] = int(class)
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+// SeaIceVectors generates the sea-ice classification training set: each
+// sample is a dual-pol multi-look backscatter vector labelled with a WMO
+// ice class. Used by the Polar application (A2, experiment E13).
+func SeaIceVectors(n, looks int, seed int64) *dl.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &dl.Dataset{
+		X:       dl.NewMatrix(n, 2),
+		Y:       make([]int, n),
+		Classes: sentinel.NumIceClasses,
+	}
+	for i := 0; i < n; i++ {
+		class := uint8(i % sentinel.NumIceClasses)
+		copy(ds.X.Row(i), sentinel.SampleS1Pixel(class, looks, rng))
+		ds.Y[i] = int(class)
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+// CropVectors generates the crop-type training set for the Food Security
+// application (A1): 13-band vectors restricted to the vegetation-bearing
+// classes, labelled 0..len(classes)-1.
+func CropVectors(n int, seed int64) (*dl.Dataset, []uint8) {
+	classes := []uint8{
+		sentinel.ClassAnnualCrop,
+		sentinel.ClassPermanentCrop,
+		sentinel.ClassPasture,
+		sentinel.ClassForest,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &dl.Dataset{
+		X:       dl.NewMatrix(n, 13),
+		Y:       make([]int, n),
+		Classes: len(classes),
+	}
+	for i := 0; i < n; i++ {
+		label := i % len(classes)
+		copy(ds.X.Row(i), sentinel.SampleS2Pixel(classes[label], rng))
+		ds.Y[i] = label
+	}
+	ds.Shuffle(rng)
+	return ds, classes
+}

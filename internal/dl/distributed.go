@@ -1,0 +1,265 @@
+package dl
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TrainConfig tunes a training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int // global batch size, split across workers
+	LR        float32
+	Momentum  float32
+	Workers   int
+	Seed      int64
+}
+
+func (c TrainConfig) defaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// TrainStats reports a training run for the E4 tables.
+type TrainStats struct {
+	Strategy  string
+	Workers   int
+	Epochs    int
+	Steps     int
+	FinalLoss float64
+	WallTime  time.Duration
+	// CommBytes is the modeled synchronization traffic: ring allreduce
+	// moves 2(N-1)/N of the parameter bytes per worker per step, the
+	// parameter server 2x parameter bytes per worker step.
+	CommBytes int64
+	// SamplesPerSec is the end-to-end training throughput.
+	SamplesPerSec float64
+}
+
+// Strategy is a distributed training strategy (the C1 axis of E4).
+type Strategy interface {
+	Name() string
+	Train(spec ModelSpec, ds *Dataset, cfg TrainConfig) (*Network, TrainStats)
+}
+
+// SingleWorker is sequential mini-batch SGD: the one-GPU baseline the
+// paper says published EO architectures are stuck at.
+type SingleWorker struct{}
+
+// Name implements Strategy.
+func (SingleWorker) Name() string { return "single" }
+
+// Train implements Strategy.
+func (SingleWorker) Train(spec ModelSpec, ds *Dataset, cfg TrainConfig) (*Network, TrainStats) {
+	cfg = cfg.defaults()
+	net := spec.Build()
+	opt := NewSGD(cfg.LR, cfg.Momentum)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	start := time.Now()
+	steps := 0
+	var loss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		ds.Shuffle(rng)
+		for lo := 0; lo < ds.Len(); lo += cfg.BatchSize {
+			x, y := ds.Batch(lo, cfg.BatchSize)
+			loss = net.TrainStep(x, y)
+			opt.Step(net.Params(), net.Grads())
+			steps++
+		}
+	}
+	wall := time.Since(start)
+	return net, TrainStats{
+		Strategy: "single", Workers: 1, Epochs: cfg.Epochs, Steps: steps,
+		FinalLoss: loss, WallTime: wall,
+		SamplesPerSec: float64(ds.Len()*cfg.Epochs) / wall.Seconds(),
+	}
+}
+
+// AllReduce is synchronous data-parallel SGD with collective gradient
+// aggregation: every step, each of N workers computes gradients on 1/N of
+// the global batch in parallel, gradients are summed (the collective),
+// and one optimizer step updates the master model that all replicas then
+// mirror — TensorFlow's CollectiveAllReduceStrategy on HOPS.
+type AllReduce struct{}
+
+// Name implements Strategy.
+func (AllReduce) Name() string { return "allreduce" }
+
+// Train implements Strategy.
+func (AllReduce) Train(spec ModelSpec, ds *Dataset, cfg TrainConfig) (*Network, TrainStats) {
+	cfg = cfg.defaults()
+	w := cfg.Workers
+	master := spec.Build()
+	replicas := make([]*Network, w)
+	for i := range replicas {
+		replicas[i] = spec.Build()
+		replicas[i].CopyParamsFrom(master)
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	paramBytes := int64(master.NumParams()) * 4
+
+	start := time.Now()
+	steps := 0
+	var commBytes int64
+	var lastLoss float64
+	losses := make([]float64, w)
+	perWorker := (cfg.BatchSize + w - 1) / w
+
+	for e := 0; e < cfg.Epochs; e++ {
+		ds.Shuffle(rng)
+		for lo := 0; lo < ds.Len(); lo += cfg.BatchSize {
+			gx, gy := ds.Batch(lo, cfg.BatchSize)
+			// Scatter the global batch across replicas and compute
+			// gradients in parallel.
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wlo := i * perWorker
+				whi := wlo + perWorker
+				if wlo >= gx.Rows {
+					break
+				}
+				if whi > gx.Rows {
+					whi = gx.Rows
+				}
+				wg.Add(1)
+				go func(i, wlo, whi int) {
+					defer wg.Done()
+					x := Matrix{Rows: whi - wlo, Cols: gx.Cols, Data: gx.Data[wlo*gx.Cols : whi*gx.Cols]}
+					losses[i] = replicas[i].TrainStep(x, gy[wlo:whi])
+				}(i, wlo, whi)
+			}
+			wg.Wait()
+
+			// Collective: sum replica gradients into the master's
+			// accumulators, scaled by shard fraction so the result equals
+			// the full-batch gradient.
+			master.ZeroGrads()
+			mg := master.Grads()
+			for i := 0; i < w; i++ {
+				wlo := i * perWorker
+				if wlo >= gx.Rows {
+					break
+				}
+				whi := wlo + perWorker
+				if whi > gx.Rows {
+					whi = gx.Rows
+				}
+				frac := float32(whi-wlo) / float32(gx.Rows)
+				rg := replicas[i].Grads()
+				for j := range mg {
+					for k := range mg[j].Data {
+						mg[j].Data[k] += rg[j].Data[k] * frac
+					}
+				}
+			}
+			opt.Step(master.Params(), mg)
+			// Broadcast: replicas mirror the master.
+			for i := 0; i < w; i++ {
+				replicas[i].CopyParamsFrom(master)
+			}
+			// Ring allreduce cost model: 2(N-1)/N parameter volumes per
+			// worker per step.
+			commBytes += int64(float64(paramBytes) * 2 * float64(w-1) / float64(w) * float64(w))
+			steps++
+			lastLoss = losses[0]
+		}
+	}
+	wall := time.Since(start)
+	return master, TrainStats{
+		Strategy: "allreduce", Workers: w, Epochs: cfg.Epochs, Steps: steps,
+		FinalLoss: lastLoss, WallTime: wall, CommBytes: commBytes,
+		SamplesPerSec: float64(ds.Len()*cfg.Epochs) / wall.Seconds(),
+	}
+}
+
+// ParameterServer is asynchronous data-parallel SGD: workers train on
+// their shard and exchange (pull parameters, push gradients) with one
+// central server whose lock serializes updates — TensorFlow's
+// ParameterServerStrategy. The coordinator bottleneck that E4 shows at
+// high worker counts is exactly this serialization.
+type ParameterServer struct{}
+
+// Name implements Strategy.
+func (ParameterServer) Name() string { return "paramserver" }
+
+// Train implements Strategy.
+func (ParameterServer) Train(spec ModelSpec, ds *Dataset, cfg TrainConfig) (*Network, TrainStats) {
+	cfg = cfg.defaults()
+	w := cfg.Workers
+	server := spec.Build()
+	// Asynchronous workers apply W times as many updates per unit of
+	// data as synchronous training; scaling the learning rate by 1/W
+	// keeps the effective step size comparable and avoids divergence from
+	// stale gradients (the standard async-SGD correction).
+	opt := NewSGD(cfg.LR/float32(w), cfg.Momentum)
+	var serverMu sync.Mutex
+	paramBytes := int64(server.NumParams()) * 4
+
+	perWorkerBatch := cfg.BatchSize / w
+	if perWorkerBatch < 1 {
+		perWorkerBatch = 1
+	}
+
+	start := time.Now()
+	var commBytes int64
+	var steps int
+	var statsMu sync.Mutex
+	var lastLoss float64
+
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shard := ds.Shard(i, w)
+			if shard.Len() == 0 {
+				return
+			}
+			replica := spec.Build()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*101))
+			for e := 0; e < cfg.Epochs; e++ {
+				shard.Shuffle(rng)
+				for lo := 0; lo < shard.Len(); lo += perWorkerBatch {
+					// Pull: mirror current server parameters.
+					serverMu.Lock()
+					replica.CopyParamsFrom(server)
+					serverMu.Unlock()
+
+					x, y := shard.Batch(lo, perWorkerBatch)
+					loss := replica.TrainStep(x, y)
+
+					// Push: apply this worker's gradients on the server.
+					serverMu.Lock()
+					opt.Step(server.Params(), replica.Grads())
+					serverMu.Unlock()
+
+					statsMu.Lock()
+					commBytes += 2 * paramBytes
+					steps++
+					lastLoss = loss
+					statsMu.Unlock()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return server, TrainStats{
+		Strategy: "paramserver", Workers: w, Epochs: cfg.Epochs, Steps: steps,
+		FinalLoss: lastLoss, WallTime: wall, CommBytes: commBytes,
+		SamplesPerSec: float64(ds.Len()*cfg.Epochs) / wall.Seconds(),
+	}
+}

@@ -1,0 +1,370 @@
+package dl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMul(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 3, Data: []float32{1, 2, 3, 4, 5, 6}}
+	b := Matrix{Rows: 3, Cols: 2, Data: []float32{7, 8, 9, 10, 11, 12}}
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulTransposeVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 3)
+	b := NewMatrix(4, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32()
+	}
+	// aᵀ*b via explicit transpose
+	at := NewMatrix(3, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			at.Set(c, r, a.At(r, c))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulTransA(a, b)
+	for i := range want.Data {
+		if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-5 {
+			t.Fatalf("MatMulTransA[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// a*bᵀ with compatible shapes
+	c := NewMatrix(2, 3)
+	d := NewMatrix(5, 3)
+	for i := range c.Data {
+		c.Data[i] = rng.Float32()
+	}
+	for i := range d.Data {
+		d.Data[i] = rng.Float32()
+	}
+	dt := NewMatrix(3, 5)
+	for r := 0; r < 5; r++ {
+		for cc := 0; cc < 3; cc++ {
+			dt.Set(cc, r, d.At(r, cc))
+		}
+	}
+	want2 := MatMul(c, dt)
+	got2 := MatMulTransB(c, d)
+	for i := range want2.Data {
+		if math.Abs(float64(want2.Data[i]-got2.Data[i])) > 1e-5 {
+			t.Fatalf("MatMulTransB[%d] = %v, want %v", i, got2.Data[i], want2.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	logits := Matrix{Rows: 2, Cols: 3, Data: []float32{1, 2, 3, 1000, 1000, 1000}}
+	p := Softmax(logits)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for _, v := range p.Row(r) {
+			sum += float64(v)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+	// large logits must not produce NaN (max-subtraction stability)
+	for _, v := range p.Row(1) {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("softmax NaN on large logits")
+		}
+	}
+}
+
+func TestLossDecreasesOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Two Gaussian blobs.
+	n := 200
+	x := NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float32(cls*4 - 2)
+		x.Set(i, 0, cx+float32(rng.NormFloat64())*0.5)
+		x.Set(i, 1, cx+float32(rng.NormFloat64())*0.5)
+		y[i] = cls
+	}
+	net := NewNetwork(NewDense(2, 8, rng), &ReLU{}, NewDense(8, 2, rng))
+	opt := NewSGD(0.1, 0.9)
+	first := net.TrainStep(x, y)
+	opt.Step(net.Params(), net.Grads())
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = net.TrainStep(x, y)
+		opt.Step(net.Params(), net.Grads())
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if acc := net.Accuracy(x, y); acc < 0.95 {
+		t.Errorf("accuracy on separable blobs = %v", acc)
+	}
+}
+
+// numericalGradCheck verifies analytic gradients of a network on a tiny
+// batch against central finite differences.
+func numericalGradCheck(t *testing.T, net *Network, x Matrix, y []int, tol float64) {
+	t.Helper()
+	net.TrainStep(x, y)
+	params := net.Params()
+	grads := net.Grads()
+	// Copy analytic grads (subsequent TrainSteps overwrite them).
+	analytic := make([][]float32, len(grads))
+	for i, g := range grads {
+		analytic[i] = append([]float32(nil), g.Data...)
+	}
+	const eps = 1e-3
+	for pi, p := range params {
+		// Check a sample of entries to keep the test fast.
+		step := len(p.Data)/7 + 1
+		for j := 0; j < len(p.Data); j += step {
+			orig := p.Data[j]
+			p.Data[j] = orig + eps
+			lossPlus, _ := LossAndGrad(net.Forward(x), y)
+			p.Data[j] = orig - eps
+			lossMinus, _ := LossAndGrad(net.Forward(x), y)
+			p.Data[j] = orig
+			numeric := (lossPlus - lossMinus) / (2 * eps)
+			a := float64(analytic[pi][j])
+			if math.Abs(numeric-a) > tol*(1+math.Abs(numeric)+math.Abs(a)) {
+				t.Errorf("param %d[%d]: analytic %v vs numeric %v", pi, j, a, numeric)
+			}
+		}
+	}
+}
+
+func TestGradientCheckMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(NewDense(4, 6, rng), &ReLU{}, NewDense(6, 3, rng))
+	x := NewMatrix(5, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	y := []int{0, 1, 2, 1, 0}
+	numericalGradCheck(t, net, x, y, 2e-2)
+}
+
+func TestGradientCheckCNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv := NewConv2D(2, 6, 6, 3, 3, rng)
+	pool := NewMaxPool2D(3, conv.OutH(), conv.OutW(), 2)
+	net := NewNetwork(conv, &ReLU{}, pool, NewDense(pool.OutSize(), 3, rng))
+	x := NewMatrix(3, 2*6*6)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	y := []int{0, 1, 2}
+	numericalGradCheck(t, net, x, y, 3e-2)
+}
+
+func TestModelSpecBuild(t *testing.T) {
+	mlp := ModelSpec{Arch: ArchMLP, In: 13, Hidden: 16, Classes: 10, Seed: 1}.Build()
+	if got := len(mlp.Layers); got != 3 {
+		t.Errorf("MLP layers = %d", got)
+	}
+	cnn := ModelSpec{Arch: ArchCNN, In: 13, PatchH: 8, PatchW: 8, Hidden: 16, Classes: 10, Seed: 1}.Build()
+	if got := len(cnn.Layers); got != 6 {
+		t.Errorf("CNN layers = %d", got)
+	}
+	// forward shape sanity
+	x := NewMatrix(2, 13*8*8)
+	out := cnn.Forward(x)
+	if out.Rows != 2 || out.Cols != 10 {
+		t.Errorf("CNN output shape = %dx%d", out.Rows, out.Cols)
+	}
+	if mlp.NumParams() == 0 || cnn.NumParams() == 0 {
+		t.Error("NumParams = 0")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := ModelSpec{Arch: ArchMLP, In: 5, Hidden: 7, Classes: 3, Seed: 42}
+	a, b := spec.Build(), spec.Build()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func makeBlobs(n, dim, classes int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{X: NewMatrix(n, dim), Y: make([]int, n), Classes: classes}
+	for i := 0; i < n; i++ {
+		cls := i % classes
+		for d := 0; d < dim; d++ {
+			center := float32(cls) * 2
+			ds.X.Set(i, d, center+float32(rng.NormFloat64())*0.3)
+		}
+		ds.Y[i] = cls
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+func TestDatasetSplitShard(t *testing.T) {
+	ds := makeBlobs(100, 3, 4, 5)
+	train, test := ds.Split(0.8)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split = %d/%d", train.Len(), test.Len())
+	}
+	total := 0
+	for w := 0; w < 3; w++ {
+		total += ds.Shard(w, 3).Len()
+	}
+	if total != 100 {
+		t.Errorf("shards cover %d samples", total)
+	}
+}
+
+func TestStrategiesReachSimilarAccuracy(t *testing.T) {
+	ds := makeBlobs(600, 4, 3, 6)
+	spec := ModelSpec{Arch: ArchMLP, In: 4, Hidden: 16, Classes: 3, Seed: 7}
+	cfg := TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9, Workers: 4, Seed: 7}
+
+	strategies := []Strategy{SingleWorker{}, AllReduce{}, ParameterServer{}}
+	for _, s := range strategies {
+		dsCopy := &Dataset{X: ds.X.Clone(), Y: append([]int(nil), ds.Y...), Classes: ds.Classes}
+		net, stats := s.Train(spec, dsCopy, cfg)
+		acc := net.Accuracy(ds.X, ds.Y)
+		if acc < 0.9 {
+			t.Errorf("%s accuracy = %v, want >= 0.9", s.Name(), acc)
+		}
+		if stats.Steps == 0 || stats.WallTime <= 0 {
+			t.Errorf("%s stats = %+v", s.Name(), stats)
+		}
+		if s.Name() != "single" && stats.CommBytes == 0 {
+			t.Errorf("%s CommBytes = 0", s.Name())
+		}
+	}
+}
+
+func TestAllReduceGradEqualsSingleBatchGrad(t *testing.T) {
+	// One allreduce step over W workers must produce the same summed
+	// gradient as one full-batch step (synchronous data parallelism is
+	// mathematically equivalent).
+	rng := rand.New(rand.NewSource(8))
+	spec := ModelSpec{Arch: ArchMLP, In: 3, Hidden: 5, Classes: 2, Seed: 11}
+	x := NewMatrix(8, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	y := []int{0, 1, 0, 1, 1, 0, 1, 0}
+
+	// Reference: full batch on one model.
+	ref := spec.Build()
+	ref.TrainStep(x, y)
+	refGrads := ref.Grads()
+
+	// Manual 2-worker split and averaged gradients.
+	w1, w2 := spec.Build(), spec.Build()
+	x1 := Matrix{Rows: 4, Cols: 3, Data: x.Data[:12]}
+	x2 := Matrix{Rows: 4, Cols: 3, Data: x.Data[12:]}
+	w1.TrainStep(x1, y[:4])
+	w2.TrainStep(x2, y[4:])
+	g1, g2 := w1.Grads(), w2.Grads()
+	for i := range refGrads {
+		for j := range refGrads[i].Data {
+			combined := 0.5*g1[i].Data[j] + 0.5*g2[i].Data[j]
+			if math.Abs(float64(combined-refGrads[i].Data[j])) > 1e-4 {
+				t.Fatalf("grad %d[%d]: combined %v vs full-batch %v",
+					i, j, combined, refGrads[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestNearestCentroidBaseline(t *testing.T) {
+	ds := makeBlobs(300, 4, 3, 9)
+	train, test := ds.Split(0.8)
+	nc := FitNearestCentroid(train)
+	if acc := nc.Accuracy(test); acc < 0.95 {
+		t.Errorf("centroid accuracy on blobs = %v", acc)
+	}
+}
+
+func TestHyperparameterSearch(t *testing.T) {
+	ds := makeBlobs(300, 4, 3, 10)
+	train, test := ds.Split(0.8)
+	space := SearchSpace{
+		LRs:       []float32{0.001, 0.05},
+		Hiddens:   []int{4, 16},
+		Momentums: []float32{0.0, 0.9},
+	}
+	grid := space.GridTrials()
+	if len(grid) != 8 {
+		t.Fatalf("grid = %d trials", len(grid))
+	}
+	spec := ModelSpec{Arch: ArchMLP, In: 4, Classes: 3, Seed: 3}
+	results := RunSearch(spec, train, test, grid, 3, 4)
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].TestAccuracy > results[i-1].TestAccuracy {
+			t.Fatal("results not sorted best-first")
+		}
+	}
+	if results[0].TestAccuracy < 0.9 {
+		t.Errorf("best trial accuracy = %v", results[0].TestAccuracy)
+	}
+	rnd := space.RandomTrials(5, 1)
+	if len(rnd) != 5 {
+		t.Errorf("random trials = %d", len(rnd))
+	}
+}
+
+func TestSGDMomentumMoves(t *testing.T) {
+	p := NewMatrix(1, 1)
+	g := NewMatrix(1, 1)
+	g.Data[0] = 1
+	opt := NewSGD(0.1, 0.9)
+	opt.Step([]*Matrix{&p}, []*Matrix{&g})
+	if p.Data[0] != -0.1 {
+		t.Fatalf("first step = %v", p.Data[0])
+	}
+	opt.Step([]*Matrix{&p}, []*Matrix{&g})
+	// velocity: -0.1*0.9 - 0.1 = -0.19; param: -0.29
+	if math.Abs(float64(p.Data[0]+0.29)) > 1e-6 {
+		t.Fatalf("second step = %v", p.Data[0])
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float32{1, 5, 3}) != 1 {
+		t.Error("Argmax")
+	}
+	if Argmax([]float32{-1}) != 0 {
+		t.Error("Argmax single")
+	}
+}

@@ -1,0 +1,88 @@
+package dl
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Trial is one hyperparameter combination and its result. HOPS provides
+// exactly this parallel-experiments service on top of its distributed
+// training (Challenge C5); here trials run concurrently on the worker
+// pool.
+type Trial struct {
+	LR       float32
+	Hidden   int
+	Momentum float32
+	// TestAccuracy is the held-out accuracy after training.
+	TestAccuracy float64
+	Loss         float64
+}
+
+// SearchSpace bounds the hyperparameter search.
+type SearchSpace struct {
+	LRs       []float32
+	Hiddens   []int
+	Momentums []float32
+}
+
+// GridTrials enumerates the full Cartesian product of the space.
+func (s SearchSpace) GridTrials() []Trial {
+	var out []Trial
+	for _, lr := range s.LRs {
+		for _, h := range s.Hiddens {
+			for _, m := range s.Momentums {
+				out = append(out, Trial{LR: lr, Hidden: h, Momentum: m})
+			}
+		}
+	}
+	return out
+}
+
+// RandomTrials samples n combinations uniformly from the space.
+func (s SearchSpace) RandomTrials(n int, seed int64) []Trial {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Trial, n)
+	for i := range out {
+		out[i] = Trial{
+			LR:       s.LRs[rng.Intn(len(s.LRs))],
+			Hidden:   s.Hiddens[rng.Intn(len(s.Hiddens))],
+			Momentum: s.Momentums[rng.Intn(len(s.Momentums))],
+		}
+	}
+	return out
+}
+
+// RunSearch trains every trial on train, evaluates on test, and returns
+// trials sorted best-first. parallelism bounds concurrent trials.
+func RunSearch(spec ModelSpec, train, test *Dataset, trials []Trial, epochs, parallelism int) []Trial {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	out := make([]Trial, len(trials))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, tr := range trials {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tr Trial) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := spec
+			s.Hidden = tr.Hidden
+			s.Seed = spec.Seed + int64(i)
+			// Each trial trains on a private shuffled copy (Shuffle
+			// mutates) to stay race-free across parallel trials.
+			local := &Dataset{X: train.X.Clone(), Y: append([]int(nil), train.Y...), Classes: train.Classes}
+			net, stats := SingleWorker{}.Train(s, local, TrainConfig{
+				Epochs: epochs, BatchSize: 64, LR: tr.LR, Momentum: tr.Momentum, Seed: s.Seed,
+			})
+			tr.TestAccuracy = net.Accuracy(test.X, test.Y)
+			tr.Loss = stats.FinalLoss
+			out[i] = tr
+		}(i, tr)
+	}
+	wg.Wait()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TestAccuracy > out[j].TestAccuracy })
+	return out
+}

@@ -1,0 +1,292 @@
+package dl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a
+// batch (rows = samples) and Backward consumes the gradient w.r.t. the
+// layer output, returning the gradient w.r.t. the input and accumulating
+// parameter gradients.
+type Layer interface {
+	Forward(x Matrix) Matrix
+	Backward(gradOut Matrix) Matrix
+	// Params returns the layer's parameter matrices (nil for stateless
+	// layers); Grads returns matching gradient accumulators.
+	Params() []*Matrix
+	Grads() []*Matrix
+}
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	W, B   Matrix
+	gW, gB Matrix
+	lastX  Matrix
+}
+
+// NewDense constructs a Glorot-initialized dense layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:  NewMatrix(in, out),
+		B:  NewMatrix(1, out),
+		gW: NewMatrix(in, out),
+		gB: NewMatrix(1, out),
+	}
+	GlorotInit(d.W, in, out, rng)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x Matrix) Matrix {
+	d.lastX = x
+	out := MatMul(x, d.W)
+	for r := 0; r < out.Rows; r++ {
+		row := out.Row(r)
+		for c := range row {
+			row[c] += d.B.Data[c]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut Matrix) Matrix {
+	// dW = xᵀ * gradOut ; dB = column sums ; dx = gradOut * Wᵀ
+	gw := MatMulTransA(d.lastX, gradOut)
+	AddInPlace(d.gW, gw)
+	for r := 0; r < gradOut.Rows; r++ {
+		row := gradOut.Row(r)
+		for c := range row {
+			d.gB.Data[c] += row[c]
+		}
+	}
+	return MatMulTransB(gradOut, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Matrix { return []*Matrix{&d.W, &d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*Matrix { return []*Matrix{&d.gW, &d.gB} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x Matrix) Matrix {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut Matrix) Matrix {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Matrix { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*Matrix { return nil }
+
+// Conv2D is a valid-padding 2D convolution over multi-channel square
+// inputs. Batches are rows of flattened [C][H][W] tensors.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC, K       int    // kernel size K x K
+	W, B          Matrix // W: OutC x (InC*K*K); B: 1 x OutC
+	gW, gB        Matrix
+	lastX         Matrix
+}
+
+// NewConv2D constructs a convolution layer.
+func NewConv2D(inC, inH, inW, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW, OutC: outC, K: k,
+		W:  NewMatrix(outC, inC*k*k),
+		B:  NewMatrix(1, outC),
+		gW: NewMatrix(outC, inC*k*k),
+		gB: NewMatrix(1, outC),
+	}
+	GlorotInit(c.W, inC*k*k, outC, rng)
+	return c
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return c.InH - c.K + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return c.InW - c.K + 1 }
+
+// OutSize returns the flattened output length per sample.
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH() * c.OutW() }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x Matrix) Matrix {
+	c.lastX = x
+	oh, ow := c.OutH(), c.OutW()
+	out := NewMatrix(x.Rows, c.OutSize())
+	for n := 0; n < x.Rows; n++ {
+		in := x.Row(n)
+		o := out.Row(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W.Row(oc)
+			bias := c.B.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						chOff := ic * c.InH * c.InW
+						for ky := 0; ky < c.K; ky++ {
+							rowOff := chOff + (oy+ky)*c.InW + ox
+							for kx := 0; kx < c.K; kx++ {
+								s += w[wi] * in[rowOff+kx]
+								wi++
+							}
+						}
+					}
+					o[oc*oh*ow+oy*ow+ox] = s + bias
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut Matrix) Matrix {
+	oh, ow := c.OutH(), c.OutW()
+	gradIn := NewMatrix(gradOut.Rows, c.InC*c.InH*c.InW)
+	for n := 0; n < gradOut.Rows; n++ {
+		in := c.lastX.Row(n)
+		g := gradOut.Row(n)
+		gi := gradIn.Row(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W.Row(oc)
+			gw := c.gW.Row(oc)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[oc*oh*ow+oy*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					c.gB.Data[oc] += gv
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						chOff := ic * c.InH * c.InW
+						for ky := 0; ky < c.K; ky++ {
+							rowOff := chOff + (oy+ky)*c.InW + ox
+							for kx := 0; kx < c.K; kx++ {
+								gw[wi] += gv * in[rowOff+kx]
+								gi[rowOff+kx] += gv * w[wi]
+								wi++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Matrix { return []*Matrix{&c.W, &c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*Matrix { return []*Matrix{&c.gW, &c.gB} }
+
+// MaxPool2D is a non-overlapping max pooling layer over [C][H][W] inputs.
+type MaxPool2D struct {
+	C, H, W, Pool int
+	argmax        []int
+	rows          int
+}
+
+// NewMaxPool2D constructs a pooling layer; H and W must divide by pool.
+func NewMaxPool2D(c, h, w, pool int) *MaxPool2D {
+	return &MaxPool2D{C: c, H: h, W: w, Pool: pool}
+}
+
+// OutSize returns the flattened output length per sample.
+func (p *MaxPool2D) OutSize() int {
+	return p.C * (p.H / p.Pool) * (p.W / p.Pool)
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x Matrix) Matrix {
+	oh, ow := p.H/p.Pool, p.W/p.Pool
+	out := NewMatrix(x.Rows, p.OutSize())
+	p.rows = x.Rows
+	if cap(p.argmax) < x.Rows*p.OutSize() {
+		p.argmax = make([]int, x.Rows*p.OutSize())
+	}
+	p.argmax = p.argmax[:x.Rows*p.OutSize()]
+	for n := 0; n < x.Rows; n++ {
+		in := x.Row(n)
+		o := out.Row(n)
+		for c := 0; c < p.C; c++ {
+			chOff := c * p.H * p.W
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := 0
+					for ky := 0; ky < p.Pool; ky++ {
+						for kx := 0; kx < p.Pool; kx++ {
+							idx := chOff + (oy*p.Pool+ky)*p.W + ox*p.Pool + kx
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oi := c*oh*ow + oy*ow + ox
+					o[oi] = best
+					p.argmax[n*p.OutSize()+oi] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut Matrix) Matrix {
+	gradIn := NewMatrix(gradOut.Rows, p.C*p.H*p.W)
+	for n := 0; n < gradOut.Rows; n++ {
+		g := gradOut.Row(n)
+		gi := gradIn.Row(n)
+		for oi, gv := range g {
+			gi[p.argmax[n*p.OutSize()+oi]] += gv
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Matrix { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*Matrix { return nil }

@@ -1,0 +1,157 @@
+// Package dl implements the scale-out deep learning substrate of
+// Challenge C1: dense and convolutional neural networks trained with
+// mini-batch SGD, and the two data-parallel distribution strategies the
+// paper names (TensorFlow-style collective allreduce and parameter
+// server), plus the HOPS-style parallel hyperparameter search of
+// Challenge C5.
+//
+// Substitution note (DESIGN.md): workers are goroutines with model
+// replicas instead of GPUs. The scale-out shape measured in experiment E4
+// (near-linear speedup for allreduce, coordinator contention for the
+// parameter server) is a property of the synchronization structure, which
+// is faithfully reproduced; absolute throughput is not comparable.
+package dl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix; rows are samples in batch
+// tensors.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared storage).
+func (m Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float32, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements to 0 in place.
+func (m Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a*b.
+func MatMul(a, b Matrix) Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dl: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ*b.
+func MatMulTransA(a, b Matrix) Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dl: matmulTransA shape mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a*bᵀ.
+func MatMulTransB(a, b Matrix) Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dl: matmulTransB shape mismatch %dx%d * %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b Matrix) {
+	if len(a.Data) != len(b.Data) {
+		panic("dl: add shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies all elements by s.
+func ScaleInPlace(a Matrix, s float32) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// GlorotInit fills m with Glorot-uniform values for a layer with the
+// given fan-in and fan-out.
+func GlorotInit(m Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// Argmax returns the index of the maximum element of v.
+func Argmax(v []float32) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

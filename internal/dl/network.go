@@ -1,0 +1,221 @@
+package dl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Network is a sequential stack of layers trained with softmax
+// cross-entropy.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the full stack.
+func (n *Network) Forward(x Matrix) Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Params returns all parameter matrices in layer order.
+func (n *Network) Params() []*Matrix {
+	var out []*Matrix
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient matrices in layer order.
+func (n *Network) Grads() []*Matrix {
+	var out []*Matrix
+	for _, l := range n.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total scalar parameter count (the communication
+// volume unit of the E4 cost model).
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// CopyParamsFrom copies parameter values from src (same architecture).
+func (n *Network) CopyParamsFrom(src *Network) {
+	dst := n.Params()
+	s := src.Params()
+	for i := range dst {
+		copy(dst[i].Data, s[i].Data)
+	}
+}
+
+// Softmax returns row-wise softmax probabilities of logits.
+func Softmax(logits Matrix) Matrix {
+	out := NewMatrix(logits.Rows, logits.Cols)
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Row(r)
+		for c, v := range row {
+			e := math.Exp(float64(v - max))
+			orow[c] = float32(e)
+			sum += e
+		}
+		for c := range orow {
+			orow[c] = float32(float64(orow[c]) / sum)
+		}
+	}
+	return out
+}
+
+// LossAndGrad computes mean softmax cross-entropy loss over the batch and
+// the gradient w.r.t. the logits.
+func LossAndGrad(logits Matrix, labels []int) (float64, Matrix) {
+	probs := Softmax(logits)
+	grad := probs.Clone()
+	var loss float64
+	inv := 1 / float32(logits.Rows)
+	for r := 0; r < logits.Rows; r++ {
+		p := probs.At(r, labels[r])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		grad.Set(r, labels[r], grad.At(r, labels[r])-1)
+	}
+	ScaleInPlace(grad, inv)
+	return loss / float64(logits.Rows), grad
+}
+
+// TrainStep runs forward+backward on one batch, leaving gradients in the
+// network's accumulators, and returns the batch loss.
+func (n *Network) TrainStep(x Matrix, labels []int) float64 {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, grad := LossAndGrad(logits, labels)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// Predict returns the argmax class per sample.
+func (n *Network) Predict(x Matrix) []int {
+	logits := n.Forward(x)
+	out := make([]int, logits.Rows)
+	for r := 0; r < logits.Rows; r++ {
+		out[r] = Argmax(logits.Row(r))
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy on a dataset.
+func (n *Network) Accuracy(x Matrix, labels []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := n.Predict(x)
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity [][]float32
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum float32) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step applies the accumulated gradients to the parameters.
+func (o *SGD) Step(params, grads []*Matrix) {
+	if o.velocity == nil {
+		o.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float32, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		v := o.velocity[i]
+		g := grads[i].Data
+		for j := range p.Data {
+			v[j] = o.Momentum*v[j] - o.LR*g[j]
+			p.Data[j] += v[j]
+		}
+	}
+}
+
+// Architecture names the two C1 model families.
+type Architecture int
+
+const (
+	// ArchMLP is the dense pixel-spectrum classifier.
+	ArchMLP Architecture = iota
+	// ArchCNN is the small convolutional patch classifier.
+	ArchCNN
+)
+
+// ModelSpec describes a model to build; Build is deterministic given Seed.
+type ModelSpec struct {
+	Arch    Architecture
+	In      int // MLP: input features; CNN: channels
+	PatchH  int // CNN only
+	PatchW  int // CNN only
+	Hidden  int
+	Classes int
+	Seed    int64
+}
+
+// Build constructs the network.
+func (s ModelSpec) Build() *Network {
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Arch {
+	case ArchCNN:
+		conv := NewConv2D(s.In, s.PatchH, s.PatchW, 8, 3, rng)
+		pool := NewMaxPool2D(8, conv.OutH(), conv.OutW(), 2)
+		return NewNetwork(
+			conv,
+			&ReLU{},
+			pool,
+			NewDense(pool.OutSize(), s.Hidden, rng),
+			&ReLU{},
+			NewDense(s.Hidden, s.Classes, rng),
+		)
+	default:
+		return NewNetwork(
+			NewDense(s.In, s.Hidden, rng),
+			&ReLU{},
+			NewDense(s.Hidden, s.Classes, rng),
+		)
+	}
+}

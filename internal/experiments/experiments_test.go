@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllQuick runs every experiment at quick scale and validates the
+// table structure; this is the integration test of the whole repository.
+func TestAllQuick(t *testing.T) {
+	tables := All(Config{Quick: true})
+	if len(tables) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Errorf("table missing metadata: %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate experiment ID %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: row width %d != header width %d", tbl.ID, len(row), len(tbl.Header))
+			}
+		}
+		var sb strings.Builder
+		tbl.Fprint(&sb)
+		if !strings.Contains(sb.String(), tbl.ID) {
+			t.Errorf("%s: Fprint missing ID", tbl.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E4"); !ok {
+		t.Error("E4 not found")
+	}
+	if _, ok := ByID("e11"); !ok {
+		t.Error("lowercase ID not accepted")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// TestE1ShapeHolds asserts the headline claim of E1: the indexed store
+// answers selections faster than the naive scan at the largest quick
+// size.
+func TestE1ShapeHolds(t *testing.T) {
+	tbl := E1(Config{Quick: true})
+	var naive, indexed float64
+	wantPoints := "2000"
+	for _, row := range tbl.Rows {
+		if row[0] != wantPoints {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[1] {
+		case "naive":
+			naive = v
+		case "indexed":
+			indexed = v
+		}
+	}
+	if naive == 0 || indexed == 0 {
+		t.Fatalf("missing rows: %v", tbl.Rows)
+	}
+	if indexed >= naive {
+		t.Errorf("indexed (%v ms) not faster than naive (%v ms)", indexed, naive)
+	}
+	// Result counts must agree between modes.
+	counts := map[string]string{}
+	for _, row := range tbl.Rows {
+		if row[0] == wantPoints {
+			counts[row[1]] = row[3]
+		}
+	}
+	if counts["naive"] != counts["indexed"] || counts["naive"] != counts["partitioned-4"] {
+		t.Errorf("modes disagree on result counts: %v", counts)
+	}
+}
+
+// TestE8ShapeHolds asserts meta-blocking's contract: fewer comparisons,
+// full recall.
+func TestE8ShapeHolds(t *testing.T) {
+	tbl := E8(Config{Quick: true})
+	comp := map[string]float64{}
+	recall := map[string]string{}
+	for _, row := range tbl.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		comp[row[0]] = v
+		recall[row[0]] = row[4]
+	}
+	if comp["meta-blocked-8core"] >= comp["naive"] {
+		t.Errorf("meta-blocking did not reduce comparisons: %v", comp)
+	}
+	if recall["grid-blocked"] != "1.00" || recall["meta-blocked-8core"] != "1.00" {
+		t.Errorf("blocking lost recall: %v", recall)
+	}
+}
+
+// TestE12ShapeHolds asserts A1's claim: crop-specific maps beat the
+// crop-agnostic baseline.
+func TestE12ShapeHolds(t *testing.T) {
+	tbl := E12(Config{Quick: true})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	dlErr, _ := strconv.ParseFloat(tbl.Rows[0][2], 64)
+	baseErr, _ := strconv.ParseFloat(tbl.Rows[1][2], 64)
+	if dlErr >= baseErr {
+		t.Errorf("DL crop map error (%v) not below baseline (%v)", dlErr, baseErr)
+	}
+}
+
+// TestE3RatioNearPaper asserts the Variety ratio lands near the paper's
+// implied 0.45.
+func TestE3RatioNearPaper(t *testing.T) {
+	tbl := E3(Config{Quick: true})
+	ratio, err := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("knowledge/data ratio = %v, want ~0.48", ratio)
+	}
+}

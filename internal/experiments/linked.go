@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/federate"
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/geotriples"
+	"repro/internal/interlink"
+	"repro/internal/sparql"
+)
+
+// E7 — GeoTriples transformation throughput and parallel scaling (C3).
+func E7(cfg Config) *Table {
+	rows := cfg.scale(50000, 2000)
+	t := &Table{
+		ID:     "E7",
+		Title:  "GeoTriples: tabular geodata -> RDF throughput vs mappers (C3)",
+		Header: []string{"records", "mappers", "triples", "wall_ms", "records/s"},
+	}
+	src := syntheticFieldSource(rows, 51)
+	m := &geotriples.Mapping{
+		SubjectTemplate: "http://extremeearth.eu/field/{id}",
+		Class:           "http://extremeearth.eu/ontology#Field",
+		POMs: []geotriples.PredicateObjectMap{
+			{Predicate: "http://extremeearth.eu/ontology#crop",
+				Kind: geotriples.ObjectIRI, Template: "http://extremeearth.eu/crop/{crop}"},
+			{Predicate: "http://extremeearth.eu/ontology#areaHa",
+				Kind: geotriples.ObjectTyped, Column: "area_ha",
+				Datatype: "http://www.w3.org/2001/XMLSchema#double"},
+		},
+		GeometryColumn: "wkt",
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		_, stats, err := geotriples.TransformParallel(src, m, workers)
+		elapsed := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			i0(stats.Records), i0(workers), i0(stats.Triples), ms(elapsed),
+			f1(float64(stats.Records) / elapsed.Seconds()),
+		})
+	}
+	return t
+}
+
+func syntheticFieldSource(n int, seed int64) *geotriples.Source {
+	rng := rand.New(rand.NewSource(seed))
+	crops := []string{"wheat", "maize", "barley", "rapeseed", "potato"}
+	src := &geotriples.Source{
+		Name:    "fields",
+		Columns: []string{"id", "crop", "area_ha", "wkt"},
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10000
+		y := rng.Float64() * 10000
+		s := 20 + rng.Float64()*200
+		wkt := geom.NewRect(x, y, x+s, y+s).WKT()
+		src.Records = append(src.Records, geotriples.Record{
+			"id":      fmt.Sprintf("%d", i),
+			"crop":    crops[rng.Intn(len(crops))],
+			"area_ha": fmt.Sprintf("%.2f", s*s/10_000),
+			"wkt":     wkt,
+		})
+	}
+	return src
+}
+
+// E8 — geospatial link discovery (C3): naive cross product vs grid
+// blocking vs multi-core meta-blocking.
+func E8(cfg Config) *Table {
+	n := cfg.scale(3000, 300)
+	t := &Table{
+		ID:     "E8",
+		Title:  "Geospatial interlinking: comparisons and recall by strategy (C3)",
+		Header: []string{"strategy", "entities", "comparisons", "links", "recall", "wall_ms"},
+		Notes:  "recall measured against the naive cross-product ground truth",
+	}
+	a := linkEntities(n, 61, "a")
+	b := linkEntities(n, 62, "b")
+	lcfg := interlink.Config{Relation: interlink.RelIntersects, Workers: 8}
+
+	start := time.Now()
+	truth, stN := interlink.DiscoverNaive(a, b, lcfg)
+	naiveT := time.Since(start)
+	t.Rows = append(t.Rows, []string{"naive", i0(2 * n), i0(stN.Comparisons),
+		i0(stN.Links), "1.00", ms(naiveT)})
+
+	start = time.Now()
+	blocked, stB := interlink.DiscoverBlocked(a, b, lcfg)
+	blockedT := time.Since(start)
+	t.Rows = append(t.Rows, []string{"grid-blocked", i0(2 * n), i0(stB.Comparisons),
+		i0(stB.Links), f2(interlink.Recall(blocked, truth)), ms(blockedT)})
+
+	start = time.Now()
+	meta, stM := interlink.DiscoverMetaBlocked(a, b, lcfg)
+	metaT := time.Since(start)
+	t.Rows = append(t.Rows, []string{"meta-blocked-8core", i0(2 * n), i0(stM.Comparisons),
+		i0(stM.Links), f2(interlink.Recall(meta, truth)), ms(metaT)})
+	return t
+}
+
+func linkEntities(n int, seed int64, prefix string) []interlink.Entity {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]interlink.Entity, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10000
+		y := rng.Float64() * 10000
+		s := 50 + rng.Float64()*200
+		out[i] = interlink.Entity{
+			IRI:      fmt.Sprintf("http://extremeearth.eu/%s/%d", prefix, i),
+			Geometry: geom.NewRect(x, y, x+s, y+s),
+		}
+	}
+	return out
+}
+
+// E9 — federated querying (C3): latency vs federation size with and
+// without source selection.
+func E9(cfg Config) *Table {
+	sizes := []int{2, 4, 8, 16}
+	perEndpoint := cfg.scale(2000, 200)
+	if cfg.Quick {
+		sizes = []int{2, 4}
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "Semagrow federation: query latency vs endpoints, selection on/off (C3)",
+		Header: []string{"endpoints", "selection", "queried", "rows", "wall_ms"},
+		Notes:  "endpoints tile the extent; each adds 2 ms simulated network latency; window hits one tile",
+	}
+	for _, k := range sizes {
+		fed := federate.New()
+		// Tile the extent into k vertical strips.
+		stripW := extent.Width() / float64(k)
+		for i := 0; i < k; i++ {
+			region := geom.NewRect(extent.Min.X+float64(i)*stripW, extent.Min.Y,
+				extent.Min.X+float64(i+1)*stripW, extent.Max.Y)
+			st := geostore.New(geostore.ModeIndexed)
+			for _, f := range geostore.GeneratePointFeatures(perEndpoint, int64(100+i), region) {
+				mustAdd(st.AddFeature(f))
+			}
+			st.Build()
+			fed.Register(federate.NewStoreEndpoint(fmt.Sprintf("ep%d", i), st, 2*time.Millisecond))
+		}
+		window := geom.NewRect(extent.Min.X+stripW*0.2, extent.Min.Y+1000,
+			extent.Min.X+stripW*0.8, extent.Min.Y+3000)
+		q := geostore.SelectionQuery(window)
+
+		for _, sel := range []bool{true, false} {
+			parsed, stats, err := runFederated(fed, q, !sel)
+			if err != nil {
+				panic(err)
+			}
+			label := "on"
+			if !sel {
+				label = "off"
+			}
+			t.Rows = append(t.Rows, []string{
+				i0(k), label, i0(stats.Queried), i0(parsed.rows), ms(parsed.wall),
+			})
+		}
+	}
+	return t
+}
+
+type fedRun struct {
+	rows int
+	wall time.Duration
+}
+
+func runFederated(fed *federate.Federation, q string, disableSelection bool) (fedRun, federate.Stats, error) {
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		return fedRun{}, federate.Stats{}, err
+	}
+	start := time.Now()
+	res, stats, err := fed.Query(parsed, federate.Options{DisableSourceSelection: disableSelection})
+	wall := time.Since(start)
+	if err != nil {
+		return fedRun{}, stats, err
+	}
+	return fedRun{rows: res.Len(), wall: wall}, stats, nil
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/catalogue"
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/hopsfs"
+	"repro/internal/kvstore"
+	"repro/internal/sentinel"
+)
+
+// extent is the shared planar workload extent.
+var extent = geom.NewRect(0, 0, 10000, 10000)
+
+// E1 — point-selection scaling (the paper's Strabon 100 GB claim):
+// rectangular selections over point datasets of growing size under the
+// naive full-scan baseline, the indexed store and the 4-way partitioned
+// store.
+func E1(cfg Config) *Table {
+	sizes := []int{1000, 10000, 100000}
+	if cfg.Quick {
+		sizes = []int{500, 2000}
+	}
+	t := &Table{
+		ID:     "E1",
+		Title:  "Rectangular selections over point features (Strabon claim, §1)",
+		Header: []string{"points", "mode", "query_ms", "results"},
+		Notes:  "naive = Strabon-2012 full scan with per-row WKT parsing; window = 1% of extent",
+	}
+	for _, n := range sizes {
+		feats := geostore.GeneratePointFeatures(n, 42, extent)
+		rng := rand.New(rand.NewSource(7))
+		window := geostore.RandomWindow(rng, extent, 0.01)
+		q := geostore.SelectionQuery(window)
+
+		naive := geostore.New(geostore.ModeNaive)
+		indexed := geostore.New(geostore.ModeIndexed)
+		parted := geostore.NewPartitioned(4)
+		for _, f := range feats {
+			mustAdd(naive.AddFeature(f))
+			mustAdd(indexed.AddFeature(f))
+			mustAdd(parted.AddFeature(f))
+		}
+		indexed.Build()
+		parted.Build()
+
+		for _, run := range []struct {
+			mode  string
+			query func() (int, error)
+		}{
+			{"naive", func() (int, error) { r, err := naive.QueryString(q); return count(r, err) }},
+			{"indexed", func() (int, error) { r, err := indexed.QueryString(q); return count(r, err) }},
+			{"partitioned-4", func() (int, error) { r, err := parted.QueryString(q); return count(r, err) }},
+		} {
+			results, elapsed := timeQuery(run.query)
+			t.Rows = append(t.Rows, []string{i0(n), run.mode, ms(elapsed), i0(results)})
+		}
+	}
+	return t
+}
+
+// E2 — multi-polygon complexity (the paper's "not even that performance
+// with multi-polygons" claim): the same selection with growing vertex
+// counts per feature.
+func E2(cfg Config) *Table {
+	vertices := []int{16, 64, 256, 1024}
+	n := cfg.scale(2000, 200)
+	if cfg.Quick {
+		vertices = []int{16, 128}
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "Selections over multi-polygons of growing vertex complexity (§1)",
+		Header: []string{"features", "vertices/feature", "mode", "query_ms"},
+		Notes:  "2 member polygons per feature; naive re-parses every WKT per query",
+	}
+	for _, v := range vertices {
+		feats := geostore.GenerateMultiPolygonFeatures(n, 2, v/2, 11, extent)
+		rng := rand.New(rand.NewSource(5))
+		window := geostore.RandomWindow(rng, extent, 0.01)
+		q := geostore.SelectionQuery(window)
+
+		naive := geostore.New(geostore.ModeNaive)
+		indexed := geostore.New(geostore.ModeIndexed)
+		for _, f := range feats {
+			mustAdd(naive.AddFeature(f))
+			mustAdd(indexed.AddFeature(f))
+		}
+		indexed.Build()
+
+		_, naiveT := timeQuery(func() (int, error) { r, err := naive.QueryString(q); return count(r, err) })
+		_, idxT := timeQuery(func() (int, error) { r, err := indexed.QueryString(q); return count(r, err) })
+		t.Rows = append(t.Rows,
+			[]string{i0(n), i0(v), "naive", ms(naiveT)},
+			[]string{i0(n), i0(v), "indexed", ms(idxT)},
+		)
+	}
+	return t
+}
+
+// E10 — semantic catalogue scaling and the flagship iceberg query (C4).
+func E10(cfg Config) *Table {
+	sizes := []int{1000, 10000, 100000}
+	if cfg.Quick {
+		sizes = []int{500, 2000}
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  "Semantic catalogue: search latency vs catalogue size + iceberg query (C4)",
+		Header: []string{"records", "area+year query_ms", "results", "iceberg query_ms", "icebergs"},
+		Notes:  "catalogue answers both conventional and content queries from the same RDF store",
+	}
+	for _, n := range sizes {
+		cat := newIcebergCatalogue(n, 200)
+		window := geom.NewRect(1000, 1000, 3000, 3000)
+
+		results, areaT := timeQuery(func() (int, error) {
+			return cat.ProductsInYearOverArea(2018, window)
+		})
+		bergs, bergT := timeQuery(func() (int, error) {
+			return cat.IcebergsEmbedded("NorskeOer", 2017)
+		})
+		t.Rows = append(t.Rows, []string{
+			i0(n), ms(areaT), i0(results), ms(bergT), i0(bergs),
+		})
+	}
+	return t
+}
+
+// E11 — HopsFS metadata throughput vs shard count, plus the small-file
+// inline-vs-block comparison ("Size Matters").
+func E11(cfg Config) *Table {
+	shards := []int{1, 2, 4, 8, 16}
+	files := cfg.scale(4000, 400)
+	if cfg.Quick {
+		shards = []int{1, 4}
+	}
+	t := &Table{
+		ID:     "E11",
+		Title:  "HopsFS metadata ops/s vs NewSQL shards; small-file inline vs block store (C5)",
+		Header: []string{"config", "workload", "ops/s", "p50_us"},
+		Notes:  "mixed workload: create+stat+list over 16 directories; block store models a 200us DataNode round trip",
+	}
+	for _, s := range shards {
+		opsPerSec, p50 := hopsfsMixedWorkload(s, files, hopsfs.DefaultInlineThreshold, 0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d shards", s), "metadata-mixed",
+			f1(opsPerSec), f1(p50),
+		})
+	}
+	// Small-file reads: inline vs block-store.
+	for _, mode := range []struct {
+		name      string
+		threshold int
+		blockCost time.Duration
+	}{
+		{"inline (Size Matters)", 4096, hopsfs.DefaultBlockAccessCost},
+		{"block-store baseline", 0, hopsfs.DefaultBlockAccessCost},
+	} {
+		opsPerSec, p50 := smallFileReadWorkload(8, cfg.scale(1000, 100), mode.threshold, mode.blockCost)
+		t.Rows = append(t.Rows, []string{
+			mode.name, "small-file-read", f1(opsPerSec), f1(p50),
+		})
+	}
+	return t
+}
+
+// hopsfsMixedWorkload creates files across directories from 8 concurrent
+// clients and measures metadata throughput.
+func hopsfsMixedWorkload(shards, files, inlineThreshold int, blockCost time.Duration) (opsPerSec, p50us float64) {
+	fs := hopsfs.New(kvstore.New(shards),
+		hopsfs.WithInlineThreshold(inlineThreshold),
+		hopsfs.WithBlockStore(hopsfs.NewBlockStore(blockCost)))
+	const dirs = 16
+	for d := 0; d < dirs; d++ {
+		if err := fs.MkdirAll(fmt.Sprintf("/data/d%02d", d)); err != nil {
+			panic(err)
+		}
+	}
+	payload := []byte("metadata-only")
+	type op func(i int) error
+	ops := []op{
+		func(i int) error {
+			return fs.Create(fmt.Sprintf("/data/d%02d/f%d", i%dirs, i), payload)
+		},
+		func(i int) error {
+			_, err := fs.Stat(fmt.Sprintf("/data/d%02d", i%dirs))
+			return err
+		},
+		func(i int) error {
+			_, err := fs.List(fmt.Sprintf("/data/d%02d", i%dirs))
+			return err
+		},
+	}
+	totalOps := files * len(ops)
+	start := time.Now()
+	runConcurrent(8, files, func(i int) {
+		for _, o := range ops {
+			if err := o(i); err != nil {
+				panic(err)
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	opsPerSec = float64(totalOps) / elapsed.Seconds()
+	p50us = float64(elapsed.Microseconds()) / float64(totalOps)
+	return opsPerSec, p50us
+}
+
+// smallFileReadWorkload measures small-file read latency with or without
+// inlining.
+func smallFileReadWorkload(shards, files, inlineThreshold int, blockCost time.Duration) (opsPerSec, p50us float64) {
+	fs := hopsfs.New(kvstore.New(shards),
+		hopsfs.WithInlineThreshold(inlineThreshold),
+		hopsfs.WithBlockStore(hopsfs.NewBlockStore(blockCost)))
+	if err := fs.MkdirAll("/small"); err != nil {
+		panic(err)
+	}
+	payload := make([]byte, 1024) // 1 KiB files: "small" per the paper
+	for i := 0; i < files; i++ {
+		if err := fs.Create(fmt.Sprintf("/small/f%d", i), payload); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	runConcurrent(8, files, func(i int) {
+		if _, err := fs.Read(fmt.Sprintf("/small/f%d", i)); err != nil {
+			panic(err)
+		}
+	})
+	elapsed := time.Since(start)
+	return float64(files) / elapsed.Seconds(), float64(elapsed.Microseconds()) / float64(files)
+}
+
+func runConcurrent(workers, n int, fn func(i int)) {
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// timeQuery runs the query once untimed (warming lazily built indexes),
+// then returns the result count and the mean latency of three timed runs.
+func timeQuery(q func() (int, error)) (int, time.Duration) {
+	results, err := q()
+	if err != nil {
+		panic(err)
+	}
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := q(); err != nil {
+			panic(err)
+		}
+	}
+	return results, time.Since(start) / reps
+}
+
+func mustAdd(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func count(r interface{ Len() int }, err error) (int, error) {
+	if err != nil {
+		return 0, err
+	}
+	return r.Len(), nil
+}
+
+// newIcebergCatalogue builds a catalogue with n products and bergs
+// iceberg observations plus the Norske Øer barrier.
+func newIcebergCatalogue(n, bergs int) *catalogue.Catalogue {
+	c := catalogue.New()
+	for _, p := range sentinel.GenerateProducts(n, 3, extent) {
+		mustAdd(c.AddProduct(p))
+	}
+	barrier := geom.Polygon{Shell: geom.Ring{
+		{X: 2000, Y: 2000}, {X: 6000, Y: 2200}, {X: 6200, Y: 5800}, {X: 1900, Y: 5600},
+	}}
+	mustAdd(c.AddIceBarrier("NorskeOer", 2017, barrier))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < bergs; i++ {
+		p := geom.Point{
+			X: extent.Min.X + rng.Float64()*extent.Width(),
+			Y: extent.Min.Y + rng.Float64()*extent.Height(),
+		}
+		mustAdd(c.AddIceberg(fmt.Sprintf("b%d", i), 2016+rng.Intn(3), p))
+	}
+	c.Build()
+	return c
+}

@@ -1,0 +1,384 @@
+// Package geom provides planar geometry primitives for Earth-observation
+// data: points, rectangles, line strings, polygons and multi-polygons,
+// together with WKT encoding, topological predicates and a bulk-loaded
+// R-tree spatial index.
+//
+// Coordinates are interpreted as planar (projected) coordinates; for the
+// synthetic workloads in this repository they are either metres in a local
+// projection or degrees treated as planar, which is the same simplification
+// Strabon's evaluation workloads used for selection queries.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind enumerates the geometry types supported by the library.
+type Kind int
+
+const (
+	KindPoint Kind = iota
+	KindRect
+	KindLineString
+	KindPolygon
+	KindMultiPolygon
+)
+
+// String returns the WKT-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPoint:
+		return "POINT"
+	case KindRect:
+		return "ENVELOPE"
+	case KindLineString:
+		return "LINESTRING"
+	case KindPolygon:
+		return "POLYGON"
+	case KindMultiPolygon:
+		return "MULTIPOLYGON"
+	default:
+		return fmt.Sprintf("KIND(%d)", int(k))
+	}
+}
+
+// Geometry is the interface implemented by all geometry values.
+type Geometry interface {
+	// Kind reports the geometry type.
+	Kind() Kind
+	// Bounds returns the minimum bounding rectangle.
+	Bounds() Rect
+	// WKT returns the Well-Known Text representation.
+	WKT() string
+}
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Kind implements Geometry.
+func (p Point) Kind() Kind { return KindPoint }
+
+// Bounds implements Geometry; a point's bounds is the degenerate rectangle
+// at the point.
+func (p Point) Bounds() Rect { return Rect{Min: p, Max: p} }
+
+// WKT implements Geometry.
+func (p Point) WKT() string { return fmt.Sprintf("POINT (%s %s)", fnum(p.X), fnum(p.Y)) }
+
+// DistanceTo returns the Euclidean distance to q.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle with Min the lower-left corner and Max
+// the upper-right corner. The zero Rect is the degenerate rectangle at the
+// origin. Rects are closed: boundary points are contained.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Min: Point{x1, y1}, Max: Point{x2, y2}}
+}
+
+// Kind implements Geometry.
+func (r Rect) Kind() Kind { return KindRect }
+
+// Bounds implements Geometry.
+func (r Rect) Bounds() Rect { return r }
+
+// WKT implements Geometry. Rectangles render as their polygon outline so
+// that any WKT consumer can read them back.
+func (r Rect) WKT() string {
+	return fmt.Sprintf("POLYGON ((%s %s, %s %s, %s %s, %s %s, %s %s))",
+		fnum(r.Min.X), fnum(r.Min.Y),
+		fnum(r.Max.X), fnum(r.Min.Y),
+		fnum(r.Max.X), fnum(r.Max.Y),
+		fnum(r.Min.X), fnum(r.Max.Y),
+		fnum(r.Min.X), fnum(r.Min.Y))
+}
+
+// Width returns Max.X-Min.X.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns Max.Y-Min.Y.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// IsValid reports whether Min <= Max on both axes.
+func (r Rect) IsValid() bool { return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y }
+
+// ContainsPoint reports whether p lies in the closed rectangle.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether the two closed rectangles share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Intersection returns the overlap of r and s; ok is false when they are
+// disjoint, in which case the returned Rect is the zero value.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if !out.IsValid() {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Expand grows the rectangle by d on all sides.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// DistanceToPoint returns the minimum distance from p to the rectangle,
+// zero when the point is inside.
+func (r Rect) DistanceToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// LineString is an open polyline through two or more points.
+type LineString struct {
+	Points []Point
+}
+
+// Kind implements Geometry.
+func (l LineString) Kind() Kind { return KindLineString }
+
+// Bounds implements Geometry.
+func (l LineString) Bounds() Rect { return boundsOf(l.Points) }
+
+// WKT implements Geometry.
+func (l LineString) WKT() string {
+	return "LINESTRING " + coordsWKT(l.Points)
+}
+
+// Length returns the total polyline length.
+func (l LineString) Length() float64 {
+	var total float64
+	for i := 1; i < len(l.Points); i++ {
+		total += l.Points[i-1].DistanceTo(l.Points[i])
+	}
+	return total
+}
+
+// Ring is a closed sequence of points; the closing edge from the last point
+// back to the first is implicit (the last point need not repeat the first).
+type Ring []Point
+
+// Polygon is a shell ring with zero or more interior hole rings.
+type Polygon struct {
+	Shell Ring
+	Holes []Ring
+}
+
+// Kind implements Geometry.
+func (p Polygon) Kind() Kind { return KindPolygon }
+
+// Bounds implements Geometry.
+func (p Polygon) Bounds() Rect { return boundsOf(p.Shell) }
+
+// WKT implements Geometry.
+func (p Polygon) WKT() string { return "POLYGON " + p.wktBody() }
+
+func (p Polygon) wktBody() string {
+	out := "(" + ringWKT(p.Shell)
+	for _, h := range p.Holes {
+		out += ", " + ringWKT(h)
+	}
+	return out + ")"
+}
+
+// Area returns the polygon's area (shell minus holes) via the shoelace
+// formula; orientation of the rings does not matter.
+func (p Polygon) Area() float64 {
+	a := math.Abs(ringArea(p.Shell))
+	for _, h := range p.Holes {
+		a -= math.Abs(ringArea(h))
+	}
+	return a
+}
+
+// MultiPolygon is a collection of polygons treated as one geometry.
+type MultiPolygon struct {
+	Polygons []Polygon
+}
+
+// Kind implements Geometry.
+func (m MultiPolygon) Kind() Kind { return KindMultiPolygon }
+
+// Bounds implements Geometry.
+func (m MultiPolygon) Bounds() Rect {
+	if len(m.Polygons) == 0 {
+		return Rect{}
+	}
+	b := m.Polygons[0].Bounds()
+	for _, p := range m.Polygons[1:] {
+		b = b.Union(p.Bounds())
+	}
+	return b
+}
+
+// WKT implements Geometry.
+func (m MultiPolygon) WKT() string {
+	out := "MULTIPOLYGON ("
+	for i, p := range m.Polygons {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.wktBody()
+	}
+	return out + ")"
+}
+
+// Area returns the summed area of the member polygons.
+func (m MultiPolygon) Area() float64 {
+	var a float64
+	for _, p := range m.Polygons {
+		a += p.Area()
+	}
+	return a
+}
+
+// NumVertices returns the total vertex count across all rings, a proxy for
+// geometry complexity used by the E2 experiment.
+func (m MultiPolygon) NumVertices() int {
+	n := 0
+	for _, p := range m.Polygons {
+		n += len(p.Shell)
+		for _, h := range p.Holes {
+			n += len(h)
+		}
+	}
+	return n
+}
+
+// ringArea returns the signed shoelace area of the ring.
+func ringArea(r Ring) float64 {
+	if len(r) < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < len(r); i++ {
+		j := (i + 1) % len(r)
+		s += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return s / 2
+}
+
+func boundsOf(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	b := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < b.Min.X {
+			b.Min.X = p.X
+		}
+		if p.Y < b.Min.Y {
+			b.Min.Y = p.Y
+		}
+		if p.X > b.Max.X {
+			b.Max.X = p.X
+		}
+		if p.Y > b.Max.Y {
+			b.Max.Y = p.Y
+		}
+	}
+	return b
+}
+
+func ringWKT(r Ring) string {
+	// Rings close explicitly in WKT output.
+	pts := make([]Point, 0, len(r)+1)
+	pts = append(pts, r...)
+	if len(r) > 0 && r[0] != r[len(r)-1] {
+		pts = append(pts, r[0])
+	}
+	return coordsWKT(pts)
+}
+
+func coordsWKT(pts []Point) string {
+	out := "("
+	for i, p := range pts {
+		if i > 0 {
+			out += ", "
+		}
+		out += fnum(p.X) + " " + fnum(p.Y)
+	}
+	return out + ")"
+}
+
+// fnum formats a coordinate compactly (no trailing zeros).
+func fnum(f float64) string {
+	return trimFloat(fmt.Sprintf("%.10f", f))
+}
+
+func trimFloat(s string) string {
+	// Strip trailing zeros and a trailing dot.
+	i := len(s)
+	for i > 0 && s[i-1] == '0' {
+		i--
+	}
+	if i > 0 && s[i-1] == '.' {
+		i--
+	}
+	return s[:i]
+}
+
+// RegularPolygon returns a convex polygon with n vertices approximating a
+// circle of the given radius around center. It is the workload generator
+// for the complex-geometry experiments (E2).
+func RegularPolygon(center Point, radius float64, n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	ring := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		ring[i] = Point{center.X + radius*math.Cos(a), center.Y + radius*math.Sin(a)}
+	}
+	return Polygon{Shell: ring}
+}

@@ -1,0 +1,249 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWKT parses a Well-Known Text geometry. Supported types: POINT,
+// LINESTRING, POLYGON, MULTIPOLYGON and the Strabon-style ENVELOPE
+// extension ENVELOPE(minX, maxX, maxY, minY).
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{in: s}
+	g, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("geom: parsing WKT %q: %w", truncate(s, 60), err)
+	}
+	return g, nil
+}
+
+// MustParseWKT is ParseWKT that panics on error; for tests and literals.
+func MustParseWKT(s string) Geometry {
+	g, err := ParseWKT(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+type wktParser struct {
+	in  string
+	pos int
+}
+
+func (p *wktParser) parse() (Geometry, error) {
+	kw := strings.ToUpper(p.ident())
+	switch kw {
+	case "POINT":
+		pts, err := p.coordList()
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) != 1 {
+			return nil, fmt.Errorf("POINT needs exactly 1 coordinate, got %d", len(pts))
+		}
+		return pts[0], p.expectEnd()
+	case "LINESTRING":
+		pts, err := p.coordList()
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) < 2 {
+			return nil, fmt.Errorf("LINESTRING needs >=2 coordinates, got %d", len(pts))
+		}
+		return LineString{Points: pts}, p.expectEnd()
+	case "POLYGON":
+		poly, err := p.polygonBody()
+		if err != nil {
+			return nil, err
+		}
+		return poly, p.expectEnd()
+	case "MULTIPOLYGON":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var mp MultiPolygon
+		for {
+			poly, err := p.polygonBody()
+			if err != nil {
+				return nil, err
+			}
+			mp.Polygons = append(mp.Polygons, poly)
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return mp, p.expectEnd()
+	case "ENVELOPE":
+		// ENVELOPE (minX, maxX, maxY, minY) — the OGC/Spatial4J convention
+		// used by Strabon and GeoSPARQL tooling.
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var v [4]float64
+		for i := 0; i < 4; i++ {
+			f, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			v[i] = f
+			if i < 3 {
+				if err := p.expect(','); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return NewRect(v[0], v[3], v[1], v[2]), p.expectEnd()
+	default:
+		return nil, fmt.Errorf("unsupported WKT type %q", kw)
+	}
+}
+
+// polygonBody parses "((ring), (ring)...)" returning a Polygon whose first
+// ring is the shell and the rest are holes.
+func (p *wktParser) polygonBody() (Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return Polygon{}, err
+	}
+	var poly Polygon
+	first := true
+	for {
+		pts, err := p.coordList()
+		if err != nil {
+			return Polygon{}, err
+		}
+		ring := closeRing(pts)
+		if len(ring) < 3 {
+			return Polygon{}, fmt.Errorf("polygon ring needs >=3 distinct points, got %d", len(ring))
+		}
+		if first {
+			poly.Shell = ring
+			first = false
+		} else {
+			poly.Holes = append(poly.Holes, ring)
+		}
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return Polygon{}, err
+	}
+	return poly, nil
+}
+
+// closeRing removes a duplicated closing point (WKT rings repeat the first
+// point at the end; our Ring representation keeps it implicit).
+func closeRing(pts []Point) Ring {
+	if len(pts) > 1 && pts[0] == pts[len(pts)-1] {
+		pts = pts[:len(pts)-1]
+	}
+	return Ring(pts)
+}
+
+// coordList parses "(x y, x y, ...)".
+func (p *wktParser) coordList() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for {
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{x, y})
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *wktParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number at offset %d", p.pos)
+	}
+	f, err := strconv.ParseFloat(p.in[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q at offset %d", p.in[start:p.pos], start)
+	}
+	return f, nil
+}
+
+func (p *wktParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *wktParser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *wktParser) expectEnd() error {
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return nil
+}

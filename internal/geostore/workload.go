@@ -1,0 +1,111 @@
+package geostore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// The E1/E2 workload generators produce the synthetic feature datasets the
+// paper's Strabon discussion implies: uniformly distributed point features
+// (E1) and multi-polygon features of configurable vertex complexity (E2)
+// over a planar extent, queried with rectangular selections.
+
+// FeatureClass is the rdf:type used by generated features.
+const FeatureClass = "http://extremeearth.eu/ontology#Feature"
+
+// GeneratePointFeatures returns n point features uniformly distributed
+// over extent, with a small integer payload property each.
+func GeneratePointFeatures(n int, seed int64, extent geom.Rect) []Feature {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Feature, n)
+	for i := 0; i < n; i++ {
+		p := geom.Point{
+			X: extent.Min.X + rng.Float64()*extent.Width(),
+			Y: extent.Min.Y + rng.Float64()*extent.Height(),
+		}
+		out[i] = Feature{
+			IRI:      fmt.Sprintf("http://extremeearth.eu/feature/pt%d", i),
+			Class:    FeatureClass,
+			Geometry: p,
+			Props: map[string]rdf.Term{
+				"http://extremeearth.eu/ontology#value": rdf.NewIntLiteral(int64(rng.Intn(1000))),
+			},
+		}
+	}
+	return out
+}
+
+// GenerateMultiPolygonFeatures returns n multi-polygon features, each with
+// `parts` member polygons of `vertices` vertices, scattered over extent.
+// Total vertex count per feature is parts*vertices, the complexity axis of
+// experiment E2.
+func GenerateMultiPolygonFeatures(n, parts, vertices int, seed int64, extent geom.Rect) []Feature {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Feature, n)
+	radius := extent.Width() / 500
+	if radius <= 0 {
+		radius = 1
+	}
+	for i := 0; i < n; i++ {
+		mp := geom.MultiPolygon{Polygons: make([]geom.Polygon, parts)}
+		cx := extent.Min.X + rng.Float64()*extent.Width()
+		cy := extent.Min.Y + rng.Float64()*extent.Height()
+		for p := 0; p < parts; p++ {
+			center := geom.Point{
+				X: cx + rng.Float64()*radius*4,
+				Y: cy + rng.Float64()*radius*4,
+			}
+			mp.Polygons[p] = jitteredPolygon(rng, center, radius, vertices)
+		}
+		out[i] = Feature{
+			IRI:      fmt.Sprintf("http://extremeearth.eu/feature/mp%d", i),
+			Class:    FeatureClass,
+			Geometry: mp,
+			Props: map[string]rdf.Term{
+				"http://extremeearth.eu/ontology#value": rdf.NewIntLiteral(int64(rng.Intn(1000))),
+			},
+		}
+	}
+	return out
+}
+
+// jitteredPolygon builds an irregular star-convex polygon: a regular
+// polygon with per-vertex radial noise, which keeps rings simple
+// (non-self-intersecting) while defeating trivial convexity shortcuts.
+func jitteredPolygon(rng *rand.Rand, center geom.Point, radius float64, vertices int) geom.Polygon {
+	base := geom.RegularPolygon(center, radius, vertices)
+	for i := range base.Shell {
+		dx := base.Shell[i].X - center.X
+		dy := base.Shell[i].Y - center.Y
+		f := 0.7 + rng.Float64()*0.6
+		base.Shell[i] = geom.Point{X: center.X + dx*f, Y: center.Y + dy*f}
+	}
+	return base
+}
+
+// SelectionQuery formats the E1/E2 rectangular-selection query over the
+// given window: "return features whose geometry intersects the window".
+func SelectionQuery(window geom.Rect) string {
+	return fmt.Sprintf(`
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f WHERE {
+			?f a ee:Feature .
+			?f geo:hasGeometry ?g .
+			?g geo:asWKT ?wkt .
+			FILTER(geof:sfIntersects(?wkt, "%s"^^geo:wktLiteral))
+		}`, window.WKT())
+}
+
+// RandomWindow returns a selection window covering roughly frac of the
+// extent's area, placed uniformly at random.
+func RandomWindow(rng *rand.Rand, extent geom.Rect, frac float64) geom.Rect {
+	w := extent.Width() * math.Sqrt(frac)
+	h := extent.Height() * math.Sqrt(frac)
+	x := extent.Min.X + rng.Float64()*(extent.Width()-w)
+	y := extent.Min.Y + rng.Float64()*(extent.Height()-h)
+	return geom.NewRect(x, y, x+w, y+h)
+}

@@ -1,0 +1,278 @@
+// Package geotriples implements the GeoTriples system of Challenge C3: a
+// mapping engine that transforms tabular geospatial data (CSV and
+// in-memory records) into RDF graphs following R2RML/RML-style mapping
+// rules, re-engineered with a parallel executor (experiment E7).
+//
+// A Mapping declares how one logical source becomes triples: a subject IRI
+// template, an optional rdf:type, predicate-object maps for attribute
+// columns, and an optional geometry column that expands into the
+// GeoSPARQL geo:hasGeometry/geo:asWKT shape.
+package geotriples
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// Record is one row of a logical source.
+type Record map[string]string
+
+// Source is a logical table: named, with columns and rows.
+type Source struct {
+	Name    string
+	Columns []string
+	Records []Record
+}
+
+// ParseCSV reads a CSV with a header row into a Source.
+func ParseCSV(r io.Reader, name string) (*Source, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("geotriples: reading header of %s: %w", name, err)
+	}
+	src := &Source{Name: name, Columns: header}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("geotriples: reading %s: %w", name, err)
+		}
+		rec := make(Record, len(header))
+		for i, col := range header {
+			if i < len(row) {
+				rec[col] = row[i]
+			}
+		}
+		src.Records = append(src.Records, rec)
+	}
+	return src, nil
+}
+
+// ObjectKind selects how a predicate-object map renders its object.
+type ObjectKind int
+
+const (
+	// ObjectLiteral emits the column value as a plain literal.
+	ObjectLiteral ObjectKind = iota
+	// ObjectTyped emits the column value with the configured datatype.
+	ObjectTyped
+	// ObjectIRI expands the template with the record and emits an IRI.
+	ObjectIRI
+)
+
+// PredicateObjectMap maps one column (or template) to one predicate.
+type PredicateObjectMap struct {
+	// Predicate is the predicate IRI.
+	Predicate string
+	// Kind selects the object rendering.
+	Kind ObjectKind
+	// Column names the source column (for literal kinds).
+	Column string
+	// Template is the IRI template (for ObjectIRI), e.g.
+	// "http://ex/crop/{crop_code}".
+	Template string
+	// Datatype is the literal datatype IRI for ObjectTyped.
+	Datatype string
+}
+
+// Mapping transforms records of one source into triples.
+type Mapping struct {
+	// SubjectTemplate is an IRI template over columns, e.g.
+	// "http://extremeearth.eu/field/{id}".
+	SubjectTemplate string
+	// Class, when non-empty, emits rdf:type for every subject.
+	Class string
+	// POMs are the attribute maps.
+	POMs []PredicateObjectMap
+	// GeometryColumn, when non-empty, names a column holding WKT text and
+	// expands into the geo:hasGeometry/geo:asWKT shape. The WKT is
+	// validated during transformation.
+	GeometryColumn string
+}
+
+// Apply transforms one record into its triples.
+func (m *Mapping) Apply(rec Record) ([]rdf.Triple, error) {
+	subjIRI, err := expandTemplate(m.SubjectTemplate, rec)
+	if err != nil {
+		return nil, err
+	}
+	subj := rdf.NewIRI(subjIRI)
+	out := make([]rdf.Triple, 0, len(m.POMs)+3)
+	if m.Class != "" {
+		out = append(out, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(m.Class)))
+	}
+	for _, pom := range m.POMs {
+		obj, ok, err := pom.object(rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // absent column: skip, like R2RML NULL handling
+		}
+		out = append(out, rdf.NewTriple(subj, rdf.NewIRI(pom.Predicate), obj))
+	}
+	if m.GeometryColumn != "" {
+		wkt, ok := rec[m.GeometryColumn]
+		if !ok || strings.TrimSpace(wkt) == "" {
+			return nil, fmt.Errorf("geotriples: record lacks geometry column %q", m.GeometryColumn)
+		}
+		if _, err := geom.ParseWKT(wkt); err != nil {
+			return nil, fmt.Errorf("geotriples: %w", err)
+		}
+		geomNode := rdf.NewIRI(subjIRI + "/geom")
+		out = append(out,
+			rdf.NewTriple(subj, rdf.NewIRI(rdf.GeoHasGeometry), geomNode),
+			rdf.NewTriple(geomNode, rdf.NewIRI(rdf.GeoAsWKT), rdf.NewWKTLiteral(wkt)),
+		)
+	}
+	return out, nil
+}
+
+func (pom *PredicateObjectMap) object(rec Record) (rdf.Term, bool, error) {
+	switch pom.Kind {
+	case ObjectLiteral:
+		v, ok := rec[pom.Column]
+		if !ok {
+			return rdf.Term{}, false, nil
+		}
+		return rdf.NewLiteral(v), true, nil
+	case ObjectTyped:
+		v, ok := rec[pom.Column]
+		if !ok {
+			return rdf.Term{}, false, nil
+		}
+		return rdf.NewTypedLiteral(v, pom.Datatype), true, nil
+	case ObjectIRI:
+		iri, err := expandTemplate(pom.Template, rec)
+		if err != nil {
+			return rdf.Term{}, false, err
+		}
+		return rdf.NewIRI(iri), true, nil
+	default:
+		return rdf.Term{}, false, fmt.Errorf("geotriples: unknown object kind %d", pom.Kind)
+	}
+}
+
+// expandTemplate substitutes {column} references with record values,
+// erroring on unknown or empty columns (IRIs must be complete).
+func expandTemplate(tpl string, rec Record) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(tpl); {
+		c := tpl[i]
+		if c != '{' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(tpl[i:], '}')
+		if end < 0 {
+			return "", fmt.Errorf("geotriples: unterminated placeholder in template %q", tpl)
+		}
+		col := tpl[i+1 : i+end]
+		v, ok := rec[col]
+		if !ok || v == "" {
+			return "", fmt.Errorf("geotriples: template %q references missing column %q", tpl, col)
+		}
+		b.WriteString(iriEscape(v))
+		i += end + 1
+	}
+	return b.String(), nil
+}
+
+// iriEscape replaces characters unsafe inside an IRI path segment.
+func iriEscape(s string) string {
+	r := strings.NewReplacer(" ", "%20", "<", "%3C", ">", "%3E", "\"", "%22", "{", "%7B", "}", "%7D")
+	return r.Replace(s)
+}
+
+// Stats reports a transformation run.
+type Stats struct {
+	Records int
+	Triples int
+	Errors  int
+}
+
+// Transform maps every record of src, returning all triples and stats.
+// Records that fail to map are counted and skipped, matching GeoTriples'
+// row-level error tolerance.
+func Transform(src *Source, m *Mapping) ([]rdf.Triple, Stats, error) {
+	return TransformParallel(src, m, 1)
+}
+
+// TransformParallel is Transform with the given number of worker
+// goroutines (experiment E7's scaling axis). Output order follows record
+// order regardless of parallelism.
+func TransformParallel(src *Source, m *Mapping, workers int) ([]rdf.Triple, Stats, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(src.Records)
+	results := make([][]rdf.Triple, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				results[i], errs[i] = m.Apply(src.Records[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var stats Stats
+	stats.Records = n
+	var out []rdf.Triple
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			stats.Errors++
+			continue
+		}
+		out = append(out, results[i]...)
+	}
+	stats.Triples = len(out)
+	return out, stats, nil
+}
+
+// LoadInto transforms src and inserts the triples into any consumer with
+// an AddTriple method (e.g. *rdf.Store).
+func LoadInto(dst interface{ AddTriple(rdf.Triple) }, src *Source, m *Mapping, workers int) (Stats, error) {
+	triples, stats, err := TransformParallel(src, m, workers)
+	if err != nil {
+		return stats, err
+	}
+	for _, t := range triples {
+		dst.AddTriple(t)
+	}
+	return stats, nil
+}
+
+// WriteNTriples serializes triples in N-Triples format.
+func WriteNTriples(w io.Writer, triples []rdf.Triple) error {
+	for _, t := range triples {
+		if _, err := io.WriteString(w, t.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package geotriples
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+const fieldsCSV = `id,crop,area_ha,wkt
+1,wheat,12.5,"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"
+2,maize,7.25,"POLYGON ((2 2, 3 2, 3 3, 2 3, 2 2))"
+3,barley,3.1,"POINT (5 5)"
+`
+
+func fieldMapping() *Mapping {
+	return &Mapping{
+		SubjectTemplate: "http://extremeearth.eu/field/{id}",
+		Class:           "http://extremeearth.eu/ontology#Field",
+		POMs: []PredicateObjectMap{
+			{Predicate: "http://extremeearth.eu/ontology#crop", Kind: ObjectIRI,
+				Template: "http://extremeearth.eu/crop/{crop}"},
+			{Predicate: "http://extremeearth.eu/ontology#areaHa", Kind: ObjectTyped,
+				Column: "area_ha", Datatype: rdf.XSDDouble},
+		},
+		GeometryColumn: "wkt",
+	}
+}
+
+func TestParseCSV(t *testing.T) {
+	src, err := ParseCSV(strings.NewReader(fieldsCSV), "fields")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Columns) != 4 {
+		t.Errorf("columns = %v", src.Columns)
+	}
+	if len(src.Records) != 3 {
+		t.Fatalf("records = %d", len(src.Records))
+	}
+	if src.Records[0]["crop"] != "wheat" {
+		t.Errorf("record[0][crop] = %q", src.Records[0]["crop"])
+	}
+}
+
+func TestParseCSVBadHeader(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader(""), "empty"); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestApplyMapping(t *testing.T) {
+	src, err := ParseCSV(strings.NewReader(fieldsCSV), "fields")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fieldMapping()
+	triples, err := m.Apply(src.Records[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// type + crop + area + hasGeometry + asWKT = 5
+	if len(triples) != 5 {
+		t.Fatalf("triples = %d, want 5: %v", len(triples), triples)
+	}
+	var sawType, sawWKT, sawCrop bool
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFType && tr.O.Value == "http://extremeearth.eu/ontology#Field" {
+			sawType = true
+		}
+		if tr.P.Value == rdf.GeoAsWKT && tr.O.IsGeometry() {
+			sawWKT = true
+		}
+		if tr.P.Value == "http://extremeearth.eu/ontology#crop" &&
+			tr.O == rdf.NewIRI("http://extremeearth.eu/crop/wheat") {
+			sawCrop = true
+		}
+		if tr.S.Value != "http://extremeearth.eu/field/1" &&
+			!strings.HasPrefix(tr.S.Value, "http://extremeearth.eu/field/1/") {
+			t.Errorf("unexpected subject %s", tr.S)
+		}
+	}
+	if !sawType || !sawWKT || !sawCrop {
+		t.Errorf("missing expected triples: type=%v wkt=%v crop=%v", sawType, sawWKT, sawCrop)
+	}
+}
+
+func TestTransformAll(t *testing.T) {
+	src, _ := ParseCSV(strings.NewReader(fieldsCSV), "fields")
+	triples, stats, err := Transform(src, fieldMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 || stats.Errors != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if len(triples) != 15 {
+		t.Errorf("triples = %d, want 15", len(triples))
+	}
+}
+
+func TestTransformParallelMatchesSerial(t *testing.T) {
+	// Build a larger synthetic source.
+	var b strings.Builder
+	b.WriteString("id,crop,area_ha,wkt\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "%d,crop%d,%d.5,\"POINT (%d %d)\"\n", i, i%7, i%40, i%100, i/100)
+	}
+	src, err := ParseCSV(strings.NewReader(b.String()), "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fieldMapping()
+	serial, s1, _ := TransformParallel(src, m, 1)
+	parallel, s8, _ := TransformParallel(src, m, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d triples, parallel %d", len(serial), len(parallel))
+	}
+	if s1 != s8 {
+		t.Errorf("stats differ: %+v vs %+v", s1, s8)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestTransformRowErrorTolerance(t *testing.T) {
+	src, _ := ParseCSV(strings.NewReader(
+		"id,crop,area_ha,wkt\n1,wheat,1.0,\"POINT (0 0)\"\n2,maize,2.0,\"BROKEN\"\n"), "x")
+	triples, stats, err := Transform(src, fieldMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 1 {
+		t.Errorf("Errors = %d, want 1", stats.Errors)
+	}
+	for _, tr := range triples {
+		if strings.Contains(tr.S.Value, "/field/2") {
+			t.Error("failed record leaked triples")
+		}
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	m := &Mapping{SubjectTemplate: "http://x/{missing}"}
+	if _, err := m.Apply(Record{"id": "1"}); err == nil {
+		t.Error("missing column accepted")
+	}
+	m2 := &Mapping{SubjectTemplate: "http://x/{unterminated"}
+	if _, err := m2.Apply(Record{}); err == nil {
+		t.Error("unterminated placeholder accepted")
+	}
+}
+
+func TestTemplateEscaping(t *testing.T) {
+	m := &Mapping{SubjectTemplate: "http://x/{name}"}
+	triples, err := m.Apply(Record{"name": "two words <x>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = triples
+	got, err := expandTemplate("http://x/{name}", Record{"name": "two words <x>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "http://x/two%20words%20%3Cx%3E" {
+		t.Errorf("escaped = %q", got)
+	}
+}
+
+func TestMissingGeometryColumn(t *testing.T) {
+	m := fieldMapping()
+	_, err := m.Apply(Record{"id": "1", "crop": "wheat", "area_ha": "2"})
+	if err == nil {
+		t.Error("record without geometry accepted")
+	}
+}
+
+func TestOptionalAttributeColumns(t *testing.T) {
+	m := &Mapping{
+		SubjectTemplate: "http://x/{id}",
+		POMs: []PredicateObjectMap{
+			{Predicate: "http://x/p", Kind: ObjectLiteral, Column: "absent"},
+		},
+	}
+	triples, err := m.Apply(Record{"id": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 0 {
+		t.Errorf("absent optional column emitted %v", triples)
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	src, _ := ParseCSV(strings.NewReader(fieldsCSV), "fields")
+	st := rdf.NewStore()
+	stats, err := LoadInto(st, src, fieldMapping(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != stats.Triples {
+		t.Errorf("store has %d triples, stats say %d", st.Len(), stats.Triples)
+	}
+	// Query the loaded graph.
+	res := st.Solve([]rdf.TriplePattern{
+		{S: rdf.V("f"), P: rdf.T(rdf.NewIRI(rdf.RDFType)),
+			O: rdf.T(rdf.NewIRI("http://extremeearth.eu/ontology#Field"))},
+	})
+	if len(res) != 3 {
+		t.Errorf("loaded fields = %d, want 3", len(res))
+	}
+}
+
+func TestWriteNTriples(t *testing.T) {
+	src, _ := ParseCSV(strings.NewReader(fieldsCSV), "fields")
+	triples, _, _ := Transform(src, fieldMapping())
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(triples) {
+		t.Errorf("lines = %d, triples = %d", len(lines), len(triples))
+	}
+	for _, l := range lines {
+		if !strings.HasSuffix(l, " .") {
+			t.Errorf("line missing terminator: %q", l)
+		}
+	}
+}

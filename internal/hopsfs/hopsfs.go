@@ -1,0 +1,515 @@
+// Package hopsfs implements the HopsFS-style hierarchical filesystem
+// metadata layer of Challenge C5: inodes and directory entries stored as
+// rows of a sharded NewSQL store (internal/kvstore), with multi-row
+// transactional operations, partition-pruned directory listings, and
+// inline storage for small files (the "Size Matters" optimisation of
+// Niazi et al., Middleware 2018).
+//
+// Key layout (partition key before '|'):
+//
+//	inode:<id>            -> encoded inode           (partitioned by id)
+//	dir:<parent>|<name>   -> child inode id          (partitioned by parent)
+//	sys|nextid            -> id allocator counter
+//
+// Directory entries of one directory share a partition so List is a
+// single-shard range scan, exactly the application-defined partitioning
+// HopsFS uses on NDB.
+package hopsfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotFound   = errors.New("hopsfs: no such file or directory")
+	ErrExists     = errors.New("hopsfs: file exists")
+	ErrNotDir     = errors.New("hopsfs: not a directory")
+	ErrIsDir      = errors.New("hopsfs: is a directory")
+	ErrNotEmpty   = errors.New("hopsfs: directory not empty")
+	ErrInvalidArg = errors.New("hopsfs: invalid argument")
+)
+
+// DefaultInlineThreshold is the small-file cutoff: files at or below this
+// size store their data inline in the inode row.
+const DefaultInlineThreshold = 4096
+
+const rootID uint64 = 1
+
+// Inode is the metadata record of a file or directory.
+type Inode struct {
+	ID       uint64
+	ParentID uint64
+	Name     string
+	IsDir    bool
+	Size     int64
+	ModTime  time.Time
+	// Inline holds small-file data (nil for directories and large files).
+	Inline []byte
+	// BlockID references the block store for large files (0 if none).
+	BlockID uint64
+}
+
+// FS is the filesystem metadata service.
+type FS struct {
+	kv        *kvstore.Store
+	blocks    *BlockStore
+	inlineMax int
+	retries   int
+
+	mu     sync.Mutex
+	nextID uint64 // next cached inode ID (backed by sys|nextid)
+	idCeil uint64 // exclusive upper bound of the cached ID batch
+}
+
+// idBatch is how many inode IDs one allocator transaction reserves.
+// Batching keeps the sys|nextid row out of every create/mkdir
+// transaction, exactly like HopsFS's batched ID allocation on NDB (the
+// row would otherwise be a store-wide conflict hot spot).
+const idBatch = 128
+
+// Option configures the filesystem.
+type Option func(*FS)
+
+// WithInlineThreshold sets the small-file inline cutoff; zero disables
+// inlining entirely (the pre-"Size Matters" baseline of experiment E11).
+func WithInlineThreshold(n int) Option {
+	return func(f *FS) { f.inlineMax = n }
+}
+
+// WithBlockStore replaces the default block store (to tune the simulated
+// DataNode access cost).
+func WithBlockStore(bs *BlockStore) Option {
+	return func(f *FS) { f.blocks = bs }
+}
+
+// New creates a filesystem on the given KV store.
+func New(kv *kvstore.Store, opts ...Option) *FS {
+	fs := &FS{
+		kv:        kv,
+		blocks:    NewBlockStore(DefaultBlockAccessCost),
+		inlineMax: DefaultInlineThreshold,
+		retries:   64,
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	// Install the root directory if absent.
+	root := Inode{ID: rootID, Name: "/", IsDir: true, ModTime: time.Unix(0, 0)}
+	_ = kv.RunTxn(fs.retries, func(t *kvstore.Txn) error {
+		if _, ok := t.Get(inodeKey(rootID)); !ok {
+			t.Put(inodeKey(rootID), encodeInode(root))
+			t.Put("sys|nextid", encodeUint64(rootID+1))
+		}
+		return nil
+	})
+	return fs
+}
+
+func inodeKey(id uint64) string { return "inode:" + strconv.FormatUint(id, 10) }
+
+func direntKey(parent uint64, name string) string {
+	return "dir:" + strconv.FormatUint(parent, 10) + "|" + name
+}
+
+func direntPrefix(parent uint64) string {
+	return "dir:" + strconv.FormatUint(parent, 10) + "|"
+}
+
+// allocID returns a fresh inode ID from the batched allocator: IDs are
+// reserved from sys|nextid in chunks of idBatch so individual namespace
+// transactions never touch the counter row. IDs of failed operations are
+// simply skipped, as in HopsFS.
+func (f *FS) allocID() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nextID < f.idCeil {
+		id := f.nextID
+		f.nextID++
+		return id, nil
+	}
+	var lo uint64
+	err := f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		raw, ok := t.Get("sys|nextid")
+		if !ok {
+			return fmt.Errorf("hopsfs: id allocator missing")
+		}
+		lo = decodeUint64(raw)
+		t.Put("sys|nextid", encodeUint64(lo+idBatch))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	f.nextID = lo + 1
+	f.idCeil = lo + idBatch
+	return lo, nil
+}
+
+// splitPath normalizes and splits an absolute path.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: path %q is not absolute", ErrInvalidArg, path)
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			return nil, fmt.Errorf("%w: path %q contains ..", ErrInvalidArg, path)
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// resolve walks the path inside the transaction, returning the inode.
+func (f *FS) resolve(t *kvstore.Txn, path string) (Inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Inode{}, err
+	}
+	cur, err := f.loadInode(t, rootID)
+	if err != nil {
+		return Inode{}, err
+	}
+	for _, name := range parts {
+		if !cur.IsDir {
+			return Inode{}, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		raw, ok := t.Get(direntKey(cur.ID, name))
+		if !ok {
+			return Inode{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		cur, err = f.loadInode(t, decodeUint64(raw))
+		if err != nil {
+			return Inode{}, err
+		}
+	}
+	return cur, nil
+}
+
+func (f *FS) loadInode(t *kvstore.Txn, id uint64) (Inode, error) {
+	raw, ok := t.Get(inodeKey(id))
+	if !ok {
+		return Inode{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	return decodeInode(raw), nil
+}
+
+// Mkdir creates a directory; parents must exist.
+func (f *FS) Mkdir(path string) error {
+	return f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		dir, name, err := f.resolveParent(t, path)
+		if err != nil {
+			return err
+		}
+		if _, ok := t.Get(direntKey(dir.ID, name)); ok {
+			return fmt.Errorf("%w: %s", ErrExists, path)
+		}
+		id, err := f.allocID()
+		if err != nil {
+			return err
+		}
+		node := Inode{ID: id, ParentID: dir.ID, Name: name, IsDir: true, ModTime: time.Now()}
+		t.Put(inodeKey(id), encodeInode(node))
+		t.Put(direntKey(dir.ID, name), encodeUint64(id))
+		return nil
+	})
+}
+
+// MkdirAll creates the directory and any missing parents.
+func (f *FS) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := f.Mkdir(cur); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveParent resolves the parent directory of path and returns it with
+// the final path component.
+func (f *FS) resolveParent(t *kvstore.Txn, path string) (Inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Inode{}, "", err
+	}
+	if len(parts) == 0 {
+		return Inode{}, "", fmt.Errorf("%w: cannot operate on /", ErrInvalidArg)
+	}
+	parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	dir, err := f.resolve(t, parentPath)
+	if err != nil {
+		return Inode{}, "", err
+	}
+	if !dir.IsDir {
+		return Inode{}, "", fmt.Errorf("%w: %s", ErrNotDir, parentPath)
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Create writes a file with the given contents, failing if it exists.
+// Data at or below the inline threshold is stored in the inode row; larger
+// data goes to the block store ("Size Matters" experiment axis).
+func (f *FS) Create(path string, data []byte) error {
+	return f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		dir, name, err := f.resolveParent(t, path)
+		if err != nil {
+			return err
+		}
+		if _, ok := t.Get(direntKey(dir.ID, name)); ok {
+			return fmt.Errorf("%w: %s", ErrExists, path)
+		}
+		id, err := f.allocID()
+		if err != nil {
+			return err
+		}
+		node := Inode{ID: id, ParentID: dir.ID, Name: name, Size: int64(len(data)), ModTime: time.Now()}
+		if f.inlineMax > 0 && len(data) <= f.inlineMax {
+			node.Inline = data
+		} else {
+			node.BlockID = f.blocks.Put(data)
+		}
+		t.Put(inodeKey(id), encodeInode(node))
+		t.Put(direntKey(dir.ID, name), encodeUint64(id))
+		return nil
+	})
+}
+
+// Read returns a file's contents.
+func (f *FS) Read(path string) ([]byte, error) {
+	var out []byte
+	err := f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		node, err := f.resolve(t, path)
+		if err != nil {
+			return err
+		}
+		if node.IsDir {
+			return fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		if node.BlockID != 0 {
+			data, ok := f.blocks.Get(node.BlockID)
+			if !ok {
+				return fmt.Errorf("hopsfs: dangling block %d for %s", node.BlockID, path)
+			}
+			out = data
+			return nil
+		}
+		out = append([]byte(nil), node.Inline...)
+		return nil
+	})
+	return out, err
+}
+
+// Stat returns the inode for a path.
+func (f *FS) Stat(path string) (Inode, error) {
+	var node Inode
+	err := f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		var err error
+		node, err = f.resolve(t, path)
+		return err
+	})
+	return node, err
+}
+
+// List returns the sorted child names of a directory via a single
+// partition-pruned range scan.
+func (f *FS) List(path string) ([]string, error) {
+	var dir Inode
+	err := f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		var err error
+		dir, err = f.resolve(t, path)
+		if err != nil {
+			return err
+		}
+		if !dir.IsDir {
+			return fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prefix := direntPrefix(dir.ID)
+	var names []string
+	f.kv.Scan(prefix, func(key string, _ []byte) bool {
+		names = append(names, key[len(prefix):])
+		return true
+	})
+	return names, nil
+}
+
+// Delete removes a file or an empty directory.
+func (f *FS) Delete(path string) error {
+	var blockID uint64
+	err := f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		blockID = 0
+		node, err := f.resolve(t, path)
+		if err != nil {
+			return err
+		}
+		if node.ID == rootID {
+			return fmt.Errorf("%w: cannot delete /", ErrInvalidArg)
+		}
+		if node.IsDir {
+			empty := true
+			f.kv.Scan(direntPrefix(node.ID), func(string, []byte) bool {
+				empty = false
+				return false
+			})
+			if !empty {
+				return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+			}
+		}
+		t.Delete(inodeKey(node.ID))
+		t.Delete(direntKey(node.ParentID, node.Name))
+		blockID = node.BlockID
+		return nil
+	})
+	if err == nil && blockID != 0 {
+		f.blocks.Delete(blockID)
+	}
+	return err
+}
+
+// DeleteRecursive removes a path and, for directories, its whole
+// subtree. Like HopsFS subtree operations it proceeds depth-first in
+// batched transactions rather than one giant transaction, so very large
+// subtrees do not monopolize the store; concurrent creates inside the
+// subtree during the operation may survive it (the documented HopsFS
+// semantics for subtree deletes).
+func (f *FS) DeleteRecursive(path string) error {
+	node, err := f.Stat(path)
+	if err != nil {
+		return err
+	}
+	if node.IsDir {
+		names, err := f.List(path)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if err := f.DeleteRecursive(path + "/" + name); err != nil {
+				return err
+			}
+		}
+	}
+	return f.Delete(path)
+}
+
+// Rename atomically moves a file or directory to a new path. This is the
+// flagship multi-partition transaction of HopsFS (subtree operations):
+// it touches the source dirent, the destination dirent and the inode in
+// one commit.
+func (f *FS) Rename(oldPath, newPath string) error {
+	return f.kv.RunTxn(f.retries, func(t *kvstore.Txn) error {
+		node, err := f.resolve(t, oldPath)
+		if err != nil {
+			return err
+		}
+		if node.ID == rootID {
+			return fmt.Errorf("%w: cannot rename /", ErrInvalidArg)
+		}
+		newDir, newName, err := f.resolveParent(t, newPath)
+		if err != nil {
+			return err
+		}
+		if _, ok := t.Get(direntKey(newDir.ID, newName)); ok {
+			return fmt.Errorf("%w: %s", ErrExists, newPath)
+		}
+		t.Delete(direntKey(node.ParentID, node.Name))
+		node.ParentID = newDir.ID
+		node.Name = newName
+		node.ModTime = time.Now()
+		t.Put(inodeKey(node.ID), encodeInode(node))
+		t.Put(direntKey(newDir.ID, newName), encodeUint64(node.ID))
+		return nil
+	})
+}
+
+// KV exposes the underlying store (for stats in benchmarks).
+func (f *FS) KV() *kvstore.Store { return f.kv }
+
+// Blocks exposes the block store (for stats in benchmarks).
+func (f *FS) Blocks() *BlockStore { return f.blocks }
+
+// --- encoding ---
+
+func encodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func decodeUint64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// encodeInode serializes an inode with a simple length-prefixed binary
+// layout (no reflection; metadata rows are hot).
+func encodeInode(n Inode) []byte {
+	name := []byte(n.Name)
+	buf := make([]byte, 0, 8*5+1+4+len(name)+4+len(n.Inline))
+	buf = binary.BigEndian.AppendUint64(buf, n.ID)
+	buf = binary.BigEndian.AppendUint64(buf, n.ParentID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n.Size))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n.ModTime.UnixNano()))
+	buf = binary.BigEndian.AppendUint64(buf, n.BlockID)
+	if n.IsDir {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(name)))
+	buf = append(buf, name...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(n.Inline)))
+	buf = append(buf, n.Inline...)
+	return buf
+}
+
+func decodeInode(b []byte) Inode {
+	var n Inode
+	if len(b) < 8*5+1+4 {
+		return n
+	}
+	n.ID = binary.BigEndian.Uint64(b[0:])
+	n.ParentID = binary.BigEndian.Uint64(b[8:])
+	n.Size = int64(binary.BigEndian.Uint64(b[16:]))
+	n.ModTime = time.Unix(0, int64(binary.BigEndian.Uint64(b[24:])))
+	n.BlockID = binary.BigEndian.Uint64(b[32:])
+	n.IsDir = b[40] == 1
+	nameLen := binary.BigEndian.Uint32(b[41:])
+	off := 45 + int(nameLen)
+	if off > len(b) {
+		return n
+	}
+	n.Name = string(b[45:off])
+	if off+4 > len(b) {
+		return n
+	}
+	inlineLen := binary.BigEndian.Uint32(b[off:])
+	off += 4
+	if inlineLen > 0 && off+int(inlineLen) <= len(b) {
+		n.Inline = append([]byte(nil), b[off:off+int(inlineLen)]...)
+	}
+	return n
+}

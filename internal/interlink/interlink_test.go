@@ -1,0 +1,216 @@
+package interlink
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// makeEntities returns n entities with small square geometries scattered
+// over a 1000x1000 extent.
+func makeEntities(n int, seed int64, prefix string) []Entity {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entity, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		size := 1 + rng.Float64()*4
+		out[i] = Entity{
+			IRI: fmt.Sprintf("http://ex/%s/%d", prefix, i),
+			Geometry: geom.Polygon{Shell: geom.Ring{
+				{X: x, Y: y}, {X: x + size, Y: y},
+				{X: x + size, Y: y + size}, {X: x, Y: y + size},
+			}},
+		}
+	}
+	return out
+}
+
+func linkSet(links []Link) map[Link]bool {
+	m := make(map[Link]bool, len(links))
+	for _, l := range links {
+		m[l] = true
+	}
+	return m
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	a := makeEntities(150, 1, "a")
+	b := makeEntities(150, 2, "b")
+	cfg := Config{Relation: RelIntersects}
+	truth, stNaive := DiscoverNaive(a, b, cfg)
+	got, stBlocked := DiscoverBlocked(a, b, cfg)
+
+	if len(got) != len(truth) {
+		t.Fatalf("blocked found %d links, naive %d", len(got), len(truth))
+	}
+	gotSet := linkSet(got)
+	for _, l := range truth {
+		if !gotSet[l] {
+			t.Errorf("blocked missed link %v", l)
+		}
+	}
+	if Recall(got, truth) != 1.0 {
+		t.Error("recall < 1.0")
+	}
+	if stBlocked.Comparisons >= stNaive.Comparisons {
+		t.Errorf("blocking did not reduce comparisons: %d vs %d",
+			stBlocked.Comparisons, stNaive.Comparisons)
+	}
+}
+
+func TestMetaBlockedMatchesNaive(t *testing.T) {
+	a := makeEntities(150, 3, "a")
+	b := makeEntities(150, 4, "b")
+	for _, rel := range []Relation{RelIntersects, RelWithin, RelContains} {
+		cfg := Config{Relation: rel, Workers: 4}
+		truth, _ := DiscoverNaive(a, b, cfg)
+		got, st := DiscoverMetaBlocked(a, b, cfg)
+		if len(got) != len(truth) {
+			t.Fatalf("%v: meta-blocked %d links, naive %d", rel, len(got), len(truth))
+		}
+		gotSet := linkSet(got)
+		for _, l := range truth {
+			if !gotSet[l] {
+				t.Errorf("%v: missed link %v", rel, l)
+			}
+		}
+		if st.Blocks == 0 && len(truth) > 0 {
+			t.Errorf("%v: no blocks processed", rel)
+		}
+	}
+}
+
+func TestMetaBlockedNoDuplicates(t *testing.T) {
+	// Entities spanning multiple cells must not produce duplicate links.
+	a := []Entity{{IRI: "a0", Geometry: geom.NewRect(0, 0, 50, 50)}}
+	b := []Entity{{IRI: "b0", Geometry: geom.NewRect(10, 10, 60, 60)}}
+	cfg := Config{Relation: RelIntersects, CellSize: 10, Workers: 2}
+	links, _ := DiscoverMetaBlocked(a, b, cfg)
+	if len(links) != 1 {
+		t.Fatalf("links = %d, want 1 (no duplicates): %v", len(links), links)
+	}
+}
+
+func TestMetaBlockedFewerComparisonsThanBlocked(t *testing.T) {
+	// Large geometries that span many cells: plain blocking repeats the
+	// pair per shared cell, meta-blocking compares once.
+	rng := rand.New(rand.NewSource(5))
+	var a, b []Entity
+	for i := 0; i < 60; i++ {
+		x, y := rng.Float64()*500, rng.Float64()*500
+		a = append(a, Entity{IRI: fmt.Sprintf("a%d", i), Geometry: geom.NewRect(x, y, x+80, y+80)})
+		x, y = rng.Float64()*500, rng.Float64()*500
+		b = append(b, Entity{IRI: fmt.Sprintf("b%d", i), Geometry: geom.NewRect(x, y, x+80, y+80)})
+	}
+	cfg := Config{Relation: RelIntersects, CellSize: 20}
+	_, stB := DiscoverBlocked(a, b, cfg)
+	_, stM := DiscoverMetaBlocked(a, b, cfg)
+	if stM.Comparisons >= stB.Comparisons {
+		t.Errorf("meta-blocking comparisons %d >= blocked %d", stM.Comparisons, stB.Comparisons)
+	}
+	// And both must still find the same links as naive.
+	truth, _ := DiscoverNaive(a, b, cfg)
+	gotB, _ := DiscoverBlocked(a, b, cfg)
+	gotM, _ := DiscoverMetaBlocked(a, b, cfg)
+	if len(gotB) != len(truth) || len(gotM) != len(truth) {
+		t.Errorf("links: naive=%d blocked=%d meta=%d", len(truth), len(gotB), len(gotM))
+	}
+}
+
+func TestNearRelation(t *testing.T) {
+	a := []Entity{{IRI: "a0", Geometry: geom.Point{X: 0, Y: 0}}}
+	b := []Entity{
+		{IRI: "near", Geometry: geom.Point{X: 3, Y: 4}},    // distance 5
+		{IRI: "far", Geometry: geom.Point{X: 100, Y: 100}}, // distance ~141
+	}
+	cfg := Config{Relation: RelNear, Distance: 10}
+	truth, _ := DiscoverNaive(a, b, cfg)
+	if len(truth) != 1 || truth[0].Target != "near" {
+		t.Fatalf("naive near links: %v", truth)
+	}
+	got, _ := DiscoverMetaBlocked(a, b, cfg)
+	if len(got) != 1 || got[0].Target != "near" {
+		t.Fatalf("meta-blocked near links: %v", got)
+	}
+	gotB, _ := DiscoverBlocked(a, b, cfg)
+	if len(gotB) != 1 {
+		t.Fatalf("blocked near links: %v", gotB)
+	}
+}
+
+func TestNearPaddingCoversDistance(t *testing.T) {
+	// Points exactly Distance apart in different cells must be found.
+	a := []Entity{{IRI: "a0", Geometry: geom.Point{X: 0, Y: 0}}}
+	b := []Entity{{IRI: "b0", Geometry: geom.Point{X: 9.9, Y: 0}}}
+	cfg := Config{Relation: RelNear, Distance: 10, CellSize: 2}
+	got, _ := DiscoverMetaBlocked(a, b, cfg)
+	if len(got) != 1 {
+		t.Fatalf("padded blocking missed a near pair: %v", got)
+	}
+}
+
+func TestContainsDirectionality(t *testing.T) {
+	big := Entity{IRI: "big", Geometry: geom.NewRect(0, 0, 100, 100)}
+	small := Entity{IRI: "small", Geometry: geom.NewRect(10, 10, 20, 20)}
+	links, _ := DiscoverNaive([]Entity{big}, []Entity{small}, Config{Relation: RelContains})
+	if len(links) != 1 {
+		t.Fatalf("contains links = %v", links)
+	}
+	links, _ = DiscoverNaive([]Entity{big}, []Entity{small}, Config{Relation: RelWithin})
+	if len(links) != 0 {
+		t.Fatalf("within links = %v, want none", links)
+	}
+	links, _ = DiscoverNaive([]Entity{small}, []Entity{big}, Config{Relation: RelWithin})
+	if len(links) != 1 {
+		t.Fatalf("within (reversed) links = %v", links)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	cfg := Config{Relation: RelIntersects}
+	if links, st := DiscoverNaive(nil, nil, cfg); len(links) != 0 || st.Comparisons != 0 {
+		t.Error("naive on empty inputs")
+	}
+	if links, _ := DiscoverBlocked(nil, nil, cfg); len(links) != 0 {
+		t.Error("blocked on empty inputs")
+	}
+	if links, _ := DiscoverMetaBlocked(nil, nil, cfg); len(links) != 0 {
+		t.Error("meta-blocked on empty inputs")
+	}
+}
+
+func TestRecallMetric(t *testing.T) {
+	truth := []Link{{Source: "a", Target: "b"}, {Source: "c", Target: "d"}}
+	found := []Link{{Source: "a", Target: "b"}}
+	if got := Recall(found, truth); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+	if got := Recall(nil, nil); got != 1 {
+		t.Errorf("Recall(empty) = %v, want 1", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if RelIntersects.String() != "sfIntersects" || RelNear.String() != "near" {
+		t.Error("Relation.String mismatch")
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	a := makeEntities(80, 6, "a")
+	b := makeEntities(80, 7, "b")
+	cfg := Config{Relation: RelIntersects, Workers: 8}
+	l1, _ := DiscoverMetaBlocked(a, b, cfg)
+	l2, _ := DiscoverMetaBlocked(a, b, cfg)
+	if len(l1) != len(l2) {
+		t.Fatalf("non-deterministic link count: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("non-deterministic order at %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+}

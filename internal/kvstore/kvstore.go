@@ -1,0 +1,332 @@
+// Package kvstore implements the NewSQL storage substrate that HopsFS
+// metadata lives on (the role MySQL Cluster / NDB plays in the HopsFS
+// papers [9,13,17] the paper builds on): a sharded, transactional,
+// in-memory key-value store with per-row versioning, optimistic
+// multi-key transactions and two-phase commit across shards.
+//
+// Keys are strings with an optional partition prefix: everything before
+// the first '|' is the partition key, and all keys of one partition live
+// in one shard, so partition-local range scans (directory listings in
+// HopsFS) touch a single shard — the application-defined partitioning
+// HopsFS relies on for its metadata scalability.
+package kvstore
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by Txn.Commit when a read row changed since it
+// was read (optimistic concurrency violation). Callers retry.
+var ErrConflict = errors.New("kvstore: transaction conflict")
+
+// ErrTxnDone is returned when a finished transaction is reused.
+var ErrTxnDone = errors.New("kvstore: transaction already finished")
+
+type row struct {
+	value   []byte
+	version uint64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	rows map[string]row
+	// sorted caches the sorted key list for range scans; rebuilt lazily.
+	sorted []string
+	dirty  bool
+}
+
+func (sh *shard) ensureSortedLocked() {
+	if !sh.dirty && sh.sorted != nil {
+		return
+	}
+	sh.sorted = sh.sorted[:0]
+	for k := range sh.rows {
+		sh.sorted = append(sh.sorted, k)
+	}
+	sort.Strings(sh.sorted)
+	sh.dirty = false
+}
+
+// Stats counts store-level events.
+type Stats struct {
+	Commits   uint64
+	Conflicts uint64
+	Gets      uint64
+	Scans     uint64
+}
+
+// Store is the sharded transactional store.
+type Store struct {
+	shards []*shard
+	stats  struct {
+		commits   atomic.Uint64
+		conflicts atomic.Uint64
+		gets      atomic.Uint64
+		scans     atomic.Uint64
+	}
+}
+
+// New returns a store with the given number of shards (the E11 scaling
+// axis; the HopsFS papers scale NDB data nodes the same way).
+func New(numShards int) *Store {
+	if numShards < 1 {
+		numShards = 1
+	}
+	s := &Store{shards: make([]*shard, numShards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{rows: make(map[string]row)}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Commits:   s.stats.commits.Load(),
+		Conflicts: s.stats.conflicts.Load(),
+		Gets:      s.stats.gets.Load(),
+		Scans:     s.stats.scans.Load(),
+	}
+}
+
+// PartitionKey returns the partition prefix of a key (up to the first
+// '|', or the whole key).
+func PartitionKey(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[int(fnv32(PartitionKey(key)))%len(s.shards)]
+}
+
+func (s *Store) shardIndex(key string) int {
+	return int(fnv32(PartitionKey(key))) % len(s.shards)
+}
+
+func fnv32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Get reads a row outside any transaction, returning its value and
+// version. ok is false if the key is absent.
+func (s *Store) Get(key string) (value []byte, version uint64, ok bool) {
+	s.stats.gets.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.rows[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), r.value...), r.version, true
+}
+
+// Scan calls fn for every key with the given prefix in key order. The
+// prefix must include the partition key (scans are partition-local, as in
+// NDB partition-pruned index scans). Iteration stops if fn returns false.
+func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) {
+	s.stats.scans.Add(1)
+	sh := s.shardFor(prefix)
+	sh.mu.Lock()
+	sh.ensureSortedLocked()
+	// Copy the in-range keys so fn runs without the lock held.
+	lo := sort.SearchStrings(sh.sorted, prefix)
+	type kv struct {
+		k string
+		v []byte
+	}
+	var out []kv
+	for i := lo; i < len(sh.sorted); i++ {
+		k := sh.sorted[i]
+		if !strings.HasPrefix(k, prefix) {
+			break
+		}
+		out = append(out, kv{k, append([]byte(nil), sh.rows[k].value...)})
+	}
+	sh.mu.Unlock()
+	for _, e := range out {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// Txn is an optimistic transaction: reads record versions, writes buffer
+// locally, Commit validates and applies atomically across shards.
+type Txn struct {
+	st     *Store
+	reads  map[string]uint64 // key -> version observed (0 = absent)
+	writes map[string][]byte // key -> new value (nil = delete)
+	done   bool
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	return &Txn{
+		st:     s,
+		reads:  make(map[string]uint64),
+		writes: make(map[string][]byte),
+	}
+}
+
+// Get reads a key within the transaction (observing its own writes).
+func (t *Txn) Get(key string) ([]byte, bool) {
+	if t.done {
+		return nil, false
+	}
+	if v, ok := t.writes[key]; ok {
+		if v == nil {
+			return nil, false
+		}
+		return v, true
+	}
+	val, ver, ok := t.st.Get(key)
+	if ok {
+		t.reads[key] = ver
+	} else {
+		t.reads[key] = 0
+	}
+	return val, ok
+}
+
+// Put buffers a write.
+func (t *Txn) Put(key string, value []byte) {
+	if t.done {
+		return
+	}
+	t.writes[key] = append([]byte(nil), value...)
+}
+
+// Delete buffers a deletion.
+func (t *Txn) Delete(key string) {
+	if t.done {
+		return
+	}
+	t.writes[key] = nil
+}
+
+// Commit runs two-phase commit: lock all involved shards in index order
+// (prepare), validate every read version, apply all writes, bump
+// versions, unlock. Returns ErrConflict if validation fails.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if len(t.writes) == 0 && len(t.reads) == 0 {
+		return nil
+	}
+
+	// Phase 1 (prepare): determine involved shards, lock in global order.
+	involved := map[int]bool{}
+	for k := range t.reads {
+		involved[t.st.shardIndex(k)] = true
+	}
+	for k := range t.writes {
+		involved[t.st.shardIndex(k)] = true
+	}
+	order := make([]int, 0, len(involved))
+	for i := range involved {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		t.st.shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for j := len(order) - 1; j >= 0; j-- {
+			t.st.shards[order[j]].mu.Unlock()
+		}
+	}
+
+	// Validate read versions.
+	for k, ver := range t.reads {
+		sh := t.st.shardFor(k)
+		cur, ok := sh.rows[k]
+		curVer := uint64(0)
+		if ok {
+			curVer = cur.version
+		}
+		if curVer != ver {
+			unlock()
+			t.st.stats.conflicts.Add(1)
+			return ErrConflict
+		}
+	}
+
+	// Phase 2 (apply).
+	for k, v := range t.writes {
+		sh := t.st.shardFor(k)
+		if v == nil {
+			if _, ok := sh.rows[k]; ok {
+				delete(sh.rows, k)
+				sh.dirty = true
+			}
+			continue
+		}
+		prev := sh.rows[k]
+		sh.rows[k] = row{value: v, version: prev.version + 1}
+		if prev.version == 0 {
+			sh.dirty = true // new key affects the sorted index
+		}
+	}
+	unlock()
+	t.st.stats.commits.Add(1)
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.done = true }
+
+// RunTxn executes fn in a transaction, retrying on ErrConflict up to
+// maxRetries times. fn must be idempotent (it re-executes on retry).
+func (s *Store) RunTxn(maxRetries int, fn func(t *Txn) error) error {
+	if maxRetries < 1 {
+		maxRetries = 1
+	}
+	var err error
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		t := s.Begin()
+		if err = fn(t); err != nil {
+			t.Abort()
+			return err
+		}
+		if err = t.Commit(); err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return err
+}
+
+// Len returns the total number of rows across all shards.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.rows)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,336 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	s := New(4)
+	err := s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("a|1", []byte("hello"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ver, ok := s.Get("a|1")
+	if !ok || string(v) != "hello" || ver != 1 {
+		t.Fatalf("Get = %q, %d, %v", v, ver, ok)
+	}
+	if _, _, ok := s.Get("absent"); ok {
+		t.Error("absent key found")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestVersionsIncrement(t *testing.T) {
+	s := New(2)
+	for i := 1; i <= 3; i++ {
+		if err := s.RunTxn(1, func(tx *Txn) error {
+			tx.Put("k", []byte(fmt.Sprintf("v%d", i)))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_, ver, _ := s.Get("k")
+		if ver != uint64(i) {
+			t.Fatalf("after write %d version = %d", i, ver)
+		}
+	}
+}
+
+func TestTxnReadsOwnWrites(t *testing.T) {
+	s := New(2)
+	tx := s.Begin()
+	tx.Put("k", []byte("v"))
+	if v, ok := tx.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("txn did not read own write: %q %v", v, ok)
+	}
+	tx.Delete("k")
+	if _, ok := tx.Get("k"); ok {
+		t.Fatal("txn read deleted key")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key persisted")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	s := New(2)
+	if err := s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("x", []byte("0"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := s.Begin()
+	t1.Get("x")
+	t1.Put("x", []byte("1"))
+
+	t2 := s.Begin()
+	t2.Get("x")
+	t2.Put("x", []byte("2"))
+
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first commit failed: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second commit = %v, want ErrConflict", err)
+	}
+	if s.Stats().Conflicts != 1 {
+		t.Errorf("Conflicts = %d", s.Stats().Conflicts)
+	}
+}
+
+func TestConflictOnAbsentKeyCreation(t *testing.T) {
+	s := New(2)
+	t1 := s.Begin()
+	t1.Get("new") // observes absence (version 0)
+	t1.Put("new", []byte("a"))
+
+	t2 := s.Begin()
+	t2.Get("new")
+	t2.Put("new", []byte("b"))
+
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("create/create race not detected: %v", err)
+	}
+}
+
+func TestTxnReuseFails(t *testing.T) {
+	s := New(1)
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("recommit = %v", err)
+	}
+}
+
+func TestRunTxnRetries(t *testing.T) {
+	s := New(4)
+	if err := s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("counter", []byte{0})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent increments: all must eventually apply thanks to retry.
+	const workers, increments = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				err := s.RunTxn(1000, func(tx *Txn) error {
+					v, _ := tx.Get("counter")
+					tx.Put("counter", []byte{v[0] + 1})
+					return nil
+				})
+				if err != nil {
+					t.Errorf("increment failed: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _, _ := s.Get("counter")
+	if int(v[0]) != workers*increments {
+		t.Fatalf("counter = %d, want %d", v[0], workers*increments)
+	}
+}
+
+func TestRunTxnPropagatesUserError(t *testing.T) {
+	s := New(1)
+	sentinel := errors.New("boom")
+	err := s.RunTxn(5, func(tx *Txn) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScanPartitionLocal(t *testing.T) {
+	s := New(8)
+	err := s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("dir:7|a", []byte("1"))
+		tx.Put("dir:7|b", []byte("2"))
+		tx.Put("dir:7|c", []byte("3"))
+		tx.Put("dir:8|zzz", []byte("other partition"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	s.Scan("dir:7|", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 3 {
+		t.Fatalf("scan keys = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan not ordered: %v", keys)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := New(2)
+	_ = s.RunTxn(1, func(tx *Txn) error {
+		for i := 0; i < 10; i++ {
+			tx.Put(fmt.Sprintf("p|%02d", i), []byte("x"))
+		}
+		return nil
+	})
+	n := 0
+	s.Scan("p|", func(string, []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestScanSeesDeletes(t *testing.T) {
+	s := New(2)
+	_ = s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("p|a", []byte("1"))
+		tx.Put("p|b", []byte("2"))
+		return nil
+	})
+	_ = s.RunTxn(1, func(tx *Txn) error {
+		tx.Delete("p|a")
+		return nil
+	})
+	var keys []string
+	s.Scan("p|", func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 1 || keys[0] != "p|b" {
+		t.Fatalf("scan after delete = %v", keys)
+	}
+}
+
+func TestCrossShardTransaction(t *testing.T) {
+	s := New(8)
+	// Keys in different partitions land on different shards; the txn must
+	// still be atomic.
+	err := s.RunTxn(1, func(tx *Txn) error {
+		for i := 0; i < 20; i++ {
+			tx.Put(fmt.Sprintf("part%d|k", i), []byte{byte(i)})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPartitionKey(t *testing.T) {
+	if PartitionKey("dir:7|name") != "dir:7" {
+		t.Error("partition key with separator")
+	}
+	if PartitionKey("plain") != "plain" {
+		t.Error("partition key without separator")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(1)
+	_ = s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("k", []byte("abc"))
+		return nil
+	})
+	v, _, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+}
+
+func TestQuickAtomicity(t *testing.T) {
+	// Property: a txn writing n keys either applies all or none (here:
+	// conflicting txns that retry still leave consistent multi-key state).
+	f := func(seed uint8) bool {
+		s := New(4)
+		n := int(seed%5) + 2
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_ = s.RunTxn(100, func(tx *Txn) error {
+					for i := 0; i < n; i++ {
+						tx.Get(fmt.Sprintf("set|%d", i))
+					}
+					for i := 0; i < n; i++ {
+						tx.Put(fmt.Sprintf("set|%d", i), []byte{byte(w)})
+					}
+					return nil
+				})
+			}(w)
+		}
+		wg.Wait()
+		// All keys must hold the same writer's value.
+		first, _, ok := s.Get("set|0")
+		if !ok {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			v, _, ok := s.Get(fmt.Sprintf("set|%d", i))
+			if !ok || v[0] != first[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(2)
+	_ = s.RunTxn(1, func(tx *Txn) error {
+		tx.Put("a", []byte("1"))
+		return nil
+	})
+	s.Get("a")
+	s.Scan("a", func(string, []byte) bool { return true })
+	st := s.Stats()
+	if st.Commits != 1 || st.Gets == 0 || st.Scans != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNumShardsClamped(t *testing.T) {
+	if New(0).NumShards() != 1 {
+		t.Error("zero shards not clamped")
+	}
+	if New(16).NumShards() != 16 {
+		t.Error("shard count not respected")
+	}
+}

@@ -1,0 +1,284 @@
+// Package pcdss implements the Polar Code Decision Support System
+// delivery layer of application A2: encoding ice charts compactly and
+// delivering them to vessels over restricted communication links
+// (experiment E14).
+//
+// Two codecs exploit the spatial coherence of WMO-coded charts: run
+// length encoding of the row-major class stream, and a region quadtree
+// that collapses uniform quadrants. A token-bucket link simulator models
+// the Iridium-class connections the paper describes ("designed to be
+// used over restricted communication links").
+package pcdss
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/raster"
+)
+
+// EncodeRaw serializes a chart without compression: a 12-byte header
+// (width, height, cell size omitted — carried out of band) plus one byte
+// per cell.
+func EncodeRaw(cm *raster.ClassMap) []byte {
+	out := make([]byte, 8+len(cm.Classes))
+	binary.BigEndian.PutUint32(out[0:], uint32(cm.Grid.Width))
+	binary.BigEndian.PutUint32(out[4:], uint32(cm.Grid.Height))
+	copy(out[8:], cm.Classes)
+	return out
+}
+
+// DecodeRaw reverses EncodeRaw onto the given grid template.
+func DecodeRaw(data []byte, grid raster.Grid) (*raster.ClassMap, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("pcdss: raw payload too short")
+	}
+	w := int(binary.BigEndian.Uint32(data[0:]))
+	h := int(binary.BigEndian.Uint32(data[4:]))
+	if w != grid.Width || h != grid.Height || len(data)-8 != w*h {
+		return nil, fmt.Errorf("pcdss: raw payload shape mismatch")
+	}
+	cm := raster.NewClassMap(grid)
+	copy(cm.Classes, data[8:])
+	return cm, nil
+}
+
+// EncodeRLE run-length-encodes the row-major class stream as
+// (class, count varint) pairs after the same 8-byte header.
+func EncodeRLE(cm *raster.ClassMap) []byte {
+	out := make([]byte, 8, 8+len(cm.Classes)/8)
+	binary.BigEndian.PutUint32(out[0:], uint32(cm.Grid.Width))
+	binary.BigEndian.PutUint32(out[4:], uint32(cm.Grid.Height))
+	i := 0
+	var varint [binary.MaxVarintLen64]byte
+	for i < len(cm.Classes) {
+		c := cm.Classes[i]
+		j := i
+		for j < len(cm.Classes) && cm.Classes[j] == c {
+			j++
+		}
+		out = append(out, c)
+		n := binary.PutUvarint(varint[:], uint64(j-i))
+		out = append(out, varint[:n]...)
+		i = j
+	}
+	return out
+}
+
+// DecodeRLE reverses EncodeRLE.
+func DecodeRLE(data []byte, grid raster.Grid) (*raster.ClassMap, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("pcdss: RLE payload too short")
+	}
+	w := int(binary.BigEndian.Uint32(data[0:]))
+	h := int(binary.BigEndian.Uint32(data[4:]))
+	if w != grid.Width || h != grid.Height {
+		return nil, fmt.Errorf("pcdss: RLE payload shape mismatch")
+	}
+	cm := raster.NewClassMap(grid)
+	pos := 8
+	idx := 0
+	for pos < len(data) {
+		c := data[pos]
+		pos++
+		run, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("pcdss: bad RLE varint at %d", pos)
+		}
+		pos += n
+		for k := uint64(0); k < run; k++ {
+			if idx >= len(cm.Classes) {
+				return nil, fmt.Errorf("pcdss: RLE overflow")
+			}
+			cm.Classes[idx] = c
+			idx++
+		}
+	}
+	if idx != len(cm.Classes) {
+		return nil, fmt.Errorf("pcdss: RLE underflow: %d of %d cells", idx, len(cm.Classes))
+	}
+	return cm, nil
+}
+
+// EncodeQuadtree encodes the chart as a region quadtree over the padded
+// power-of-two square: a uniform quadrant stores 1 marker byte + class;
+// a mixed quadrant stores a marker and recurses into 4 children. Out-of-
+// bounds area is treated as class 0.
+func EncodeQuadtree(cm *raster.ClassMap) []byte {
+	out := make([]byte, 8, 64)
+	binary.BigEndian.PutUint32(out[0:], uint32(cm.Grid.Width))
+	binary.BigEndian.PutUint32(out[4:], uint32(cm.Grid.Height))
+	size := 1
+	for size < cm.Grid.Width || size < cm.Grid.Height {
+		size <<= 1
+	}
+	var enc func(x, y, s int)
+	enc = func(x, y, s int) {
+		uniform, class := quadUniform(cm, x, y, s)
+		if uniform {
+			out = append(out, 0xFF, class)
+			return
+		}
+		out = append(out, 0xFE)
+		half := s / 2
+		enc(x, y, half)
+		enc(x+half, y, half)
+		enc(x, y+half, half)
+		enc(x+half, y+half, half)
+	}
+	enc(0, 0, size)
+	return out
+}
+
+// quadUniform reports whether the s x s quadrant at (x, y) holds a single
+// class (cells outside the grid count as class 0).
+func quadUniform(cm *raster.ClassMap, x, y, s int) (bool, uint8) {
+	var first uint8
+	got := false
+	for dy := 0; dy < s; dy++ {
+		row := y + dy
+		for dx := 0; dx < s; dx++ {
+			col := x + dx
+			var c uint8
+			if col < cm.Grid.Width && row < cm.Grid.Height {
+				c = cm.At(col, row)
+			}
+			if !got {
+				first = c
+				got = true
+			} else if c != first {
+				return false, 0
+			}
+		}
+	}
+	return true, first
+}
+
+// DecodeQuadtree reverses EncodeQuadtree.
+func DecodeQuadtree(data []byte, grid raster.Grid) (*raster.ClassMap, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("pcdss: quadtree payload too short")
+	}
+	w := int(binary.BigEndian.Uint32(data[0:]))
+	h := int(binary.BigEndian.Uint32(data[4:]))
+	if w != grid.Width || h != grid.Height {
+		return nil, fmt.Errorf("pcdss: quadtree payload shape mismatch")
+	}
+	cm := raster.NewClassMap(grid)
+	size := 1
+	for size < w || size < h {
+		size <<= 1
+	}
+	pos := 8
+	var dec func(x, y, s int) error
+	dec = func(x, y, s int) error {
+		if pos >= len(data) {
+			return fmt.Errorf("pcdss: quadtree truncated at %d", pos)
+		}
+		marker := data[pos]
+		pos++
+		switch marker {
+		case 0xFF:
+			if pos >= len(data) {
+				return fmt.Errorf("pcdss: quadtree missing class byte")
+			}
+			class := data[pos]
+			pos++
+			for dy := 0; dy < s; dy++ {
+				row := y + dy
+				if row >= h {
+					break
+				}
+				for dx := 0; dx < s; dx++ {
+					col := x + dx
+					if col >= w {
+						break
+					}
+					cm.Set(col, row, class)
+				}
+			}
+			return nil
+		case 0xFE:
+			half := s / 2
+			for _, q := range [4][2]int{{x, y}, {x + half, y}, {x, y + half}, {x + half, y + half}} {
+				if err := dec(q[0], q[1], half); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("pcdss: bad quadtree marker 0x%02x", marker)
+		}
+	}
+	if err := dec(0, 0, size); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// Link models a restricted communication channel with fixed bandwidth
+// and per-message latency.
+type Link struct {
+	// BitsPerSecond is the sustained throughput (e.g. 64_000 for an
+	// Iridium Certus class link).
+	BitsPerSecond float64
+	// RTT is the per-message round-trip latency.
+	RTT time.Duration
+}
+
+// TransferTime returns the modeled time to deliver a payload.
+func (l Link) TransferTime(bytes int) time.Duration {
+	if l.BitsPerSecond <= 0 {
+		return l.RTT
+	}
+	secs := float64(bytes*8) / l.BitsPerSecond
+	return l.RTT + time.Duration(secs*float64(time.Second))
+}
+
+// ProductPriority ranks deliverable products for a constrained link: the
+// PCDSS bridging function. Smaller payloads of fresher, more
+// safety-critical products go first.
+type ProductPriority struct {
+	Name string
+	// SafetyCritical products (ice edge near route) outrank others.
+	SafetyCritical bool
+	AgeHours       float64
+	SizeBytes      int
+}
+
+// Less orders p before q when p should be delivered first.
+func (p ProductPriority) Less(q ProductPriority) bool {
+	if p.SafetyCritical != q.SafetyCritical {
+		return p.SafetyCritical
+	}
+	if p.AgeHours != q.AgeHours {
+		return p.AgeHours < q.AgeHours
+	}
+	return p.SizeBytes < q.SizeBytes
+}
+
+// Schedule returns the delivery order and the cumulative time at which
+// each product completes over the link.
+func Schedule(link Link, products []ProductPriority) []Delivery {
+	sorted := append([]ProductPriority(nil), products...)
+	// insertion sort by priority (lists are short)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Less(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := make([]Delivery, len(sorted))
+	var elapsed time.Duration
+	for i, p := range sorted {
+		elapsed += link.TransferTime(p.SizeBytes)
+		out[i] = Delivery{Product: p, CompletesAfter: elapsed}
+	}
+	return out
+}
+
+// Delivery is one scheduled product delivery.
+type Delivery struct {
+	Product        ProductPriority
+	CompletesAfter time.Duration
+}

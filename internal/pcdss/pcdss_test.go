@@ -1,0 +1,199 @@
+package pcdss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+func testChart(t *testing.T, w, h int, seed int64) *raster.ClassMap {
+	t.Helper()
+	grid := raster.NewGrid(geom.Point{}, 1000, w, h)
+	return sentinel.GenerateIceChart(grid, 5, seed)
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	cm := testChart(t, 64, 48, 1)
+	data := EncodeRaw(cm)
+	if len(data) != 8+64*48 {
+		t.Fatalf("raw size = %d", len(data))
+	}
+	got, err := DecodeRaw(data, cm.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cm.Classes {
+		if got.Classes[i] != cm.Classes[i] {
+			t.Fatal("raw round trip mismatch")
+		}
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cm := testChart(t, 64, 64, 2)
+	data := EncodeRLE(cm)
+	got, err := DecodeRLE(data, cm.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cm.Classes {
+		if got.Classes[i] != cm.Classes[i] {
+			t.Fatal("RLE round trip mismatch")
+		}
+	}
+	if len(data) >= len(EncodeRaw(cm)) {
+		t.Errorf("RLE (%d) did not compress vs raw (%d)", len(data), len(EncodeRaw(cm)))
+	}
+}
+
+func TestQuadtreeRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {50, 30}, {33, 65}, {1, 1}} {
+		cm := testChart(t, dims[0], dims[1], 3)
+		data := EncodeQuadtree(cm)
+		got, err := DecodeQuadtree(data, cm.Grid)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		for i := range cm.Classes {
+			if got.Classes[i] != cm.Classes[i] {
+				t.Fatalf("%v: quadtree round trip mismatch at %d", dims, i)
+			}
+		}
+	}
+}
+
+func TestQuadtreeCompressesUniformChart(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 1000, 128, 128)
+	cm := raster.NewClassMap(grid) // all open water
+	data := EncodeQuadtree(cm)
+	if len(data) > 16 {
+		t.Errorf("uniform chart quadtree = %d bytes", len(data))
+	}
+	rle := EncodeRLE(cm)
+	if len(rle) > 16 {
+		t.Errorf("uniform chart RLE = %d bytes", len(rle))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cm := testChart(t, 16, 16, 4)
+	grid := cm.Grid
+	if _, err := DecodeRaw([]byte{1, 2}, grid); err == nil {
+		t.Error("short raw accepted")
+	}
+	if _, err := DecodeRLE([]byte{1, 2}, grid); err == nil {
+		t.Error("short RLE accepted")
+	}
+	if _, err := DecodeQuadtree([]byte{1, 2}, grid); err == nil {
+		t.Error("short quadtree accepted")
+	}
+	// Shape mismatch.
+	other := raster.NewGrid(geom.Point{}, 1000, 8, 8)
+	if _, err := DecodeRaw(EncodeRaw(cm), other); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	// Truncated quadtree payload.
+	qt := EncodeQuadtree(cm)
+	if _, err := DecodeQuadtree(qt[:len(qt)-2], grid); err == nil {
+		t.Error("truncated quadtree accepted")
+	}
+	// Bad marker.
+	bad := append([]byte(nil), qt...)
+	bad[8] = 0x01
+	if _, err := DecodeQuadtree(bad, grid); err == nil {
+		t.Error("bad marker accepted")
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	iridium := Link{BitsPerSecond: 64_000, RTT: 500 * time.Millisecond}
+	// 64 kbit payload = 8000 bytes -> 1s + RTT
+	got := iridium.TransferTime(8000)
+	want := 1500 * time.Millisecond
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if (Link{}).TransferTime(1000) != 0 {
+		t.Error("zero-bandwidth link should return just RTT")
+	}
+}
+
+func TestCompressionShortenDelivery(t *testing.T) {
+	cm := testChart(t, 128, 128, 5)
+	link := Link{BitsPerSecond: 64_000, RTT: time.Second}
+	raw := link.TransferTime(len(EncodeRaw(cm)))
+	rle := link.TransferTime(len(EncodeRLE(cm)))
+	if rle >= raw {
+		t.Errorf("RLE delivery (%v) not faster than raw (%v)", rle, raw)
+	}
+}
+
+func TestSchedulePrioritization(t *testing.T) {
+	link := Link{BitsPerSecond: 64_000}
+	products := []ProductPriority{
+		{Name: "old-big", AgeHours: 24, SizeBytes: 100_000},
+		{Name: "critical", SafetyCritical: true, AgeHours: 48, SizeBytes: 50_000},
+		{Name: "fresh-small", AgeHours: 1, SizeBytes: 10_000},
+	}
+	deliveries := Schedule(link, products)
+	if deliveries[0].Product.Name != "critical" {
+		t.Fatalf("first delivery = %s", deliveries[0].Product.Name)
+	}
+	if deliveries[1].Product.Name != "fresh-small" {
+		t.Fatalf("second delivery = %s", deliveries[1].Product.Name)
+	}
+	// Cumulative times increase.
+	for i := 1; i < len(deliveries); i++ {
+		if deliveries[i].CompletesAfter <= deliveries[i-1].CompletesAfter {
+			t.Fatal("delivery times not cumulative")
+		}
+	}
+}
+
+func TestScheduleDoesNotMutateInput(t *testing.T) {
+	link := Link{BitsPerSecond: 1000}
+	products := []ProductPriority{
+		{Name: "b", AgeHours: 2, SizeBytes: 10},
+		{Name: "a", AgeHours: 1, SizeBytes: 10},
+	}
+	Schedule(link, products)
+	if products[0].Name != "b" {
+		t.Error("Schedule mutated its input")
+	}
+}
+
+func TestCodecsQuickProperty(t *testing.T) {
+	// Property: all three codecs round-trip arbitrary class maps exactly.
+	f := func(seed int64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%60) + 1
+		h := int(hRaw%60) + 1
+		grid := raster.NewGrid(geom.Point{}, 100, w, h)
+		cm := raster.NewClassMap(grid)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range cm.Classes {
+			cm.Classes[i] = uint8(rng.Intn(int(sentinel.NumIceClasses)))
+		}
+		r1, err1 := DecodeRaw(EncodeRaw(cm), grid)
+		r2, err2 := DecodeRLE(EncodeRLE(cm), grid)
+		r3, err3 := DecodeQuadtree(EncodeQuadtree(cm), grid)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range cm.Classes {
+			if r1.Classes[i] != cm.Classes[i] ||
+				r2.Classes[i] != cm.Classes[i] ||
+				r3.Classes[i] != cm.Classes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

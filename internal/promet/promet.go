@@ -1,0 +1,211 @@
+// Package promet implements a hydro-agroecological land-surface model in
+// the role of PROMET (Hank, Bach & Mauser 2015 [10]) for the Food
+// Security application (A1): a daily FAO-56-style soil-water balance with
+// crop-specific evapotranspiration, run per 10 m cell of a watershed to
+// produce high-resolution water-availability and irrigation-need maps.
+//
+// Substitution note (DESIGN.md): PROMET proper is a closed-source coupled
+// model; this implementation keeps the ingredients the paper's claim
+// depends on — crop-type-specific parameters at 10 m change the water
+// balance, so a DL-derived crop map yields more accurate per-field water
+// availability than a crop-agnostic baseline (experiment E12).
+package promet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+// CropParams are the water-balance-relevant properties of a crop type.
+type CropParams struct {
+	// KcMid is the mid-season crop coefficient (scales reference ET).
+	KcMid float64
+	// RootDepthM is the effective rooting depth in metres.
+	RootDepthM float64
+	// DepletionFrac is the allowed soil-water depletion before stress.
+	DepletionFrac float64
+}
+
+// DefaultCropParams maps the land-cover classes used in A1 to FAO-56
+// style parameters.
+func DefaultCropParams() map[uint8]CropParams {
+	return map[uint8]CropParams{
+		sentinel.ClassAnnualCrop:    {KcMid: 1.15, RootDepthM: 0.9, DepletionFrac: 0.55},
+		sentinel.ClassPermanentCrop: {KcMid: 0.95, RootDepthM: 1.5, DepletionFrac: 0.5},
+		sentinel.ClassPasture:       {KcMid: 0.85, RootDepthM: 0.6, DepletionFrac: 0.6},
+		sentinel.ClassForest:        {KcMid: 1.0, RootDepthM: 2.0, DepletionFrac: 0.7},
+		sentinel.ClassHerbVegetation: {
+			KcMid: 0.9, RootDepthM: 0.7, DepletionFrac: 0.6,
+		},
+	}
+}
+
+// UniformCrop returns the crop-agnostic baseline parameterization (the
+// pre-ExtremeEarth situation where crop type is unknown at field scale).
+func UniformCrop() CropParams {
+	return CropParams{KcMid: 1.0, RootDepthM: 1.0, DepletionFrac: 0.55}
+}
+
+// Weather is a daily series of precipitation and reference
+// evapotranspiration (mm/day).
+type Weather struct {
+	PrecipMM []float64
+	ET0MM    []float64
+}
+
+// Days returns the series length.
+func (w Weather) Days() int { return len(w.PrecipMM) }
+
+// GenerateWeather synthesizes one growing season: sinusoidal ET0 peaking
+// mid-season and stochastic precipitation events.
+func GenerateWeather(days int, seed int64) Weather {
+	rng := rand.New(rand.NewSource(seed))
+	w := Weather{PrecipMM: make([]float64, days), ET0MM: make([]float64, days)}
+	for d := 0; d < days; d++ {
+		season := math.Sin(math.Pi * float64(d) / float64(days)) // 0..1..0
+		w.ET0MM[d] = 2 + 4*season + rng.Float64()
+		if rng.Float64() < 0.25 { // rain day
+			w.PrecipMM[d] = rng.ExpFloat64() * 6
+		}
+	}
+	return w
+}
+
+// Config configures a model run.
+type Config struct {
+	// AWCPerMetre is the available water capacity of the soil per metre
+	// of root depth (mm/m); typical loam ~140.
+	AWCPerMetre float64
+	// Params maps crop class to parameters; classes not present fall
+	// back to Uniform.
+	Params map[uint8]CropParams
+	// Uniform is the fallback parameterization.
+	Uniform CropParams
+}
+
+// DefaultConfig returns a loam-soil configuration with the default crop
+// table.
+func DefaultConfig() Config {
+	return Config{AWCPerMetre: 140, Params: DefaultCropParams(), Uniform: UniformCrop()}
+}
+
+// Result holds the output maps of a run, on the crop map's grid.
+type Result struct {
+	// AvailableWater is the season-mean plant-available soil water (mm).
+	AvailableWater raster.Band
+	// IrrigationNeed is the cumulative irrigation requirement (mm).
+	IrrigationNeed raster.Band
+	Grid           raster.Grid
+}
+
+// Run executes the daily water balance per cell of the crop map.
+//
+// Per cell: total available water TAW = AWC * root depth; daily balance
+// D(t+1) = clamp(D(t) + Kc*ET0 - P, 0, TAW) with D the root-zone
+// depletion; when depletion exceeds the allowed fraction, the deficit
+// counts as irrigation need (and is assumed supplied, as in irrigation
+// scheduling mode). Season-mean available water = TAW - mean depletion.
+func Run(cropMap *raster.ClassMap, weather Weather, cfg Config) (*Result, error) {
+	if weather.Days() == 0 {
+		return nil, fmt.Errorf("promet: empty weather series")
+	}
+	if cfg.AWCPerMetre <= 0 {
+		return nil, fmt.Errorf("promet: AWCPerMetre must be positive")
+	}
+	n := cropMap.Grid.NumCells()
+	res := &Result{
+		AvailableWater: raster.Band{Name: "available_water_mm", Data: make([]float32, n)},
+		IrrigationNeed: raster.Band{Name: "irrigation_need_mm", Data: make([]float32, n)},
+		Grid:           cropMap.Grid,
+	}
+	days := weather.Days()
+	for i := 0; i < n; i++ {
+		p, ok := cfg.Params[cropMap.Classes[i]]
+		if !ok {
+			p = cfg.Uniform
+		}
+		taw := cfg.AWCPerMetre * p.RootDepthM
+		allowed := taw * p.DepletionFrac
+		depletion := taw * 0.3 // initial moderate dryness
+		var sumAvailable, irrigation float64
+		for d := 0; d < days; d++ {
+			et := p.KcMid * weather.ET0MM[d]
+			depletion += et - weather.PrecipMM[d]
+			if depletion < 0 {
+				depletion = 0 // excess drains
+			}
+			if depletion > allowed {
+				// Irrigate back to the allowed threshold.
+				irrigation += depletion - allowed
+				depletion = allowed
+			}
+			sumAvailable += taw - depletion
+		}
+		res.AvailableWater.Data[i] = float32(sumAvailable / float64(days))
+		res.IrrigationNeed.Data[i] = float32(irrigation)
+	}
+	return res, nil
+}
+
+// FieldError summarizes per-field water-availability error between a
+// model run and the reference run (E12's accuracy metric): fields are the
+// connected regions of the true crop map.
+type FieldError struct {
+	Fields  int
+	MeanAbs float64
+	MaxAbs  float64
+}
+
+// CompareByField computes, for each crop class region in truthMap, the
+// absolute difference of mean available water between got and want,
+// aggregated over fields. Both results must share the truth grid.
+func CompareByField(truthMap *raster.ClassMap, got, want *Result) FieldError {
+	type acc struct {
+		sumG, sumW float64
+		n          int
+	}
+	// Approximate "fields" as class-uniform patches via a coarse tiling:
+	// each 16x16 tile with a dominant class is one field.
+	const tile = 16
+	var fe FieldError
+	w, h := truthMap.Grid.Width, truthMap.Grid.Height
+	for ty := 0; ty < h; ty += tile {
+		for tx := 0; tx < w; tx += tile {
+			var a acc
+			counts := map[uint8]int{}
+			for dy := 0; dy < tile && ty+dy < h; dy++ {
+				for dx := 0; dx < tile && tx+dx < w; dx++ {
+					idx := (ty+dy)*w + tx + dx
+					counts[truthMap.Classes[idx]]++
+					a.sumG += float64(got.AvailableWater.Data[idx])
+					a.sumW += float64(want.AvailableWater.Data[idx])
+					a.n++
+				}
+			}
+			// require a dominant class (a coherent field)
+			dom := 0
+			for _, c := range counts {
+				if c > dom {
+					dom = c
+				}
+			}
+			if a.n == 0 || float64(dom) < 0.8*float64(a.n) {
+				continue
+			}
+			diff := math.Abs(a.sumG/float64(a.n) - a.sumW/float64(a.n))
+			fe.Fields++
+			fe.MeanAbs += diff
+			if diff > fe.MaxAbs {
+				fe.MaxAbs = diff
+			}
+		}
+	}
+	if fe.Fields > 0 {
+		fe.MeanAbs /= float64(fe.Fields)
+	}
+	return fe
+}

@@ -1,0 +1,163 @@
+package promet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+func TestGenerateWeather(t *testing.T) {
+	w := GenerateWeather(120, 1)
+	if w.Days() != 120 {
+		t.Fatalf("days = %d", w.Days())
+	}
+	var totalP, totalET float64
+	for d := 0; d < 120; d++ {
+		if w.ET0MM[d] < 0 || w.PrecipMM[d] < 0 {
+			t.Fatal("negative weather values")
+		}
+		totalP += w.PrecipMM[d]
+		totalET += w.ET0MM[d]
+	}
+	if totalET <= totalP {
+		t.Errorf("growing season should be water-limited: ET %v <= P %v", totalET, totalP)
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 10, 20, 20)
+	cm := raster.NewClassMap(grid)
+	for i := range cm.Classes {
+		cm.Classes[i] = sentinel.ClassAnnualCrop
+	}
+	weather := GenerateWeather(120, 2)
+	res, err := Run(cm, weather, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvailableWater.Data) != 400 {
+		t.Fatalf("output cells = %d", len(res.AvailableWater.Data))
+	}
+	for i, v := range res.AvailableWater.Data {
+		if v < 0 {
+			t.Fatalf("negative available water at %d: %v", i, v)
+		}
+		if res.IrrigationNeed.Data[i] < 0 {
+			t.Fatalf("negative irrigation at %d", i)
+		}
+	}
+	// A uniform map must produce a uniform result.
+	for i := 1; i < len(res.AvailableWater.Data); i++ {
+		if res.AvailableWater.Data[i] != res.AvailableWater.Data[0] {
+			t.Fatal("uniform crop map produced non-uniform water")
+		}
+	}
+}
+
+func TestCropTypeChangesWaterBalance(t *testing.T) {
+	// The core A1 claim: different crop parameters at the same weather
+	// produce different water availability and irrigation need.
+	grid := raster.NewGrid(geom.Point{}, 10, 4, 4)
+	weather := GenerateWeather(120, 3)
+	cfg := DefaultConfig()
+
+	results := map[uint8]*Result{}
+	for _, class := range []uint8{sentinel.ClassAnnualCrop, sentinel.ClassForest, sentinel.ClassPasture} {
+		cm := raster.NewClassMap(grid)
+		for i := range cm.Classes {
+			cm.Classes[i] = class
+		}
+		res, err := Run(cm, weather, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[class] = res
+	}
+	aw := func(c uint8) float64 { return float64(results[c].AvailableWater.Data[0]) }
+	if aw(sentinel.ClassForest) == aw(sentinel.ClassAnnualCrop) {
+		t.Error("forest and annual crop have identical water availability")
+	}
+	if aw(sentinel.ClassPasture) == aw(sentinel.ClassAnnualCrop) {
+		t.Error("pasture and annual crop have identical water availability")
+	}
+	// Deeper roots (forest) mean more total available water.
+	if aw(sentinel.ClassForest) <= aw(sentinel.ClassPasture) {
+		t.Errorf("forest TAW (%v) should exceed pasture (%v)",
+			aw(sentinel.ClassForest), aw(sentinel.ClassPasture))
+	}
+}
+
+func TestDLVsUniformCropMap(t *testing.T) {
+	// E12's shape: running the model with the true (DL-derived) crop map
+	// reproduces the reference exactly; the crop-agnostic baseline has
+	// nonzero per-field error.
+	grid := raster.NewGrid(geom.Point{}, 10, 64, 64)
+	truth := sentinel.GenerateLandCover(grid, 15, 4)
+	weather := GenerateWeather(120, 5)
+	cfg := DefaultConfig()
+
+	ref, err := Run(truth, weather, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect crop map: zero error.
+	perfect := CompareByField(truth, ref, ref)
+	if perfect.MeanAbs != 0 {
+		t.Errorf("self-comparison error = %v", perfect.MeanAbs)
+	}
+	// Uniform baseline: strip crop knowledge.
+	uniformCfg := cfg
+	uniformCfg.Params = nil
+	baseRes, err := Run(truth, weather, uniformCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := CompareByField(truth, baseRes, ref)
+	if baseline.Fields == 0 {
+		t.Fatal("no coherent fields found")
+	}
+	if baseline.MeanAbs <= 0 {
+		t.Errorf("uniform baseline error = %v, want > 0", baseline.MeanAbs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 10, 2, 2)
+	cm := raster.NewClassMap(grid)
+	if _, err := Run(cm, Weather{}, DefaultConfig()); err == nil {
+		t.Error("empty weather accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.AWCPerMetre = 0
+	if _, err := Run(cm, GenerateWeather(10, 1), cfg); err == nil {
+		t.Error("zero AWC accepted")
+	}
+}
+
+func TestIrrigationRespondsToDryness(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 10, 2, 2)
+	cm := raster.NewClassMap(grid)
+	for i := range cm.Classes {
+		cm.Classes[i] = sentinel.ClassAnnualCrop
+	}
+	dry := Weather{PrecipMM: make([]float64, 90), ET0MM: make([]float64, 90)}
+	wet := Weather{PrecipMM: make([]float64, 90), ET0MM: make([]float64, 90)}
+	for d := 0; d < 90; d++ {
+		dry.ET0MM[d] = 6
+		wet.ET0MM[d] = 6
+		wet.PrecipMM[d] = 8
+	}
+	cfg := DefaultConfig()
+	dryRes, _ := Run(cm, dry, cfg)
+	wetRes, _ := Run(cm, wet, cfg)
+	if dryRes.IrrigationNeed.Data[0] <= wetRes.IrrigationNeed.Data[0] {
+		t.Errorf("dry season irrigation (%v) should exceed wet (%v)",
+			dryRes.IrrigationNeed.Data[0], wetRes.IrrigationNeed.Data[0])
+	}
+	if math.IsNaN(float64(dryRes.AvailableWater.Data[0])) {
+		t.Error("NaN water availability")
+	}
+}

@@ -1,0 +1,419 @@
+// Package raster provides the multiband raster substrate for synthetic
+// Sentinel imagery: geo-referenced grids, float32 band stacks, spectral
+// indices, speckle filtering and resampling. It underlies the synthetic
+// scene generator (internal/sentinel), the training-set tooling
+// (internal/trainingset), the PROMET water model (internal/promet) and
+// sea-ice mapping (internal/seaice).
+package raster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid geo-references a raster: Origin is the outer corner of cell (0,0)
+// (minimum X, minimum Y), CellSize the square cell edge length, and
+// Width x Height the dimensions in cells. Row index grows with Y.
+type Grid struct {
+	Origin   geom.Point
+	CellSize float64
+	Width    int
+	Height   int
+}
+
+// NewGrid constructs a grid; it panics on non-positive dimensions (a
+// programming error in workload setup).
+func NewGrid(origin geom.Point, cellSize float64, width, height int) Grid {
+	if cellSize <= 0 || width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("raster: invalid grid %vx%v cell %v", width, height, cellSize))
+	}
+	return Grid{Origin: origin, CellSize: cellSize, Width: width, Height: height}
+}
+
+// Bounds returns the grid's spatial extent.
+func (g Grid) Bounds() geom.Rect {
+	return geom.NewRect(g.Origin.X, g.Origin.Y,
+		g.Origin.X+float64(g.Width)*g.CellSize,
+		g.Origin.Y+float64(g.Height)*g.CellSize)
+}
+
+// CellCenter returns the centre coordinate of cell (col, row).
+func (g Grid) CellCenter(col, row int) geom.Point {
+	return geom.Point{
+		X: g.Origin.X + (float64(col)+0.5)*g.CellSize,
+		Y: g.Origin.Y + (float64(row)+0.5)*g.CellSize,
+	}
+}
+
+// CellAt maps a point to its cell; ok is false outside the grid.
+func (g Grid) CellAt(p geom.Point) (col, row int, ok bool) {
+	col = int(math.Floor((p.X - g.Origin.X) / g.CellSize))
+	row = int(math.Floor((p.Y - g.Origin.Y) / g.CellSize))
+	if col < 0 || col >= g.Width || row < 0 || row >= g.Height {
+		return 0, 0, false
+	}
+	return col, row, true
+}
+
+// NumCells returns Width*Height.
+func (g Grid) NumCells() int { return g.Width * g.Height }
+
+// Band is one named raster layer.
+type Band struct {
+	Name string
+	Data []float32 // row-major, len == Width*Height
+}
+
+// Image is a band stack over one grid.
+type Image struct {
+	Grid  Grid
+	Bands []Band
+}
+
+// NewImage allocates an image with zeroed bands of the given names.
+func NewImage(grid Grid, bandNames ...string) *Image {
+	img := &Image{Grid: grid, Bands: make([]Band, len(bandNames))}
+	for i, n := range bandNames {
+		img.Bands[i] = Band{Name: n, Data: make([]float32, grid.NumCells())}
+	}
+	return img
+}
+
+// BandIndex returns the index of the named band, or -1.
+func (im *Image) BandIndex(name string) int {
+	for i, b := range im.Bands {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// At returns the value of band b at (col, row).
+func (im *Image) At(b, col, row int) float32 {
+	return im.Bands[b].Data[row*im.Grid.Width+col]
+}
+
+// Set assigns the value of band b at (col, row).
+func (im *Image) Set(b, col, row int, v float32) {
+	im.Bands[b].Data[row*im.Grid.Width+col] = v
+}
+
+// Pixel returns the band vector at (col, row).
+func (im *Image) Pixel(col, row int) []float32 {
+	out := make([]float32, len(im.Bands))
+	idx := row*im.Grid.Width + col
+	for i := range im.Bands {
+		out[i] = im.Bands[i].Data[idx]
+	}
+	return out
+}
+
+// SizeBytes returns the in-memory payload size (the 5V volume metric).
+func (im *Image) SizeBytes() int64 {
+	return int64(len(im.Bands)) * int64(im.Grid.NumCells()) * 4
+}
+
+// BandStats summarizes one band.
+type BandStats struct {
+	Min, Max, Mean, StdDev float64
+}
+
+// Stats computes summary statistics of band b.
+func (im *Image) Stats(b int) BandStats {
+	data := im.Bands[b].Data
+	if len(data) == 0 {
+		return BandStats{}
+	}
+	st := BandStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, v := range data {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if f < st.Min {
+			st.Min = f
+		}
+		if f > st.Max {
+			st.Max = f
+		}
+	}
+	n := float64(len(data))
+	st.Mean = sum / n
+	variance := sumSq/n - st.Mean*st.Mean
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return st
+}
+
+// NDVI computes the normalized difference vegetation index
+// (nir-red)/(nir+red) into a new band; zero where the denominator is 0.
+func NDVI(im *Image, redBand, nirBand int) Band {
+	out := Band{Name: "NDVI", Data: make([]float32, im.Grid.NumCells())}
+	red := im.Bands[redBand].Data
+	nir := im.Bands[nirBand].Data
+	for i := range out.Data {
+		den := nir[i] + red[i]
+		if den != 0 {
+			out.Data[i] = (nir[i] - red[i]) / den
+		}
+	}
+	return out
+}
+
+// NDWI computes the normalized difference water index
+// (green-nir)/(green+nir) into a new band.
+func NDWI(im *Image, greenBand, nirBand int) Band {
+	out := Band{Name: "NDWI", Data: make([]float32, im.Grid.NumCells())}
+	green := im.Bands[greenBand].Data
+	nir := im.Bands[nirBand].Data
+	for i := range out.Data {
+		den := green[i] + nir[i]
+		if den != 0 {
+			out.Data[i] = (green[i] - nir[i]) / den
+		}
+	}
+	return out
+}
+
+// BoxFilter returns band b smoothed with a (2r+1)^2 mean window, the
+// simple multiplicative-noise (speckle) suppressor used on SAR
+// backscatter before classification.
+func BoxFilter(im *Image, b, r int) Band {
+	w, h := im.Grid.Width, im.Grid.Height
+	src := im.Bands[b].Data
+	out := Band{Name: im.Bands[b].Name + "_filtered", Data: make([]float32, len(src))}
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			var sum float32
+			n := 0
+			for dr := -r; dr <= r; dr++ {
+				rr := row + dr
+				if rr < 0 || rr >= h {
+					continue
+				}
+				for dc := -r; dc <= r; dc++ {
+					cc := col + dc
+					if cc < 0 || cc >= w {
+						continue
+					}
+					sum += src[rr*w+cc]
+					n++
+				}
+			}
+			out.Data[row*w+col] = sum / float32(n)
+		}
+	}
+	return out
+}
+
+// LeeFilter applies the Lee adaptive speckle filter to band b with a
+// (2r+1)^2 window: pixels in homogeneous areas approach the local mean,
+// heterogeneous areas keep detail. sigma2 is the noise variance estimate.
+func LeeFilter(im *Image, b, r int, sigma2 float64) Band {
+	w, h := im.Grid.Width, im.Grid.Height
+	src := im.Bands[b].Data
+	out := Band{Name: im.Bands[b].Name + "_lee", Data: make([]float32, len(src))}
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			var sum, sumSq float64
+			n := 0
+			for dr := -r; dr <= r; dr++ {
+				rr := row + dr
+				if rr < 0 || rr >= h {
+					continue
+				}
+				for dc := -r; dc <= r; dc++ {
+					cc := col + dc
+					if cc < 0 || cc >= w {
+						continue
+					}
+					v := float64(src[rr*w+cc])
+					sum += v
+					sumSq += v * v
+					n++
+				}
+			}
+			mean := sum / float64(n)
+			variance := sumSq/float64(n) - mean*mean
+			k := 0.0
+			if variance > 0 {
+				k = math.Max(0, (variance-sigma2)/variance)
+			}
+			center := float64(src[row*w+col])
+			out.Data[row*w+col] = float32(mean + k*(center-mean))
+		}
+	}
+	return out
+}
+
+// Resample produces a new image on a grid with the given cell size over
+// the same extent, using nearest-neighbour sampling (adequate for the
+// categorical and simulation rasters in this repository).
+func Resample(im *Image, cellSize float64) *Image {
+	b := im.Grid.Bounds()
+	w := int(math.Ceil(b.Width() / cellSize))
+	h := int(math.Ceil(b.Height() / cellSize))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	grid := NewGrid(im.Grid.Origin, cellSize, w, h)
+	names := make([]string, len(im.Bands))
+	for i := range im.Bands {
+		names[i] = im.Bands[i].Name
+	}
+	out := NewImage(grid, names...)
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			p := grid.CellCenter(col, row)
+			sc, sr, ok := im.Grid.CellAt(p)
+			if !ok {
+				// Clamp edge cells that fall just outside due to ceil.
+				sc = clampInt(int((p.X-im.Grid.Origin.X)/im.Grid.CellSize), 0, im.Grid.Width-1)
+				sr = clampInt(int((p.Y-im.Grid.Origin.Y)/im.Grid.CellSize), 0, im.Grid.Height-1)
+			}
+			for bi := range im.Bands {
+				out.Set(bi, col, row, im.At(bi, sc, sr))
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClassMap is a categorical raster (land-cover classes, ice types).
+type ClassMap struct {
+	Grid    Grid
+	Classes []uint8 // row-major
+}
+
+// NewClassMap allocates a zeroed class map.
+func NewClassMap(grid Grid) *ClassMap {
+	return &ClassMap{Grid: grid, Classes: make([]uint8, grid.NumCells())}
+}
+
+// At returns the class at (col, row).
+func (c *ClassMap) At(col, row int) uint8 { return c.Classes[row*c.Grid.Width+col] }
+
+// Set assigns the class at (col, row).
+func (c *ClassMap) Set(col, row int, v uint8) { c.Classes[row*c.Grid.Width+col] = v }
+
+// Histogram counts cells per class.
+func (c *ClassMap) Histogram() map[uint8]int {
+	h := make(map[uint8]int)
+	for _, v := range c.Classes {
+		h[v]++
+	}
+	return h
+}
+
+// Agreement returns the fraction of cells where the two maps agree (the
+// classification accuracy metric of E13/E12).
+func Agreement(a, b *ClassMap) float64 {
+	if len(a.Classes) != len(b.Classes) || len(a.Classes) == 0 {
+		return 0
+	}
+	same := 0
+	for i := range a.Classes {
+		if a.Classes[i] == b.Classes[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a.Classes))
+}
+
+// ModeFilter replaces each cell with the majority class of its
+// (2r+1)^2 neighbourhood — the standard post-classification cleanup that
+// suppresses isolated speckle-induced misclassifications.
+func ModeFilter(c *ClassMap, r int) *ClassMap {
+	w, h := c.Grid.Width, c.Grid.Height
+	out := NewClassMap(c.Grid)
+	var counts [256]int
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			var seen []uint8
+			for dr := -r; dr <= r; dr++ {
+				rr := row + dr
+				if rr < 0 || rr >= h {
+					continue
+				}
+				for dc := -r; dc <= r; dc++ {
+					cc := col + dc
+					if cc < 0 || cc >= w {
+						continue
+					}
+					v := c.Classes[rr*w+cc]
+					if counts[v] == 0 {
+						seen = append(seen, v)
+					}
+					counts[v]++
+				}
+			}
+			best := c.Classes[row*w+col]
+			bestN := counts[best]
+			for _, v := range seen {
+				if counts[v] > bestN || (counts[v] == bestN && v < best) {
+					best, bestN = v, counts[v]
+				}
+			}
+			out.Classes[row*w+col] = best
+			for _, v := range seen {
+				counts[v] = 0
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedComponents labels 4-connected regions of cells whose class
+// equals target, returning the component count and per-component sizes.
+// It is the iceberg detector's core (experiment E10/E13).
+func ConnectedComponents(c *ClassMap, target uint8) (count int, sizes []int) {
+	w, h := c.Grid.Width, c.Grid.Height
+	visited := make([]bool, len(c.Classes))
+	var stack []int
+	for start := range c.Classes {
+		if visited[start] || c.Classes[start] != target {
+			continue
+		}
+		count++
+		size := 0
+		stack = stack[:0]
+		stack = append(stack, start)
+		visited[start] = true
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			row, col := idx/w, idx%w
+			for _, d := range [4][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+				nr, nc := row+d[0], col+d[1]
+				if nr < 0 || nr >= h || nc < 0 || nc >= w {
+					continue
+				}
+				nidx := nr*w + nc
+				if !visited[nidx] && c.Classes[nidx] == target {
+					visited[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return count, sizes
+}

@@ -1,0 +1,259 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGridGeoreferencing(t *testing.T) {
+	g := NewGrid(geom.Point{X: 100, Y: 200}, 10, 50, 40)
+	b := g.Bounds()
+	if b != geom.NewRect(100, 200, 600, 600) {
+		t.Fatalf("Bounds = %v", b)
+	}
+	if g.NumCells() != 2000 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+	c := g.CellCenter(0, 0)
+	if c != (geom.Point{X: 105, Y: 205}) {
+		t.Errorf("CellCenter(0,0) = %v", c)
+	}
+	col, row, ok := g.CellAt(geom.Point{X: 105, Y: 205})
+	if !ok || col != 0 || row != 0 {
+		t.Errorf("CellAt = %d,%d,%v", col, row, ok)
+	}
+	col, row, ok = g.CellAt(geom.Point{X: 599.9, Y: 599.9})
+	if !ok || col != 49 || row != 39 {
+		t.Errorf("CellAt far corner = %d,%d,%v", col, row, ok)
+	}
+	if _, _, ok := g.CellAt(geom.Point{X: 99, Y: 300}); ok {
+		t.Error("point outside grid mapped to a cell")
+	}
+}
+
+func TestGridRoundTripProperty(t *testing.T) {
+	g := NewGrid(geom.Point{X: -50, Y: -50}, 2.5, 30, 30)
+	for row := 0; row < g.Height; row++ {
+		for col := 0; col < g.Width; col++ {
+			c, r, ok := g.CellAt(g.CellCenter(col, row))
+			if !ok || c != col || r != row {
+				t.Fatalf("round trip failed at (%d,%d): got (%d,%d,%v)", col, row, c, r, ok)
+			}
+		}
+	}
+}
+
+func TestInvalidGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid grid did not panic")
+		}
+	}()
+	NewGrid(geom.Point{}, 0, 10, 10)
+}
+
+func TestImageAccessors(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 4, 3)
+	im := NewImage(g, "B1", "B2")
+	if im.BandIndex("B2") != 1 || im.BandIndex("nope") != -1 {
+		t.Error("BandIndex")
+	}
+	im.Set(0, 2, 1, 7.5)
+	if im.At(0, 2, 1) != 7.5 {
+		t.Error("Set/At")
+	}
+	px := im.Pixel(2, 1)
+	if px[0] != 7.5 || px[1] != 0 {
+		t.Errorf("Pixel = %v", px)
+	}
+	if im.SizeBytes() != 2*12*4 {
+		t.Errorf("SizeBytes = %d", im.SizeBytes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 2, 2)
+	im := NewImage(g, "b")
+	copy(im.Bands[0].Data, []float32{1, 2, 3, 4})
+	st := im.Stats(0)
+	if st.Min != 1 || st.Max != 4 || st.Mean != 2.5 {
+		t.Errorf("Stats = %+v", st)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(st.StdDev-wantStd) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", st.StdDev, wantStd)
+	}
+}
+
+func TestNDVI(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 2, 1)
+	im := NewImage(g, "red", "nir")
+	im.Set(0, 0, 0, 0.1) // red
+	im.Set(1, 0, 0, 0.5) // nir -> NDVI (0.5-0.1)/(0.6) = 0.666..
+	// second pixel all zeros -> NDVI 0
+	ndvi := NDVI(im, 0, 1)
+	if math.Abs(float64(ndvi.Data[0])-0.6666667) > 1e-5 {
+		t.Errorf("NDVI[0] = %v", ndvi.Data[0])
+	}
+	if ndvi.Data[1] != 0 {
+		t.Errorf("NDVI[1] = %v, want 0 (zero denominator)", ndvi.Data[1])
+	}
+}
+
+func TestNDWI(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 1, 1)
+	im := NewImage(g, "green", "nir")
+	im.Set(0, 0, 0, 0.4)
+	im.Set(1, 0, 0, 0.1)
+	ndwi := NDWI(im, 0, 1)
+	if math.Abs(float64(ndwi.Data[0])-0.6) > 1e-6 {
+		t.Errorf("NDWI = %v", ndwi.Data[0])
+	}
+}
+
+func TestBoxFilterSmooths(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 5, 5)
+	im := NewImage(g, "sar")
+	// impulse in the center
+	im.Set(0, 2, 2, 9)
+	f := BoxFilter(im, 0, 1)
+	if f.Data[2*5+2] != 1 { // 9 averaged over 3x3 = 1
+		t.Errorf("center = %v, want 1", f.Data[2*5+2])
+	}
+	if f.Data[0] != 0 {
+		t.Errorf("far corner = %v, want 0", f.Data[0])
+	}
+	// total energy is conserved away from borders for interior impulses
+	var sum float32
+	for _, v := range f.Data {
+		sum += v
+	}
+	if math.Abs(float64(sum-9)) > 1e-5 {
+		t.Errorf("sum = %v, want 9", sum)
+	}
+}
+
+func TestLeeFilter(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 9, 9)
+	im := NewImage(g, "sar")
+	// homogeneous area with small noise: output should compress variance
+	vals := []float32{1.0, 1.1, 0.9, 1.05, 0.95}
+	for i := range im.Bands[0].Data {
+		im.Bands[0].Data[i] = vals[i%len(vals)]
+	}
+	f := LeeFilter(im, 0, 1, 0.5) // sigma2 larger than local variance -> mean
+	stBefore := im.Stats(0)
+	im2 := &Image{Grid: g, Bands: []Band{f}}
+	stAfter := im2.Stats(0)
+	if stAfter.StdDev >= stBefore.StdDev {
+		t.Errorf("Lee filter did not reduce variance: %v -> %v", stBefore.StdDev, stAfter.StdDev)
+	}
+}
+
+func TestResample(t *testing.T) {
+	g := NewGrid(geom.Point{}, 10, 4, 4) // 40x40 extent
+	im := NewImage(g, "b")
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 4; col++ {
+			im.Set(0, col, row, float32(row*4+col))
+		}
+	}
+	// Downsample to 20m cells: 2x2
+	down := Resample(im, 20)
+	if down.Grid.Width != 2 || down.Grid.Height != 2 {
+		t.Fatalf("down grid = %dx%d", down.Grid.Width, down.Grid.Height)
+	}
+	// Upsample to 5m cells: 8x8, nearest neighbour repeats values
+	up := Resample(im, 5)
+	if up.Grid.Width != 8 || up.Grid.Height != 8 {
+		t.Fatalf("up grid = %dx%d", up.Grid.Width, up.Grid.Height)
+	}
+	if up.At(0, 0, 0) != up.At(0, 1, 1) {
+		t.Error("nearest upsample should repeat source cells")
+	}
+	if up.At(0, 0, 0) != im.At(0, 0, 0) {
+		t.Error("upsample changed values")
+	}
+}
+
+func TestClassMap(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 3, 3)
+	cm := NewClassMap(g)
+	cm.Set(1, 1, 5)
+	if cm.At(1, 1) != 5 || cm.At(0, 0) != 0 {
+		t.Error("Set/At")
+	}
+	h := cm.Histogram()
+	if h[0] != 8 || h[5] != 1 {
+		t.Errorf("Histogram = %v", h)
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 2, 2)
+	a := NewClassMap(g)
+	b := NewClassMap(g)
+	if Agreement(a, b) != 1 {
+		t.Error("identical maps should agree fully")
+	}
+	b.Set(0, 0, 1)
+	if Agreement(a, b) != 0.75 {
+		t.Errorf("Agreement = %v, want 0.75", Agreement(a, b))
+	}
+	other := NewClassMap(NewGrid(geom.Point{}, 1, 3, 3))
+	if Agreement(a, other) != 0 {
+		t.Error("mismatched sizes should return 0")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 6, 6)
+	cm := NewClassMap(g)
+	// Two separate blobs of class 9: a 2x2 and a single cell.
+	cm.Set(0, 0, 9)
+	cm.Set(1, 0, 9)
+	cm.Set(0, 1, 9)
+	cm.Set(1, 1, 9)
+	cm.Set(5, 5, 9)
+	// Diagonal touch does NOT connect (4-connectivity).
+	cm.Set(3, 3, 9)
+	cm.Set(4, 4, 9)
+	count, sizes := ConnectedComponents(cm, 9)
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 7 {
+		t.Errorf("total cells = %d, want 7", total)
+	}
+	if c, _ := ConnectedComponents(cm, 42); c != 0 {
+		t.Errorf("absent class components = %d", c)
+	}
+}
+
+func TestModeFilter(t *testing.T) {
+	g := NewGrid(geom.Point{}, 1, 5, 5)
+	cm := NewClassMap(g)
+	// single speckle pixel in a uniform field
+	cm.Set(2, 2, 7)
+	out := ModeFilter(cm, 1)
+	if out.At(2, 2) != 0 {
+		t.Errorf("speckle pixel survived mode filter: %d", out.At(2, 2))
+	}
+	// a solid 3x3 block survives
+	cm2 := NewClassMap(g)
+	for r := 1; r <= 3; r++ {
+		for c := 1; c <= 3; c++ {
+			cm2.Set(c, r, 9)
+		}
+	}
+	out2 := ModeFilter(cm2, 1)
+	if out2.At(2, 2) != 9 {
+		t.Errorf("block centre lost: %d", out2.At(2, 2))
+	}
+}

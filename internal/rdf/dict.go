@@ -1,0 +1,77 @@
+package rdf
+
+import "sync"
+
+// ID is a dictionary-encoded term identifier. IDs are dense, starting at 1;
+// 0 is reserved as "no term".
+type ID int64
+
+// NoID is the zero, invalid identifier.
+const NoID ID = 0
+
+// Dict interns Terms to dense integer IDs and back. It is safe for
+// concurrent use; lookups after loading take only a read lock.
+type Dict struct {
+	mu     sync.RWMutex
+	byTerm map[Term]ID
+	byID   []Term // byID[id-1] == term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byTerm: make(map[Term]ID)}
+}
+
+// Encode interns the term, returning its ID (allocating one if new).
+func (d *Dict) Encode(t Term) ID {
+	d.mu.RLock()
+	id, ok := d.byTerm[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	d.byID = append(d.byID, t)
+	id = ID(len(d.byID))
+	d.byTerm[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning; ok is false if absent.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byTerm[t]
+	return id, ok
+}
+
+// Decode returns the term for an ID; ok is false for invalid IDs.
+func (d *Dict) Decode(id ID) (Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id <= 0 || int(id) > len(d.byID) {
+		return Term{}, false
+	}
+	return d.byID[id-1], true
+}
+
+// MustDecode is Decode that panics on an invalid ID; the store only ever
+// holds IDs it allocated, so an invalid ID is a programming error.
+func (d *Dict) MustDecode(id ID) Term {
+	t, ok := d.Decode(id)
+	if !ok {
+		panic("rdf: invalid dictionary ID")
+	}
+	return t
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}

@@ -1,0 +1,143 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadNTriples parses a stream of N-Triples lines (the serialization
+// Term.String/Triple.String produce and GeoTriples exports). Comment
+// lines (#...) and blank lines are skipped. It returns the parsed triples
+// and the number of lines read.
+func ReadNTriples(r io.Reader) ([]Triple, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Triple
+	lines := 0
+	for sc.Scan() {
+		lines++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, lines, fmt.Errorf("rdf: line %d: %w", lines, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, lines, fmt.Errorf("rdf: reading N-Triples: %w", err)
+	}
+	return out, lines, nil
+}
+
+// parseNTripleLine parses one "S P O ." statement.
+func parseNTripleLine(line string) (Triple, error) {
+	if !strings.HasSuffix(line, ".") {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	body := strings.TrimSpace(line[:len(line)-1])
+
+	s, rest, err := takeTerm(body)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	p, rest, err := takeTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, rest, err := takeTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Triple{}, fmt.Errorf("trailing content %q", rest)
+	}
+	return Triple{S: s, P: p, O: o}, nil
+}
+
+// takeTerm consumes one term from the front of s, returning it and the
+// remainder.
+func takeTerm(s string) (Term, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of statement")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI")
+		}
+		return NewIRI(s[1:end]), s[end+1:], nil
+	case '_':
+		if !strings.HasPrefix(s, "_:") {
+			return Term{}, "", fmt.Errorf("bad blank node")
+		}
+		end := 2
+		for end < len(s) && s[end] != ' ' && s[end] != '\t' {
+			end++
+		}
+		return NewBlank(s[2:end]), s[end:], nil
+	case '"':
+		// find the closing quote, honouring backslash escapes
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated literal")
+		}
+		// delimit the full literal including any @lang or ^^<dt> suffix
+		rest := s[end+1:]
+		suffixEnd := 0
+		if strings.HasPrefix(rest, "@") {
+			for suffixEnd < len(rest) && rest[suffixEnd] != ' ' && rest[suffixEnd] != '\t' {
+				suffixEnd++
+			}
+		} else if strings.HasPrefix(rest, "^^<") {
+			close := strings.IndexByte(rest, '>')
+			if close < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype IRI")
+			}
+			suffixEnd = close + 1
+		}
+		t, err := ParseTerm(s[:end+1] + rest[:suffixEnd])
+		if err != nil {
+			return Term{}, "", err
+		}
+		return t, rest[suffixEnd:], nil
+	default:
+		return Term{}, "", fmt.Errorf("cannot parse term starting at %q", truncateStr(s, 20))
+	}
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// LoadNTriples reads N-Triples from r straight into the store, returning
+// the number of triples added.
+func (s *Store) LoadNTriples(r io.Reader) (int, error) {
+	triples, _, err := ReadNTriples(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range triples {
+		s.AddTriple(t)
+	}
+	return len(triples), nil
+}

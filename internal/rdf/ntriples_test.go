@@ -1,0 +1,87 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNTriplesRoundTrip(t *testing.T) {
+	triples := []Triple{
+		NewTriple(ex("a"), ex("p"), ex("b")),
+		NewTriple(ex("a"), ex("name"), NewLiteral("Alice In Chains")),
+		NewTriple(ex("a"), ex("age"), NewIntLiteral(30)),
+		NewTriple(ex("a"), ex("label"), NewLangLiteral("hallo welt", "de")),
+		NewTriple(ex("g"), NewIRI(GeoAsWKT), NewWKTLiteral("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")),
+		NewTriple(NewBlank("b0"), ex("p"), NewLiteral(`with "quotes" inside`)),
+	}
+	var sb strings.Builder
+	for _, tr := range triples {
+		sb.WriteString(tr.String() + "\n")
+	}
+	sb.WriteString("# a comment line\n\n")
+
+	got, lines, err := ReadNTriples(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(triples)+2 {
+		t.Errorf("lines = %d", lines)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("parsed %d triples, want %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d: %v != %v", i, got[i], triples[i])
+		}
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://a> <http://p> <http://b>`,              // no dot
+		`<http://a> <http://p> .`,                       // missing object
+		`<http://a> <http://p> "unterminated .`,         // bad literal
+		`<http://a <http://p> <http://b> .`,             // unterminated IRI
+		`<http://a> <http://p> <http://b> <http://c> .`, // 4 terms
+		`plain words here .`,
+	}
+	for _, in := range bad {
+		if _, _, err := ReadNTriples(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLoadNTriples(t *testing.T) {
+	st := NewStore()
+	input := `<http://example.org/a> <http://example.org/p> "v1" .
+<http://example.org/b> <http://example.org/p> "v2"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`
+	n, err := st.LoadNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || st.Len() != 2 {
+		t.Fatalf("loaded %d, store has %d", n, st.Len())
+	}
+}
+
+func TestNTriplesGeoTriplesInterop(t *testing.T) {
+	// Triples exported with Triple.String (as geotriples.WriteNTriples
+	// does) must load back identically through the store.
+	src := NewStore()
+	src.Add(ex("f1"), NewIRI(GeoHasGeometry), ex("f1/geom"))
+	src.Add(ex("f1/geom"), NewIRI(GeoAsWKT), NewWKTLiteral("POINT (3 4)"))
+	var sb strings.Builder
+	for _, tr := range src.Triples() {
+		sb.WriteString(tr.String() + "\n")
+	}
+	dst := NewStore()
+	if _, err := dst.LoadNTriples(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("round trip lost triples: %d -> %d", src.Len(), dst.Len())
+	}
+}

@@ -1,0 +1,269 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PatternTerm is one position of a triple pattern: either a concrete term
+// or a named variable.
+type PatternTerm struct {
+	// Var is the variable name (without the leading '?'); empty for a
+	// concrete term.
+	Var  string
+	Term Term
+}
+
+// V returns a variable pattern term.
+func V(name string) PatternTerm { return PatternTerm{Var: name} }
+
+// T returns a concrete pattern term.
+func T(t Term) PatternTerm { return PatternTerm{Term: t} }
+
+// IsVar reports whether the position is a variable.
+func (p PatternTerm) IsVar() bool { return p.Var != "" }
+
+func (p PatternTerm) String() string {
+	if p.IsVar() {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+// TriplePattern is a triple with variables allowed in any position.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Vars returns the distinct variable names in the pattern.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if p.IsVar() && !seen[p.Var] {
+			seen[p.Var] = true
+			out = append(out, p.Var)
+		}
+	}
+	return out
+}
+
+// Binding maps variable names to dictionary IDs.
+type Binding map[string]ID
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Filter restricts the solutions of a basic graph pattern. It receives the
+// store (for decoding) and the candidate binding and reports whether the
+// binding survives.
+type Filter func(st *Store, b Binding) bool
+
+// Solve evaluates the basic graph pattern (a conjunction of triple
+// patterns) and returns all solutions, applying the optional filters.
+//
+// Evaluation is index nested-loop join: patterns are greedily reordered by
+// estimated selectivity (most-bound-first, using store counts), then each
+// pattern extends the current bindings via a Match range scan.
+func (s *Store) Solve(patterns []TriplePattern, filters ...Filter) []Binding {
+	return s.SolveSeeded([]Binding{{}}, patterns, filters...)
+}
+
+// SolveSeeded is Solve starting from the given initial bindings rather than
+// the single empty binding. Spatially indexed stores use it to drive BGP
+// evaluation from R-tree candidate sets.
+func (s *Store) SolveSeeded(seeds []Binding, patterns []TriplePattern, filters ...Filter) []Binding {
+	results := seeds
+	remaining := append([]TriplePattern(nil), patterns...)
+
+	for len(remaining) > 0 {
+		// Pick the most selective remaining pattern given the variables
+		// already bound by previous patterns.
+		bound := map[string]bool{}
+		if len(results) > 0 {
+			for v := range results[0] {
+				bound[v] = true
+			}
+		}
+		best, bestCost := 0, int(^uint(0)>>1)
+		for i, tp := range remaining {
+			c := s.estimateCost(tp, bound)
+			if c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		var next []Binding
+		for _, b := range results {
+			s.extend(tp, b, func(nb Binding) {
+				next = append(next, nb)
+			})
+		}
+		results = next
+		if len(results) == 0 {
+			return nil
+		}
+	}
+
+	if len(filters) == 0 {
+		return results
+	}
+	out := make([]Binding, 0, len(results))
+	for _, b := range results {
+		keep := true
+		for _, f := range filters {
+			if !f(s, b) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// estimateCost estimates the result cardinality of a pattern assuming the
+// given variables are already bound (bound variables count as constants).
+func (s *Store) estimateCost(tp TriplePattern, bound map[string]bool) int {
+	hasBoundVar := false
+	id := func(p PatternTerm) ID {
+		if p.IsVar() {
+			if bound[p.Var] {
+				hasBoundVar = true
+				return ID(1) // stand-in: will be a constant at execution
+			}
+			return NoID
+		}
+		lid, ok := s.dict.Lookup(p.Term)
+		if !ok {
+			return ID(-1)
+		}
+		return lid
+	}
+	es, ep, eo := id(tp.S), id(tp.P), id(tp.O)
+	if es < 0 || ep < 0 || eo < 0 {
+		return 0 // unmatchable: evaluating it first prunes everything
+	}
+	// Heuristic: fewer free positions first (fully bound < two bound <
+	// one bound < none), with two tie-breakers: patterns joined to
+	// already-bound variables are per-binding selective and win over
+	// constant-only patterns of equal arity (which repeat their full
+	// result for every current binding), and subject-bound beats
+	// object-bound beats predicate-bound access paths.
+	n := 3
+	if es != NoID {
+		n--
+	}
+	if ep != NoID {
+		n--
+	}
+	if eo != NoID {
+		n--
+	}
+	cost := n*1000 + boundOrderBias(es, ep, eo)
+	if hasBoundVar {
+		cost -= 500
+	}
+	return cost
+}
+
+func boundOrderBias(es, ep, eo ID) int {
+	switch {
+	case es != NoID:
+		return 0
+	case eo != NoID:
+		return 1
+	case ep != NoID:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// extend emits every extension of binding b that satisfies tp.
+func (s *Store) extend(tp TriplePattern, b Binding, emit func(Binding)) {
+	resolve := func(p PatternTerm) (ID, bool) {
+		if p.IsVar() {
+			if id, ok := b[p.Var]; ok {
+				return id, true
+			}
+			return NoID, true
+		}
+		id, ok := s.dict.Lookup(p.Term)
+		if !ok {
+			return NoID, false // concrete term absent: no solutions
+		}
+		return id, true
+	}
+	es, okS := resolve(tp.S)
+	ep, okP := resolve(tp.P)
+	eo, okO := resolve(tp.O)
+	if !okS || !okP || !okO {
+		return
+	}
+	s.Match(es, ep, eo, func(t EncTriple) bool {
+		nb := b.Clone()
+		if tp.S.IsVar() {
+			if id, ok := nb[tp.S.Var]; ok && id != t.S {
+				return true
+			}
+			nb[tp.S.Var] = t.S
+		}
+		if tp.P.IsVar() {
+			if id, ok := nb[tp.P.Var]; ok && id != t.P {
+				return true
+			}
+			nb[tp.P.Var] = t.P
+		}
+		if tp.O.IsVar() {
+			if id, ok := nb[tp.O.Var]; ok && id != t.O {
+				return true
+			}
+			// same-variable repeated inside one pattern, e.g. ?x ?p ?x
+			if tp.S.IsVar() && tp.S.Var == tp.O.Var && t.S != t.O {
+				return true
+			}
+			nb[tp.O.Var] = t.O
+		}
+		emit(nb)
+		return true
+	})
+}
+
+// DecodeBinding converts a binding's IDs back to terms.
+func (s *Store) DecodeBinding(b Binding) map[string]Term {
+	out := make(map[string]Term, len(b))
+	for k, v := range b {
+		out[k] = s.dict.MustDecode(v)
+	}
+	return out
+}
+
+// BindingString formats a binding deterministically for tests and logs.
+func (s *Store) BindingString(b Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, "?"+k+"="+s.dict.MustDecode(b[k]).String())
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,431 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://example.org/a"), "<http://example.org/a>"},
+		{NewBlank("b0"), "_:b0"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("hallo", "de"), `"hallo"@de`},
+		{NewIntLiteral(42), `"42"^^<` + XSDInteger + `>`},
+		{NewTypedLiteral("x", XSDString), `"x"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestParseTermRoundTrip(t *testing.T) {
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewBlank("b12"),
+		NewLiteral("plain text with \"quotes\""),
+		NewLangLiteral("bonjour", "fr"),
+		NewIntLiteral(-7),
+		NewFloatLiteral(2.5),
+		NewBoolLiteral(true),
+		NewWKTLiteral("POINT (1 2)"),
+	}
+	for _, in := range terms {
+		got, err := ParseTerm(in.String())
+		if err != nil {
+			t.Fatalf("ParseTerm(%s): %v", in, err)
+		}
+		if got.String() != in.String() {
+			t.Errorf("round trip: %s -> %s", in, got)
+		}
+	}
+}
+
+func TestParseTermErrors(t *testing.T) {
+	bad := []string{"", "plainword", `"unterminated`, `"x"^^bad`, `"x"#`}
+	for _, in := range bad {
+		if _, err := ParseTerm(in); err == nil {
+			t.Errorf("ParseTerm(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTermNumericAccessors(t *testing.T) {
+	if v, err := NewIntLiteral(99).Int(); err != nil || v != 99 {
+		t.Errorf("Int() = %v, %v", v, err)
+	}
+	if v, err := NewFloatLiteral(1.5).Float(); err != nil || v != 1.5 {
+		t.Errorf("Float() = %v, %v", v, err)
+	}
+	if _, err := NewIRI("x").Int(); err == nil {
+		t.Error("Int() on IRI should error")
+	}
+	if !NewWKTLiteral("POINT (0 0)").IsGeometry() {
+		t.Error("wktLiteral should be geometry")
+	}
+	if NewLiteral("POINT (0 0)").IsGeometry() {
+		t.Error("plain literal should not be geometry")
+	}
+}
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := NewDict()
+	a := NewIRI("http://example.org/a")
+	b := NewIRI("http://example.org/b")
+	ida := d.Encode(a)
+	idb := d.Encode(b)
+	if ida == idb {
+		t.Fatal("distinct terms got same ID")
+	}
+	if got := d.Encode(a); got != ida {
+		t.Errorf("re-encode changed ID: %d != %d", got, ida)
+	}
+	if got, ok := d.Decode(ida); !ok || got != a {
+		t.Errorf("Decode(%d) = %v, %v", ida, got, ok)
+	}
+	if _, ok := d.Decode(999); ok {
+		t.Error("Decode of unknown ID should fail")
+	}
+	if _, ok := d.Decode(NoID); ok {
+		t.Error("Decode(NoID) should fail")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup(NewIRI("http://example.org/absent")); ok {
+		t.Error("Lookup of absent term should fail")
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	done := make(chan map[string]ID, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			local := map[string]ID{}
+			for i := 0; i < 200; i++ {
+				iri := fmt.Sprintf("http://example.org/%d", i%50)
+				local[iri] = d.Encode(NewIRI(iri))
+			}
+			done <- local
+		}()
+	}
+	merged := map[string]ID{}
+	for w := 0; w < 8; w++ {
+		local := <-done
+		for iri, id := range local {
+			if prev, ok := merged[iri]; ok && prev != id {
+				t.Fatalf("term %s has two IDs: %d and %d", iri, prev, id)
+			}
+			merged[iri] = id
+		}
+	}
+	if d.Len() != 50 {
+		t.Errorf("Len = %d, want 50", d.Len())
+	}
+}
+
+func ex(name string) Term { return NewIRI("http://example.org/" + name) }
+
+func buildTestStore() *Store {
+	s := NewStore()
+	s.Add(ex("alice"), ex("knows"), ex("bob"))
+	s.Add(ex("alice"), ex("knows"), ex("carol"))
+	s.Add(ex("bob"), ex("knows"), ex("carol"))
+	s.Add(ex("alice"), NewIRI(RDFType), ex("Person"))
+	s.Add(ex("bob"), NewIRI(RDFType), ex("Person"))
+	s.Add(ex("carol"), NewIRI(RDFType), ex("Robot"))
+	s.Add(ex("alice"), ex("age"), NewIntLiteral(30))
+	return s
+}
+
+func TestStoreMatchShapes(t *testing.T) {
+	s := buildTestStore()
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+	count := func(sub, pred, obj Term) int {
+		n := 0
+		s.MatchTerms(sub, pred, obj, func(Triple) bool { n++; return true })
+		return n
+	}
+	var zero Term
+	cases := []struct {
+		name          string
+		sub, pred, ob Term
+		want          int
+	}{
+		{"S??", ex("alice"), zero, zero, 4},
+		{"SP?", ex("alice"), ex("knows"), zero, 2},
+		{"SPO", ex("alice"), ex("knows"), ex("bob"), 1},
+		{"?P?", zero, ex("knows"), zero, 3},
+		{"?PO", zero, ex("knows"), ex("carol"), 2},
+		{"??O", zero, zero, ex("Person"), 2},
+		{"S?O", ex("alice"), zero, ex("bob"), 1},
+		{"???", zero, zero, zero, 7},
+		{"absent", ex("nobody"), zero, zero, 0},
+	}
+	for _, c := range cases {
+		if got := count(c.sub, c.pred, c.ob); got != c.want {
+			t.Errorf("%s: count = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStoreDuplicates(t *testing.T) {
+	s := NewStore()
+	s.Add(ex("a"), ex("p"), ex("b"))
+	s.Add(ex("a"), ex("p"), ex("b"))
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert, want 1", s.Len())
+	}
+}
+
+func TestStoreInterleavedWriteRead(t *testing.T) {
+	s := NewStore()
+	s.Add(ex("a"), ex("p"), ex("b"))
+	if got := s.Count(NoID, NoID, NoID); got != 1 {
+		t.Fatalf("count after first write = %d", got)
+	}
+	s.Add(ex("b"), ex("p"), ex("c"))
+	if got := s.Count(NoID, NoID, NoID); got != 2 {
+		t.Fatalf("count after second write = %d", got)
+	}
+	pid, _ := s.Dict().Lookup(ex("p"))
+	if got := s.Count(NoID, pid, NoID); got != 2 {
+		t.Errorf("predicate count = %d, want 2", got)
+	}
+}
+
+func TestStoreEarlyStop(t *testing.T) {
+	s := buildTestStore()
+	n := 0
+	s.Match(NoID, NoID, NoID, func(EncTriple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestSolveSimpleBGP(t *testing.T) {
+	s := buildTestStore()
+	// Who does alice know?
+	res := s.Solve([]TriplePattern{
+		{S: T(ex("alice")), P: T(ex("knows")), O: V("who")},
+	})
+	if len(res) != 2 {
+		t.Fatalf("got %d solutions, want 2", len(res))
+	}
+	names := map[string]bool{}
+	for _, b := range res {
+		names[s.Dict().MustDecode(b["who"]).Value] = true
+	}
+	if !names["http://example.org/bob"] || !names["http://example.org/carol"] {
+		t.Errorf("unexpected solutions: %v", names)
+	}
+}
+
+func TestSolveJoin(t *testing.T) {
+	s := buildTestStore()
+	// People alice knows who are Persons.
+	res := s.Solve([]TriplePattern{
+		{S: T(ex("alice")), P: T(ex("knows")), O: V("x")},
+		{S: V("x"), P: T(NewIRI(RDFType)), O: T(ex("Person"))},
+	})
+	if len(res) != 1 {
+		t.Fatalf("got %d solutions, want 1", len(res))
+	}
+	if got := s.Dict().MustDecode(res[0]["x"]); got != ex("bob") {
+		t.Errorf("x = %v, want bob", got)
+	}
+}
+
+func TestSolveChainJoin(t *testing.T) {
+	s := buildTestStore()
+	// ?a knows ?b, ?b knows ?c
+	res := s.Solve([]TriplePattern{
+		{S: V("a"), P: T(ex("knows")), O: V("b")},
+		{S: V("b"), P: T(ex("knows")), O: V("c")},
+	})
+	// alice->bob->carol is the only chain
+	if len(res) != 1 {
+		t.Fatalf("got %d solutions, want 1", len(res))
+	}
+	b := res[0]
+	if s.Dict().MustDecode(b["a"]) != ex("alice") ||
+		s.Dict().MustDecode(b["b"]) != ex("bob") ||
+		s.Dict().MustDecode(b["c"]) != ex("carol") {
+		t.Errorf("unexpected chain: %s", s.BindingString(b))
+	}
+}
+
+func TestSolveWithFilter(t *testing.T) {
+	s := buildTestStore()
+	res := s.Solve(
+		[]TriplePattern{{S: V("x"), P: T(NewIRI(RDFType)), O: V("t")}},
+		func(st *Store, b Binding) bool {
+			return st.Dict().MustDecode(b["t"]) == ex("Robot")
+		},
+	)
+	if len(res) != 1 {
+		t.Fatalf("got %d solutions, want 1", len(res))
+	}
+	if s.Dict().MustDecode(res[0]["x"]) != ex("carol") {
+		t.Errorf("x = %v", s.Dict().MustDecode(res[0]["x"]))
+	}
+}
+
+func TestSolveNoSolutions(t *testing.T) {
+	s := buildTestStore()
+	res := s.Solve([]TriplePattern{
+		{S: T(ex("carol")), P: T(ex("knows")), O: V("x")},
+	})
+	if len(res) != 0 {
+		t.Errorf("got %d solutions, want 0", len(res))
+	}
+	// Pattern with a term absent from the dictionary entirely.
+	res = s.Solve([]TriplePattern{
+		{S: T(ex("nobody")), P: V("p"), O: V("o")},
+	})
+	if len(res) != 0 {
+		t.Errorf("absent term: got %d solutions, want 0", len(res))
+	}
+}
+
+func TestSolveSameVarTwice(t *testing.T) {
+	s := NewStore()
+	s.Add(ex("n1"), ex("linked"), ex("n1")) // self loop
+	s.Add(ex("n1"), ex("linked"), ex("n2"))
+	res := s.Solve([]TriplePattern{
+		{S: V("x"), P: T(ex("linked")), O: V("x")},
+	})
+	if len(res) != 1 {
+		t.Fatalf("self-loop query: got %d solutions, want 1", len(res))
+	}
+	if s.Dict().MustDecode(res[0]["x"]) != ex("n1") {
+		t.Errorf("x = %v", s.Dict().MustDecode(res[0]["x"]))
+	}
+}
+
+func TestSolveCartesianAvoidance(t *testing.T) {
+	// Two patterns sharing no variables still produce the cross product,
+	// but selective patterns must be evaluated first (cost ordering).
+	s := buildTestStore()
+	res := s.Solve([]TriplePattern{
+		{S: V("x"), P: T(ex("knows")), O: V("y")},
+		{S: T(ex("alice")), P: T(ex("age")), O: V("age")},
+	})
+	if len(res) != 3 {
+		t.Fatalf("got %d solutions, want 3", len(res))
+	}
+	for _, b := range res {
+		if _, ok := b["age"]; !ok {
+			t.Error("binding missing age variable")
+		}
+	}
+}
+
+func TestMatchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStore()
+	type enc struct{ s, p, o int }
+	var all []enc
+	seen := map[enc]bool{}
+	for i := 0; i < 400; i++ {
+		e := enc{rng.Intn(20), rng.Intn(5), rng.Intn(30)}
+		if !seen[e] {
+			seen[e] = true
+			all = append(all, e)
+		}
+		s.Add(ex(fmt.Sprintf("s%d", e.s)), ex(fmt.Sprintf("p%d", e.p)), ex(fmt.Sprintf("o%d", e.o)))
+	}
+	for trial := 0; trial < 50; trial++ {
+		qs, qp, qo := rng.Intn(20), rng.Intn(5), rng.Intn(30)
+		// randomly wildcard each position
+		ws, wp, wo := rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0
+		want := 0
+		for _, e := range all {
+			if (ws || e.s == qs) && (wp || e.p == qp) && (wo || e.o == qo) {
+				want++
+			}
+		}
+		var sub, pred, obj Term
+		if !ws {
+			sub = ex(fmt.Sprintf("s%d", qs))
+		}
+		if !wp {
+			pred = ex(fmt.Sprintf("p%d", qp))
+		}
+		if !wo {
+			obj = ex(fmt.Sprintf("o%d", qo))
+		}
+		got := 0
+		s.MatchTerms(sub, pred, obj, func(Triple) bool { got++; return true })
+		if got != want {
+			t.Fatalf("trial %d (%v %v %v wild=%v%v%v): got %d, want %d",
+				trial, qs, qp, qo, ws, wp, wo, got, want)
+		}
+	}
+}
+
+func TestStoreQuickProperty(t *testing.T) {
+	// Property: every added triple is findable by exact match.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		var triples []Triple
+		for i := 0; i < 50; i++ {
+			tr := Triple{
+				S: ex(fmt.Sprintf("s%d", rng.Intn(10))),
+				P: ex(fmt.Sprintf("p%d", rng.Intn(3))),
+				O: NewIntLiteral(int64(rng.Intn(100))),
+			}
+			s.AddTriple(tr)
+			triples = append(triples, tr)
+		}
+		for _, tr := range triples {
+			found := false
+			s.MatchTerms(tr.S, tr.P, tr.O, func(Triple) bool {
+				found = true
+				return false
+			})
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriplesExport(t *testing.T) {
+	s := buildTestStore()
+	all := s.Triples()
+	if len(all) != 7 {
+		t.Fatalf("Triples() returned %d, want 7", len(all))
+	}
+	for _, tr := range all {
+		if tr.S.Value == "" {
+			t.Error("empty subject in exported triple")
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := NewTriple(ex("a"), ex("p"), NewLiteral("v"))
+	want := `<http://example.org/a> <http://example.org/p> "v" .`
+	if got := tr.String(); got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}

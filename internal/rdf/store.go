@@ -1,0 +1,265 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// EncTriple is a dictionary-encoded triple.
+type EncTriple struct {
+	S, P, O ID
+}
+
+// Store is an in-memory triple store with dictionary encoding and three
+// sorted index orderings (SPO, POS, OSP) so every triple-pattern shape has
+// a matching range-scan access path.
+//
+// Writes (Add/AddTriple) buffer into a pending log; the indexes are
+// rebuilt lazily on first read after a write. This favours the bulk-load
+// then query-many pattern of the experiments while still allowing
+// interleaved updates. All methods are safe for concurrent use.
+type Store struct {
+	dict *Dict
+
+	mu      sync.RWMutex
+	spo     []EncTriple
+	pos     []EncTriple
+	osp     []EncTriple
+	pending []EncTriple
+	seen    map[EncTriple]struct{}
+}
+
+// NewStore returns an empty store with its own dictionary.
+func NewStore() *Store {
+	return &Store{dict: NewDict(), seen: make(map[EncTriple]struct{})}
+}
+
+// Dict exposes the store's term dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// Add inserts the triple (s, p, o) given as Terms. Duplicate triples are
+// ignored.
+func (s *Store) Add(sub, pred, obj Term) {
+	s.AddEncoded(EncTriple{s.dict.Encode(sub), s.dict.Encode(pred), s.dict.Encode(obj)})
+}
+
+// AddTriple inserts a Triple value.
+func (s *Store) AddTriple(t Triple) { s.Add(t.S, t.P, t.O) }
+
+// AddEncoded inserts an already-encoded triple; the IDs must come from this
+// store's dictionary.
+func (s *Store) AddEncoded(t EncTriple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seen[t]; dup {
+		return
+	}
+	s.seen[t] = struct{}{}
+	s.pending = append(s.pending, t)
+}
+
+// Len returns the number of distinct triples in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.seen)
+}
+
+// flushLocked merges pending triples into the three sorted indexes. Caller
+// must hold the write lock.
+func (s *Store) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.spo = append(s.spo, s.pending...)
+	s.pos = append(s.pos, s.pending...)
+	s.osp = append(s.osp, s.pending...)
+	s.pending = s.pending[:0]
+	sort.Slice(s.spo, func(i, j int) bool { return lessSPO(s.spo[i], s.spo[j]) })
+	sort.Slice(s.pos, func(i, j int) bool { return lessPOS(s.pos[i], s.pos[j]) })
+	sort.Slice(s.osp, func(i, j int) bool { return lessOSP(s.osp[i], s.osp[j]) })
+}
+
+// ensureIndexed flushes pending writes if any, upgrading the lock.
+func (s *Store) ensureIndexed() {
+	s.mu.RLock()
+	dirty := len(s.pending) > 0
+	s.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+func lessSPO(a, b EncTriple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func lessPOS(a, b EncTriple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func lessOSP(a, b EncTriple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
+// Match calls fn for every triple matching the pattern, where NoID acts as
+// a wildcard in any position. Iteration stops early when fn returns false.
+func (s *Store) Match(sub, pred, obj ID, fn func(EncTriple) bool) {
+	s.ensureIndexed()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Choose the index whose sort order puts the bound components first.
+	switch {
+	case sub != NoID:
+		s.scanSPO(sub, pred, obj, fn)
+	case pred != NoID:
+		s.scanPOS(pred, obj, fn)
+	case obj != NoID:
+		s.scanOSP(obj, fn)
+	default:
+		for _, t := range s.spo {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// scanSPO handles patterns with S bound (P and O optionally bound).
+func (s *Store) scanSPO(sub, pred, obj ID, fn func(EncTriple) bool) {
+	q := EncTriple{S: sub, P: pred, O: obj}
+	lo := sort.Search(len(s.spo), func(i int) bool { return !lessSPO(s.spo[i], q) })
+	for i := lo; i < len(s.spo); i++ {
+		t := s.spo[i]
+		if t.S != sub {
+			return // past the S range
+		}
+		if pred != NoID {
+			if t.P > pred {
+				return // past the (S,P) range
+			}
+			if t.P != pred {
+				continue
+			}
+			if obj != NoID && t.O > obj {
+				return // past the exact (S,P,O) position
+			}
+		}
+		if obj != NoID && t.O != obj {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// scanPOS handles patterns with P bound and S unbound (O optionally bound).
+func (s *Store) scanPOS(pred, obj ID, fn func(EncTriple) bool) {
+	q := EncTriple{P: pred, O: obj}
+	lo := sort.Search(len(s.pos), func(i int) bool { return !lessPOS(s.pos[i], q) })
+	for i := lo; i < len(s.pos); i++ {
+		t := s.pos[i]
+		if t.P != pred {
+			return
+		}
+		if obj != NoID {
+			if t.O > obj {
+				return
+			}
+			if t.O != obj {
+				continue
+			}
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// scanOSP handles patterns with only O bound.
+func (s *Store) scanOSP(obj ID, fn func(EncTriple) bool) {
+	q := EncTriple{O: obj}
+	lo := sort.Search(len(s.osp), func(i int) bool { return !lessOSP(s.osp[i], q) })
+	for i := lo; i < len(s.osp); i++ {
+		t := s.osp[i]
+		if t.O != obj {
+			return
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// MatchTerms is Match with Term arguments and decoded Triple results. A
+// zero Term (Kind == IRI, Value == "") acts as a wildcard.
+func (s *Store) MatchTerms(sub, pred, obj Term, fn func(Triple) bool) {
+	enc := func(t Term) ID {
+		if t == (Term{}) {
+			return NoID
+		}
+		id, ok := s.dict.Lookup(t)
+		if !ok {
+			return ID(-1) // term not in dictionary: no matches possible
+		}
+		return id
+	}
+	es, ep, eo := enc(sub), enc(pred), enc(obj)
+	if es < 0 || ep < 0 || eo < 0 {
+		return
+	}
+	s.Match(es, ep, eo, func(t EncTriple) bool {
+		return fn(Triple{
+			S: s.dict.MustDecode(t.S),
+			P: s.dict.MustDecode(t.P),
+			O: s.dict.MustDecode(t.O),
+		})
+	})
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(sub, pred, obj ID) int {
+	n := 0
+	s.Match(sub, pred, obj, func(EncTriple) bool { n++; return true })
+	return n
+}
+
+// Triples returns all triples in unspecified order (decoded). Intended for
+// tests and small exports.
+func (s *Store) Triples() []Triple {
+	s.ensureIndexed()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Triple, 0, len(s.spo))
+	for _, t := range s.spo {
+		out = append(out, Triple{
+			S: s.dict.MustDecode(t.S),
+			P: s.dict.MustDecode(t.P),
+			O: s.dict.MustDecode(t.O),
+		})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package rdf implements the RDF data model and an in-memory,
+// dictionary-encoded, triple-indexed store: the substrate on which the
+// geospatial RDF store (internal/geostore, the re-engineered Strabon of
+// Challenge C3) and the federation engine (internal/federate, Semagrow)
+// are built.
+//
+// Terms are IRIs, literals (optionally typed or language-tagged) and blank
+// nodes. The store interns terms into integer IDs and maintains SPO, POS
+// and OSP orderings so that every triple-pattern access path is a sorted
+// range scan.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind distinguishes the three RDF term categories.
+type TermKind uint8
+
+const (
+	// IRI is an internationalized resource identifier term.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal term.
+	Literal
+	// Blank is a blank node term.
+	Blank
+)
+
+// Common XSD datatype IRIs used throughout the repository.
+const (
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDateTime = "http://www.w3.org/2001/XMLSchema#dateTime"
+	// WKTLiteral is the GeoSPARQL datatype for geometry literals.
+	WKTLiteral = "http://www.opengis.net/ont/geosparql#wktLiteral"
+)
+
+// Well-known vocabulary IRIs.
+const (
+	RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	// GeoHasGeometry and GeoAsWKT mirror the GeoSPARQL property path
+	// geo:hasGeometry/geo:asWKT that Strabon workloads use.
+	GeoHasGeometry = "http://www.opengis.net/ont/geosparql#hasGeometry"
+	GeoAsWKT       = "http://www.opengis.net/ont/geosparql#asWKT"
+)
+
+// Term is an RDF term. The zero value is not a valid term; use the
+// constructors.
+type Term struct {
+	Kind TermKind
+	// Value is the IRI string, the literal lexical form, or the blank
+	// node label.
+	Value string
+	// Datatype is the datatype IRI for typed literals ("" for plain).
+	Datatype string
+	// Lang is the language tag for language-tagged literals.
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// NewLiteral returns a plain string literal.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: lang}
+}
+
+// NewIntLiteral returns an xsd:integer literal.
+func NewIntLiteral(v int64) Term {
+	return NewTypedLiteral(strconv.FormatInt(v, 10), XSDInteger)
+}
+
+// NewFloatLiteral returns an xsd:double literal.
+func NewFloatLiteral(v float64) Term {
+	return NewTypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble)
+}
+
+// NewBoolLiteral returns an xsd:boolean literal.
+func NewBoolLiteral(v bool) Term {
+	return NewTypedLiteral(strconv.FormatBool(v), XSDBoolean)
+}
+
+// NewWKTLiteral returns a geo:wktLiteral with the given WKT lexical form.
+func NewWKTLiteral(wkt string) Term { return NewTypedLiteral(wkt, WKTLiteral) }
+
+// IsGeometry reports whether the term is a geo:wktLiteral.
+func (t Term) IsGeometry() bool {
+	return t.Kind == Literal && t.Datatype == WKTLiteral
+}
+
+// Int returns the integer value of an xsd:integer literal.
+func (t Term) Int() (int64, error) {
+	if t.Kind != Literal {
+		return 0, fmt.Errorf("rdf: term %s is not a literal", t)
+	}
+	return strconv.ParseInt(t.Value, 10, 64)
+}
+
+// Float returns the floating-point value of a numeric literal.
+func (t Term) Float() (float64, error) {
+	if t.Kind != Literal {
+		return 0, fmt.Errorf("rdf: term %s is not a literal", t)
+	}
+	return strconv.ParseFloat(t.Value, 64)
+}
+
+// String renders the term in N-Triples-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		s := strconv.Quote(t.Value)
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" && t.Datatype != XSDString {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	default:
+		return fmt.Sprintf("?!%d(%s)", t.Kind, t.Value)
+	}
+}
+
+// ParseTerm parses the N-Triples-like syntax produced by Term.String.
+func ParseTerm(s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		return NewIRI(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "_:"):
+		return NewBlank(s[2:]), nil
+	case strings.HasPrefix(s, "\""):
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return Term{}, fmt.Errorf("rdf: unterminated literal %q", s)
+		}
+		lex, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return Term{}, fmt.Errorf("rdf: bad literal %q: %v", s, err)
+		}
+		rest := s[end+1:]
+		switch {
+		case rest == "":
+			return NewLiteral(lex), nil
+		case strings.HasPrefix(rest, "@"):
+			return NewLangLiteral(lex, rest[1:]), nil
+		case strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">"):
+			return NewTypedLiteral(lex, rest[3:len(rest)-1]), nil
+		default:
+			return Term{}, fmt.Errorf("rdf: bad literal suffix %q", rest)
+		}
+	default:
+		return Term{}, fmt.Errorf("rdf: cannot parse term %q", s)
+	}
+}
+
+// Triple is a subject-predicate-object statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple is a convenience constructor.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax.
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}

@@ -1,0 +1,212 @@
+// Package seaice implements the Polar application (A2): sea-ice mapping
+// from SAR imagery. A classifier (trained per Challenge C1 on sea-ice
+// backscatter samples, or the built-in maximum-likelihood fallback)
+// labels every pixel with a WMO stage-of-development class; the labelled
+// map is aggregated to the 1 km product resolution the paper targets,
+// with ice concentration, per-stage fractions and iceberg detection
+// (experiments E13 and the E10 knowledge layer).
+package seaice
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dl"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+// Classifier labels dual-pol SAR pixels with ice classes.
+type Classifier interface {
+	// ClassifyPixel labels one [HH, HV] backscatter vector.
+	ClassifyPixel(x []float32) uint8
+}
+
+// NetClassifier adapts a trained dl.Network.
+type NetClassifier struct{ Net *dl.Network }
+
+// ClassifyPixel implements Classifier.
+func (nc NetClassifier) ClassifyPixel(x []float32) uint8 {
+	m := dl.Matrix{Rows: 1, Cols: len(x), Data: x}
+	return uint8(nc.Net.Predict(m)[0])
+}
+
+// TrainClassifier trains the C1 sea-ice network on synthetic backscatter
+// samples and returns it with its held-out accuracy.
+func TrainClassifier(samples, looks, epochs int, seed int64) (NetClassifier, float64) {
+	ds := seaIceDataset(samples, looks, seed)
+	train, test := ds.Split(0.8)
+	spec := dl.ModelSpec{Arch: dl.ArchMLP, In: 2, Hidden: 32, Classes: sentinel.NumIceClasses, Seed: seed}
+	net, _ := dl.SingleWorker{}.Train(spec, train, dl.TrainConfig{
+		Epochs: epochs, BatchSize: 64, LR: 0.2, Momentum: 0.9, Seed: seed,
+	})
+	return NetClassifier{Net: net}, net.Accuracy(test.X, test.Y)
+}
+
+// seaIceDataset mirrors datasets.SeaIceVectors locally to avoid an import
+// cycle risk and keep the package self-contained for its tests.
+func seaIceDataset(n, looks int, seed int64) *dl.Dataset {
+	rng := newRand(seed)
+	ds := &dl.Dataset{X: dl.NewMatrix(n, 2), Y: make([]int, n), Classes: sentinel.NumIceClasses}
+	for i := 0; i < n; i++ {
+		class := uint8(i % sentinel.NumIceClasses)
+		copy(ds.X.Row(i), sentinel.SampleS1Pixel(class, looks, rng))
+		ds.Y[i] = int(class)
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+// ClassifyScene labels every pixel of a dual-pol SAR image. A Lee speckle
+// filter pass precedes classification (radius 1), matching operational
+// ice-charting preprocessing.
+func ClassifyScene(img *raster.Image, c Classifier) *raster.ClassMap {
+	hh := raster.LeeFilter(img, 0, 1, 0.01)
+	hv := raster.LeeFilter(img, 1, 1, 0.005)
+	cm := raster.NewClassMap(img.Grid)
+	px := make([]float32, 2)
+	for i := range cm.Classes {
+		px[0] = hh.Data[i]
+		px[1] = hv.Data[i]
+		cm.Classes[i] = c.ClassifyPixel(px)
+	}
+	// Majority post-filter suppresses isolated speckle labels (and with
+	// them spurious one-pixel "icebergs").
+	return raster.ModeFilter(cm, 1)
+}
+
+// IceChart is the distributable product: WMO stage-of-development
+// fractions at product resolution.
+type IceChart struct {
+	Map *raster.ClassMap
+	// Concentration is the total ice fraction.
+	Concentration float64
+	// StageFractions maps each WMO class to its areal fraction.
+	StageFractions map[uint8]float64
+	// Icebergs is the detected iceberg count.
+	Icebergs int
+}
+
+// MakeChart aggregates a pixel classification to the target product cell
+// size (1 km in the paper) by majority vote and derives the chart
+// statistics.
+func MakeChart(cm *raster.ClassMap, productCellSize float64) (*IceChart, error) {
+	if productCellSize < cm.Grid.CellSize {
+		return nil, fmt.Errorf("seaice: product cell %v finer than source %v",
+			productCellSize, cm.Grid.CellSize)
+	}
+	factor := int(productCellSize / cm.Grid.CellSize)
+	if factor < 1 {
+		factor = 1
+	}
+	outW := (cm.Grid.Width + factor - 1) / factor
+	outH := (cm.Grid.Height + factor - 1) / factor
+	outGrid := raster.NewGrid(cm.Grid.Origin, productCellSize, outW, outH)
+	out := raster.NewClassMap(outGrid)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			counts := map[uint8]int{}
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sy, sx := oy*factor+dy, ox*factor+dx
+					if sy >= cm.Grid.Height || sx >= cm.Grid.Width {
+						continue
+					}
+					counts[cm.At(sx, sy)]++
+				}
+			}
+			out.Set(ox, oy, majority(counts))
+		}
+	}
+
+	chart := &IceChart{
+		Map:            out,
+		Concentration:  sentinel.IceConcentration(out),
+		StageFractions: make(map[uint8]float64),
+	}
+	hist := out.Histogram()
+	total := float64(len(out.Classes))
+	for class, n := range hist {
+		chart.StageFractions[class] = float64(n) / total
+	}
+	// Icebergs are detected at source resolution (they vanish under
+	// majority aggregation, as in real charts where bergs are point
+	// features overlaid on the concentration field).
+	chart.Icebergs, _ = raster.ConnectedComponents(cm, sentinel.IceBerg)
+	return chart, nil
+}
+
+func majority(counts map[uint8]int) uint8 {
+	type kv struct {
+		class uint8
+		n     int
+	}
+	var all []kv
+	for c, n := range counts {
+		all = append(all, kv{c, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].class < all[j].class
+	})
+	if len(all) == 0 {
+		return 0
+	}
+	return all[0].class
+}
+
+// IcebergLocations returns the centroid cell centre of every detected
+// iceberg component, for publication into the semantic catalogue (the
+// C4 "icebergs embedded in the barrier" knowledge).
+func IcebergLocations(cm *raster.ClassMap) []IcebergObs {
+	w, h := cm.Grid.Width, cm.Grid.Height
+	visited := make([]bool, len(cm.Classes))
+	var out []IcebergObs
+	var stack []int
+	for start := range cm.Classes {
+		if visited[start] || cm.Classes[start] != sentinel.IceBerg {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, start)
+		visited[start] = true
+		var sumX, sumY float64
+		size := 0
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			row, col := idx/w, idx%w
+			ctr := cm.Grid.CellCenter(col, row)
+			sumX += ctr.X
+			sumY += ctr.Y
+			size++
+			for _, d := range [4][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+				nr, nc := row+d[0], col+d[1]
+				if nr < 0 || nr >= h || nc < 0 || nc >= w {
+					continue
+				}
+				nidx := nr*w + nc
+				if !visited[nidx] && cm.Classes[nidx] == sentinel.IceBerg {
+					visited[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		out = append(out, IcebergObs{
+			X: sumX / float64(size), Y: sumY / float64(size), Cells: size,
+		})
+	}
+	return out
+}
+
+// IcebergObs is one detected iceberg.
+type IcebergObs struct {
+	X, Y  float64
+	Cells int
+}
+
+// newRand returns a seeded PRNG.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,131 @@
+package seaice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+func TestTrainClassifierAccuracy(t *testing.T) {
+	_, acc := TrainClassifier(3000, 8, 10, 1)
+	if acc < 0.6 {
+		t.Fatalf("classifier held-out accuracy = %v, want >= 0.6 "+
+			"(6 speckled classes from 2 bands)", acc)
+	}
+}
+
+func TestClassifySceneAgreesWithTruth(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 100, 96, 96) // 100m pixels
+	truth := sentinel.GenerateIceChart(grid, 8, 2)
+	img := sentinel.GenerateS1Scene(truth, 8, 3)
+	clf, _ := TrainClassifier(4000, 8, 10, 4)
+	got := ClassifyScene(img, clf)
+	acc := raster.Agreement(truth, got)
+	if acc < 0.5 {
+		t.Fatalf("scene agreement = %v, want >= 0.5", acc)
+	}
+}
+
+func TestMakeChartAggregation(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 100, 100, 100) // 10km x 10km at 100m
+	truth := sentinel.GenerateIceChart(grid, 5, 5)
+	chart, err := MakeChart(truth, 1000) // 1 km product
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chart.Map.Grid.Width != 10 || chart.Map.Grid.Height != 10 {
+		t.Fatalf("chart grid = %dx%d", chart.Map.Grid.Width, chart.Map.Grid.Height)
+	}
+	if chart.Concentration <= 0 || chart.Concentration >= 1 {
+		t.Errorf("concentration = %v", chart.Concentration)
+	}
+	var totalFrac float64
+	for _, f := range chart.StageFractions {
+		totalFrac += f
+	}
+	if math.Abs(totalFrac-1) > 1e-9 {
+		t.Errorf("stage fractions sum to %v", totalFrac)
+	}
+	if chart.Icebergs == 0 {
+		t.Error("no icebergs detected at source resolution")
+	}
+}
+
+func TestMakeChartRejectsFinerOutput(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 100, 10, 10)
+	cm := raster.NewClassMap(grid)
+	if _, err := MakeChart(cm, 50); err == nil {
+		t.Fatal("finer product resolution accepted")
+	}
+}
+
+func TestChartConcentrationTracksTruth(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 100, 80, 80)
+	truth := sentinel.GenerateIceChart(grid, 0, 7)
+	chart, err := MakeChart(truth, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sentinel.IceConcentration(truth)
+	if math.Abs(chart.Concentration-want) > 0.1 {
+		t.Errorf("chart concentration %v vs truth %v", chart.Concentration, want)
+	}
+}
+
+func TestIcebergLocations(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{X: 1000, Y: 2000}, 100, 50, 50)
+	cm := raster.NewClassMap(grid)
+	// one 2x2 berg at cells (10..11, 20..21)
+	cm.Set(10, 20, sentinel.IceBerg)
+	cm.Set(11, 20, sentinel.IceBerg)
+	cm.Set(10, 21, sentinel.IceBerg)
+	cm.Set(11, 21, sentinel.IceBerg)
+	// one single-cell berg
+	cm.Set(40, 5, sentinel.IceBerg)
+
+	obs := IcebergLocations(cm)
+	if len(obs) != 2 {
+		t.Fatalf("bergs = %d", len(obs))
+	}
+	// find the 4-cell berg and check its centroid
+	var big IcebergObs
+	for _, o := range obs {
+		if o.Cells == 4 {
+			big = o
+		}
+	}
+	wantX := 1000 + (10.5+0.5)*100 // centre between cells 10 and 11
+	wantY := 2000 + (20.5+0.5)*100
+	if math.Abs(big.X-wantX) > 1 || math.Abs(big.Y-wantY) > 1 {
+		t.Errorf("centroid = (%v, %v), want (%v, %v)", big.X, big.Y, wantX, wantY)
+	}
+}
+
+func TestNetClassifierAdapter(t *testing.T) {
+	clf, _ := TrainClassifier(1200, 8, 5, 9)
+	px := sentinel.SampleS1Pixel(sentinel.IceOpenWater, 8, newRand(10))
+	class := clf.ClassifyPixel(px)
+	if class >= sentinel.NumIceClasses {
+		t.Fatalf("class out of range: %d", class)
+	}
+}
+
+func TestEndToEndPolarPipeline(t *testing.T) {
+	// scene -> classify -> 1km chart with icebergs counted
+	grid := raster.NewGrid(geom.Point{}, 100, 64, 64)
+	truth := sentinel.GenerateIceChart(grid, 6, 11)
+	img := sentinel.GenerateS1Scene(truth, 8, 12)
+	clf, _ := TrainClassifier(4000, 8, 10, 13)
+	classified := ClassifyScene(img, clf)
+	chart, err := MakeChart(classified, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueConc := sentinel.IceConcentration(truth)
+	if math.Abs(chart.Concentration-trueConc) > 0.25 {
+		t.Errorf("concentration %v vs truth %v", chart.Concentration, trueConc)
+	}
+}

@@ -1,0 +1,319 @@
+// Package sentinel simulates the Copernicus data substrate: Sentinel-1
+// (SAR) and Sentinel-2 (multispectral) products, synthetic scene
+// generation with class-conditional statistics, and an archive with
+// ingestion/dissemination accounting that reproduces the paper's 5V
+// figures (experiments E3 and E15).
+//
+// Substitution note (DESIGN.md): real Sentinel archives are petabytes
+// behind ESA infrastructure. The generator produces procedural scenes
+// whose per-class band statistics give learnable structure, exercising
+// the same ingestion, classification and information-extraction code
+// paths as real data would.
+package sentinel
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/raster"
+)
+
+// Land-cover classes mirroring the ten EuroSAT classes [11].
+const (
+	ClassAnnualCrop uint8 = iota
+	ClassForest
+	ClassHerbVegetation
+	ClassHighway
+	ClassIndustrial
+	ClassPasture
+	ClassPermanentCrop
+	ClassResidential
+	ClassRiver
+	ClassSeaLake
+	NumLandCoverClasses = 10
+)
+
+// LandCoverName returns the EuroSAT-style class name.
+func LandCoverName(c uint8) string {
+	names := [...]string{
+		"AnnualCrop", "Forest", "HerbaceousVegetation", "Highway",
+		"Industrial", "Pasture", "PermanentCrop", "Residential",
+		"River", "SeaLake",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "Unknown"
+}
+
+// S2Bands are the 13 Sentinel-2 MSI spectral bands.
+var S2Bands = []string{
+	"B01", "B02", "B03", "B04", "B05", "B06", "B07",
+	"B08", "B8A", "B09", "B10", "B11", "B12",
+}
+
+// s2Spectra holds mean top-of-atmosphere reflectance per class per band.
+// The values are stylized but structured: vegetation classes have the
+// red-edge/NIR rise (bands B05-B8A), water classes absorb NIR/SWIR,
+// built-up classes are spectrally flat and bright, so classifiers must
+// exploit the same band relationships as on real imagery.
+var s2Spectra = [NumLandCoverClasses][13]float32{
+	ClassAnnualCrop:     {0.12, 0.10, 0.09, 0.08, 0.15, 0.30, 0.35, 0.38, 0.40, 0.18, 0.05, 0.22, 0.15},
+	ClassForest:         {0.08, 0.06, 0.05, 0.04, 0.10, 0.25, 0.32, 0.35, 0.37, 0.15, 0.03, 0.15, 0.08},
+	ClassHerbVegetation: {0.10, 0.09, 0.08, 0.07, 0.13, 0.26, 0.30, 0.32, 0.34, 0.16, 0.04, 0.20, 0.12},
+	ClassHighway:        {0.18, 0.17, 0.16, 0.16, 0.17, 0.18, 0.19, 0.20, 0.20, 0.15, 0.06, 0.22, 0.20},
+	ClassIndustrial:     {0.25, 0.24, 0.23, 0.23, 0.24, 0.25, 0.26, 0.27, 0.27, 0.20, 0.08, 0.28, 0.26},
+	ClassPasture:        {0.11, 0.10, 0.10, 0.09, 0.14, 0.24, 0.27, 0.28, 0.30, 0.15, 0.04, 0.21, 0.13},
+	ClassPermanentCrop:  {0.11, 0.09, 0.08, 0.07, 0.13, 0.27, 0.31, 0.33, 0.35, 0.16, 0.04, 0.19, 0.11},
+	ClassResidential:    {0.21, 0.20, 0.19, 0.19, 0.20, 0.22, 0.23, 0.24, 0.24, 0.17, 0.07, 0.25, 0.23},
+	ClassRiver:          {0.10, 0.09, 0.08, 0.06, 0.06, 0.05, 0.04, 0.03, 0.03, 0.02, 0.01, 0.02, 0.01},
+	ClassSeaLake:        {0.09, 0.08, 0.07, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02, 0.01, 0.01, 0.01, 0.01},
+}
+
+// s2Noise is the per-class within-class standard deviation; classes with
+// heterogeneous texture (residential, industrial) are noisier, making
+// them genuinely harder to separate.
+var s2Noise = [NumLandCoverClasses]float32{
+	0.02, 0.015, 0.02, 0.03, 0.04, 0.02, 0.02, 0.045, 0.015, 0.01,
+}
+
+// GenerateLandCover produces a patchy class map: k Voronoi seeds with
+// random classes, each cell labelled by its nearest seed. The patch
+// structure mimics agricultural parcels and land-cover regions.
+func GenerateLandCover(grid raster.Grid, numPatches int, seed int64) *raster.ClassMap {
+	rng := rand.New(rand.NewSource(seed))
+	if numPatches < 1 {
+		numPatches = 1
+	}
+	type site struct {
+		x, y  float64
+		class uint8
+	}
+	sites := make([]site, numPatches)
+	for i := range sites {
+		sites[i] = site{
+			x:     rng.Float64() * float64(grid.Width),
+			y:     rng.Float64() * float64(grid.Height),
+			class: uint8(rng.Intn(NumLandCoverClasses)),
+		}
+	}
+	cm := raster.NewClassMap(grid)
+	for row := 0; row < grid.Height; row++ {
+		for col := 0; col < grid.Width; col++ {
+			best := 0
+			bestD := math.Inf(1)
+			for i, s := range sites {
+				dx, dy := float64(col)-s.x, float64(row)-s.y
+				d := dx*dx + dy*dy
+				if d < bestD {
+					best, bestD = i, d
+				}
+			}
+			cm.Set(col, row, sites[best].class)
+		}
+	}
+	return cm
+}
+
+// GenerateS2Scene renders a 13-band Sentinel-2 style image from a class
+// map: per-pixel reflectance is the class mean plus Gaussian noise.
+func GenerateS2Scene(cm *raster.ClassMap, seed int64) *raster.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := raster.NewImage(cm.Grid, S2Bands...)
+	w := cm.Grid.Width
+	for row := 0; row < cm.Grid.Height; row++ {
+		for col := 0; col < w; col++ {
+			class := cm.At(col, row)
+			sigma := s2Noise[class]
+			for b := 0; b < 13; b++ {
+				v := s2Spectra[class][b] + float32(rng.NormFloat64())*sigma
+				if v < 0 {
+					v = 0
+				}
+				img.Set(b, col, row, v)
+			}
+		}
+	}
+	return img
+}
+
+// SampleS2Pixel draws one 13-band reflectance vector for the class (the
+// per-pixel generative model of GenerateS2Scene), used by the training
+// dataset builders to synthesize samples without rendering full scenes.
+func SampleS2Pixel(class uint8, rng *rand.Rand) []float32 {
+	out := make([]float32, 13)
+	sigma := s2Noise[class]
+	for b := 0; b < 13; b++ {
+		v := s2Spectra[class][b] + float32(rng.NormFloat64())*sigma
+		if v < 0 {
+			v = 0
+		}
+		out[b] = v
+	}
+	return out
+}
+
+// SampleS1Pixel draws one dual-pol backscatter vector for the ice class
+// with L-look speckle.
+func SampleS1Pixel(class uint8, looks int, rng *rand.Rand) []float32 {
+	if looks < 1 {
+		looks = 1
+	}
+	out := make([]float32, 2)
+	for p := 0; p < 2; p++ {
+		speckle := gammaSample(rng, float64(looks)) / float64(looks)
+		out[p] = s1Backscatter[class][p] * float32(speckle)
+	}
+	return out
+}
+
+// Sea-ice classes following the WMO stage-of-development nomenclature
+// (the A2 application's target legend).
+const (
+	IceOpenWater uint8 = iota
+	IceNew
+	IceYoung
+	IceFirstYear
+	IceMultiYear
+	IceBerg
+	NumIceClasses = 6
+)
+
+// IceClassName returns the WMO-style name of an ice class.
+func IceClassName(c uint8) string {
+	names := [...]string{
+		"OpenWater", "NewIce", "YoungIce", "FirstYearIce", "MultiYearIce", "Iceberg",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "Unknown"
+}
+
+// S1Bands are the two Sentinel-1 IW GRD polarizations.
+var S1Bands = []string{"HH", "HV"}
+
+// s1Backscatter holds mean backscatter intensity (linear scale) per ice
+// class per polarization: open water is dark in HV, multi-year ice and
+// icebergs are bright due to volume scattering.
+var s1Backscatter = [NumIceClasses][2]float32{
+	IceOpenWater: {0.05, 0.005},
+	IceNew:       {0.10, 0.02},
+	IceYoung:     {0.18, 0.05},
+	IceFirstYear: {0.28, 0.10},
+	IceMultiYear: {0.45, 0.22},
+	IceBerg:      {0.70, 0.40},
+}
+
+// GenerateIceChart produces a synthetic sea-ice situation: open water
+// background, patchy ice of increasing age toward one side (an ice edge),
+// plus nBergs small iceberg blobs. It returns the ground-truth map.
+func GenerateIceChart(grid raster.Grid, nBergs int, seed int64) *raster.ClassMap {
+	rng := rand.New(rand.NewSource(seed))
+	cm := raster.NewClassMap(grid)
+	// Ice concentration gradient: the top of the grid is ice-covered,
+	// the bottom open water, with a noisy edge.
+	for row := 0; row < grid.Height; row++ {
+		frac := float64(row) / float64(grid.Height)
+		for col := 0; col < grid.Width; col++ {
+			noise := rng.NormFloat64() * 0.08
+			v := frac + noise
+			switch {
+			case v < 0.35:
+				cm.Set(col, row, IceOpenWater)
+			case v < 0.5:
+				cm.Set(col, row, IceNew)
+			case v < 0.65:
+				cm.Set(col, row, IceYoung)
+			case v < 0.85:
+				cm.Set(col, row, IceFirstYear)
+			default:
+				cm.Set(col, row, IceMultiYear)
+			}
+		}
+	}
+	// Icebergs: small square-ish blobs placed anywhere (clipped to the
+	// grid for tiny charts).
+	for b := 0; b < nBergs; b++ {
+		size := 1 + rng.Intn(3)
+		col := rng.Intn(maxInt(1, grid.Width-size))
+		row := rng.Intn(maxInt(1, grid.Height-size))
+		for dr := 0; dr < size && row+dr < grid.Height; dr++ {
+			for dc := 0; dc < size && col+dc < grid.Width; dc++ {
+				cm.Set(col+dc, row+dr, IceBerg)
+			}
+		}
+	}
+	return cm
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GenerateS1Scene renders a dual-pol SAR image from an ice chart with
+// multiplicative speckle: intensity = classMean * gamma(L)/L with L
+// equivalent looks, the standard SAR statistics model.
+func GenerateS1Scene(cm *raster.ClassMap, looks int, seed int64) *raster.Image {
+	if looks < 1 {
+		looks = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	img := raster.NewImage(cm.Grid, S1Bands...)
+	w := cm.Grid.Width
+	for row := 0; row < cm.Grid.Height; row++ {
+		for col := 0; col < w; col++ {
+			class := cm.At(col, row)
+			for p := 0; p < 2; p++ {
+				speckle := gammaSample(rng, float64(looks)) / float64(looks)
+				img.Set(p, col, row, s1Backscatter[class][p]*float32(speckle))
+			}
+		}
+	}
+	return img
+}
+
+// gammaSample draws from Gamma(shape=k, scale=1) using the
+// Marsaglia-Tsang method (k >= 1 for multi-look speckle).
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		// boost: Gamma(k) = Gamma(k+1) * U^(1/k)
+		u := rng.Float64()
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// IceConcentration computes the ice fraction (non-open-water classes)
+// over the whole chart, the headline sea-ice product metric.
+func IceConcentration(cm *raster.ClassMap) float64 {
+	if len(cm.Classes) == 0 {
+		return 0
+	}
+	ice := 0
+	for _, c := range cm.Classes {
+		if c != IceOpenWater {
+			ice++
+		}
+	}
+	return float64(ice) / float64(len(cm.Classes))
+}

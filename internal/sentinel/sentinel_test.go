@@ -1,0 +1,252 @@
+package sentinel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+func TestGenerateLandCoverDeterministic(t *testing.T) {
+	g := raster.NewGrid(geom.Point{}, 10, 32, 32)
+	a := GenerateLandCover(g, 20, 7)
+	b := GenerateLandCover(g, 20, 7)
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatal("land cover generation not deterministic")
+		}
+	}
+	c := GenerateLandCover(g, 20, 8)
+	same := 0
+	for i := range a.Classes {
+		if a.Classes[i] == c.Classes[i] {
+			same++
+		}
+	}
+	if same == len(a.Classes) {
+		t.Error("different seeds produced identical maps")
+	}
+	for _, cl := range a.Classes {
+		if cl >= NumLandCoverClasses {
+			t.Fatalf("class out of range: %d", cl)
+		}
+	}
+}
+
+func TestGenerateS2SceneClassSeparability(t *testing.T) {
+	// Pixels of different classes must have distinguishable band means:
+	// average per-class NIR (B08) should be high for forest, low for water.
+	g := raster.NewGrid(geom.Point{}, 10, 64, 64)
+	cm := raster.NewClassMap(g)
+	for row := 0; row < 64; row++ {
+		for col := 0; col < 64; col++ {
+			if row < 32 {
+				cm.Set(col, row, ClassForest)
+			} else {
+				cm.Set(col, row, ClassSeaLake)
+			}
+		}
+	}
+	img := GenerateS2Scene(cm, 3)
+	if len(img.Bands) != 13 {
+		t.Fatalf("bands = %d", len(img.Bands))
+	}
+	b08 := img.BandIndex("B08")
+	var forestSum, waterSum float64
+	for row := 0; row < 64; row++ {
+		for col := 0; col < 64; col++ {
+			v := float64(img.At(b08, col, row))
+			if row < 32 {
+				forestSum += v
+			} else {
+				waterSum += v
+			}
+		}
+	}
+	n := float64(32 * 64)
+	if forestSum/n < 0.25 {
+		t.Errorf("forest NIR mean = %v, want >0.25", forestSum/n)
+	}
+	if waterSum/n > 0.1 {
+		t.Errorf("water NIR mean = %v, want <0.1", waterSum/n)
+	}
+}
+
+func TestLandCoverNames(t *testing.T) {
+	if LandCoverName(ClassForest) != "Forest" {
+		t.Error("Forest name")
+	}
+	if LandCoverName(200) != "Unknown" {
+		t.Error("unknown class name")
+	}
+	if IceClassName(IceBerg) != "Iceberg" || IceClassName(99) != "Unknown" {
+		t.Error("ice class names")
+	}
+}
+
+func TestGenerateIceChart(t *testing.T) {
+	g := raster.NewGrid(geom.Point{}, 1000, 100, 100)
+	cm := GenerateIceChart(g, 12, 5)
+	hist := cm.Histogram()
+	if hist[IceOpenWater] == 0 {
+		t.Error("no open water generated")
+	}
+	if hist[IceMultiYear] == 0 {
+		t.Error("no multi-year ice generated")
+	}
+	count, _ := raster.ConnectedComponents(cm, IceBerg)
+	if count == 0 || count > 12 {
+		t.Errorf("iceberg components = %d, want 1..12 (merging allowed)", count)
+	}
+	conc := IceConcentration(cm)
+	if conc <= 0.3 || conc >= 0.9 {
+		t.Errorf("ice concentration = %v, want mid-range", conc)
+	}
+}
+
+func TestGenerateS1SceneSpeckleStatistics(t *testing.T) {
+	g := raster.NewGrid(geom.Point{}, 1000, 80, 80)
+	cm := raster.NewClassMap(g) // all open water
+	for i := range cm.Classes {
+		cm.Classes[i] = IceMultiYear
+	}
+	looks := 4
+	img := GenerateS1Scene(cm, looks, 9)
+	st := img.Stats(0) // HH
+	mean := st.Mean
+	want := float64(s1Backscatter[IceMultiYear][0])
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("HH mean = %v, want ~%v", mean, want)
+	}
+	// Multiplicative speckle: coefficient of variation ~ 1/sqrt(looks).
+	cv := st.StdDev / st.Mean
+	wantCV := 1 / math.Sqrt(float64(looks))
+	if math.Abs(cv-wantCV)/wantCV > 0.15 {
+		t.Errorf("coefficient of variation = %v, want ~%v", cv, wantCV)
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	rng := newTestRand(11)
+	k := 3.5
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += gammaSample(rng, k)
+	}
+	mean := sum / n
+	if math.Abs(mean-k)/k > 0.05 {
+		t.Errorf("gamma mean = %v, want ~%v", mean, k)
+	}
+	// shape < 1 branch
+	var sumLow float64
+	for i := 0; i < n; i++ {
+		sumLow += gammaSample(rng, 0.5)
+	}
+	if math.Abs(sumLow/n-0.5) > 0.05 {
+		t.Errorf("gamma(0.5) mean = %v", sumLow/n)
+	}
+}
+
+func TestArchiveIngestQueryDownload(t *testing.T) {
+	a := NewArchive()
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	products := GenerateProducts(200, 1, extent)
+	for _, p := range products {
+		if err := a.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 200 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if err := a.Ingest(products[0]); err == nil {
+		t.Error("duplicate ingest accepted")
+	}
+	if a.BytesIngested() == 0 {
+		t.Error("BytesIngested = 0")
+	}
+
+	// Spatial query returns a subset; verify against brute force.
+	window := geom.NewRect(0, 0, 300, 300)
+	got := a.Query(window, time.Time{}, time.Time{})
+	want := 0
+	for _, p := range products {
+		if p.Footprint.Intersects(window) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Query = %d products, want %d", len(got), want)
+	}
+
+	// Temporal filtering.
+	from := time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	timeFiltered := a.Query(extent, from, time.Time{})
+	for _, p := range timeFiltered {
+		if p.SensingTime.Before(from) {
+			t.Fatalf("product %s before from-bound", p.ID)
+		}
+	}
+	if len(timeFiltered) == 0 || len(timeFiltered) >= 200 {
+		t.Errorf("time filter kept %d products", len(timeFiltered))
+	}
+
+	// Download accounting.
+	p0, err := a.Download(products[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BytesDisseminated() != p0.SizeBytes || a.Downloads() != 1 {
+		t.Errorf("dissemination accounting: %d bytes, %d downloads",
+			a.BytesDisseminated(), a.Downloads())
+	}
+	if _, err := a.Download("nope"); err == nil {
+		t.Error("download of missing product succeeded")
+	}
+}
+
+func TestArchiveIncrementalIndex(t *testing.T) {
+	a := NewArchive()
+	extent := geom.NewRect(0, 0, 100, 100)
+	p1 := Product{ID: "p1", Footprint: geom.NewRect(10, 10, 20, 20), SizeBytes: 1}
+	if err := a.Ingest(p1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query(extent, time.Time{}, time.Time{}); len(got) != 1 {
+		t.Fatalf("first query = %d", len(got))
+	}
+	p2 := Product{ID: "p2", Footprint: geom.NewRect(50, 50, 60, 60), SizeBytes: 1}
+	if err := a.Ingest(p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query(extent, time.Time{}, time.Time{}); len(got) != 2 {
+		t.Fatalf("query after second ingest = %d", len(got))
+	}
+}
+
+func TestMissionString(t *testing.T) {
+	if Sentinel1.String() != "Sentinel-1" || Mission(9).String() != "Mission(9)" {
+		t.Error("Mission.String")
+	}
+}
+
+func TestIceConcentrationBounds(t *testing.T) {
+	g := raster.NewGrid(geom.Point{}, 1, 4, 4)
+	cm := raster.NewClassMap(g) // all open water
+	if IceConcentration(cm) != 0 {
+		t.Error("open water concentration != 0")
+	}
+	for i := range cm.Classes {
+		cm.Classes[i] = IceFirstYear
+	}
+	if IceConcentration(cm) != 1 {
+		t.Error("full ice concentration != 1")
+	}
+}
+
+// newTestRand returns a PRNG for statistical tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,198 @@
+// Package sextant implements the visualization layer of the TELEIOS/LEO
+// stack the paper builds on (Nikolaou et al., "Sextant: Visualizing
+// time-evolving linked geospatial data" [5]): it renders query results
+// and feature sets as GeoJSON FeatureCollections and assembles them into
+// named map layers, the exchange format every web map client consumes.
+package sextant
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Feature is one map feature: a geometry with properties.
+type Feature struct {
+	ID         string
+	Geometry   geom.Geometry
+	Properties map[string]any
+	// Timestamp enables time-evolving layers (Sextant's distinguishing
+	// capability); zero means static.
+	Timestamp time.Time
+}
+
+// Layer is a named collection of features.
+type Layer struct {
+	Name     string
+	Features []Feature
+}
+
+// Map is a set of layers to render together.
+type Map struct {
+	Title  string
+	Layers []Layer
+}
+
+// geoJSONGeometry converts a geometry to its GeoJSON representation.
+func geoJSONGeometry(g geom.Geometry) (map[string]any, error) {
+	switch gg := g.(type) {
+	case geom.Point:
+		return map[string]any{
+			"type":        "Point",
+			"coordinates": []float64{gg.X, gg.Y},
+		}, nil
+	case geom.Rect:
+		return map[string]any{
+			"type": "Polygon",
+			"coordinates": [][][]float64{{
+				{gg.Min.X, gg.Min.Y}, {gg.Max.X, gg.Min.Y},
+				{gg.Max.X, gg.Max.Y}, {gg.Min.X, gg.Max.Y},
+				{gg.Min.X, gg.Min.Y},
+			}},
+		}, nil
+	case geom.LineString:
+		coords := make([][]float64, len(gg.Points))
+		for i, p := range gg.Points {
+			coords[i] = []float64{p.X, p.Y}
+		}
+		return map[string]any{"type": "LineString", "coordinates": coords}, nil
+	case geom.Polygon:
+		return map[string]any{
+			"type":        "Polygon",
+			"coordinates": polygonCoords(gg),
+		}, nil
+	case geom.MultiPolygon:
+		coords := make([][][][]float64, len(gg.Polygons))
+		for i, p := range gg.Polygons {
+			coords[i] = polygonCoords(p)
+		}
+		return map[string]any{"type": "MultiPolygon", "coordinates": coords}, nil
+	default:
+		return nil, fmt.Errorf("sextant: unsupported geometry %T", g)
+	}
+}
+
+func polygonCoords(p geom.Polygon) [][][]float64 {
+	out := make([][][]float64, 0, 1+len(p.Holes))
+	out = append(out, ringCoords(p.Shell))
+	for _, h := range p.Holes {
+		out = append(out, ringCoords(h))
+	}
+	return out
+}
+
+func ringCoords(r geom.Ring) [][]float64 {
+	coords := make([][]float64, 0, len(r)+1)
+	for _, p := range r {
+		coords = append(coords, []float64{p.X, p.Y})
+	}
+	if len(r) > 0 {
+		coords = append(coords, []float64{r[0].X, r[0].Y}) // close ring
+	}
+	return coords
+}
+
+// WriteGeoJSON serializes a layer as a GeoJSON FeatureCollection.
+func WriteGeoJSON(w io.Writer, layer Layer) error {
+	features := make([]map[string]any, 0, len(layer.Features))
+	for _, f := range layer.Features {
+		g, err := geoJSONGeometry(f.Geometry)
+		if err != nil {
+			return err
+		}
+		props := make(map[string]any, len(f.Properties)+1)
+		for k, v := range f.Properties {
+			props[k] = v
+		}
+		if !f.Timestamp.IsZero() {
+			props["timestamp"] = f.Timestamp.Format(time.RFC3339)
+		}
+		fm := map[string]any{
+			"type":       "Feature",
+			"geometry":   g,
+			"properties": props,
+		}
+		if f.ID != "" {
+			fm["id"] = f.ID
+		}
+		features = append(features, fm)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"type":     "FeatureCollection",
+		"name":     layer.Name,
+		"features": features,
+	})
+}
+
+// LayerFromResults builds a layer from stSPARQL results: geomVar names
+// the variable holding WKT literals; every other projected variable
+// becomes a feature property. Rows whose geometry variable is unbound or
+// unparsable are skipped and counted.
+func LayerFromResults(name string, res *sparql.Results, geomVar string) (Layer, int) {
+	layer := Layer{Name: name}
+	skipped := 0
+	for i, row := range res.Rows {
+		wkt, ok := row[geomVar]
+		if !ok || wkt.Kind != rdf.Literal {
+			skipped++
+			continue
+		}
+		g, err := geom.ParseWKT(wkt.Value)
+		if err != nil {
+			skipped++
+			continue
+		}
+		props := map[string]any{}
+		var id string
+		for _, v := range res.Vars {
+			if v == geomVar {
+				continue
+			}
+			t, bound := row[v]
+			if !bound {
+				continue
+			}
+			if t.Kind == rdf.IRI && id == "" {
+				id = t.Value
+			}
+			props[v] = t.Value
+		}
+		if id == "" {
+			id = fmt.Sprintf("%s/%d", name, i)
+		}
+		layer.Features = append(layer.Features, Feature{ID: id, Geometry: g, Properties: props})
+	}
+	return layer, skipped
+}
+
+// TimeSlice returns the features visible at t: static features plus
+// timestamped features with Timestamp <= t (the temporal slider of the
+// Sextant UI).
+func (l Layer) TimeSlice(t time.Time) Layer {
+	out := Layer{Name: l.Name}
+	for _, f := range l.Features {
+		if f.Timestamp.IsZero() || !f.Timestamp.After(t) {
+			out.Features = append(out.Features, f)
+		}
+	}
+	return out
+}
+
+// Bounds returns the layer's spatial extent; ok is false for an empty
+// layer.
+func (l Layer) Bounds() (geom.Rect, bool) {
+	if len(l.Features) == 0 {
+		return geom.Rect{}, false
+	}
+	b := l.Features[0].Geometry.Bounds()
+	for _, f := range l.Features[1:] {
+		b = b.Union(f.Geometry.Bounds())
+	}
+	return b, true
+}

@@ -1,0 +1,180 @@
+// Package sparql implements a parser and evaluator for the subset of
+// stSPARQL/GeoSPARQL that the ExtremeEarth workloads need: SELECT queries
+// over basic graph patterns with FILTER expressions, including the
+// geospatial filter functions geof:sfIntersects, geof:sfContains,
+// geof:sfWithin and geof:distance.
+//
+// The evaluator runs against internal/rdf stores directly; the geospatial
+// store (internal/geostore) additionally recognises spatial filters in the
+// parsed AST and accelerates them with its R-tree.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Well-known prefixes that are always in scope.
+var builtinPrefixes = map[string]string{
+	"rdf":  "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	"rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+	"xsd":  "http://www.w3.org/2001/XMLSchema#",
+	"geo":  "http://www.opengis.net/ont/geosparql#",
+	"geof": "http://www.opengis.net/def/function/geosparql/",
+	"ee":   "http://extremeearth.eu/ontology#",
+}
+
+// Aggregate is a projected aggregate such as (COUNT(?x) AS ?n).
+type Aggregate struct {
+	// Fn is the aggregate function name; only COUNT is supported.
+	Fn string
+	// Var is the counted variable ("" for COUNT(*)).
+	Var string
+	// As is the output variable name.
+	As string
+}
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Vars lists the projected variable names (without '?'); empty with
+	// Star true means SELECT *.
+	Vars     []string
+	Star     bool
+	Distinct bool
+	// Aggregates holds projected aggregates; when non-empty the query is
+	// an aggregate query (grouped by GroupBy if set, else one group).
+	Aggregates []Aggregate
+	GroupBy    string
+	Patterns   []rdf.TriplePattern
+	Filters    []Expr
+	Limit      int // 0 = no limit
+	OrderBy    string
+	OrderDesc  bool
+}
+
+// String reconstructs an approximate query text (for logs).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, p := range q.Patterns {
+		b.WriteString(p.String() + " ")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("FILTER(" + f.String() + ") ")
+	}
+	b.WriteString("}")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Expr is a filter expression AST node.
+type Expr interface {
+	String() string
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+func (e VarExpr) String() string { return "?" + e.Name }
+
+// ConstExpr holds a constant RDF term (literal or IRI).
+type ConstExpr struct{ Term rdf.Term }
+
+func (e ConstExpr) String() string { return e.Term.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// CmpExpr is a binary comparison.
+type CmpExpr struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (e CmpExpr) String() string {
+	return e.L.String() + " " + e.Op.String() + " " + e.R.String()
+}
+
+// AndExpr is a conjunction.
+type AndExpr struct{ L, R Expr }
+
+func (e AndExpr) String() string { return e.L.String() + " && " + e.R.String() }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ L, R Expr }
+
+func (e OrExpr) String() string { return e.L.String() + " || " + e.R.String() }
+
+// NotExpr is a negation.
+type NotExpr struct{ E Expr }
+
+func (e NotExpr) String() string { return "!(" + e.E.String() + ")" }
+
+// FuncExpr is a function call such as geof:sfIntersects(?g, "..."^^geo:wktLiteral).
+type FuncExpr struct {
+	// Name is the expanded function IRI.
+	Name string
+	Args []Expr
+}
+
+func (e FuncExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return "<" + e.Name + ">(" + strings.Join(parts, ", ") + ")"
+}
+
+// GeoSPARQL function IRIs (geof: namespace).
+const (
+	FnSfIntersects = "http://www.opengis.net/def/function/geosparql/sfIntersects"
+	FnSfContains   = "http://www.opengis.net/def/function/geosparql/sfContains"
+	FnSfWithin     = "http://www.opengis.net/def/function/geosparql/sfWithin"
+	FnDistance     = "http://www.opengis.net/def/function/geosparql/distance"
+)

@@ -1,0 +1,500 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// Results holds the solutions of a SELECT query.
+type Results struct {
+	// Vars is the projection in declaration order.
+	Vars []string
+	// Rows maps variable name to bound term, one map per solution.
+	Rows []map[string]rdf.Term
+}
+
+// Len returns the number of result rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Column returns the terms bound to the named variable across all rows.
+func (r *Results) Column(name string) []rdf.Term {
+	out := make([]rdf.Term, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[name])
+	}
+	return out
+}
+
+// String renders a compact table for logs and the example programs.
+func (r *Results) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Vars, "\t") + "\n")
+	for _, row := range r.Rows {
+		for i, v := range r.Vars {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(row[v].String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Eval evaluates the query against the store. Filters are evaluated by the
+// generic expression evaluator, including the GeoSPARQL functions (which
+// decode WKT literals on the fly). Stores that maintain spatial indexes
+// should use their own accelerated paths (see internal/geostore) and fall
+// back to this.
+func Eval(st *rdf.Store, q *Query) (*Results, error) {
+	var evalErr error
+	filter := func(s *rdf.Store, b rdf.Binding) bool {
+		for _, f := range q.Filters {
+			v, err := evalExpr(s, f, b)
+			if err != nil {
+				// Errors in FILTER mean "solution rejected" in SPARQL
+				// semantics, but we surface type errors from the first
+				// row to aid debugging of malformed queries.
+				if evalErr == nil {
+					evalErr = err
+				}
+				return false
+			}
+			if !v.Bool() {
+				return false
+			}
+		}
+		return true
+	}
+	bindings := st.Solve(q.Patterns, filter)
+	res, err := Project(st, q, bindings)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Project applies SELECT projection, DISTINCT, ORDER BY and LIMIT to raw
+// bindings, producing decoded result rows.
+func Project(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Results, error) {
+	if len(q.Aggregates) > 0 {
+		return projectAggregates(st, q, bindings)
+	}
+	vars := q.Vars
+	if q.Star {
+		seen := map[string]bool{}
+		for _, p := range q.Patterns {
+			for _, v := range p.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					vars = append(vars, v)
+				}
+			}
+		}
+	}
+	res := &Results{Vars: vars}
+	dedup := map[string]bool{}
+	for _, b := range bindings {
+		row := make(map[string]rdf.Term, len(vars))
+		var key strings.Builder
+		for _, v := range vars {
+			if id, ok := b[v]; ok {
+				row[v] = st.Dict().MustDecode(id)
+			}
+			if q.Distinct {
+				key.WriteString(row[v].String())
+				key.WriteByte('\x00')
+			}
+		}
+		if q.Distinct {
+			k := key.String()
+			if dedup[k] {
+				continue
+			}
+			dedup[k] = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if q.OrderBy != "" {
+		v := q.OrderBy
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			less := termLess(res.Rows[i][v], res.Rows[j][v])
+			if q.OrderDesc {
+				return termLess(res.Rows[j][v], res.Rows[i][v])
+			}
+			return less
+		})
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// projectAggregates evaluates COUNT aggregates, grouped by GroupBy when
+// set, otherwise over one global group.
+func projectAggregates(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Results, error) {
+	type group struct {
+		key    rdf.ID
+		counts []int
+	}
+	var vars []string
+	if q.GroupBy != "" {
+		vars = append(vars, q.GroupBy)
+	}
+	for _, a := range q.Aggregates {
+		vars = append(vars, a.As)
+	}
+	res := &Results{Vars: vars}
+
+	groups := map[rdf.ID]*group{}
+	var order []rdf.ID
+	for _, b := range bindings {
+		var key rdf.ID
+		if q.GroupBy != "" {
+			id, ok := b[q.GroupBy]
+			if !ok {
+				continue
+			}
+			key = id
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{key: key, counts: make([]int, len(q.Aggregates))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range q.Aggregates {
+			if a.Var == "" {
+				g.counts[i]++
+				continue
+			}
+			if _, bound := b[a.Var]; bound {
+				g.counts[i]++
+			}
+		}
+	}
+	if q.GroupBy == "" && len(groups) == 0 {
+		// COUNT over the empty solution set is a single zero row.
+		groups[0] = &group{counts: make([]int, len(q.Aggregates))}
+		order = append(order, 0)
+	}
+	for _, key := range order {
+		g := groups[key]
+		row := make(map[string]rdf.Term, len(vars))
+		if q.GroupBy != "" {
+			row[q.GroupBy] = st.Dict().MustDecode(g.key)
+		}
+		for i, a := range q.Aggregates {
+			row[a.As] = rdf.NewIntLiteral(int64(g.counts[i]))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if q.OrderBy != "" {
+		v := q.OrderBy
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			if q.OrderDesc {
+				return termLess(res.Rows[j][v], res.Rows[i][v])
+			}
+			return termLess(res.Rows[i][v], res.Rows[j][v])
+		})
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func termLess(a, b rdf.Term) bool {
+	fa, errA := a.Float()
+	fb, errB := b.Float()
+	if errA == nil && errB == nil {
+		return fa < fb
+	}
+	return a.Value < b.Value
+}
+
+// EvalFilter evaluates a single filter expression to its effective boolean
+// value under the binding. It is the hook used by spatially indexed stores
+// that plan filters themselves. Errors follow SPARQL semantics: the caller
+// should treat an error as "solution rejected".
+func EvalFilter(st *rdf.Store, e Expr, b rdf.Binding) (bool, error) {
+	v, err := evalExpr(st, e, b)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+// Value is the result of evaluating a filter expression: a term, a number,
+// or a boolean.
+type Value struct {
+	Term  rdf.Term
+	Num   float64
+	IsNum bool
+	B     bool
+	IsB   bool
+}
+
+// Bool coerces the value to boolean (SPARQL effective boolean value).
+func (v Value) Bool() bool {
+	switch {
+	case v.IsB:
+		return v.B
+	case v.IsNum:
+		return v.Num != 0
+	default:
+		return v.Term.Value != ""
+	}
+}
+
+func boolValue(b bool) Value   { return Value{B: b, IsB: true} }
+func numValue(f float64) Value { return Value{Num: f, IsNum: true} }
+
+// evalExpr evaluates a filter expression under a binding.
+func evalExpr(st *rdf.Store, e Expr, b rdf.Binding) (Value, error) {
+	switch ex := e.(type) {
+	case VarExpr:
+		id, ok := b[ex.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("unbound variable ?%s in FILTER", ex.Name)
+		}
+		t := st.Dict().MustDecode(id)
+		return termValue(t), nil
+	case ConstExpr:
+		return termValue(ex.Term), nil
+	case NotExpr:
+		v, err := evalExpr(st, ex.E, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(!v.Bool()), nil
+	case AndExpr:
+		l, err := evalExpr(st, ex.L, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.Bool() {
+			return boolValue(false), nil
+		}
+		r, err := evalExpr(st, ex.R, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r.Bool()), nil
+	case OrExpr:
+		l, err := evalExpr(st, ex.L, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Bool() {
+			return boolValue(true), nil
+		}
+		r, err := evalExpr(st, ex.R, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r.Bool()), nil
+	case CmpExpr:
+		l, err := evalExpr(st, ex.L, b)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := evalExpr(st, ex.R, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return compare(ex.Op, l, r)
+	case FuncExpr:
+		return evalFunc(st, ex, b)
+	default:
+		return Value{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func termValue(t rdf.Term) Value {
+	if f, err := t.Float(); err == nil && t.Kind == rdf.Literal && t.Datatype != "" && t.Datatype != rdf.WKTLiteral {
+		return Value{Term: t, Num: f, IsNum: true}
+	}
+	if t.Kind == rdf.Literal && t.Datatype == rdf.XSDBoolean {
+		return Value{Term: t, B: t.Value == "true", IsB: true}
+	}
+	return Value{Term: t}
+}
+
+func compare(op CmpOp, l, r Value) (Value, error) {
+	if l.IsNum && r.IsNum {
+		switch op {
+		case OpEq:
+			return boolValue(l.Num == r.Num), nil
+		case OpNe:
+			return boolValue(l.Num != r.Num), nil
+		case OpLt:
+			return boolValue(l.Num < r.Num), nil
+		case OpLe:
+			return boolValue(l.Num <= r.Num), nil
+		case OpGt:
+			return boolValue(l.Num > r.Num), nil
+		case OpGe:
+			return boolValue(l.Num >= r.Num), nil
+		}
+	}
+	ls, rs := l.Term.Value, r.Term.Value
+	switch op {
+	case OpEq:
+		return boolValue(l.Term == r.Term), nil
+	case OpNe:
+		return boolValue(l.Term != r.Term), nil
+	case OpLt:
+		return boolValue(ls < rs), nil
+	case OpLe:
+		return boolValue(ls <= rs), nil
+	case OpGt:
+		return boolValue(ls > rs), nil
+	case OpGe:
+		return boolValue(ls >= rs), nil
+	}
+	return Value{}, fmt.Errorf("unknown comparison operator %v", op)
+}
+
+// evalFunc evaluates a function call. GeoSPARQL simple-feature predicates
+// decode WKT geometry literals from their arguments.
+func evalFunc(st *rdf.Store, f FuncExpr, b rdf.Binding) (Value, error) {
+	geomArg := func(i int) (geom.Geometry, error) {
+		v, err := evalExpr(st, f.Args[i], b)
+		if err != nil {
+			return nil, err
+		}
+		if v.Term.Kind != rdf.Literal {
+			return nil, fmt.Errorf("%s: argument %d is not a geometry literal", f.Name, i)
+		}
+		return geom.ParseWKT(v.Term.Value)
+	}
+	switch f.Name {
+	case FnSfIntersects, FnSfContains, FnSfWithin:
+		if len(f.Args) != 2 {
+			return Value{}, fmt.Errorf("%s needs 2 arguments, got %d", f.Name, len(f.Args))
+		}
+		g1, err := geomArg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		g2, err := geomArg(1)
+		if err != nil {
+			return Value{}, err
+		}
+		switch f.Name {
+		case FnSfIntersects:
+			return boolValue(geom.Intersects(g1, g2)), nil
+		case FnSfContains:
+			return boolValue(geom.Contains(g1, g2)), nil
+		default:
+			return boolValue(geom.Within(g1, g2)), nil
+		}
+	case FnDistance:
+		if len(f.Args) != 2 {
+			return Value{}, fmt.Errorf("geof:distance needs 2 arguments, got %d", len(f.Args))
+		}
+		g1, err := geomArg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		g2, err := geomArg(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return numValue(geom.Distance(g1, g2)), nil
+	default:
+		return Value{}, fmt.Errorf("unknown function <%s>", f.Name)
+	}
+}
+
+// SpatialFilter describes a recognised spatial restriction extracted from
+// a query's FILTER expressions: a geof predicate between a geometry
+// variable and a constant geometry. Spatially indexed stores use it to
+// prune candidates with an R-tree before exact evaluation.
+type SpatialFilter struct {
+	// Var is the geometry variable name.
+	Var string
+	// Fn is the GeoSPARQL function IRI.
+	Fn string
+	// Window is the constant geometry's bounding rectangle.
+	Window geom.Rect
+	// Geometry is the constant geometry for exact refinement.
+	Geometry geom.Geometry
+	// FilterIndex is the index into Query.Filters this was extracted from.
+	FilterIndex int
+	// Exclusive reports that the top-level filter consists solely of this
+	// call, so a store that enforces it during index scanning may skip the
+	// generic evaluation of that filter entirely.
+	Exclusive bool
+}
+
+// ExtractSpatialFilters scans the query's filters for accelerable
+// geof:sfIntersects/sfWithin/sfContains(?var, constantWKT) calls (either
+// argument order). Only top-level and AND-combined conjuncts are
+// considered; anything under OR/NOT stays with the generic evaluator.
+func ExtractSpatialFilters(q *Query) []SpatialFilter {
+	var out []SpatialFilter
+	var visit func(e Expr, idx int, exclusive bool)
+	visit = func(e Expr, idx int, exclusive bool) {
+		switch ex := e.(type) {
+		case AndExpr:
+			visit(ex.L, idx, false)
+			visit(ex.R, idx, false)
+		case FuncExpr:
+			if ex.Name != FnSfIntersects && ex.Name != FnSfContains && ex.Name != FnSfWithin {
+				return
+			}
+			if len(ex.Args) != 2 {
+				return
+			}
+			v, c, swapped := splitVarConst(ex.Args[0], ex.Args[1])
+			if v == "" {
+				return
+			}
+			g, err := geom.ParseWKT(c.Value)
+			if err != nil {
+				return
+			}
+			fn := ex.Name
+			if swapped {
+				// sfContains(const, ?v) is sfWithin(?v, const) and vice
+				// versa; sfIntersects is symmetric.
+				switch fn {
+				case FnSfContains:
+					fn = FnSfWithin
+				case FnSfWithin:
+					fn = FnSfContains
+				}
+			}
+			out = append(out, SpatialFilter{
+				Var: v, Fn: fn,
+				Window: g.Bounds(), Geometry: g,
+				FilterIndex: idx, Exclusive: exclusive,
+			})
+		}
+	}
+	for i, f := range q.Filters {
+		visit(f, i, true)
+	}
+	return out
+}
+
+func splitVarConst(a, b Expr) (varName string, c rdf.Term, swapped bool) {
+	if va, ok := a.(VarExpr); ok {
+		if cb, ok := b.(ConstExpr); ok && cb.Term.Kind == rdf.Literal {
+			return va.Name, cb.Term, false
+		}
+	}
+	if vb, ok := b.(VarExpr); ok {
+		if ca, ok := a.(ConstExpr); ok && ca.Term.Kind == rdf.Literal {
+			return vb.Name, ca.Term, true
+		}
+	}
+	return "", rdf.Term{}, false
+}

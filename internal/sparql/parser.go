@@ -1,0 +1,728 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SELECT query in the supported stSPARQL subset.
+//
+// Grammar (informal):
+//
+//	query    := prefix* "SELECT" "DISTINCT"? (var+ | "*") "WHERE" "{" block "}" modifiers
+//	prefix   := "PREFIX" NAME ":" IRIREF
+//	block    := (triple "." | filter)*
+//	triple   := term term term
+//	filter   := "FILTER" "(" orExpr ")"
+//	modifiers := ("ORDER" "BY" ("ASC"|"DESC")? var)? ("LIMIT" INT)?
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: newLexer(input), prefixes: map[string]string{}}
+	for k, v := range builtinPrefixes {
+		p.prefixes[k] = v
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("sparql: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex      *lexer
+	prefixes map[string]string
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	for p.lex.peekKeyword("PREFIX") {
+		p.lex.next() // PREFIX
+		name, err := p.lex.expectPNameNS()
+		if err != nil {
+			return nil, err
+		}
+		iri, err := p.lex.expectIRIRef()
+		if err != nil {
+			return nil, err
+		}
+		p.prefixes[name] = iri
+	}
+	if !p.lex.acceptKeyword("SELECT") {
+		return nil, fmt.Errorf("expected SELECT at %s", p.lex.where())
+	}
+	q := &Query{}
+	if p.lex.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	}
+	if p.lex.accept("*") {
+		q.Star = true
+	} else {
+		for {
+			if v, ok := p.lex.acceptVar(); ok {
+				q.Vars = append(q.Vars, v)
+				continue
+			}
+			agg, ok, err := p.parseAggregate()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		}
+		if len(q.Vars) == 0 && len(q.Aggregates) == 0 {
+			return nil, fmt.Errorf("SELECT needs variables, aggregates or * at %s", p.lex.where())
+		}
+	}
+	if !p.lex.acceptKeyword("WHERE") {
+		return nil, fmt.Errorf("expected WHERE at %s", p.lex.where())
+	}
+	if !p.lex.accept("{") {
+		return nil, fmt.Errorf("expected { at %s", p.lex.where())
+	}
+	for !p.lex.accept("}") {
+		if p.lex.atEOF() {
+			return nil, fmt.Errorf("unterminated WHERE block")
+		}
+		if p.lex.acceptKeyword("FILTER") {
+			if !p.lex.accept("(") {
+				return nil, fmt.Errorf("expected ( after FILTER at %s", p.lex.where())
+			}
+			e, err := p.parseOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.lex.accept(")") {
+				return nil, fmt.Errorf("expected ) after FILTER expression at %s", p.lex.where())
+			}
+			q.Filters = append(q.Filters, e)
+			p.lex.accept(".") // optional separator
+			continue
+		}
+		s, err := p.parsePatternTerm()
+		if err != nil {
+			return nil, err
+		}
+		pr, err := p.parsePatternTerm()
+		if err != nil {
+			return nil, err
+		}
+		o, err := p.parsePatternTerm()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, rdf.TriplePattern{S: s, P: pr, O: o})
+		if !p.lex.accept(".") && !p.lex.peek("}") {
+			return nil, fmt.Errorf("expected . after triple pattern at %s", p.lex.where())
+		}
+	}
+	if p.lex.acceptKeyword("GROUP") {
+		if !p.lex.acceptKeyword("BY") {
+			return nil, fmt.Errorf("expected BY after GROUP at %s", p.lex.where())
+		}
+		v, ok := p.lex.acceptVar()
+		if !ok {
+			return nil, fmt.Errorf("expected variable after GROUP BY at %s", p.lex.where())
+		}
+		q.GroupBy = v
+	}
+	if p.lex.acceptKeyword("ORDER") {
+		if !p.lex.acceptKeyword("BY") {
+			return nil, fmt.Errorf("expected BY after ORDER at %s", p.lex.where())
+		}
+		if p.lex.acceptKeyword("DESC") {
+			q.OrderDesc = true
+		} else {
+			p.lex.acceptKeyword("ASC")
+		}
+		v, ok := p.lex.acceptVar()
+		if !ok {
+			return nil, fmt.Errorf("expected variable after ORDER BY at %s", p.lex.where())
+		}
+		q.OrderBy = v
+	}
+	if p.lex.acceptKeyword("LIMIT") {
+		n, err := p.lex.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	if !p.lex.atEOF() {
+		return nil, fmt.Errorf("trailing input at %s", p.lex.where())
+	}
+	return q, nil
+}
+
+// parseAggregate parses "(COUNT(?v|*) AS ?name)"; ok is false when the
+// next token does not open an aggregate.
+func (p *parser) parseAggregate() (Aggregate, bool, error) {
+	if !p.lex.accept("(") {
+		return Aggregate{}, false, nil
+	}
+	if !p.lex.acceptKeyword("COUNT") {
+		return Aggregate{}, false, fmt.Errorf("only COUNT aggregates are supported at %s", p.lex.where())
+	}
+	if !p.lex.accept("(") {
+		return Aggregate{}, false, fmt.Errorf("expected ( after COUNT at %s", p.lex.where())
+	}
+	var agg Aggregate
+	agg.Fn = "COUNT"
+	if !p.lex.accept("*") {
+		v, ok := p.lex.acceptVar()
+		if !ok {
+			return Aggregate{}, false, fmt.Errorf("expected ?var or * in COUNT at %s", p.lex.where())
+		}
+		agg.Var = v
+	}
+	if !p.lex.accept(")") {
+		return Aggregate{}, false, fmt.Errorf("expected ) after COUNT argument at %s", p.lex.where())
+	}
+	if !p.lex.acceptKeyword("AS") {
+		return Aggregate{}, false, fmt.Errorf("expected AS in aggregate at %s", p.lex.where())
+	}
+	name, ok := p.lex.acceptVar()
+	if !ok {
+		return Aggregate{}, false, fmt.Errorf("expected output variable after AS at %s", p.lex.where())
+	}
+	agg.As = name
+	if !p.lex.accept(")") {
+		return Aggregate{}, false, fmt.Errorf("expected ) closing aggregate at %s", p.lex.where())
+	}
+	return agg, true, nil
+}
+
+// parsePatternTerm parses a subject/predicate/object position.
+func (p *parser) parsePatternTerm() (rdf.PatternTerm, error) {
+	if v, ok := p.lex.acceptVar(); ok {
+		return rdf.V(v), nil
+	}
+	if p.lex.accept("a") { // rdf:type shorthand
+		return rdf.T(rdf.NewIRI(rdf.RDFType)), nil
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return rdf.PatternTerm{}, err
+	}
+	return rdf.T(t), nil
+}
+
+// parseTerm parses an IRI (absolute or prefixed), literal, or blank node.
+func (p *parser) parseTerm() (rdf.Term, error) {
+	if iri, ok := p.lex.acceptIRIRef(); ok {
+		return rdf.NewIRI(iri), nil
+	}
+	if lit, ok, err := p.lex.acceptLiteral(); err != nil {
+		return rdf.Term{}, err
+	} else if ok {
+		return p.finishLiteral(lit)
+	}
+	if num, ok := p.lex.acceptNumber(); ok {
+		if strings.ContainsAny(num, ".eE") {
+			return rdf.NewTypedLiteral(num, rdf.XSDDouble), nil
+		}
+		return rdf.NewTypedLiteral(num, rdf.XSDInteger), nil
+	}
+	if b, ok := p.lex.acceptBlank(); ok {
+		return rdf.NewBlank(b), nil
+	}
+	if pn, ok := p.lex.acceptPrefixedName(); ok {
+		iri, err := p.expandPrefixed(pn)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+	return rdf.Term{}, fmt.Errorf("expected term at %s", p.lex.where())
+}
+
+// finishLiteral attaches an optional language tag or datatype.
+func (p *parser) finishLiteral(lex string) (rdf.Term, error) {
+	if tag, ok := p.lex.acceptLangTag(); ok {
+		return rdf.NewLangLiteral(lex, tag), nil
+	}
+	if p.lex.accept("^^") {
+		if iri, ok := p.lex.acceptIRIRef(); ok {
+			return rdf.NewTypedLiteral(lex, iri), nil
+		}
+		if pn, ok := p.lex.acceptPrefixedName(); ok {
+			iri, err := p.expandPrefixed(pn)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			return rdf.NewTypedLiteral(lex, iri), nil
+		}
+		return rdf.Term{}, fmt.Errorf("expected datatype after ^^ at %s", p.lex.where())
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func (p *parser) expandPrefixed(pn string) (string, error) {
+	i := strings.IndexByte(pn, ':')
+	if i < 0 {
+		return "", fmt.Errorf("bad prefixed name %q", pn)
+	}
+	ns, ok := p.prefixes[pn[:i]]
+	if !ok {
+		return "", fmt.Errorf("unknown prefix %q", pn[:i])
+	}
+	return ns + pn[i+1:], nil
+}
+
+// parseOrExpr := andExpr ("||" andExpr)*
+func (p *parser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.accept("||") {
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseAndExpr := cmpExpr ("&&" cmpExpr)*
+func (p *parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseCmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.accept("&&") {
+		r, err := p.parseCmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseCmpExpr := primary (cmpOp primary)?
+func (p *parser) parseCmpExpr() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []struct {
+		tok string
+		op  CmpOp
+	}{
+		{"<=", OpLe}, {">=", OpGe}, {"!=", OpNe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt},
+	} {
+		if p.lex.accept(op.tok) {
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return CmpExpr{Op: op.op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// parsePrimary := "!" primary | "(" orExpr ")" | var | literal | funcCall
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.lex.accept("!") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	if p.lex.accept("(") {
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lex.accept(")") {
+			return nil, fmt.Errorf("expected ) at %s", p.lex.where())
+		}
+		return e, nil
+	}
+	if v, ok := p.lex.acceptVar(); ok {
+		return VarExpr{Name: v}, nil
+	}
+	if lit, ok, err := p.lex.acceptLiteral(); err != nil {
+		return nil, err
+	} else if ok {
+		t, err := p.finishLiteral(lit)
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: t}, nil
+	}
+	if num, ok := p.lex.acceptNumber(); ok {
+		if strings.ContainsAny(num, ".eE") {
+			return ConstExpr{Term: rdf.NewTypedLiteral(num, rdf.XSDDouble)}, nil
+		}
+		return ConstExpr{Term: rdf.NewTypedLiteral(num, rdf.XSDInteger)}, nil
+	}
+	if iri, ok := p.lex.acceptIRIRef(); ok {
+		return p.maybeCall(iri)
+	}
+	if pn, ok := p.lex.acceptPrefixedName(); ok {
+		iri, err := p.expandPrefixed(pn)
+		if err != nil {
+			return nil, err
+		}
+		return p.maybeCall(iri)
+	}
+	return nil, fmt.Errorf("expected expression at %s", p.lex.where())
+}
+
+// maybeCall parses a function call argument list if present, otherwise an
+// IRI constant.
+func (p *parser) maybeCall(iri string) (Expr, error) {
+	if !p.lex.accept("(") {
+		return ConstExpr{Term: rdf.NewIRI(iri)}, nil
+	}
+	var args []Expr
+	if !p.lex.accept(")") {
+		for {
+			a, err := p.parseOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.lex.accept(")") {
+				break
+			}
+			if !p.lex.accept(",") {
+				return nil, fmt.Errorf("expected , or ) in arguments at %s", p.lex.where())
+			}
+		}
+	}
+	return FuncExpr{Name: iri, Args: args}, nil
+}
+
+// lexer tokenizes enough of SPARQL for the subset above. It works
+// directly on the input string with single-token lookahead implemented by
+// save/restore of the cursor.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in} }
+
+func (l *lexer) where() string {
+	start := l.pos
+	end := start + 20
+	if end > len(l.in) {
+		end = len(l.in)
+	}
+	return fmt.Sprintf("offset %d (%q)", l.pos, l.in[start:end])
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' { // comment to end of line
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) atEOF() bool {
+	l.skipSpace()
+	return l.pos >= len(l.in)
+}
+
+// accept consumes the exact token string if it is next.
+func (l *lexer) accept(tok string) bool {
+	l.skipSpace()
+	if strings.HasPrefix(l.in[l.pos:], tok) {
+		// "a" must be a standalone word, not a prefix of an identifier;
+		// same for any alphabetic token.
+		if isWordy(tok) {
+			end := l.pos + len(tok)
+			if end < len(l.in) && isNameChar(rune(l.in[end])) {
+				return false
+			}
+		}
+		l.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (l *lexer) peek(tok string) bool {
+	l.skipSpace()
+	return strings.HasPrefix(l.in[l.pos:], tok)
+}
+
+func isWordy(tok string) bool {
+	for _, r := range tok {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// acceptKeyword consumes a case-insensitive keyword.
+func (l *lexer) acceptKeyword(kw string) bool {
+	l.skipSpace()
+	if len(l.in)-l.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(l.in[l.pos:l.pos+len(kw)], kw) {
+		return false
+	}
+	end := l.pos + len(kw)
+	if end < len(l.in) && isNameChar(rune(l.in[end])) {
+		return false
+	}
+	l.pos = end
+	return true
+}
+
+func (l *lexer) peekKeyword(kw string) bool {
+	save := l.pos
+	ok := l.acceptKeyword(kw)
+	l.pos = save
+	return ok
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// acceptVar consumes ?name.
+func (l *lexer) acceptVar() (string, bool) {
+	l.skipSpace()
+	if l.pos >= len(l.in) || (l.in[l.pos] != '?' && l.in[l.pos] != '$') {
+		return "", false
+	}
+	start := l.pos + 1
+	i := start
+	for i < len(l.in) && isNameChar(rune(l.in[i])) {
+		i++
+	}
+	if i == start {
+		return "", false
+	}
+	l.pos = i
+	return l.in[start:i], true
+}
+
+// acceptIRIRef consumes <iri>.
+func (l *lexer) acceptIRIRef() (string, bool) {
+	l.skipSpace()
+	if l.pos >= len(l.in) || l.in[l.pos] != '<' {
+		return "", false
+	}
+	end := strings.IndexByte(l.in[l.pos:], '>')
+	if end < 0 {
+		return "", false
+	}
+	iri := l.in[l.pos+1 : l.pos+end]
+	l.pos += end + 1
+	return iri, true
+}
+
+func (l *lexer) expectIRIRef() (string, error) {
+	if iri, ok := l.acceptIRIRef(); ok {
+		return iri, nil
+	}
+	return "", fmt.Errorf("expected <IRI> at %s", l.where())
+}
+
+// expectPNameNS consumes "name:" returning name.
+func (l *lexer) expectPNameNS() (string, error) {
+	l.skipSpace()
+	i := l.pos
+	for i < len(l.in) && isNameChar(rune(l.in[i])) {
+		i++
+	}
+	if i >= len(l.in) || l.in[i] != ':' {
+		return "", fmt.Errorf("expected prefix name at %s", l.where())
+	}
+	name := l.in[l.pos:i]
+	l.pos = i + 1
+	return name, nil
+}
+
+// acceptPrefixedName consumes "prefix:local".
+func (l *lexer) acceptPrefixedName() (string, bool) {
+	l.skipSpace()
+	save := l.pos
+	i := l.pos
+	for i < len(l.in) && isNameChar(rune(l.in[i])) {
+		i++
+	}
+	if i >= len(l.in) || l.in[i] != ':' {
+		l.pos = save
+		return "", false
+	}
+	j := i + 1
+	for j < len(l.in) && (isNameChar(rune(l.in[j])) || l.in[j] == '.') {
+		j++
+	}
+	// local part must not end with '.'
+	for j > i+1 && l.in[j-1] == '.' {
+		j--
+	}
+	if j == i+1 {
+		l.pos = save
+		return "", false
+	}
+	out := l.in[l.pos:j]
+	l.pos = j
+	return out, true
+}
+
+// acceptBlank consumes _:label.
+func (l *lexer) acceptBlank() (string, bool) {
+	l.skipSpace()
+	if !strings.HasPrefix(l.in[l.pos:], "_:") {
+		return "", false
+	}
+	start := l.pos + 2
+	i := start
+	for i < len(l.in) && isNameChar(rune(l.in[i])) {
+		i++
+	}
+	if i == start {
+		return "", false
+	}
+	l.pos = i
+	return l.in[start:i], true
+}
+
+// acceptLiteral consumes a double-quoted string, handling backslash
+// escapes. Returns the unescaped lexical value.
+func (l *lexer) acceptLiteral() (string, bool, error) {
+	l.skipSpace()
+	if l.pos >= len(l.in) || l.in[l.pos] != '"' {
+		return "", false, nil
+	}
+	i := l.pos + 1
+	var b strings.Builder
+	for i < len(l.in) {
+		c := l.in[i]
+		if c == '\\' && i+1 < len(l.in) {
+			switch l.in[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(l.in[i+1])
+			}
+			i += 2
+			continue
+		}
+		if c == '"' {
+			l.pos = i + 1
+			return b.String(), true, nil
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", false, fmt.Errorf("unterminated string literal at %s", l.where())
+}
+
+// acceptLangTag consumes @tag.
+func (l *lexer) acceptLangTag() (string, bool) {
+	if l.pos >= len(l.in) || l.in[l.pos] != '@' {
+		return "", false
+	}
+	start := l.pos + 1
+	i := start
+	for i < len(l.in) && (isNameChar(rune(l.in[i]))) {
+		i++
+	}
+	if i == start {
+		return "", false
+	}
+	l.pos = i
+	return l.in[start:i], true
+}
+
+// acceptNumber consumes an integer or decimal numeric literal.
+func (l *lexer) acceptNumber() (string, bool) {
+	l.skipSpace()
+	i := l.pos
+	if i < len(l.in) && (l.in[i] == '-' || l.in[i] == '+') {
+		i++
+	}
+	start := i
+	for i < len(l.in) && (l.in[i] >= '0' && l.in[i] <= '9') {
+		i++
+	}
+	if i == start {
+		return "", false
+	}
+	if i < len(l.in) && l.in[i] == '.' {
+		i++
+		for i < len(l.in) && (l.in[i] >= '0' && l.in[i] <= '9') {
+			i++
+		}
+	}
+	if i < len(l.in) && (l.in[i] == 'e' || l.in[i] == 'E') {
+		j := i + 1
+		if j < len(l.in) && (l.in[j] == '-' || l.in[j] == '+') {
+			j++
+		}
+		k := j
+		for k < len(l.in) && (l.in[k] >= '0' && l.in[k] <= '9') {
+			k++
+		}
+		if k > j {
+			i = k
+		}
+	}
+	out := l.in[l.pos:i]
+	l.pos = i
+	return out, true
+}
+
+func (l *lexer) expectInt() (int, error) {
+	s, ok := l.acceptNumber()
+	if !ok {
+		return 0, fmt.Errorf("expected integer at %s", l.where())
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return n, nil
+}
+
+// next consumes and discards the next whitespace-delimited token; used only
+// after peekKeyword.
+func (l *lexer) next() {
+	l.skipSpace()
+	for l.pos < len(l.in) && !unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+}

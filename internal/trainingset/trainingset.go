@@ -1,0 +1,226 @@
+// Package trainingset implements the training-dataset generation tooling
+// of Challenge C2: harvesting labelled samples for deep learning from
+// cartographic/thematic vector products (the OpenStreetMap-style layers
+// the paper proposes to leverage) laid over synthetic Sentinel scenes,
+// plus augmentation to enlarge datasets to the millions of samples the
+// paper targets (experiment E6).
+//
+// The pipeline is: procedural vector cartography -> rasterized label map
+// -> synthetic scene -> point sampling inside labelled features ->
+// (optionally) augmentation.
+package trainingset
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/dl"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+// VectorLayer is a thematic cartographic layer: features sharing one
+// land-cover class (like an OSM landuse= layer).
+type VectorLayer struct {
+	Name     string
+	Class    uint8
+	Features []geom.Geometry
+}
+
+// GenerateCartography produces a procedural vector map over the extent:
+// crop parcels, forest patches, water bodies and a residential block,
+// mimicking the thematic products of a national mapping agency.
+func GenerateCartography(extent geom.Rect, parcels int, seed int64) []VectorLayer {
+	rng := rand.New(rand.NewSource(seed))
+	randomSquare := func(size float64) geom.Geometry {
+		x := extent.Min.X + rng.Float64()*(extent.Width()-size)
+		y := extent.Min.Y + rng.Float64()*(extent.Height()-size)
+		return geom.NewRect(x, y, x+size, y+size)
+	}
+	layers := []VectorLayer{
+		{Name: "landuse=farmland", Class: sentinel.ClassAnnualCrop},
+		{Name: "landuse=forest", Class: sentinel.ClassForest},
+		{Name: "natural=water", Class: sentinel.ClassSeaLake},
+		{Name: "landuse=residential", Class: sentinel.ClassResidential},
+		{Name: "landuse=meadow", Class: sentinel.ClassPasture},
+	}
+	parcelSize := extent.Width() / 25
+	for i := 0; i < parcels; i++ {
+		li := i % len(layers)
+		layers[li].Features = append(layers[li].Features, randomSquare(parcelSize*(0.5+rng.Float64())))
+	}
+	return layers
+}
+
+// Rasterize burns the layers into a class map on the grid; later layers
+// overwrite earlier ones where features overlap, and unlabelled cells
+// default to herbaceous background.
+func Rasterize(layers []VectorLayer, grid raster.Grid) *raster.ClassMap {
+	cm := raster.NewClassMap(grid)
+	for i := range cm.Classes {
+		cm.Classes[i] = sentinel.ClassHerbVegetation
+	}
+	for _, layer := range layers {
+		for _, f := range layer.Features {
+			b := f.Bounds()
+			c0, r0, ok0 := grid.CellAt(b.Min)
+			c1, r1, ok1 := grid.CellAt(geom.Point{
+				X: min(b.Max.X, grid.Bounds().Max.X-grid.CellSize/2),
+				Y: min(b.Max.Y, grid.Bounds().Max.Y-grid.CellSize/2),
+			})
+			if !ok0 {
+				c0, r0 = 0, 0
+			}
+			if !ok1 {
+				c1, r1 = grid.Width-1, grid.Height-1
+			}
+			for row := r0; row <= r1; row++ {
+				for col := c0; col <= c1; col++ {
+					if geom.Contains(f, grid.CellCenter(col, row)) {
+						cm.Set(col, row, layer.Class)
+					}
+				}
+			}
+		}
+	}
+	return cm
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// HarvestConfig tunes sample extraction.
+type HarvestConfig struct {
+	// SamplesPerFeature bounds the points drawn inside each feature.
+	SamplesPerFeature int
+	// Workers parallelizes harvesting across layers' features.
+	Workers int
+	Seed    int64
+}
+
+// Stats reports a harvesting run (the E6 metrics).
+type Stats struct {
+	Features int
+	Samples  int
+}
+
+// Harvest extracts labelled 13-band samples: for every feature, sample
+// points inside it, read the scene pixel there, and label it with the
+// layer class. scene must cover the features' extent.
+func Harvest(layers []VectorLayer, scene *raster.Image, cfg HarvestConfig) (*dl.Dataset, Stats) {
+	if cfg.SamplesPerFeature < 1 {
+		cfg.SamplesPerFeature = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	type job struct {
+		f     geom.Geometry
+		class uint8
+		seed  int64
+	}
+	var jobs []job
+	for li, layer := range layers {
+		for fi, f := range layer.Features {
+			jobs = append(jobs, job{f, layer.Class, cfg.Seed + int64(li)*1_000_003 + int64(fi)})
+		}
+	}
+	results := make([][]sampleVec, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = harvestFeature(j.f, j.class, scene, cfg.SamplesPerFeature, j.seed)
+		}(i, j)
+	}
+	wg.Wait()
+
+	var all []sampleVec
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	ds := &dl.Dataset{
+		X:       dl.NewMatrix(len(all), len(scene.Bands)),
+		Y:       make([]int, len(all)),
+		Classes: sentinel.NumLandCoverClasses,
+	}
+	for i, s := range all {
+		copy(ds.X.Row(i), s.x)
+		ds.Y[i] = int(s.y)
+	}
+	return ds, Stats{Features: len(jobs), Samples: len(all)}
+}
+
+type sampleVec struct {
+	x []float32
+	y uint8
+}
+
+// harvestFeature samples up to n points uniformly inside the feature via
+// rejection sampling over its bounding box.
+func harvestFeature(f geom.Geometry, class uint8, scene *raster.Image, n int, seed int64) []sampleVec {
+	rng := rand.New(rand.NewSource(seed))
+	b := f.Bounds()
+	var out []sampleVec
+	attempts := 0
+	for len(out) < n && attempts < n*20 {
+		attempts++
+		p := geom.Point{
+			X: b.Min.X + rng.Float64()*b.Width(),
+			Y: b.Min.Y + rng.Float64()*b.Height(),
+		}
+		if !geom.Contains(f, p) {
+			continue
+		}
+		col, row, ok := scene.Grid.CellAt(p)
+		if !ok {
+			continue
+		}
+		out = append(out, sampleVec{x: scene.Pixel(col, row), y: class})
+	}
+	return out
+}
+
+// Augment enlarges a dataset by factor: each sample gains factor-1 noisy
+// replicas (Gaussian jitter with the given sigma), the cheap enlargement
+// technique C2 proposes for reaching millions of samples from thousands
+// of annotations.
+func Augment(ds *dl.Dataset, factor int, sigma float32, seed int64) *dl.Dataset {
+	if factor < 1 {
+		factor = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := ds.Len() * factor
+	out := &dl.Dataset{
+		X:       dl.NewMatrix(n, ds.X.Cols),
+		Y:       make([]int, n),
+		Classes: ds.Classes,
+	}
+	for i := 0; i < ds.Len(); i++ {
+		src := ds.X.Row(i)
+		for r := 0; r < factor; r++ {
+			dst := out.X.Row(i*factor + r)
+			copy(dst, src)
+			if r > 0 {
+				for k := range dst {
+					dst[k] += float32(rng.NormFloat64()) * sigma
+					if dst[k] < 0 {
+						dst[k] = 0
+					}
+				}
+			}
+			out.Y[i*factor+r] = ds.Y[i]
+		}
+	}
+	out.Shuffle(rng)
+	return out
+}

@@ -1,0 +1,146 @@
+package trainingset
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sentinel"
+)
+
+func TestGenerateCartography(t *testing.T) {
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	layers := GenerateCartography(extent, 50, 1)
+	if len(layers) != 5 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+	total := 0
+	for _, l := range layers {
+		total += len(l.Features)
+		for _, f := range l.Features {
+			if !extent.ContainsRect(f.Bounds()) {
+				t.Errorf("feature outside extent: %v", f.Bounds())
+			}
+		}
+	}
+	if total != 50 {
+		t.Errorf("features = %d, want 50", total)
+	}
+}
+
+func TestRasterize(t *testing.T) {
+	grid := raster.NewGrid(geom.Point{}, 10, 50, 50)
+	layers := []VectorLayer{
+		{Name: "water", Class: sentinel.ClassSeaLake,
+			Features: []geom.Geometry{geom.NewRect(100, 100, 200, 200)}},
+	}
+	cm := Rasterize(layers, grid)
+	// cell at (150,150) is inside the water rect
+	col, row, _ := grid.CellAt(geom.Point{X: 150, Y: 150})
+	if cm.At(col, row) != sentinel.ClassSeaLake {
+		t.Error("water cell not burned")
+	}
+	// far corner keeps background
+	if cm.At(49, 49) != sentinel.ClassHerbVegetation {
+		t.Error("background class wrong")
+	}
+}
+
+func TestHarvestLabelsMatchLayers(t *testing.T) {
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	grid := raster.NewGrid(geom.Point{}, 10, 100, 100)
+	layers := GenerateCartography(extent, 30, 2)
+	truth := Rasterize(layers, grid)
+	scene := sentinel.GenerateS2Scene(truth, 3)
+
+	ds, stats := Harvest(layers, scene, HarvestConfig{SamplesPerFeature: 10, Workers: 4, Seed: 4})
+	if stats.Features != 30 {
+		t.Fatalf("features = %d", stats.Features)
+	}
+	if ds.Len() == 0 || ds.Len() > 300 {
+		t.Fatalf("samples = %d", ds.Len())
+	}
+	if ds.X.Cols != 13 {
+		t.Errorf("cols = %d", ds.X.Cols)
+	}
+	// Labels must be in the layer class set.
+	valid := map[int]bool{}
+	for _, l := range layers {
+		valid[int(l.Class)] = true
+	}
+	for _, y := range ds.Y {
+		if !valid[y] {
+			t.Fatalf("label %d not from any layer", y)
+		}
+	}
+}
+
+func TestHarvestDeterministic(t *testing.T) {
+	extent := geom.NewRect(0, 0, 500, 500)
+	grid := raster.NewGrid(geom.Point{}, 10, 50, 50)
+	layers := GenerateCartography(extent, 10, 5)
+	truth := Rasterize(layers, grid)
+	scene := sentinel.GenerateS2Scene(truth, 6)
+	cfg := HarvestConfig{SamplesPerFeature: 5, Workers: 3, Seed: 7}
+	a, _ := Harvest(layers, scene, cfg)
+	b, _ := Harvest(layers, scene, cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("harvest not deterministic under parallelism")
+		}
+	}
+}
+
+func TestAugment(t *testing.T) {
+	extent := geom.NewRect(0, 0, 500, 500)
+	grid := raster.NewGrid(geom.Point{}, 10, 50, 50)
+	layers := GenerateCartography(extent, 10, 8)
+	truth := Rasterize(layers, grid)
+	scene := sentinel.GenerateS2Scene(truth, 9)
+	ds, _ := Harvest(layers, scene, HarvestConfig{SamplesPerFeature: 4, Seed: 9})
+
+	big := Augment(ds, 10, 0.01, 11)
+	if big.Len() != ds.Len()*10 {
+		t.Fatalf("augmented = %d, want %d", big.Len(), ds.Len()*10)
+	}
+	// Class balance preserved.
+	origCounts := map[int]int{}
+	for _, y := range ds.Y {
+		origCounts[y]++
+	}
+	bigCounts := map[int]int{}
+	for _, y := range big.Y {
+		bigCounts[y]++
+	}
+	for c, n := range origCounts {
+		if bigCounts[c] != n*10 {
+			t.Errorf("class %d: %d -> %d, want %d", c, n, bigCounts[c], n*10)
+		}
+	}
+	// factor 1 is identity in size
+	same := Augment(ds, 1, 0.01, 1)
+	if same.Len() != ds.Len() {
+		t.Errorf("factor 1 changed size: %d", same.Len())
+	}
+}
+
+func TestMillionSampleScaling(t *testing.T) {
+	// E6 smoke test: augmentation reaches the paper's "millions of
+	// samples" target from a modest harvest.
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	grid := raster.NewGrid(geom.Point{}, 10, 100, 100)
+	layers := GenerateCartography(extent, 100, 13)
+	truth := Rasterize(layers, grid)
+	scene := sentinel.GenerateS2Scene(truth, 14)
+	ds, _ := Harvest(layers, scene, HarvestConfig{SamplesPerFeature: 100, Workers: 8, Seed: 15})
+	if ds.Len() < 5000 {
+		t.Fatalf("harvest = %d samples", ds.Len())
+	}
+	big := Augment(ds, 1_000_000/ds.Len()+1, 0.01, 16)
+	if big.Len() < 1_000_000 {
+		t.Fatalf("augmented = %d, want >= 1M", big.Len())
+	}
+}
