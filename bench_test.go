@@ -7,6 +7,9 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"testing"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dl"
 	"repro/internal/dl/datasets"
+	"repro/internal/endpoint"
 	"repro/internal/federate"
 	"repro/internal/geom"
 	"repro/internal/geostore"
@@ -485,3 +489,49 @@ func BenchmarkE15_Velocity_Ingest(b *testing.B) {
 
 // parseBenchQuery parses an stSPARQL query for the federation benchmark.
 func parseBenchQuery(q string) (*sparql.Query, error) { return sparql.Parse(q) }
+
+// --- Endpoint: SPARQL protocol serving layer ---
+
+// benchEndpoint drives the HTTP serving layer over a 10k-feature indexed
+// store with a fixed rectangular selection, measuring full request
+// round-trips through httptest recorders. cacheSize < 0 disables the
+// result cache, isolating parse+eval+serialize cost; with caching on,
+// every request after the first is a cache hit.
+func benchEndpoint(b *testing.B, cacheSize int, format string) {
+	b.Helper()
+	st := geostore.New(geostore.ModeIndexed)
+	for _, f := range geostore.GeneratePointFeatures(10000, 42, benchExtent) {
+		if err := st.AddFeature(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.Build()
+	srv := endpoint.New(st, endpoint.Config{CacheSize: cacheSize})
+	// Like geostore.SelectionQuery but also projecting the geometry, so
+	// the GeoJSON serializer has a WKT variable to render.
+	query := fmt.Sprintf(`
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?wkt WHERE {
+			?f a ee:Feature .
+			?f geo:hasGeometry ?g .
+			?g geo:asWKT ?wkt .
+			FILTER(geof:sfIntersects(?wkt, "%s"^^geo:wktLiteral))
+		}`, geom.NewRect(1000, 1000, 4000, 4000).WKT())
+	target := "/sparql?format=" + format + "&query=" + url.QueryEscape(query)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkEndpoint_Uncached_JSON(b *testing.B)    { benchEndpoint(b, -1, "json") }
+func BenchmarkEndpoint_Cached_JSON(b *testing.B)      { benchEndpoint(b, 256, "json") }
+func BenchmarkEndpoint_Uncached_CSV(b *testing.B)     { benchEndpoint(b, -1, "csv") }
+func BenchmarkEndpoint_Cached_CSV(b *testing.B)       { benchEndpoint(b, 256, "csv") }
+func BenchmarkEndpoint_Uncached_GeoJSON(b *testing.B) { benchEndpoint(b, -1, "geojson") }
+func BenchmarkEndpoint_Cached_GeoJSON(b *testing.B)   { benchEndpoint(b, 256, "geojson") }

@@ -8,10 +8,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"repro/internal/catalogue"
@@ -20,11 +21,28 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	nProducts := flag.Int("products", 5000, "synthetic products to catalogue")
-	nBergs := flag.Int("bergs", 500, "synthetic iceberg observations")
-	year := flag.Int("year", 2017, "observation year for the iceberg query")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eecat", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	nProducts := fs.Int("products", 5000, "synthetic products to catalogue")
+	nBergs := fs.Int("bergs", 500, "synthetic iceberg observations")
+	year := fs.Int("year", 2017, "observation year for the iceberg query")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("usage: %w", err)
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
 	cat := catalogue.New()
@@ -32,20 +50,20 @@ func main() {
 	start := time.Now()
 	for _, p := range sentinel.GenerateProducts(*nProducts, 1, extent) {
 		if err := cat.AddProduct(p); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	barrier := geom.Polygon{Shell: geom.Ring{
 		{X: 2000, Y: 2000}, {X: 6000, Y: 2200}, {X: 6200, Y: 5800}, {X: 1900, Y: 5600},
 	}}
 	if err := cat.AddIceBarrier("NorskeOer", *year, barrier); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < *nBergs; i++ {
 		p := geom.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
 		if err := cat.AddIceberg(fmt.Sprintf("b%d", i), *year-1+rng.Intn(3), p); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	cat.Build()
@@ -56,7 +74,7 @@ func main() {
 	start = time.Now()
 	count, err := cat.ProductsInYearOverArea(2018, window)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("conventional search: %d products over the window in 2018 (%v)\n",
 		count, time.Since(start).Round(time.Microsecond))
@@ -64,9 +82,10 @@ func main() {
 	start = time.Now()
 	bergs, err := cat.IcebergsEmbedded("NorskeOer", *year)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("semantic search: %d icebergs embedded in the Norske Oer Ice Barrier "+
 		"at its maximum extent in %d (%v)\n",
 		bergs, *year, time.Since(start).Round(time.Microsecond))
+	return nil
 }

@@ -5,26 +5,48 @@
 //
 //	eequery -n 10000 'SELECT ?f WHERE { ?f a ee:Feature . } LIMIT 5'
 //	eequery -mode naive -n 10000 '<query>'   # Strabon-2012 baseline
+//	eequery -format json '<query>'           # SPARQL 1.1 JSON results
 //
 // With no query argument, a default rectangular-selection query runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
+	"repro/internal/endpoint"
 	"repro/internal/geom"
 	"repro/internal/geostore"
+	"repro/internal/sparql"
 )
 
 func main() {
-	log.SetFlags(0)
-	n := flag.Int("n", 10000, "number of synthetic point features")
-	mode := flag.String("mode", "indexed", "store mode: indexed or naive")
-	seed := flag.Int64("seed", 42, "workload seed")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eequery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eequery", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	n := fs.Int("n", 10000, "number of synthetic point features")
+	mode := fs.String("mode", "indexed", "store mode: indexed or naive")
+	seed := fs.Int64("seed", 42, "workload seed")
+	format := fs.String("format", "table", "output format: table, json, csv, tsv or geojson")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("usage: %w", err)
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return fmt.Errorf("expected at most one query argument, got %v (is the query quoted?)", fs.Args())
+	}
 
 	var m geostore.Mode
 	switch *mode {
@@ -33,29 +55,61 @@ func main() {
 	case "naive":
 		m = geostore.ModeNaive
 	default:
-		log.Fatalf("eequery: unknown mode %q", *mode)
+		fs.Usage()
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	var outFormat endpoint.Format
+	if *format != "table" {
+		f, ok := endpoint.ParseFormat(*format)
+		if !ok {
+			fs.Usage()
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		outFormat = f
+	}
+
+	// Validate the query before doing any work, so a typo fails fast with
+	// a clean error instead of aborting mid-output.
+	query := fs.Arg(0)
+	defaulted := query == ""
+	if defaulted {
+		query = geostore.SelectionQuery(geom.NewRect(1000, 1000, 2000, 2000)) + " LIMIT 10"
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return err
 	}
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
 	st := geostore.New(m)
 	for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
 		if err := st.AddFeature(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	st.Build()
-	fmt.Printf("loaded %d features (%d triples, %s mode)\n", *n, st.Len(), st.Mode())
 
-	query := flag.Arg(0)
-	if query == "" {
-		query = geostore.SelectionQuery(geom.NewRect(1000, 1000, 2000, 2000)) + " LIMIT 10"
-		fmt.Println("no query given; running default rectangular selection")
+	// The table format narrates to stdout; machine formats keep stdout
+	// pure serialized results and narrate to stderr.
+	info := os.Stdout
+	if *format != "table" {
+		info = os.Stderr
 	}
+	fmt.Fprintf(info, "loaded %d features (%d triples, %s mode)\n", *n, st.Len(), st.Mode())
+	if defaulted {
+		fmt.Fprintln(info, "no query given; running default rectangular selection")
+	}
+
 	start := time.Now()
-	res, err := st.QueryString(query)
+	res, err := st.Query(q)
 	elapsed := time.Since(start)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%d rows in %v\n%s", res.Len(), elapsed.Round(time.Microsecond), res)
+	fmt.Fprintf(info, "%d rows in %v\n", res.Len(), elapsed.Round(time.Microsecond))
+	if *format == "table" {
+		fmt.Print(res)
+		return nil
+	}
+	return endpoint.WriteResults(os.Stdout, outFormat, res, "")
 }

@@ -1,0 +1,83 @@
+package endpoint
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached response: the canonical (normalized)
+// query text, the store version it was computed against, and the
+// serialization format. A store mutation advances the version, so stale
+// entries simply stop being addressable and age out of the LRU.
+type cacheKey struct {
+	query   string
+	version uint64
+	format  Format
+}
+
+// cacheEntry holds one serialized response body.
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+	rows int
+}
+
+// resultCache is a size-bounded LRU over serialized query results. All
+// methods are safe for concurrent use.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached entry and marks it most recently used.
+func (c *resultCache) get(k cacheKey) (*cacheEntry, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores an entry, evicting the least recently used beyond capacity.
+func (c *resultCache) put(k cacheKey, body []byte, rows int) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value = &cacheEntry{key: k, body: body, rows: rows}
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: k, body: body, rows: rows})
+	c.entries[k] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of live entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,261 @@
+// Package endpoint is the network-facing serving layer of the
+// re-engineered store: a W3C SPARQL-Protocol-style HTTP endpoint over
+// internal/geostore. GET/POST /sparql parses stSPARQL with
+// internal/sparql, evaluates against any Engine (single-node or
+// partitioned store), and streams results in content-negotiated formats
+// (SPARQL 1.1 JSON, CSV, TSV, GeoJSON via internal/sextant).
+//
+// Around the core handler sit the production concerns of the ROADMAP
+// north star: an LRU result cache keyed on (normalized query fingerprint,
+// store version, format) that invalidates itself when the store mutates;
+// admission control bounding in-flight queries (503 + Retry-After on
+// saturation) with a per-query timeout; and /metrics + /healthz exposing
+// query counts, latency histograms and cache hit rates.
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sparql"
+)
+
+// Engine is the query-evaluation capability the endpoint serves. Both
+// *geostore.Store and *geostore.PartitionedStore implement it.
+type Engine interface {
+	// Query evaluates a parsed query.
+	Query(q *sparql.Query) (*sparql.Results, error)
+	// Version is a monotonic mutation counter used for cache invalidation.
+	Version() uint64
+	// Len returns the triple count (served by /healthz).
+	Len() int
+}
+
+// Config tunes the serving layer. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// MaxInFlight bounds concurrently evaluating queries; requests beyond
+	// it receive 503 + Retry-After. Default 16.
+	MaxInFlight int
+	// QueryTimeout is the per-query evaluation deadline. Default 30s.
+	QueryTimeout time.Duration
+	// CacheSize is the result cache capacity in entries; 0 selects the
+	// default of 256, negative disables caching.
+	CacheSize int
+	// MaxQueryLen bounds accepted query text bytes. Default 1 MiB.
+	MaxQueryLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxQueryLen == 0 {
+		c.MaxQueryLen = 1 << 20
+	}
+	return c
+}
+
+// Server is the HTTP SPARQL endpoint. Create with New; it implements
+// http.Handler.
+type Server struct {
+	engine  Engine
+	cfg     Config
+	cache   *resultCache
+	sem     chan struct{}
+	metrics metrics
+	mux     *http.ServeMux
+}
+
+// New returns a server over engine.
+func New(engine Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine: engine,
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheSize),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryText extracts the query string per the SPARQL Protocol: the
+// `query` parameter on GET or form POST, or the raw body for
+// application/sparql-query POSTs.
+func (s *Server) queryText(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		ct := strings.TrimSpace(strings.SplitN(r.Header.Get("Content-Type"), ";", 2)[0])
+		if strings.EqualFold(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.cfg.MaxQueryLen)+1))
+			if err != nil {
+				return "", err
+			}
+			if len(body) > s.cfg.MaxQueryLen {
+				return "", fmt.Errorf("query exceeds %d bytes", s.cfg.MaxQueryLen)
+			}
+			return string(body), nil
+		}
+		return r.FormValue("query"), nil
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	qs, err := s.queryText(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(qs) == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	if len(qs) > s.cfg.MaxQueryLen {
+		http.Error(w, fmt.Sprintf("query exceeds %d bytes", s.cfg.MaxQueryLen), http.StatusBadRequest)
+		return
+	}
+
+	// Resolve the output format: an explicit format parameter (URL query
+	// or form body — FormValue covers both) beats Accept negotiation.
+	var format Format
+	if fp := r.FormValue("format"); fp != "" {
+		f, ok := ParseFormat(fp)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown format %q", fp), http.StatusBadRequest)
+			return
+		}
+		format = f
+	} else {
+		f, ok := NegotiateFormat(r.Header.Get("Accept"))
+		if !ok {
+			http.Error(w, "no supported media type in Accept", http.StatusNotAcceptable)
+			return
+		}
+		format = f
+	}
+
+	start := time.Now()
+	q, err := sparql.Parse(qs)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	geomVar := r.FormValue("geom")
+
+	// The key uses the full canonical text rather than its hash: exact,
+	// and the cacheKey is a string anyway.
+	key := cacheKey{query: q.Canonical() + "\x00" + geomVar, version: s.engine.Version(), format: format}
+	if entry, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.finish(w, format, entry.body, true, start)
+		return
+	}
+
+	// Admission control guards the expensive part — evaluation. Reject
+	// rather than queue when saturated, so overload sheds load instead of
+	// stacking latency. The slot is released when evaluation completes,
+	// even if the request has already timed out, so abandoned queries
+	// still count against MaxInFlight while they burn CPU.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	res, err := s.evalWithTimeout(r.Context(), q)
+	if err != nil {
+		switch err {
+		case context.DeadlineExceeded:
+			s.metrics.timeouts.Add(1)
+			http.Error(w, "query timed out", http.StatusGatewayTimeout)
+		case context.Canceled:
+			// Client went away mid-evaluation; nobody is listening, and it
+			// was not a server-side deadline, so don't count it as one.
+		default:
+			s.metrics.errors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, format, res, geomVar); err != nil {
+		s.metrics.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.cache.put(key, buf.Bytes(), res.Len())
+	s.finish(w, format, buf.Bytes(), false, start)
+}
+
+// finish writes a successful response body and records metrics.
+func (s *Server) finish(w http.ResponseWriter, format Format, body []byte, hit bool, start time.Time) {
+	s.metrics.queries.Add(1)
+	s.metrics.observe(time.Since(start))
+	w.Header().Set("Content-Type", format.ContentType())
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Write(body)
+}
+
+// evalWithTimeout evaluates q, abandoning the wait when the per-query
+// deadline or the client connection expires. Store evaluation takes no
+// context and is therefore not preemptible, so a timed-out query finishes
+// in the background; it holds its admission slot until then, which is
+// what bounds runaway load. The caller must have acquired s.sem.
+func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	defer cancel()
+	type evalResult struct {
+		res *sparql.Results
+		err error
+	}
+	ch := make(chan evalResult, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		res, err := s.engine.Query(q)
+		ch <- evalResult{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case ev := <-ch:
+		return ev.res, ev.err
+	}
+}

@@ -1,0 +1,78 @@
+package endpoint
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query latency
+// histogram, chosen to straddle in-memory query times through slow
+// analytic queries.
+var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// metrics aggregates the endpoint's operational counters. All fields are
+// manipulated atomically; the zero value is ready to use.
+type metrics struct {
+	queries     atomic.Uint64 // completed queries (any outcome)
+	errors      atomic.Uint64 // parse or evaluation failures
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	rejected    atomic.Uint64 // admission-control 503s
+	timeouts    atomic.Uint64 // per-query deadline expirations
+
+	bucketCounts [11]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf
+	latencySumNs atomic.Uint64
+}
+
+// observe records one query latency in the histogram.
+func (m *metrics) observe(d time.Duration) {
+	m.latencySumNs.Add(uint64(d.Nanoseconds()))
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.bucketCounts[i].Add(1)
+			return
+		}
+	}
+	m.bucketCounts[len(latencyBuckets)].Add(1)
+}
+
+// CacheHits returns the number of queries answered from the result cache.
+func (s *Server) CacheHits() uint64 { return s.metrics.cacheHits.Load() }
+
+// handleMetrics serves the counters in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := &s.metrics
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeCounter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	writeCounter("sparql_queries_total", "Completed SPARQL protocol requests.", m.queries.Load())
+	writeCounter("sparql_query_errors_total", "Requests that failed to parse or evaluate.", m.errors.Load())
+	writeCounter("sparql_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
+	writeCounter("sparql_cache_misses_total", "Requests that missed the result cache.", m.cacheMisses.Load())
+	writeCounter("sparql_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
+	writeCounter("sparql_timeouts_total", "Requests cancelled by the per-query timeout.", m.timeouts.Load())
+	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
+
+	fmt.Fprintf(w, "# HELP sparql_query_duration_seconds Query latency histogram.\n# TYPE sparql_query_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.bucketCounts[i].Load()
+		fmt.Fprintf(w, "sparql_query_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.bucketCounts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "sparql_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "sparql_query_duration_seconds_sum %g\n", float64(m.latencySumNs.Load())/1e9)
+	fmt.Fprintf(w, "sparql_query_duration_seconds_count %d\n", cum)
+}
+
+// handleHealthz reports liveness plus basic store facts, so load balancers
+// and Sextant deployments can gate traffic on it.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"triples\":%d,\"store_version\":%d}\n",
+		s.engine.Len(), s.engine.Version())
+}

@@ -1,0 +1,246 @@
+package endpoint
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sextant"
+	"repro/internal/sparql"
+)
+
+// Format enumerates the supported result serializations.
+type Format int
+
+const (
+	// FormatJSON is W3C SPARQL 1.1 Query Results JSON.
+	FormatJSON Format = iota
+	// FormatCSV is the SPARQL 1.1 CSV results format.
+	FormatCSV
+	// FormatTSV is the SPARQL 1.1 TSV results format.
+	FormatTSV
+	// FormatGeoJSON renders rows binding WKT literals as a GeoJSON
+	// FeatureCollection (the Sextant exchange format).
+	FormatGeoJSON
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatCSV:
+		return "csv"
+	case FormatTSV:
+		return "tsv"
+	case FormatGeoJSON:
+		return "geojson"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// ContentType returns the MIME type the format is served as.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	case FormatTSV:
+		return "text/tab-separated-values; charset=utf-8"
+	case FormatGeoJSON:
+		return "application/geo+json"
+	default:
+		return "application/sparql-results+json"
+	}
+}
+
+// ParseFormat resolves a format name (as used by the ?format= query
+// parameter and the eequery -format flag).
+func ParseFormat(s string) (Format, bool) {
+	switch strings.ToLower(s) {
+	case "json", "sparql-json":
+		return FormatJSON, true
+	case "csv":
+		return FormatCSV, true
+	case "tsv":
+		return FormatTSV, true
+	case "geojson":
+		return FormatGeoJSON, true
+	default:
+		return FormatJSON, false
+	}
+}
+
+// acceptFormats maps Accept media ranges to formats, most specific first.
+var acceptFormats = []struct {
+	mime string
+	f    Format
+}{
+	{"application/sparql-results+json", FormatJSON},
+	{"application/geo+json", FormatGeoJSON},
+	{"application/json", FormatJSON},
+	{"text/csv", FormatCSV},
+	{"text/tab-separated-values", FormatTSV},
+}
+
+// NegotiateFormat picks a format from an Accept header value. Media ranges
+// are considered in the order they appear; q-values beyond presence are
+// ignored (first supported range wins). Empty or wildcard accepts default
+// to SPARQL JSON; ok is false when the header names only unsupported types.
+func NegotiateFormat(accept string) (Format, bool) {
+	if strings.TrimSpace(accept) == "" {
+		return FormatJSON, true
+	}
+	any := false
+	for _, part := range strings.Split(accept, ",") {
+		mime := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mime == "*/*" || mime == "application/*" || mime == "text/*" {
+			any = true
+			continue
+		}
+		for _, af := range acceptFormats {
+			if strings.EqualFold(mime, af.mime) {
+				return af.f, true
+			}
+		}
+	}
+	if any {
+		return FormatJSON, true
+	}
+	return FormatJSON, false
+}
+
+// WriteResults serializes res to w in the given format. For FormatGeoJSON,
+// geomVar names the variable holding WKT literals; when empty it is
+// auto-detected as the first projected variable binding a wktLiteral.
+func WriteResults(w io.Writer, f Format, res *sparql.Results, geomVar string) error {
+	switch f {
+	case FormatCSV:
+		return writeSV(w, res, ',')
+	case FormatTSV:
+		return writeSV(w, res, '\t')
+	case FormatGeoJSON:
+		return writeGeoJSON(w, res, geomVar)
+	default:
+		return writeSPARQLJSON(w, res)
+	}
+}
+
+// jsonTerm is one RDF term in SPARQL JSON results form.
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+func termJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+// writeSPARQLJSON streams the W3C SPARQL 1.1 JSON results document.
+func writeSPARQLJSON(w io.Writer, res *sparql.Results) error {
+	head, err := json.Marshal(res.Vars)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `{"head":{"vars":%s},"results":{"bindings":[`, head); err != nil {
+		return err
+	}
+	for i, row := range res.Rows {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		binding := make(map[string]jsonTerm, len(row))
+		for v, t := range row {
+			binding[v] = termJSON(t)
+		}
+		buf, err := json.Marshal(binding)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "]}}\n")
+	return err
+}
+
+// writeSV emits the CSV/TSV results formats: a header row of variable
+// names, then lexical values (unbound variables serialize empty).
+func writeSV(w io.Writer, res *sparql.Results, sep rune) error {
+	cw := csv.NewWriter(w)
+	cw.Comma = sep
+	if err := cw.Write(res.Vars); err != nil {
+		return err
+	}
+	record := make([]string, len(res.Vars))
+	for _, row := range res.Rows {
+		for i, v := range res.Vars {
+			if t, ok := row[v]; ok {
+				record[i] = t.Value
+			} else {
+				record[i] = ""
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DetectGeometryVar returns the first projected variable that binds a
+// wktLiteral in any row, or "".
+func DetectGeometryVar(res *sparql.Results) string {
+	for _, row := range res.Rows {
+		for _, v := range res.Vars {
+			if t, ok := row[v]; ok && t.Kind == rdf.Literal && t.Datatype == rdf.WKTLiteral {
+				return v
+			}
+		}
+	}
+	return ""
+}
+
+// writeGeoJSON streams rows as a GeoJSON FeatureCollection through
+// sextant's streaming serializer: one feature per row binding a parsable
+// geometry, every other projected variable a feature property.
+func writeGeoJSON(w io.Writer, res *sparql.Results, geomVar string) error {
+	if geomVar == "" {
+		geomVar = DetectGeometryVar(res)
+	}
+	if geomVar == "" && len(res.Rows) > 0 {
+		return fmt.Errorf("endpoint: no geometry variable in results (vars %v)", res.Vars)
+	}
+	s, err := sextant.NewGeoJSONStreamer(w, "results")
+	if err != nil {
+		return err
+	}
+	for i, row := range res.Rows {
+		f, ok := sextant.RowFeature(row, res.Vars, geomVar)
+		if !ok {
+			continue
+		}
+		if f.ID == "" {
+			f.ID = fmt.Sprintf("row/%d", i)
+		}
+		if err := s.Write(f); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}

@@ -93,6 +93,10 @@ func (s *Store) RDF() *rdf.Store { return s.rdfStore }
 // Len returns the number of triples.
 func (s *Store) Len() int { return s.rdfStore.Len() }
 
+// Version returns the store's monotonic mutation counter (see
+// rdf.Store.Version); query-result caches key on it for invalidation.
+func (s *Store) Version() uint64 { return s.rdfStore.Version() }
+
 // NumGeometries returns the number of distinct indexed geometries.
 func (s *Store) NumGeometries() int {
 	s.mu.RLock()
@@ -321,6 +325,16 @@ func (ps *PartitionedStore) Len() int {
 		n += p.Len()
 	}
 	return n
+}
+
+// Version sums the partition version counters; it advances whenever any
+// partition is mutated.
+func (ps *PartitionedStore) Version() uint64 {
+	var v uint64
+	for _, p := range ps.parts {
+		v += p.Version()
+	}
+	return v
 }
 
 // AddFeature routes a feature to a partition by IRI hash.

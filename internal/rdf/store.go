@@ -27,6 +27,7 @@ type Store struct {
 	osp     []EncTriple
 	pending []EncTriple
 	seen    map[EncTriple]struct{}
+	version uint64
 }
 
 // NewStore returns an empty store with its own dictionary.
@@ -56,6 +57,16 @@ func (s *Store) AddEncoded(t EncTriple) {
 	}
 	s.seen[t] = struct{}{}
 	s.pending = append(s.pending, t)
+	s.version++
+}
+
+// Version returns a monotonic counter that advances on every mutation
+// (each distinct triple inserted). Consumers such as query-result caches
+// use it to detect that cached results are stale.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Len returns the number of distinct triples in the store.

@@ -97,37 +97,128 @@ func ringCoords(r geom.Ring) [][]float64 {
 	return coords
 }
 
-// WriteGeoJSON serializes a layer as a GeoJSON FeatureCollection.
-func WriteGeoJSON(w io.Writer, layer Layer) error {
-	features := make([]map[string]any, 0, len(layer.Features))
-	for _, f := range layer.Features {
-		g, err := geoJSONGeometry(f.Geometry)
-		if err != nil {
+// featureJSON converts one feature to its GeoJSON object form.
+func featureJSON(f Feature) (map[string]any, error) {
+	g, err := geoJSONGeometry(f.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	props := make(map[string]any, len(f.Properties)+1)
+	for k, v := range f.Properties {
+		props[k] = v
+	}
+	if !f.Timestamp.IsZero() {
+		props["timestamp"] = f.Timestamp.Format(time.RFC3339)
+	}
+	fm := map[string]any{
+		"type":       "Feature",
+		"geometry":   g,
+		"properties": props,
+	}
+	if f.ID != "" {
+		fm["id"] = f.ID
+	}
+	return fm, nil
+}
+
+// GeoJSONStreamer writes a GeoJSON FeatureCollection feature-by-feature,
+// so serving layers can stream arbitrarily large result sets to an
+// io.Writer without materializing the collection in memory.
+type GeoJSONStreamer struct {
+	w      io.Writer
+	n      int
+	closed bool
+}
+
+// NewGeoJSONStreamer starts a FeatureCollection named name on w. The
+// caller must Close it to emit valid JSON.
+func NewGeoJSONStreamer(w io.Writer, name string) (*GeoJSONStreamer, error) {
+	head, err := json.Marshal(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(w, `{"type":"FeatureCollection","name":%s,"features":[`, head); err != nil {
+		return nil, err
+	}
+	return &GeoJSONStreamer{w: w}, nil
+}
+
+// Write appends one feature to the collection.
+func (s *GeoJSONStreamer) Write(f Feature) error {
+	fm, err := featureJSON(f)
+	if err != nil {
+		return err
+	}
+	buf, err := json.Marshal(fm)
+	if err != nil {
+		return err
+	}
+	if s.n > 0 {
+		if _, err := io.WriteString(s.w, ","); err != nil {
 			return err
 		}
-		props := make(map[string]any, len(f.Properties)+1)
-		for k, v := range f.Properties {
-			props[k] = v
-		}
-		if !f.Timestamp.IsZero() {
-			props["timestamp"] = f.Timestamp.Format(time.RFC3339)
-		}
-		fm := map[string]any{
-			"type":       "Feature",
-			"geometry":   g,
-			"properties": props,
-		}
-		if f.ID != "" {
-			fm["id"] = f.ID
-		}
-		features = append(features, fm)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"type":     "FeatureCollection",
-		"name":     layer.Name,
-		"features": features,
-	})
+	s.n++
+	_, err = s.w.Write(buf)
+	return err
+}
+
+// Len returns the number of features written so far.
+func (s *GeoJSONStreamer) Len() int { return s.n }
+
+// Close terminates the FeatureCollection. It is idempotent.
+func (s *GeoJSONStreamer) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_, err := io.WriteString(s.w, "]}\n")
+	return err
+}
+
+// WriteGeoJSON serializes a layer as a GeoJSON FeatureCollection.
+func WriteGeoJSON(w io.Writer, layer Layer) error {
+	s, err := NewGeoJSONStreamer(w, layer.Name)
+	if err != nil {
+		return err
+	}
+	for _, f := range layer.Features {
+		if err := s.Write(f); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// RowFeature converts one result row to a map feature: geomVar names the
+// variable holding a WKT literal, every other projected variable becomes
+// a property, and the first IRI value becomes the feature ID ("" when the
+// row has none). ok is false when the geometry is unbound or unparsable.
+func RowFeature(row map[string]rdf.Term, vars []string, geomVar string) (Feature, bool) {
+	wkt, ok := row[geomVar]
+	if !ok || wkt.Kind != rdf.Literal {
+		return Feature{}, false
+	}
+	g, err := geom.ParseWKT(wkt.Value)
+	if err != nil {
+		return Feature{}, false
+	}
+	props := map[string]any{}
+	var id string
+	for _, v := range vars {
+		if v == geomVar {
+			continue
+		}
+		t, bound := row[v]
+		if !bound {
+			continue
+		}
+		if t.Kind == rdf.IRI && id == "" {
+			id = t.Value
+		}
+		props[v] = t.Value
+	}
+	return Feature{ID: id, Geometry: g, Properties: props}, true
 }
 
 // LayerFromResults builds a layer from stSPARQL results: geomVar names
@@ -138,35 +229,15 @@ func LayerFromResults(name string, res *sparql.Results, geomVar string) (Layer, 
 	layer := Layer{Name: name}
 	skipped := 0
 	for i, row := range res.Rows {
-		wkt, ok := row[geomVar]
-		if !ok || wkt.Kind != rdf.Literal {
+		f, ok := RowFeature(row, res.Vars, geomVar)
+		if !ok {
 			skipped++
 			continue
 		}
-		g, err := geom.ParseWKT(wkt.Value)
-		if err != nil {
-			skipped++
-			continue
+		if f.ID == "" {
+			f.ID = fmt.Sprintf("%s/%d", name, i)
 		}
-		props := map[string]any{}
-		var id string
-		for _, v := range res.Vars {
-			if v == geomVar {
-				continue
-			}
-			t, bound := row[v]
-			if !bound {
-				continue
-			}
-			if t.Kind == rdf.IRI && id == "" {
-				id = t.Value
-			}
-			props[v] = t.Value
-		}
-		if id == "" {
-			id = fmt.Sprintf("%s/%d", name, i)
-		}
-		layer.Features = append(layer.Features, Feature{ID: id, Geometry: g, Properties: props})
+		layer.Features = append(layer.Features, f)
 	}
 	return layer, skipped
 }

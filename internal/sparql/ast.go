@@ -138,18 +138,20 @@ type CmpExpr struct {
 }
 
 func (e CmpExpr) String() string {
-	return e.L.String() + " " + e.Op.String() + " " + e.R.String()
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
 }
 
-// AndExpr is a conjunction.
+// AndExpr is a conjunction. String parenthesizes so that nesting survives
+// round-trips: the canonical forms cache keys are built from must not
+// collapse (?a || ?b) && ?c and ?a || (?b && ?c) onto one spelling.
 type AndExpr struct{ L, R Expr }
 
-func (e AndExpr) String() string { return e.L.String() + " && " + e.R.String() }
+func (e AndExpr) String() string { return "(" + e.L.String() + " && " + e.R.String() + ")" }
 
-// OrExpr is a disjunction.
+// OrExpr is a disjunction (parenthesized in String; see AndExpr).
 type OrExpr struct{ L, R Expr }
 
-func (e OrExpr) String() string { return e.L.String() + " || " + e.R.String() }
+func (e OrExpr) String() string { return "(" + e.L.String() + " || " + e.R.String() + ")" }
 
 // NotExpr is a negation.
 type NotExpr struct{ E Expr }

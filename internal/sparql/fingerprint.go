@@ -1,0 +1,80 @@
+package sparql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the query in a deterministic normal form covering every
+// field that affects results: projection (including DISTINCT and
+// aggregates), patterns, filters, GROUP BY, ORDER BY and LIMIT. Two query
+// strings that parse to equivalent ASTs — regardless of whitespace,
+// comments, prefix spellings or keyword case — share one canonical form,
+// which is what query-result caches key on.
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if q.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if q.Star {
+		b.WriteString(" *")
+	}
+	for _, v := range q.Vars {
+		b.WriteString(" ?" + v)
+	}
+	for _, a := range q.Aggregates {
+		b.WriteString(" (" + a.Fn + "(")
+		if a.Var == "" {
+			b.WriteString("*")
+		} else {
+			b.WriteString("?" + a.Var)
+		}
+		b.WriteString(") AS ?" + a.As + ")")
+	}
+	b.WriteString(" WHERE {")
+	for _, p := range q.Patterns {
+		b.WriteString(" " + p.String()) // TriplePattern.String includes the trailing "."
+	}
+	for _, f := range q.Filters {
+		b.WriteString(" FILTER(" + f.String() + ")")
+	}
+	b.WriteString(" }")
+	if q.GroupBy != "" {
+		b.WriteString(" GROUP BY ?" + q.GroupBy)
+	}
+	if q.OrderBy != "" {
+		b.WriteString(" ORDER BY ")
+		if q.OrderDesc {
+			b.WriteString("DESC")
+		} else {
+			b.WriteString("ASC")
+		}
+		b.WriteString("(?" + q.OrderBy + ")")
+	}
+	if q.Limit > 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(q.Limit))
+	}
+	return b.String()
+}
+
+// Fingerprint returns a compact hash of the canonical form, suitable as a
+// cache key component.
+func (q *Query) Fingerprint() string {
+	h := fnv.New64a()
+	io.WriteString(h, q.Canonical())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Normalize parses a query string and returns its canonical form, so
+// callers holding only text can normalize without keeping the AST.
+func Normalize(qs string) (string, error) {
+	q, err := Parse(qs)
+	if err != nil {
+		return "", err
+	}
+	return q.Canonical(), nil
+}

@@ -1,0 +1,64 @@
+package sparql
+
+import "testing"
+
+func TestFingerprintNormalization(t *testing.T) {
+	a := MustParse(`
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f WHERE {
+			?f a ee:Feature .
+			FILTER(geof:sfIntersects(?wkt, "POINT(1 2)"^^geo:wktLiteral))
+		} LIMIT 5`)
+	b := MustParse(`prefix ee: <http://extremeearth.eu/ontology#>  select ?f ` +
+		`where { ?f a ee:Feature . filter(geof:sfIntersects(?wkt, "POINT(1 2)"^^geo:wktLiteral)) } limit 5`)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := `SELECT ?f WHERE { ?f a <http://example.org/C> . }`
+	variants := []string{
+		`SELECT ?f WHERE { ?f a <http://example.org/C> . } LIMIT 5`,
+		`SELECT DISTINCT ?f WHERE { ?f a <http://example.org/C> . }`,
+		`SELECT ?f WHERE { ?f a <http://example.org/C> . } ORDER BY ?f`,
+		`SELECT ?f WHERE { ?f a <http://example.org/C> . } ORDER BY DESC ?f`,
+		`SELECT ?f WHERE { ?f a <http://example.org/D> . }`,
+		`SELECT (COUNT(?f) AS ?n) WHERE { ?f a <http://example.org/C> . }`,
+	}
+	seen := map[string]string{MustParse(base).Fingerprint(): base}
+	for _, v := range variants {
+		fp := MustParse(v).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %q and %q", prev, v)
+		}
+		seen[fp] = v
+	}
+}
+
+func TestFingerprintFilterGrouping(t *testing.T) {
+	// Different parenthesizations are different queries; the canonical
+	// form must keep them apart or the result cache would cross-serve.
+	a := MustParse(`SELECT ?x WHERE { ?x ?p ?y . FILTER((?x < 1 || ?x > 5) && ?y < 3) }`)
+	b := MustParse(`SELECT ?x WHERE { ?x ?p ?y . FILTER(?x < 1 || (?x > 5 && ?y < 3)) }`)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("grouping collision: %s == %s (%s)", a.Canonical(), b.Canonical(), a.Fingerprint())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize(`SELECT   ?x WHERE { ?x ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT ?x WHERE { ?x ?p ?o . }"
+	if got != want {
+		t.Fatalf("Normalize = %q, want %q", got, want)
+	}
+	if _, err := Normalize("not sparql"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
