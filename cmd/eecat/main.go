@@ -1,23 +1,38 @@
 // Command eecat builds a synthetic Copernicus archive, mirrors it into
 // the semantic catalogue, and answers both a conventional area+year
 // search and the paper's flagship iceberg query from the command line.
+// It doubles as the snapshot tool for the durable storage engine:
+// -inspect summarizes a snapshot file, -convert dumps one back to
+// N-Triples, and -pack bulk-loads an N-Triples file (sharded parsing)
+// into a fresh snapshot.
 //
 // Usage:
 //
 //	eecat -products 5000 -bergs 500 -year 2017
+//	eecat -inspect data/snap-0000000000030000.snap
+//	eecat -convert data/snap-0000000000030000.snap > dump.nt
+//	eecat -pack dump.nt -o snap-1.snap -workers 8
+//
+// To seed an eeserve -data-dir with a packed snapshot, name it
+// snap-<version>.snap (numeric version) — recovery ignores other names.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/catalogue"
 	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/rdf"
 	"repro/internal/sentinel"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -33,6 +48,11 @@ func run(args []string) error {
 	nProducts := fs.Int("products", 5000, "synthetic products to catalogue")
 	nBergs := fs.Int("bergs", 500, "synthetic iceberg observations")
 	year := fs.Int("year", 2017, "observation year for the iceberg query")
+	inspect := fs.String("inspect", "", "snapshot file: print a summary and exit")
+	convert := fs.String("convert", "", "snapshot file: dump as N-Triples on stdout and exit")
+	pack := fs.String("pack", "", "N-Triples file: bulk-load and write a snapshot (-o) and exit")
+	out := fs.String("o", "", "output snapshot path for -pack")
+	workers := fs.Int("workers", runtime.NumCPU(), "parser shards for -pack")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -42,6 +62,17 @@ func run(args []string) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	switch {
+	case *inspect != "":
+		return inspectSnapshot(*inspect)
+	case *convert != "":
+		return convertSnapshot(*convert)
+	case *pack != "":
+		if *out == "" {
+			return fmt.Errorf("-pack requires -o <snapshot path>")
+		}
+		return packSnapshot(*pack, *out, *workers)
 	}
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
@@ -87,5 +118,62 @@ func run(args []string) error {
 	fmt.Printf("semantic search: %d icebergs embedded in the Norske Oer Ice Barrier "+
 		"at its maximum extent in %d (%v)\n",
 		bergs, *year, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+// inspectSnapshot prints a verified summary of a snapshot file.
+func inspectSnapshot(path string) error {
+	info, err := storage.InspectSnapshot(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d triples, %d dictionary terms, store version %d, %d bytes (%.1f B/triple)\n",
+		info.Path, info.Triples, info.Terms, info.Version, info.Bytes,
+		float64(info.Bytes)/float64(max(info.Triples, 1)))
+	return nil
+}
+
+// convertSnapshot streams a snapshot's triples to stdout as N-Triples,
+// decoding against the dictionary segment without building a store.
+func convertSnapshot(path string) error {
+	terms, triples, _, err := storage.ReadSnapshotFile(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	for _, t := range triples {
+		tr := rdf.Triple{S: terms[t.S-1], P: terms[t.P-1], O: terms[t.O-1]}
+		if _, err := w.WriteString(tr.String()); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// packSnapshot bulk-loads an N-Triples file through the parallel loader
+// (sharded statement + WKT parsing) and writes a compacted snapshot.
+func packSnapshot(ntPath, outPath string, workers int) error {
+	f, err := os.Open(ntPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st := geostore.New(geostore.ModeIndexed)
+	start := time.Now()
+	n, err := storage.BulkLoad(f, st, workers)
+	if err != nil {
+		return fmt.Errorf("%s: after %d triples: %w", ntPath, n, err)
+	}
+	loadDur := time.Since(start)
+	start = time.Now()
+	if err := storage.WriteSnapshotFile(outPath, st.RDF()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "packed %d triples (%d geometries) into %s: load %v (%d workers), write %v\n",
+		n, st.NumGeometries(), outPath, loadDur.Round(time.Millisecond), workers,
+		time.Since(start).Round(time.Millisecond))
 	return nil
 }

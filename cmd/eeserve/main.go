@@ -1,18 +1,24 @@
 // Command eeserve runs the SPARQL Protocol endpoint over the
 // re-engineered geostore: it loads a workload (synthetic features and/or
 // an N-Triples file), then serves GET/POST /sparql with content-negotiated
-// results plus /metrics and /healthz.
+// results plus /metrics and /healthz. With -data-dir it becomes durable:
+// boot loads the latest snapshot and replays the WAL tail, every write
+// is journaled, and a background trigger compacts the WAL into fresh
+// snapshots. With -load-token it additionally accepts live N-Triples
+// ingestion on POST /load.
 //
 // Usage:
 //
 //	eeserve -addr :8080 -n 100000
 //	eeserve -mode partitioned -parts 4 -n 1000000
 //	eeserve -load data.nt -n 0
+//	eeserve -data-dir /var/lib/eeserve -load-token s3cret
 //
 // Example queries:
 //
 //	curl 'localhost:8080/sparql?query=SELECT+?f+WHERE+{+?f+a+ee:Feature+}+LIMIT+3'
 //	curl -H 'Accept: text/csv' --data-urlencode 'query=...' localhost:8080/sparql
+//	curl -X POST -H 'Authorization: Bearer s3cret' --data-binary @more.nt localhost:8080/load
 package main
 
 import (
@@ -21,12 +27,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/endpoint"
 	"repro/internal/geom"
 	"repro/internal/geostore"
-	"repro/internal/rdf"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -48,6 +56,10 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 256, "result cache entries (negative disables)")
 	maxInFlight := fs.Int("max-inflight", 16, "max concurrently evaluating queries")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query timeout")
+	dataDir := fs.String("data-dir", "", "durable storage directory (WAL + snapshots); empty = ephemeral")
+	loadToken := fs.String("load-token", "", "bearer token enabling POST /load ingestion (empty disables)")
+	snapshotEvery := fs.Int("snapshot-every", 100000, "journaled triples that trigger a background snapshot (0 disables)")
+	walSyncEvery := fs.Int("wal-sync-every", 8, "WAL commits between fsyncs (group commit; 1 = sync every commit)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -61,6 +73,8 @@ func run(args []string) error {
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
 	var engine endpoint.Engine
+	var loader endpoint.Loader
+	var db *storage.DB
 	switch *mode {
 	case "indexed", "naive":
 		m := geostore.ModeIndexed
@@ -68,21 +82,68 @@ func run(args []string) error {
 			m = geostore.ModeNaive
 		}
 		st := geostore.New(m)
+
+		if *dataDir != "" {
+			var err error
+			db, err = storage.Open(*dataDir, storage.Options{SyncEvery: *walSyncEvery})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			stats, err := db.Recover(st.RDF())
+			if err != nil {
+				return err
+			}
+			if err := st.RestoreGeometries(); err != nil {
+				return err
+			}
+			fmt.Printf("eeserve: recovered %d snapshot triples + %d WAL triples (%d batches, %d segments) from %s in %v\n",
+				stats.SnapshotTriples, stats.WALTriples, stats.WALBatches, stats.WALSegments,
+				*dataDir, time.Since(start).Round(time.Millisecond))
+			// Attach the journal only now, so replayed triples were not
+			// re-journaled; everything below is durable.
+			st.RDF().SetJournal(db.Log())
+		}
+
+		// Synthetic and file loads are idempotent against a recovered
+		// directory: already-present triples deduplicate and are not
+		// re-journaled.
 		for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
 			if err := st.AddFeature(f); err != nil {
 				return err
 			}
 		}
 		if *load != "" {
-			if err := loadNTriples(st, *load); err != nil {
+			if err := loadNTriplesFile(st, *load); err != nil {
 				return err
 			}
 		}
+		if err := st.RDF().CommitJournal(); err != nil {
+			return err
+		}
 		st.Build()
-		engine = st
+		engine, loader = st, st
+
+		if db != nil {
+			if db.SinceSnapshot() > 0 {
+				// Boot-time loads went to the WAL only; compact them away.
+				if path, err := db.Snapshot(st.RDF()); err != nil {
+					return err
+				} else {
+					fmt.Printf("eeserve: boot snapshot %s\n", path)
+				}
+			}
+			if *snapshotEvery > 0 {
+				go snapshotLoop(db, st, *snapshotEvery)
+			}
+			shutdownOnSignal(db)
+		}
 	case "partitioned":
 		if *load != "" {
 			return fmt.Errorf("-load is only supported with indexed/naive modes")
+		}
+		if *dataDir != "" {
+			return fmt.Errorf("-data-dir is only supported with indexed/naive modes")
 		}
 		ps := geostore.NewPartitioned(*parts)
 		for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
@@ -101,31 +162,67 @@ func run(args []string) error {
 		MaxInFlight:  *maxInFlight,
 		QueryTimeout: *timeout,
 		CacheSize:    *cacheSize,
+		Loader:       loader,
+		LoadToken:    *loadToken,
 	})
-	fmt.Printf("eeserve: %d triples (store version %d, %s mode); listening on %s\n",
-		engine.Len(), engine.Version(), *mode, *addr)
+	durable := "ephemeral"
+	if db != nil {
+		durable = "durable:" + *dataDir
+	}
+	fmt.Printf("eeserve: %d triples (store version %d, %s mode, %s); listening on %s\n",
+		engine.Len(), engine.Version(), *mode, durable, *addr)
 	return http.ListenAndServe(*addr, srv)
 }
 
-// loadNTriples streams an N-Triples file into the store, registering
-// geometry literals as it goes.
-func loadNTriples(st *geostore.Store, path string) error {
+// loadNTriplesFile streams an N-Triples file into the store (journaled
+// when a WAL is attached).
+func loadNTriplesFile(st *geostore.Store, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	triples, skipped, err := rdf.ReadNTriples(f)
+	n, err := st.LoadNTriples(f)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return fmt.Errorf("%s: after %d triples: %w", path, n, err)
 	}
-	for _, t := range triples {
-		if err := st.Add(t.S, t.P, t.O); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-	}
-	if skipped > 0 {
-		fmt.Fprintf(os.Stderr, "eeserve: skipped %d malformed lines in %s\n", skipped, path)
-	}
+	fmt.Printf("eeserve: loaded %d triples from %s\n", n, path)
 	return nil
+}
+
+// snapshotLoop periodically compacts the WAL into a fresh snapshot once
+// enough triples have been journaled since the last one.
+func snapshotLoop(db *storage.DB, st *geostore.Store, every int) {
+	for range time.Tick(5 * time.Second) {
+		if err := st.RDF().JournalErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "eeserve: journal failed, snapshots suspended: %v\n", err)
+			return
+		}
+		if db.SinceSnapshot() < uint64(every) {
+			continue
+		}
+		start := time.Now()
+		path, err := db.Snapshot(st.RDF())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eeserve: background snapshot failed: %v\n", err)
+			continue
+		}
+		fmt.Printf("eeserve: snapshot %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// shutdownOnSignal flushes and closes the WAL on SIGINT/SIGTERM so the
+// final group-commit window is not lost on an orderly stop.
+func shutdownOnSignal(db *storage.DB) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "eeserve: shutting down, sealing WAL")
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "eeserve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 }

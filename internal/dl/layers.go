@@ -12,6 +12,10 @@ import (
 type Layer interface {
 	Forward(x Matrix) Matrix
 	Backward(gradOut Matrix) Matrix
+	// Infer is Forward without recording backward-pass state, so a
+	// trained network can serve concurrent Predict calls (the extraction
+	// pipeline fans inference out across scenes).
+	Infer(x Matrix) Matrix
 	// Params returns the layer's parameter matrices (nil for stateless
 	// layers); Grads returns matching gradient accumulators.
 	Params() []*Matrix
@@ -40,6 +44,11 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 // Forward implements Layer.
 func (d *Dense) Forward(x Matrix) Matrix {
 	d.lastX = x
+	return d.Infer(x)
+}
+
+// Infer implements Layer.
+func (d *Dense) Infer(x Matrix) Matrix {
 	out := MatMul(x, d.W)
 	for r := 0; r < out.Rows; r++ {
 		row := out.Row(r)
@@ -88,6 +97,17 @@ func (r *ReLU) Forward(x Matrix) Matrix {
 			r.mask[i] = false
 		} else {
 			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Infer implements Layer.
+func (r *ReLU) Infer(x Matrix) Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -145,6 +165,11 @@ func (c *Conv2D) OutSize() int { return c.OutC * c.OutH() * c.OutW() }
 // Forward implements Layer.
 func (c *Conv2D) Forward(x Matrix) Matrix {
 	c.lastX = x
+	return c.Infer(x)
+}
+
+// Infer implements Layer.
+func (c *Conv2D) Infer(x Matrix) Matrix {
 	oh, ow := c.OutH(), c.OutW()
 	out := NewMatrix(x.Rows, c.OutSize())
 	for n := 0; n < x.Rows; n++ {
@@ -237,13 +262,24 @@ func (p *MaxPool2D) OutSize() int {
 
 // Forward implements Layer.
 func (p *MaxPool2D) Forward(x Matrix) Matrix {
-	oh, ow := p.H/p.Pool, p.W/p.Pool
-	out := NewMatrix(x.Rows, p.OutSize())
 	p.rows = x.Rows
 	if cap(p.argmax) < x.Rows*p.OutSize() {
 		p.argmax = make([]int, x.Rows*p.OutSize())
 	}
 	p.argmax = p.argmax[:x.Rows*p.OutSize()]
+	return p.pool(x, p.argmax)
+}
+
+// Infer implements Layer.
+func (p *MaxPool2D) Infer(x Matrix) Matrix {
+	return p.pool(x, nil)
+}
+
+// pool runs max pooling; with a non-nil argmax it records the winning
+// input index per output cell for the backward pass.
+func (p *MaxPool2D) pool(x Matrix, argmax []int) Matrix {
+	oh, ow := p.H/p.Pool, p.W/p.Pool
+	out := NewMatrix(x.Rows, p.OutSize())
 	for n := 0; n < x.Rows; n++ {
 		in := x.Row(n)
 		o := out.Row(n)
@@ -264,7 +300,9 @@ func (p *MaxPool2D) Forward(x Matrix) Matrix {
 					}
 					oi := c*oh*ow + oy*ow + ox
 					o[oi] = best
-					p.argmax[n*p.OutSize()+oi] = bestIdx
+					if argmax != nil {
+						argmax[n*p.OutSize()+oi] = bestIdx
+					}
 				}
 			}
 		}

@@ -122,9 +122,19 @@ func (n *Network) TrainStep(x Matrix, labels []int) float64 {
 	return loss
 }
 
-// Predict returns the argmax class per sample.
+// Infer runs the full stack without recording backward-pass state, so
+// it is safe for concurrent callers sharing one trained network.
+func (n *Network) Infer(x Matrix) Matrix {
+	for _, l := range n.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
+// Predict returns the argmax class per sample. It uses the stateless
+// inference path and may be called concurrently.
 func (n *Network) Predict(x Matrix) []int {
-	logits := n.Forward(x)
+	logits := n.Infer(x)
 	out := make([]int, logits.Rows)
 	for r := 0; r < logits.Rows; r++ {
 		out[r] = Argmax(logits.Row(r))

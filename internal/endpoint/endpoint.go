@@ -16,6 +16,8 @@ package endpoint
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -36,6 +38,14 @@ type Engine interface {
 	Len() int
 }
 
+// Loader is the optional live-ingestion capability behind POST /load:
+// it streams N-Triples into the store (journaled when a WAL is
+// attached) and returns the number of triples read. *geostore.Store
+// implements it.
+type Loader interface {
+	LoadNTriples(r io.Reader) (int, error)
+}
+
 // Config tunes the serving layer. The zero value gets sensible defaults
 // from New.
 type Config struct {
@@ -49,6 +59,13 @@ type Config struct {
 	CacheSize int
 	// MaxQueryLen bounds accepted query text bytes. Default 1 MiB.
 	MaxQueryLen int
+	// Loader, when non-nil together with a non-empty LoadToken, enables
+	// the POST /load N-Triples ingestion route.
+	Loader Loader
+	// LoadToken is the bearer token POST /load requires. Ingestion stays
+	// disabled (404) while it is empty, so a write path is never exposed
+	// by accident.
+	LoadToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -89,9 +106,70 @@ func New(engine Engine, cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// handleLoad is the live ingestion route: an authenticated POST whose
+// body is an N-Triples stream. Loaded triples advance the store
+// version, so every cached result keyed on the old version stops being
+// addressable the moment the load lands (the result cache needs no
+// explicit flush).
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Loader == nil || s.cfg.LoadToken == "" {
+		http.Error(w, "ingestion not enabled", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorizedLoad(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="load"`)
+		http.Error(w, "missing or invalid load token", http.StatusUnauthorized)
+		return
+	}
+	start := time.Now()
+	n, err := s.cfg.Loader.LoadNTriples(r.Body)
+	s.metrics.loadedTriples.Add(uint64(n))
+	if err != nil {
+		// Triples before the offending line are already in (and
+		// journaled); report both the failure and the partial count.
+		// A journal (disk) failure is the server's fault, not the
+		// client's — distinguish 500 from 400 so monitoring does too.
+		// Matching against the loader's sticky journal error (rather
+		// than its mere presence) keeps a later client's parse error
+		// from being blamed on an old server fault.
+		s.metrics.loadErrors.Add(1)
+		status := http.StatusBadRequest
+		if je, ok := s.cfg.Loader.(interface{ JournalErr() error }); ok {
+			if jerr := je.JournalErr(); jerr != nil && errors.Is(err, jerr) {
+				status = http.StatusInternalServerError
+			}
+		}
+		http.Error(w, fmt.Sprintf("load failed after %d triples: %v", n, err), status)
+		return
+	}
+	s.metrics.loads.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"loaded\":%d,\"triples\":%d,\"store_version\":%d,\"elapsed_ms\":%d}\n",
+		n, s.engine.Len(), s.engine.Version(), time.Since(start).Milliseconds())
+}
+
+// authorizedLoad accepts the configured token via "Authorization:
+// Bearer <token>" or an X-Load-Token header, compared in constant time.
+func (s *Server) authorizedLoad(r *http.Request) bool {
+	tok := ""
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+		tok = strings.TrimSpace(strings.TrimPrefix(h, "Bearer "))
+	}
+	if tok == "" {
+		tok = r.Header.Get("X-Load-Token")
+	}
+	return tok != "" && subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.LoadToken)) == 1
 }
 
 // ServeHTTP implements http.Handler.

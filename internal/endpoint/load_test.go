@@ -1,0 +1,139 @@
+package endpoint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+)
+
+func postLoad(srv http.Handler, body string, header map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/load", strings.NewReader(body))
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// ntFeature renders the GeoSPARQL triple shape for one point feature,
+// matching what AddFeature produces.
+func ntFeature(i int, x, y float64) string {
+	iri := fmt.Sprintf("http://extremeearth.eu/feature/new%d", i)
+	return fmt.Sprintf("<%s> <%s> <http://extremeearth.eu/ontology#Feature> .\n", iri, rdf.RDFType) +
+		fmt.Sprintf("<%s> <%s> <%s/geom> .\n", iri, rdf.GeoHasGeometry, iri) +
+		fmt.Sprintf("<%s/geom> <%s> \"POINT (%g %g)\"^^<%s> .\n", iri, rdf.GeoAsWKT, x, y, rdf.WKTLiteral)
+}
+
+func TestLoadDisabledWithoutToken(t *testing.T) {
+	st := testStore(t)
+	// Loader set but no token: still disabled.
+	srv := endpoint.New(st, endpoint.Config{Loader: st})
+	if rec := postLoad(srv, ntFeature(0, 1, 1), nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	// Token set but no loader: disabled too.
+	srv = endpoint.New(st, endpoint.Config{LoadToken: "s3cret"})
+	if rec := postLoad(srv, ntFeature(0, 1, 1), map[string]string{"Authorization": "Bearer s3cret"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestLoadAuth(t *testing.T) {
+	st := testStore(t)
+	srv := endpoint.New(st, endpoint.Config{Loader: st, LoadToken: "s3cret"})
+
+	if rec := postLoad(srv, ntFeature(0, 1, 1), nil); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("no token: status = %d, want 401", rec.Code)
+	}
+	if rec := postLoad(srv, ntFeature(0, 1, 1), map[string]string{"Authorization": "Bearer wrong"}); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("bad token: status = %d, want 401", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/load", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d, want 405", rec.Code)
+	}
+	if rec := postLoad(srv, ntFeature(0, 1, 1), map[string]string{"X-Load-Token": "s3cret"}); rec.Code != http.StatusOK {
+		t.Fatalf("X-Load-Token: status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestLoadIngestsAndInvalidatesCache is the end-to-end ingestion story:
+// query (cached) → load → the same query must see the new data.
+func TestLoadIngestsAndInvalidatesCache(t *testing.T) {
+	st := testStore(t)
+	srv := endpoint.New(st, endpoint.Config{Loader: st, LoadToken: "s3cret"})
+
+	countRows := func() int {
+		rec := get(t, srv, sparqlURL(spatialQuery, "format=csv"), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query status %d: %s", rec.Code, rec.Body.String())
+		}
+		return len(strings.Split(strings.TrimSpace(rec.Body.String()), "\n")) - 1
+	}
+	before := countRows()
+	if before != 2 {
+		t.Fatalf("seed store answered %d rows, want 2", before)
+	}
+	// Warm the cache and confirm a hit.
+	get(t, srv, sparqlURL(spatialQuery, "format=csv"), nil)
+	if srv.CacheHits() == 0 {
+		t.Fatal("expected a cache hit before the load")
+	}
+
+	// Two features inside the query window, one outside.
+	body := ntFeature(1, 2, 2) + ntFeature(2, 3, 3) + ntFeature(3, 5000, 5000)
+	rec := postLoad(srv, body, map[string]string{"Authorization": "Bearer s3cret"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("load status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Loaded       int    `json:"loaded"`
+		Triples      int    `json:"triples"`
+		StoreVersion uint64 `json:"store_version"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("load response %q: %v", rec.Body.String(), err)
+	}
+	if resp.Loaded != 9 {
+		t.Errorf("loaded = %d, want 9", resp.Loaded)
+	}
+	if resp.Triples != st.Len() || resp.StoreVersion != st.Version() {
+		t.Errorf("response %+v disagrees with store (%d triples, v%d)", resp, st.Len(), st.Version())
+	}
+
+	if after := countRows(); after != before+2 {
+		t.Errorf("after load query answered %d rows, want %d (stale cache?)", after, before+2)
+	}
+
+	// Malformed payload: partial load reported as 400, prior data intact.
+	rec = postLoad(srv, ntFeature(4, 4, 4)+"garbage line\n", map[string]string{"Authorization": "Bearer s3cret"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed load status = %d, want 400", rec.Code)
+	}
+	if got := countRows(); got != before+3 {
+		t.Errorf("after partial load: %d rows, want %d", got, before+3)
+	}
+}
+
+func TestMetricsExposeLoads(t *testing.T) {
+	st := testStore(t)
+	srv := endpoint.New(st, endpoint.Config{Loader: st, LoadToken: "tok"})
+	postLoad(srv, ntFeature(0, 1, 1), map[string]string{"Authorization": "Bearer tok"})
+	rec := get(t, srv, "/metrics", nil)
+	body := rec.Body.String()
+	for _, want := range []string{"sparql_loads_total 1", "sparql_loaded_triples_total 3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

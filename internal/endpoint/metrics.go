@@ -22,6 +22,10 @@ type metrics struct {
 	rejected    atomic.Uint64 // admission-control 503s
 	timeouts    atomic.Uint64 // per-query deadline expirations
 
+	loads         atomic.Uint64 // successful POST /load requests
+	loadErrors    atomic.Uint64 // failed POST /load requests
+	loadedTriples atomic.Uint64 // triples read by POST /load (incl. partial loads)
+
 	bucketCounts [11]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf
 	latencySumNs atomic.Uint64
 }
@@ -55,6 +59,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeCounter("sparql_cache_misses_total", "Requests that missed the result cache.", m.cacheMisses.Load())
 	writeCounter("sparql_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
 	writeCounter("sparql_timeouts_total", "Requests cancelled by the per-query timeout.", m.timeouts.Load())
+	writeCounter("sparql_loads_total", "Successful POST /load ingestions.", m.loads.Load())
+	writeCounter("sparql_load_errors_total", "Failed POST /load ingestions.", m.loadErrors.Load())
+	writeCounter("sparql_loaded_triples_total", "Triples read by POST /load.", m.loadedTriples.Load())
 	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
 
 	fmt.Fprintf(w, "# HELP sparql_query_duration_seconds Query latency histogram.\n# TYPE sparql_query_duration_seconds histogram\n")

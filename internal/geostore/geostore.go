@@ -17,6 +17,8 @@ package geostore
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -97,6 +99,10 @@ func (s *Store) Len() int { return s.rdfStore.Len() }
 // rdf.Store.Version); query-result caches key on it for invalidation.
 func (s *Store) Version() uint64 { return s.rdfStore.Version() }
 
+// JournalErr surfaces the first durability-journal failure, if any (see
+// rdf.Store.JournalErr). Serving layers report it as a server fault.
+func (s *Store) JournalErr() error { return s.rdfStore.JournalErr() }
+
 // NumGeometries returns the number of distinct indexed geometries.
 func (s *Store) NumGeometries() int {
 	s.mu.RLock()
@@ -123,6 +129,106 @@ func (s *Store) Add(sub, pred, obj rdf.Term) error {
 	}
 	s.rdfStore.Add(sub, pred, obj)
 	return nil
+}
+
+// RegisterGeometry associates a pre-parsed geometry with a WKT literal
+// term, so a subsequent Add of that literal skips WKT parsing. Sharded
+// bulk loaders (internal/storage.BulkLoad) parse WKT in parallel workers
+// and register here from the single writer.
+func (s *Store) RegisterGeometry(obj rdf.Term, g geom.Geometry) {
+	id := s.rdfStore.Dict().Encode(obj)
+	s.mu.Lock()
+	if _, ok := s.geoms[id]; !ok {
+		s.geoms[id] = g
+		s.dirty = true
+	}
+	s.mu.Unlock()
+}
+
+// RestoreGeometries scans the dictionary for geo:wktLiteral terms and
+// (re-)parses any that are not yet registered, sharding the WKT parsing
+// across CPUs. Call it after snapshot/WAL recovery populated the
+// underlying RDF store directly.
+func (s *Store) RestoreGeometries() error {
+	type pending struct {
+		id rdf.ID
+		t  rdf.Term
+	}
+	var todo []pending
+	s.mu.RLock()
+	s.rdfStore.Dict().Range(func(id rdf.ID, t rdf.Term) bool {
+		if t.IsGeometry() {
+			if _, ok := s.geoms[id]; !ok {
+				todo = append(todo, pending{id, t})
+			}
+		}
+		return true
+	})
+	s.mu.RUnlock()
+	if len(todo) == 0 {
+		return nil
+	}
+
+	workers := runtime.NumCPU()
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	parsed := make([]geom.Geometry, len(todo))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(todo); i += workers {
+				g, err := geom.ParseWKT(todo[i].t.Value)
+				if err != nil {
+					errs[w] = fmt.Errorf("geostore: restore %q: %w", todo[i].t.Value, err)
+					return
+				}
+				parsed[i] = g
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	for i, p := range todo {
+		if _, ok := s.geoms[p.id]; !ok {
+			s.geoms[p.id] = parsed[i]
+			s.dirty = true
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// LoadNTriples streams N-Triples into the store, registering geometry
+// literals and sealing a journal batch every loadBatch triples, so an
+// attached WAL sees bounded batches instead of one giant record. It
+// returns the number of triples read; on error, triples before the
+// offending line remain loaded (and journaled).
+func (s *Store) LoadNTriples(r io.Reader) (int, error) {
+	const loadBatch = 4096
+	n := 0
+	_, err := rdf.ScanNTriples(r, func(t rdf.Triple) error {
+		if err := s.Add(t.S, t.P, t.O); err != nil {
+			return err
+		}
+		n++
+		if n%loadBatch == 0 {
+			return s.rdfStore.CommitJournal()
+		}
+		return nil
+	})
+	if cerr := s.rdfStore.CommitJournal(); err == nil {
+		err = cerr
+	}
+	return n, err
 }
 
 // AddFeature inserts the standard GeoSPARQL triple shape for a feature:

@@ -1,6 +1,9 @@
 package rdf
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // ID is a dictionary-encoded term identifier. IDs are dense, starting at 1;
 // 0 is reserved as "no term".
@@ -74,4 +77,40 @@ func (d *Dict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.byID)
+}
+
+// Terms returns a copy of the interned terms in ID order (terms[i] has
+// ID i+1). Snapshot writers persist this as the dictionary segment.
+func (d *Dict) Terms() []Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Term(nil), d.byID...)
+}
+
+// Range calls fn with every (ID, Term) pair in ID order until fn returns
+// false. The iteration works on a stable view captured at call time;
+// terms interned during the iteration may or may not be visited.
+func (d *Dict) Range(fn func(ID, Term) bool) {
+	d.mu.RLock()
+	terms := d.byID
+	d.mu.RUnlock()
+	for i, t := range terms {
+		if !fn(ID(i+1), t) {
+			return
+		}
+	}
+}
+
+// adopt replaces the contents of an empty dictionary with terms (IDs
+// 1..len(terms) in order) and their prebuilt reverse map. Used by
+// snapshot recovery, which constructs the map off-thread.
+func (d *Dict) adopt(terms []Term, byTerm map[Term]ID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.byID) != 0 {
+		return fmt.Errorf("rdf: dictionary already holds %d terms", len(d.byID))
+	}
+	d.byID = append([]Term(nil), terms...)
+	d.byTerm = byTerm
+	return nil
 }

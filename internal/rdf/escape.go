@@ -1,0 +1,135 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// escapeLiteral renders a literal lexical form as an N-Triples
+// STRING_LITERAL_QUOTE, including the surrounding quotes. The W3C grammar
+// allows only ECHAR ('\' [tbnrf"'\]) and UCHAR (\uXXXX / \UXXXXXXXX)
+// escapes; printable characters (including non-ASCII) are emitted raw and
+// remaining control characters as \u escapes.
+func escapeLiteral(lex string) string {
+	var b strings.Builder
+	b.Grow(len(lex) + 2)
+	b.WriteByte('"')
+	for _, r := range lex {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\b':
+			b.WriteString(`\b`)
+		case '\f':
+			b.WriteString(`\f`)
+		default:
+			if r < 0x20 || r == 0x7f {
+				fmt.Fprintf(&b, `\u%04X`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// unescapeLiteral decodes a quoted STRING_LITERAL_QUOTE (surrounding
+// quotes included) back to its lexical form. It accepts the ECHAR and
+// UCHAR escapes of the N-Triples grammar and rejects anything else, so
+// Term.String output and files from standards-conforming tools both
+// round-trip.
+func unescapeLiteral(q string) (string, error) {
+	if len(q) < 2 || q[0] != '"' || q[len(q)-1] != '"' {
+		return "", fmt.Errorf("literal %q is not quoted", q)
+	}
+	body := q[1 : len(q)-1]
+	if !strings.ContainsRune(body, '\\') {
+		return body, nil
+	}
+	var b strings.Builder
+	b.Grow(len(body))
+	for i := 0; i < len(body); {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(body) {
+			return "", fmt.Errorf("literal ends with bare backslash")
+		}
+		switch e := body[i+1]; e {
+		case 't':
+			b.WriteByte('\t')
+			i += 2
+		case 'b':
+			b.WriteByte('\b')
+			i += 2
+		case 'n':
+			b.WriteByte('\n')
+			i += 2
+		case 'r':
+			b.WriteByte('\r')
+			i += 2
+		case 'f':
+			b.WriteByte('\f')
+			i += 2
+		case '"':
+			b.WriteByte('"')
+			i += 2
+		case '\'':
+			b.WriteByte('\'')
+			i += 2
+		case '\\':
+			b.WriteByte('\\')
+			i += 2
+		case 'u', 'U':
+			digits := 4
+			if e == 'U' {
+				digits = 8
+			}
+			if i+2+digits > len(body) {
+				return "", fmt.Errorf("truncated \\%c escape", e)
+			}
+			var r rune
+			for _, d := range []byte(body[i+2 : i+2+digits]) {
+				v := hexVal(d)
+				if v < 0 {
+					return "", fmt.Errorf("bad hex digit %q in \\%c escape", d, e)
+				}
+				r = r<<4 | rune(v)
+			}
+			if !utf8.ValidRune(r) {
+				return "", fmt.Errorf("escape \\%c%s is not a valid code point", e, body[i+2:i+2+digits])
+			}
+			b.WriteRune(r)
+			i += 2 + digits
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", e)
+		}
+	}
+	return b.String(), nil
+}
+
+func hexVal(d byte) int {
+	switch {
+	case d >= '0' && d <= '9':
+		return int(d - '0')
+	case d >= 'a' && d <= 'f':
+		return int(d-'a') + 10
+	case d >= 'A' && d <= 'F':
+		return int(d-'A') + 10
+	default:
+		return -1
+	}
+}

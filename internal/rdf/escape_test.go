@@ -1,0 +1,131 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLiteralEscapeRoundTrip pushes hostile lexical forms through the
+// full serialize → parse pipeline (Triple.String → ParseTripleLine) and
+// demands exact round-tripping, per the N-Triples ECHAR/UCHAR grammar.
+func TestLiteralEscapeRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`with "double quotes"`,
+		`backslash \ in the middle`,
+		`trailing backslash \`,
+		"\\",
+		`\\`,
+		`\" already-escaped-looking`,
+		"newline\nand\r\nCRLF",
+		"tab\tseparated\tcells",
+		"bell\x07 backspace\b formfeed\f vertical\x0b",
+		"null\x00byte",
+		"unicode: héllo wörld — ελληνικά 中文 🚀",
+		"del\x7fchar",
+		`POLYGON ((0 0, 1 "0", 1 1))`,
+		`a \n that is literal text, not a newline`,
+		"mixed \\ \" \n \t \\u0041 soup",
+	}
+	for _, lex := range hostile {
+		for _, term := range []Term{
+			NewLiteral(lex),
+			NewLangLiteral(lex, "en"),
+			NewTypedLiteral(lex, WKTLiteral),
+		} {
+			orig := NewTriple(NewIRI("http://example.org/s"), NewIRI("http://example.org/p"), term)
+			line := orig.String()
+			got, err := ParseTripleLine(line)
+			if err != nil {
+				t.Fatalf("ParseTripleLine(%q): %v", line, err)
+			}
+			if got != orig {
+				t.Errorf("round trip %q:\n  wrote %q\n  got   %#v\n  want  %#v", lex, line, got.O, orig.O)
+			}
+		}
+	}
+}
+
+// TestUnescapeLiteralSpecForms checks that spec escape forms written by
+// other tools (\uXXXX, \UXXXXXXXX, \') decode, and that non-N-Triples
+// escapes are rejected rather than silently mangled.
+func TestUnescapeLiteralSpecForms(t *testing.T) {
+	ok := map[string]string{
+		`"\u0041"`:         "A",
+		`"\U0001F680"`:     "🚀",
+		`"\'"`:             "'",
+		`"\t\b\n\r\f\"\\"`: "\t\b\n\r\f\"\\",
+		`"\u00e9t\u00e9"`:  "été",
+	}
+	for in, want := range ok {
+		got, err := unescapeLiteral(in)
+		if err != nil {
+			t.Errorf("unescapeLiteral(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("unescapeLiteral(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	bad := []string{
+		`"\x41"`,       // Go hex escape, not N-Triples
+		`"\a"`,         // Go bell escape
+		`"\q"`,         // unknown
+		`"\u12"`,       // truncated
+		`"\U1234"`,     // truncated
+		`"\uZZZZ"`,     // bad hex
+		`"\"`,          // bare trailing backslash
+		`"\UFFFFFFFF"`, // not a valid code point
+	}
+	for _, in := range bad {
+		if got, err := unescapeLiteral(in); err == nil {
+			t.Errorf("unescapeLiteral(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+// TestScanNTriplesStreaming exercises the streaming API: per-triple
+// callbacks, callback error propagation, and agreement with the
+// materializing wrapper.
+func TestScanNTriplesStreaming(t *testing.T) {
+	input := `<http://a> <http://p> "v1" .
+# comment
+
+<http://b> <http://p> "line\nbreak" .
+<http://c> <http://p> "v3" .
+`
+	var seen []Triple
+	lines, err := ScanNTriples(strings.NewReader(input), func(tr Triple) error {
+		seen = append(seen, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 5 || len(seen) != 3 {
+		t.Fatalf("lines=%d triples=%d, want 5/3", lines, len(seen))
+	}
+	if seen[1].O.Value != "line\nbreak" {
+		t.Errorf("escaped literal = %q", seen[1].O.Value)
+	}
+
+	read, _, err := ReadNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read) != len(seen) {
+		t.Fatalf("ReadNTriples disagrees with ScanNTriples: %d vs %d", len(read), len(seen))
+	}
+
+	wantErr := strings.NewReader(`<http://a> <http://p> "v" .`)
+	if _, err := ScanNTriples(wantErr, func(Triple) error { return errStop }); err != errStop {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

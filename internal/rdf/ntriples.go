@@ -7,31 +7,70 @@ import (
 	"strings"
 )
 
-// ReadNTriples parses a stream of N-Triples lines (the serialization
-// Term.String/Triple.String produce and GeoTriples exports). Comment
-// lines (#...) and blank lines are skipped. It returns the parsed triples
-// and the number of lines read.
-func ReadNTriples(r io.Reader) ([]Triple, int, error) {
+// NewNTriplesScanner returns a line scanner over r with buffer limits
+// sized for long WKT literals (16 MiB max line). ScanNTriples and the
+// sharded bulk loader (internal/storage) both read through it, so the
+// two paths accept exactly the same inputs.
+func NewNTriplesScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var out []Triple
+	return sc
+}
+
+// SkippableNTriplesLine reports whether a trimmed line carries no
+// statement (blank or #-comment).
+func SkippableNTriplesLine(line string) bool {
+	return line == "" || strings.HasPrefix(line, "#")
+}
+
+// ScanNTriples parses a stream of N-Triples lines (the serialization
+// Term.String/Triple.String produce and GeoTriples exports), calling fn
+// for every parsed triple without materializing the whole set. Comment
+// lines (#...) and blank lines are skipped. It returns the number of
+// lines read; an error from fn aborts the scan and is returned verbatim.
+func ScanNTriples(r io.Reader, fn func(Triple) error) (int, error) {
+	sc := NewNTriplesScanner(r)
 	lines := 0
 	for sc.Scan() {
 		lines++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if SkippableNTriplesLine(line) {
 			continue
 		}
 		t, err := parseNTripleLine(line)
 		if err != nil {
-			return nil, lines, fmt.Errorf("rdf: line %d: %w", lines, err)
+			return lines, fmt.Errorf("rdf: line %d: %w", lines, err)
 		}
-		out = append(out, t)
+		if err := fn(t); err != nil {
+			return lines, err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, lines, fmt.Errorf("rdf: reading N-Triples: %w", err)
+		return lines, fmt.Errorf("rdf: reading N-Triples: %w", err)
+	}
+	return lines, nil
+}
+
+// ReadNTriples is ScanNTriples materialized into a slice, returning the
+// parsed triples and the number of lines read. Prefer ScanNTriples for
+// large inputs.
+func ReadNTriples(r io.Reader) ([]Triple, int, error) {
+	var out []Triple
+	lines, err := ScanNTriples(r, func(t Triple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, lines, err
 	}
 	return out, lines, nil
+}
+
+// ParseTripleLine parses a single N-Triples statement. It is the
+// per-line kernel of ScanNTriples, exported so sharded loaders
+// (internal/storage's bulk loader) can parse line batches in parallel.
+func ParseTripleLine(line string) (Triple, error) {
+	return parseNTripleLine(strings.TrimSpace(line))
 }
 
 // parseNTripleLine parses one "S P O ." statement.
@@ -129,15 +168,24 @@ func truncateStr(s string, n int) string {
 	return s[:n] + "..."
 }
 
-// LoadNTriples reads N-Triples from r straight into the store, returning
-// the number of triples added.
+// LoadNTriples streams N-Triples from r straight into the store,
+// returning the number of triples read. If a journal is attached, a
+// batch is sealed every 4096 triples and at the end, so the load is
+// durable when the call returns. On error, triples parsed before the
+// offending line remain in the store (and journaled).
 func (s *Store) LoadNTriples(r io.Reader) (int, error) {
-	triples, _, err := ReadNTriples(r)
-	if err != nil {
-		return 0, err
-	}
-	for _, t := range triples {
+	const loadBatch = 4096
+	n := 0
+	_, err := ScanNTriples(r, func(t Triple) error {
 		s.AddTriple(t)
+		n++
+		if n%loadBatch == 0 {
+			return s.CommitJournal()
+		}
+		return nil
+	})
+	if cerr := s.CommitJournal(); err == nil {
+		err = cerr
 	}
-	return len(triples), nil
+	return n, err
 }

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -26,8 +27,26 @@ type Store struct {
 	pos     []EncTriple
 	osp     []EncTriple
 	pending []EncTriple
+	// seen is the write-path dedup set. nil means "not built yet": a
+	// snapshot install defers it so cold restarts reach serving without
+	// paying one hash insert per triple; the first write rebuilds it
+	// from spo+pending.
 	seen    map[EncTriple]struct{}
+	count   int // distinct triples (kept explicit so Len() never needs seen)
 	version uint64
+	journal Journal
+	jerr    error
+}
+
+// Journal is the durability hook a write-ahead log implements
+// (internal/storage.Log does). Record is invoked with every novel triple
+// while the store's write lock is held, so implementations must buffer
+// cheaply and must never call back into the store; Commit seals the
+// buffered triples into one durable batch and is invoked outside the
+// lock.
+type Journal interface {
+	Record(t Triple) error
+	Commit() error
 }
 
 // NewStore returns an empty store with its own dictionary.
@@ -52,12 +71,81 @@ func (s *Store) AddTriple(t Triple) { s.Add(t.S, t.P, t.O) }
 func (s *Store) AddEncoded(t EncTriple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.seen == nil {
+		s.rebuildSeenLocked()
+	}
 	if _, dup := s.seen[t]; dup {
 		return
 	}
 	s.seen[t] = struct{}{}
 	s.pending = append(s.pending, t)
+	s.count++
 	s.version++
+	if s.journal != nil {
+		dec := Triple{
+			S: s.dict.MustDecode(t.S),
+			P: s.dict.MustDecode(t.P),
+			O: s.dict.MustDecode(t.O),
+		}
+		if err := s.journal.Record(dec); err != nil && s.jerr == nil {
+			s.jerr = err
+		}
+	}
+}
+
+// SetJournal attaches (or, with nil, detaches) the durability journal.
+// Every subsequent novel triple is recorded before Add returns; attach
+// the journal only after recovery has finished replaying, so replayed
+// triples are not re-journaled.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// JournalErr returns the first error the attached journal reported, if
+// any. A non-nil value means the in-memory store has triples the log may
+// not have; the serving layer should surface it and stop accepting
+// writes.
+func (s *Store) JournalErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jerr
+}
+
+// CommitJournal seals the triples recorded since the previous commit
+// into one durable journal batch. It is a no-op without a journal.
+// Commit failures stick in JournalErr just like Record failures — the
+// in-memory store may now be ahead of the log either way.
+func (s *Store) CommitJournal() error {
+	s.mu.RLock()
+	j, jerr := s.journal, s.jerr
+	s.mu.RUnlock()
+	if jerr != nil {
+		return jerr
+	}
+	if j == nil {
+		return nil
+	}
+	if err := j.Commit(); err != nil {
+		s.mu.Lock()
+		if s.jerr == nil {
+			s.jerr = err
+		}
+		err = s.jerr
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// AddBatch inserts the triples and seals them (together with any other
+// concurrently recorded writes — group commit) into one journal batch.
+func (s *Store) AddBatch(ts []Triple) error {
+	for _, t := range ts {
+		s.AddTriple(t)
+	}
+	return s.CommitJournal()
 }
 
 // Version returns a monotonic counter that advances on every mutation
@@ -73,7 +161,20 @@ func (s *Store) Version() uint64 {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.seen)
+	return s.count
+}
+
+// rebuildSeenLocked materializes the write-path dedup set from the
+// indexed and pending triples. Caller must hold the write lock.
+func (s *Store) rebuildSeenLocked() {
+	seen := make(map[EncTriple]struct{}, len(s.spo)+len(s.pending))
+	for _, t := range s.spo {
+		seen[t] = struct{}{}
+	}
+	for _, t := range s.pending {
+		seen[t] = struct{}{}
+	}
+	s.seen = seen
 }
 
 // flushLocked merges pending triples into the three sorted indexes. Caller
@@ -89,6 +190,29 @@ func (s *Store) flushLocked() {
 	sort.Slice(s.spo, func(i, j int) bool { return lessSPO(s.spo[i], s.spo[j]) })
 	sort.Slice(s.pos, func(i, j int) bool { return lessPOS(s.pos[i], s.pos[j]) })
 	sort.Slice(s.osp, func(i, j int) bool { return lessOSP(s.osp[i], s.osp[j]) })
+	// Compact duplicates (possible only when a snapshot was installed
+	// without its dedup set and the file contained repeats).
+	s.spo = compactSorted(s.spo)
+	s.pos = compactSorted(s.pos)
+	s.osp = compactSorted(s.osp)
+	if s.count != len(s.spo) {
+		s.count = len(s.spo)
+	}
+}
+
+// compactSorted removes adjacent duplicates from a sorted index slice.
+func compactSorted(ts []EncTriple) []EncTriple {
+	if len(ts) < 2 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[w-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
 }
 
 // ensureIndexed flushes pending writes if any, upgrading the lock.
@@ -256,6 +380,85 @@ func (s *Store) Count(sub, pred, obj ID) int {
 	n := 0
 	s.Match(sub, pred, obj, func(EncTriple) bool { n++; return true })
 	return n
+}
+
+// SnapshotData returns a consistent point-in-time copy of the store for
+// snapshot writers: the dictionary in ID order, every triple (encoded
+// against that dictionary), and the mutation version at capture. The
+// dictionary is captured after the triples, so it always covers every ID
+// the triples reference even under concurrent writers.
+func (s *Store) SnapshotData() (terms []Term, triples []EncTriple, version uint64) {
+	s.mu.RLock()
+	triples = make([]EncTriple, 0, len(s.spo)+len(s.pending))
+	triples = append(triples, s.spo...)
+	triples = append(triples, s.pending...)
+	version = s.version
+	s.mu.RUnlock()
+	return s.dict.Terms(), triples, version
+}
+
+// InstallSnapshot loads a snapshot (dictionary segment + encoded triple
+// segment, as produced by SnapshotData) into an empty store, bypassing
+// term re-encoding; this is the fast path behind cold restarts. The
+// store takes ownership of both slices — callers must not reuse them.
+// The installed triples are not journaled — attach the journal
+// afterwards.
+func (s *Store) InstallSnapshot(terms []Term, triples []EncTriple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count != 0 || s.dict.Len() != 0 {
+		return fmt.Errorf("rdf: InstallSnapshot into non-empty store (%d triples, %d terms)",
+			s.count, s.dict.Len())
+	}
+	// Insert-then-check-len detects duplicate terms with one hash per
+	// term instead of a lookup plus an insert.
+	byTerm := make(map[Term]ID, len(terms))
+	for i, t := range terms {
+		byTerm[t] = ID(i + 1)
+		if len(byTerm) != i+1 {
+			return fmt.Errorf("rdf: duplicate term %s in dictionary segment", t)
+		}
+	}
+	return s.installPreparedLocked(terms, byTerm, triples)
+}
+
+// InstallSnapshotPrepared is InstallSnapshot for callers that built the
+// term→ID index themselves (internal/storage constructs it concurrently
+// with segment decoding). byTerm must map terms[i] to ID i+1.
+func (s *Store) InstallSnapshotPrepared(terms []Term, byTerm map[Term]ID, triples []EncTriple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count != 0 || s.dict.Len() != 0 {
+		return fmt.Errorf("rdf: InstallSnapshot into non-empty store (%d triples, %d terms)",
+			s.count, s.dict.Len())
+	}
+	if len(byTerm) != len(terms) {
+		return fmt.Errorf("rdf: prepared index has %d entries for %d terms", len(byTerm), len(terms))
+	}
+	return s.installPreparedLocked(terms, byTerm, triples)
+}
+
+func (s *Store) installPreparedLocked(terms []Term, byTerm map[Term]ID, triples []EncTriple) error {
+	max := ID(len(terms))
+	for _, t := range triples {
+		if t.S <= 0 || t.S > max || t.P <= 0 || t.P > max || t.O <= 0 || t.O > max {
+			return fmt.Errorf("rdf: snapshot triple %v references ID outside dictionary (1..%d)", t, max)
+		}
+	}
+	if err := s.dict.adopt(terms, byTerm); err != nil {
+		return err
+	}
+	// The write-path dedup set stays nil (lazy): snapshots written by
+	// SnapshotData are duplicate-free, and the first live write rebuilds
+	// it. flushLocked compacts any duplicates a hand-crafted file smuggled
+	// in, so reads stay correct regardless. The store takes ownership of
+	// the triples slice — snapshot loaders hand it off and never touch
+	// it again, so skipping the copy is safe and measurable at restart.
+	s.seen = nil
+	s.pending = triples
+	s.count = len(triples)
+	s.version = uint64(len(triples))
+	return nil
 }
 
 // Triples returns all triples in unspecified order (decoded). Intended for

@@ -127,7 +127,7 @@ func (t Term) String() string {
 	case Blank:
 		return "_:" + t.Value
 	case Literal:
-		s := strconv.Quote(t.Value)
+		s := escapeLiteral(t.Value)
 		if t.Lang != "" {
 			return s + "@" + t.Lang
 		}
@@ -163,7 +163,7 @@ func ParseTerm(s string) (Term, error) {
 		if end < 0 {
 			return Term{}, fmt.Errorf("rdf: unterminated literal %q", s)
 		}
-		lex, err := strconv.Unquote(s[:end+1])
+		lex, err := unescapeLiteral(s[:end+1])
 		if err != nil {
 			return Term{}, fmt.Errorf("rdf: bad literal %q: %v", s, err)
 		}

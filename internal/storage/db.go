@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// DB manages one durable data directory:
+//
+//	<dir>/snap-<version>.snap   compacted snapshots (dictionary + triples)
+//	<dir>/wal-<seq>.log         append-only WAL segments
+//
+// Lifecycle: Open the directory, Recover into an empty store (loads the
+// latest valid snapshot, replays every WAL segment in order), attach
+// db.Log() to the store with rdf.Store.SetJournal, and periodically call
+// Snapshot to compact. Replay is idempotent — the store deduplicates —
+// so a crash between publishing a snapshot and pruning the WAL only
+// costs redundant replay work, never data.
+type DB struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	lockFile *os.File // holds the flock guarding the directory
+	log      *Log
+	seq      int // active WAL segment sequence number
+	// prevSnapSeq is the rotation boundary of the previous (second
+	// newest) snapshot still on disk; segments at or before it are
+	// covered by that snapshot and safe to prune.
+	prevSnapSeq int
+	mark        uint64 // log.Recorded() at the last snapshot (or recovery)
+	recovered   bool
+}
+
+// RecoveryStats reports what Recover found on disk.
+type RecoveryStats struct {
+	// SnapshotPath is the snapshot that seeded the store ("" if none).
+	SnapshotPath string
+	// SnapshotTriples is the triple count loaded from the snapshot.
+	SnapshotTriples int
+	// WALSegments is the number of WAL segment files replayed or opened.
+	WALSegments int
+	// WALBatches and WALTriples count the replayed log records. Replayed
+	// triples already present in the snapshot deduplicate silently.
+	WALBatches int
+	WALTriples int
+}
+
+// Open prepares a DB over dir, creating the directory if needed, and
+// takes an exclusive flock on <dir>/LOCK so two processes cannot append
+// to the same WAL (the kernel releases the lock if the holder dies, so
+// a crashed process never blocks recovery). Data files are not touched
+// until Recover.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	lf, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	if err := flockExclusive(lf); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
+	}
+	return &DB{dir: dir, opts: opts, lockFile: lf}, nil
+}
+
+// Dir returns the managed directory.
+func (db *DB) Dir() string { return db.dir }
+
+func (db *DB) snapPath(version uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("snap-%016d.snap", version))
+}
+
+func (db *DB) segPath(seq int) string {
+	return filepath.Join(db.dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+
+// listSnapshots returns (path, version) pairs sorted newest first.
+// Files matching snap-*.snap whose name does not carry a numeric
+// version are returned separately so Recover can warn about them —
+// they would otherwise be silently invisible to recovery and pruning.
+func (db *DB) listSnapshots() (snaps []SnapshotInfo, unparsable []string, err error) {
+	paths, err := filepath.Glob(filepath.Join(db.dir, "snap-*.snap"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range paths {
+		var v uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), "snap-%d.snap", &v); err != nil {
+			unparsable = append(unparsable, p)
+			continue
+		}
+		snaps = append(snaps, SnapshotInfo{Path: p, Version: v})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Version > snaps[j].Version })
+	return snaps, unparsable, nil
+}
+
+// listSegments returns (path, seq) pairs sorted oldest first.
+func (db *DB) listSegments() ([]struct {
+	Path string
+	Seq  int
+}, error) {
+	paths, err := filepath.Glob(filepath.Join(db.dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	var out []struct {
+		Path string
+		Seq  int
+	}
+	for _, p := range paths {
+		var s int
+		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &s); err != nil {
+			continue
+		}
+		out = append(out, struct {
+			Path string
+			Seq  int
+		}{p, s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Recover loads the directory's state into st (which must be empty):
+// the newest snapshot that passes verification seeds the store, older
+// generations are fallbacks for a corrupt newest, and every WAL segment
+// then replays in sequence order with torn tails tolerated. Afterwards
+// the youngest segment is open for appending and Log() is usable.
+// Recover does not attach the journal to st — do that after it returns,
+// so replayed triples are not re-journaled.
+func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var stats RecoveryStats
+	if db.recovered {
+		return stats, fmt.Errorf("storage: Recover called twice")
+	}
+
+	snaps, unparsable, err := db.listSnapshots()
+	if err != nil {
+		return stats, err
+	}
+	for _, p := range unparsable {
+		fmt.Fprintf(os.Stderr, "storage: ignoring %s: snapshots must be named snap-<version>.snap to be recovered\n", p)
+	}
+	for _, s := range snaps {
+		info, err := LoadSnapshotFile(s.Path, st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storage: skipping unreadable snapshot %s: %v\n", s.Path, err)
+			continue
+		}
+		stats.SnapshotPath = s.Path
+		stats.SnapshotTriples = info.Triples
+		break
+	}
+
+	replay := func(batch []rdf.Triple) error {
+		for _, t := range batch {
+			st.AddTriple(t)
+		}
+		stats.WALBatches++
+		stats.WALTriples += len(batch)
+		return nil
+	}
+	segs, err := db.listSegments()
+	if err != nil {
+		return stats, err
+	}
+	stats.WALSegments = len(segs)
+	if len(segs) == 0 {
+		db.seq = 1
+		db.log, err = CreateLog(db.segPath(db.seq), db.opts)
+		if err != nil {
+			return stats, err
+		}
+		stats.WALSegments = 1
+	} else {
+		for _, s := range segs[:len(segs)-1] {
+			dropped, err := ReplayLog(s.Path, replay)
+			if err != nil {
+				return stats, err
+			}
+			if dropped > 0 {
+				// A sealed (non-final) segment ending in damage is real
+				// corruption, not a crash-torn tail; recovery proceeds
+				// with what is readable, but loudly.
+				fmt.Fprintf(os.Stderr,
+					"storage: WARNING: sealed WAL segment %s is corrupt %d bytes before its end; records after the damage were skipped\n",
+					s.Path, dropped)
+			}
+		}
+		last := segs[len(segs)-1]
+		db.log, err = OpenLog(last.Path, db.opts, replay)
+		if err != nil {
+			return stats, err
+		}
+		db.seq = last.Seq
+	}
+	db.mark = db.log.Recorded()
+	db.recovered = true
+	return stats, nil
+}
+
+// Log returns the active WAL, ready to attach as the store's journal.
+// Only valid after Recover.
+func (db *DB) Log() *Log { return db.log }
+
+// SinceSnapshot returns the number of triples journaled since the last
+// snapshot (or since recovery). Serving layers use it to trigger
+// background compaction.
+func (db *DB) SinceSnapshot() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return 0
+	}
+	return db.log.Recorded() - db.mark
+}
+
+// Snapshot captures st into a new snapshot file and compacts the WAL:
+//
+//  1. the WAL rotates to a fresh segment (a cheap barrier — every triple
+//     journaled before rotation is durable in the old segments and,
+//     because Record runs under the store's write lock, also applied);
+//  2. the store is captured (a superset of those segments) and written
+//     to snap-<version>.snap via tmp-file + rename;
+//  3. pre-rotation segments and older snapshots are pruned.
+//
+// A crash at any point leaves a directory Recover handles: before the
+// rename the old snapshot + all segments reconstruct everything, after
+// it redundant segments merely replay into deduplicating adds.
+// Concurrent writes are never blocked for longer than the rotation.
+func (db *DB) Snapshot(st *rdf.Store) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.recovered || db.log == nil {
+		return "", fmt.Errorf("storage: Snapshot before Recover or after Close")
+	}
+	if err := st.JournalErr(); err != nil {
+		return "", err
+	}
+	newSeq := db.seq + 1
+	if err := db.log.Rotate(db.segPath(newSeq)); err != nil {
+		return "", err
+	}
+	oldSeq := db.seq
+	db.seq = newSeq
+	// Sample the compaction mark at rotation: everything recorded before
+	// it will be in this snapshot. Triples journaled while the snapshot
+	// file is being written stay counted in SinceSnapshot even if the
+	// capture happens to include them — over-triggering compaction is
+	// safe, never compacting a WAL tail is not.
+	mark := db.log.Recorded()
+
+	terms, triples, version := st.SnapshotData()
+	// The file name must order strictly above every snapshot already on
+	// disk, whatever its number: a hand-seeded snapshot with an inflated
+	// name (eecat -pack users pick their own) must never shadow newer
+	// runtime snapshots on the next recovery.
+	nameVer := version
+	if snaps, _, err := db.listSnapshots(); err == nil && len(snaps) > 0 && snaps[0].Version >= nameVer {
+		nameVer = snaps[0].Version + 1
+	}
+	path := db.snapPath(nameVer)
+	if err := writeSnapshotData(path, terms, triples, version); err != nil {
+		return "", err
+	}
+
+	// Prune, keeping TWO snapshot generations so a later CRC failure in
+	// the newest can still fall back to the previous one — which needs
+	// the segments recorded after *its* rotation boundary, so only
+	// segments at or before the previous snapshot's boundary go.
+	if segs, err := db.listSegments(); err == nil {
+		for _, s := range segs {
+			if s.Seq <= db.prevSnapSeq {
+				os.Remove(s.Path)
+			}
+		}
+	}
+	if snaps, _, err := db.listSnapshots(); err == nil {
+		kept := 0
+		for _, s := range snaps { // newest first
+			if s.Version >= nameVer {
+				continue // the generation just written
+			}
+			kept++
+			if kept > 1 {
+				os.Remove(s.Path)
+			}
+		}
+	}
+	db.prevSnapSeq = oldSeq
+	db.mark = mark
+	return path, nil
+}
+
+// Close seals and closes the WAL and releases the directory lock. The
+// DB is unusable afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var err error
+	if db.log != nil {
+		err = db.log.Close()
+		db.log = nil
+	}
+	if db.lockFile != nil {
+		db.lockFile.Close() // dropping the fd releases the flock
+		db.lockFile = nil
+	}
+	return err
+}

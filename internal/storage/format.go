@@ -1,0 +1,145 @@
+// Package storage is the durability subsystem of the re-engineered
+// store: a binary, dictionary-encoded append-only write-ahead log plus
+// compacted snapshot files, with crash recovery that loads the latest
+// valid snapshot and replays the WAL tail.
+//
+// On-disk formats (all integers little-endian or unsigned varints):
+//
+//	WAL record   := u32 payloadLen | u32 crc32(payload) | payload
+//	WAL payload  := uvarint nDefs   | nDefs × term
+//	                uvarint nTriples| nTriples × (uvarint s, p, o)
+//	term         := u8 kind | str value [| str datatype | str lang]
+//	str          := uvarint len | bytes
+//
+// WAL term IDs are log-local: the first novel term in a segment gets ID
+// 1, and definitions always precede use, so a reader reconstructs the
+// dictionary incrementally. Snapshot files carry an 8-byte magic, a
+// payload of the same term/triple encodings (IDs are the store
+// dictionary's), and a trailer holding the triple-segment offset plus a
+// CRC32 over payload and offset (see snapshotMagic in snapshot.go):
+//
+//	snapshot := "EESNAP02"
+//	          | payload := uvarint version
+//	                     | uvarint nTerms  | nTerms × term
+//	                     | uvarint nTriples| nTriples × (uvarint s, p, o)
+//	          | u64 tripleOff | u32 crc32(payload + tripleOff)
+//
+// tripleOff (the payload offset of the nTriples field) lets recovery
+// decode the dictionary and triple segments on separate cores. A record
+// or snapshot whose length or CRC does not check out is treated as
+// torn: the WAL reader stops at the last valid record (and the writer
+// truncates the tail), and snapshot recovery falls back to the previous
+// snapshot generation.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// maxRecordLen bounds a single WAL record payload, so a corrupt length
+// prefix cannot provoke a giant allocation before the CRC check runs.
+const maxRecordLen = 1 << 28
+
+const (
+	termIRI     = 0
+	termLiteral = 1
+	termBlank   = 2
+)
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendTerm appends the binary encoding of t.
+func appendTerm(buf []byte, t rdf.Term) []byte {
+	switch t.Kind {
+	case rdf.IRI:
+		buf = append(buf, termIRI)
+		return appendString(buf, t.Value)
+	case rdf.Blank:
+		buf = append(buf, termBlank)
+		return appendString(buf, t.Value)
+	default: // rdf.Literal
+		buf = append(buf, termLiteral)
+		buf = appendString(buf, t.Value)
+		buf = appendString(buf, t.Datatype)
+		return appendString(buf, t.Lang)
+	}
+}
+
+// decoder is a cursor over an in-memory encoded payload. It works on a
+// string so decoded term values are zero-copy substrings sharing the
+// payload's backing array — the dominant cost of a cold snapshot load
+// would otherwise be one allocation per term component.
+type decoder struct {
+	buf string
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := d.off; i < len(d.buf); i++ {
+		b := d.buf[i]
+		if b < 0x80 {
+			if i-d.off > 9 || (i-d.off == 9 && b > 1) {
+				return 0, fmt.Errorf("storage: varint overflow at offset %d", d.off)
+			}
+			d.off = i + 1
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("storage: truncated varint at offset %d", d.off)
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return "", fmt.Errorf("storage: string of %d bytes overruns payload at offset %d", n, d.off)
+	}
+	s := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) term() (rdf.Term, error) {
+	if d.off >= len(d.buf) {
+		return rdf.Term{}, fmt.Errorf("storage: truncated term at offset %d", d.off)
+	}
+	kind := d.buf[d.off]
+	d.off++
+	value, err := d.str()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch kind {
+	case termIRI:
+		return rdf.NewIRI(value), nil
+	case termBlank:
+		return rdf.NewBlank(value), nil
+	case termLiteral:
+		dt, err := d.str()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		lang, err := d.str()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Term{Kind: rdf.Literal, Value: value, Datatype: dt, Lang: lang}, nil
+	default:
+		return rdf.Term{}, fmt.Errorf("storage: unknown term kind %d", kind)
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }

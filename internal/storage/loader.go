@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+)
+
+// BulkLoad streams N-Triples from r into st using a parallel pipeline:
+// a producer shards raw lines into chunks, a worker pool parses each
+// chunk (N-Triples grammar plus WKT geometry parsing, the two CPU-heavy
+// stages), and a single writer applies the parsed chunks to the store —
+// so dictionary encoding and index mutation stay single-threaded while
+// parsing saturates the CPUs. If a journal is attached to the store the
+// writer seals one WAL batch per chunk. It returns the number of
+// triples loaded; the first parse error aborts the pipeline (triples
+// from chunks already applied remain in the store).
+func BulkLoad(r io.Reader, st *geostore.Store, workers int) (int, error) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	const chunkLines = 1024
+
+	type rawChunk struct {
+		base  int // line number of lines[0], for error messages
+		lines []string
+	}
+	type parsedEntry struct {
+		t    rdf.Triple
+		g    geom.Geometry
+		hasG bool
+	}
+
+	raws := make(chan rawChunk, workers)
+	parsed := make(chan []parsedEntry, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	// Producer: shard input lines into chunks.
+	go func() {
+		defer close(raws)
+		sc := rdf.NewNTriplesScanner(r)
+		lines := make([]string, 0, chunkLines)
+		base := 1
+		lineNo := 0
+		flush := func() bool {
+			if len(lines) == 0 {
+				return true
+			}
+			chunk := rawChunk{base: base, lines: lines}
+			select {
+			case raws <- chunk:
+				lines = make([]string, 0, chunkLines)
+				return true
+			case <-stop:
+				return false
+			}
+		}
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if rdf.SkippableNTriplesLine(line) {
+				continue
+			}
+			if len(lines) == 0 {
+				base = lineNo
+			}
+			lines = append(lines, line)
+			if len(lines) == chunkLines {
+				if !flush() {
+					return
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fail(fmt.Errorf("storage: bulk load read: %w", err))
+			return
+		}
+		flush()
+	}()
+
+	// Workers: parse line chunks (triples + WKT) in parallel.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range raws {
+				entries := make([]parsedEntry, 0, len(chunk.lines))
+				for i, line := range chunk.lines {
+					t, err := rdf.ParseTripleLine(line)
+					if err != nil {
+						fail(fmt.Errorf("storage: bulk load: near line %d: %w", chunk.base+i, err))
+						return
+					}
+					e := parsedEntry{t: t}
+					if t.O.IsGeometry() {
+						g, err := geom.ParseWKT(t.O.Value)
+						if err != nil {
+							fail(fmt.Errorf("storage: bulk load: near line %d: %w", chunk.base+i, err))
+							return
+						}
+						e.g, e.hasG = g, true
+					}
+					entries = append(entries, e)
+				}
+				select {
+				case parsed <- entries:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(parsed)
+	}()
+
+	// Single writer: register geometries, apply triples, seal batches.
+	n := 0
+	for entries := range parsed {
+		errMu.Lock()
+		aborted := firstErr != nil
+		errMu.Unlock()
+		if aborted {
+			continue // drain
+		}
+		for _, e := range entries {
+			if e.hasG {
+				st.RegisterGeometry(e.t.O, e.g)
+			}
+			if err := st.Add(e.t.S, e.t.P, e.t.O); err != nil {
+				fail(err)
+				break
+			}
+			n++
+		}
+		if err := st.RDF().CommitJournal(); err != nil {
+			fail(err)
+		}
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return n, err
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock; the LOCK file
+// still exists as documentation but offers no mutual exclusion there.
+func flockExclusive(*os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. The
+// kernel releases it automatically when the process exits, so a crash
+// never leaves a stale lock behind.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,329 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rdf"
+)
+
+// snapshotMagic identifies format version 02 snapshot files:
+//
+//	magic | payload | u64 tripleOff | u32 crc32(payload + tripleOff)
+//
+// tripleOff is the byte offset (within the payload) of the encoded
+// triple segment, letting recovery decode the dictionary segment and
+// the triple segment on two cores; it sits in the trailer because the
+// writer only knows it after streaming the dictionary.
+const snapshotMagic = "EESNAP02"
+
+// SnapshotInfo summarizes a snapshot file for inspection tools.
+type SnapshotInfo struct {
+	Path    string
+	Version uint64 // store mutation version at capture
+	Terms   int    // dictionary segment size
+	Triples int    // encoded-triple segment size
+	Bytes   int64  // file size
+}
+
+// WriteSnapshotTo encodes a snapshot of (terms, triples, version) to w.
+func WriteSnapshotTo(w *bufio.Writer, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	payloadLen := uint64(0)
+	// Every payload byte goes through both the file writer and the CRC.
+	emit := func(buf []byte) error {
+		crc.Write(buf)
+		payloadLen += uint64(len(buf))
+		_, err := w.Write(buf)
+		return err
+	}
+	var scratch []byte
+	scratch = binary.AppendUvarint(scratch, version)
+	scratch = binary.AppendUvarint(scratch, uint64(len(terms)))
+	if err := emit(scratch); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		scratch = appendTerm(scratch[:0], t)
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	tripleOff := payloadLen
+	scratch = binary.AppendUvarint(scratch[:0], uint64(len(triples)))
+	if err := emit(scratch); err != nil {
+		return err
+	}
+	for _, t := range triples {
+		scratch = binary.AppendUvarint(scratch[:0], uint64(t.S))
+		scratch = binary.AppendUvarint(scratch, uint64(t.P))
+		scratch = binary.AppendUvarint(scratch, uint64(t.O))
+		if err := emit(scratch); err != nil {
+			return err
+		}
+	}
+	var trailer [12]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], tripleOff)
+	crc.Write(trailer[0:8]) // the offset is CRC-protected too
+	binary.LittleEndian.PutUint32(trailer[8:12], crc.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteSnapshotFile captures st and writes it atomically to path: the
+// bytes go to path+".tmp", are fsynced, and then renamed over path.
+func WriteSnapshotFile(path string, st *rdf.Store) error {
+	terms, triples, version := st.SnapshotData()
+	return writeSnapshotData(path, terms, triples, version)
+}
+
+func writeSnapshotData(path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := WriteSnapshotTo(w, terms, triples, version); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Failures are ignored: not all platforms support it, and the
+// rename itself already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// ReadSnapshotFile loads and verifies a snapshot file, returning the
+// dictionary segment, encoded triple segment, and capture version. Any
+// framing, CRC, or decoding failure is an error — callers fall back to
+// an older snapshot generation.
+func ReadSnapshotFile(path string) (terms []rdf.Term, triples []rdf.EncTriple, version uint64, err error) {
+	terms, _, triples, version, err = readSnapshot(path, false)
+	return terms, triples, version, err
+}
+
+// LoadSnapshotFile reads, verifies, and installs a snapshot into an
+// empty store. This is the cold-restart fast path: the dictionary
+// segment, the triple segment, and the term→ID index all build on
+// separate cores. On error the store is untouched.
+func LoadSnapshotFile(path string, st *rdf.Store) (SnapshotInfo, error) {
+	terms, byTerm, triples, version, err := readSnapshot(path, true)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := st.InstallSnapshotPrepared(terms, byTerm, triples); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Path: path, Version: version, Terms: len(terms), Triples: len(triples)}, nil
+}
+
+// readSnapshot decodes a snapshot file; with buildIndex it additionally
+// constructs the term→ID map on a third goroutine, pipelined behind the
+// dictionary decode.
+func readSnapshot(path string, buildIndex bool) (terms []rdf.Term, byTerm map[rdf.Term]rdf.ID, triples []rdf.EncTriple, version uint64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	if len(raw) < len(snapshotMagic)+12 || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, nil, nil, 0, fmt.Errorf("storage: %s is not a snapshot file", path)
+	}
+	checked := raw[len(snapshotMagic) : len(raw)-4] // payload + offset trailer
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(checked) != want {
+		return nil, nil, nil, 0, fmt.Errorf("storage: snapshot %s failed CRC check", path)
+	}
+	tripleOff := binary.LittleEndian.Uint64(checked[len(checked)-8:])
+	// One conversion for the whole payload; every decoded term value is
+	// a zero-copy substring of it.
+	payload := string(checked[:len(checked)-8])
+	if tripleOff > uint64(len(payload)) {
+		return nil, nil, nil, 0, fmt.Errorf("storage: snapshot triple segment offset %d beyond payload", tripleOff)
+	}
+	d := &decoder{buf: payload}
+	if version, err = d.uvarint(); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	nTerms, err := d.uvarint()
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if nTerms > uint64(len(payload)) { // each term costs ≥ 2 bytes
+		return nil, nil, nil, 0, fmt.Errorf("storage: snapshot term count %d exceeds payload", nTerms)
+	}
+
+	// The trailer offset lets the triple segment decode concurrently
+	// with the dictionary segment.
+	type tripleResult struct {
+		triples []rdf.EncTriple
+		err     error
+	}
+	tripleCh := make(chan tripleResult, 1)
+	go func() {
+		td := &decoder{buf: payload, off: int(tripleOff)}
+		nTriples, err := td.uvarint()
+		if err != nil {
+			tripleCh <- tripleResult{nil, err}
+			return
+		}
+		if nTriples > uint64(len(payload)) { // each triple costs ≥ 3 bytes
+			tripleCh <- tripleResult{nil, fmt.Errorf("storage: snapshot triple count %d exceeds payload", nTriples)}
+			return
+		}
+		out := make([]rdf.EncTriple, 0, nTriples)
+		for i := uint64(0); i < nTriples; i++ {
+			var ids [3]uint64
+			for j := range ids {
+				v, err := td.uvarint()
+				if err != nil {
+					tripleCh <- tripleResult{nil, err}
+					return
+				}
+				if v == 0 || v > nTerms {
+					tripleCh <- tripleResult{nil, fmt.Errorf("storage: snapshot triple references term ID %d of %d", v, nTerms)}
+					return
+				}
+				ids[j] = v
+			}
+			out = append(out, rdf.EncTriple{
+				S: rdf.ID(ids[0]), P: rdf.ID(ids[1]), O: rdf.ID(ids[2]),
+			})
+		}
+		if td.remaining() != 0 {
+			tripleCh <- tripleResult{nil, fmt.Errorf("storage: %d trailing bytes in snapshot payload", td.remaining())}
+			return
+		}
+		tripleCh <- tripleResult{out, nil}
+	}()
+
+	// With buildIndex, a third goroutine constructs the term→ID map,
+	// pipelined one batch behind the decode loop. Each send carries its
+	// own subslice header (terms is preallocated to full capacity, so
+	// the backing array never moves and sent elements are never written
+	// again); the builder must not touch the `terms` variable itself,
+	// which the decode loop keeps reassigning.
+	type indexBatchMsg struct {
+		base  int // ID of batch[0] is base+1
+		batch []rdf.Term
+	}
+	type indexResult struct {
+		byTerm map[rdf.Term]rdf.ID
+		err    error
+	}
+	var rangeCh chan indexBatchMsg
+	var indexCh chan indexResult
+	if buildIndex {
+		rangeCh = make(chan indexBatchMsg, 64)
+		indexCh = make(chan indexResult, 1)
+		go func() {
+			m := make(map[rdf.Term]rdf.ID, nTerms)
+			var dupErr error
+			for r := range rangeCh {
+				if dupErr != nil {
+					continue // drain so the decoder never blocks
+				}
+				for i, t := range r.batch {
+					m[t] = rdf.ID(r.base + i + 1)
+					if len(m) != r.base+i+1 {
+						dupErr = fmt.Errorf("storage: duplicate term %s in dictionary segment", t)
+						break
+					}
+				}
+			}
+			indexCh <- indexResult{m, dupErr}
+		}()
+	}
+
+	const indexBatch = 8192
+	terms = make([]rdf.Term, 0, nTerms)
+	sent := 0
+	var termErr error
+	for i := uint64(0); i < nTerms; i++ {
+		t, err := d.term()
+		if err != nil {
+			termErr = err
+			break
+		}
+		terms = append(terms, t)
+		if buildIndex && len(terms)-sent >= indexBatch {
+			rangeCh <- indexBatchMsg{sent, terms[sent:len(terms):len(terms)]}
+			sent = len(terms)
+		}
+	}
+	if buildIndex {
+		if sent < len(terms) {
+			rangeCh <- indexBatchMsg{sent, terms[sent:len(terms):len(terms)]}
+		}
+		close(rangeCh)
+	}
+	if termErr == nil && d.off != int(tripleOff) {
+		termErr = fmt.Errorf("storage: dictionary segment ends at %d, triple segment starts at %d", d.off, tripleOff)
+	}
+	tr := <-tripleCh
+	var idx indexResult
+	if buildIndex {
+		idx = <-indexCh
+	}
+	if termErr != nil {
+		return nil, nil, nil, 0, termErr
+	}
+	if tr.err != nil {
+		return nil, nil, nil, 0, tr.err
+	}
+	if buildIndex && idx.err != nil {
+		return nil, nil, nil, 0, idx.err
+	}
+	return terms, idx.byTerm, tr.triples, version, nil
+}
+
+// InspectSnapshot reads only enough of a snapshot to describe it (the
+// whole file is still CRC-verified).
+func InspectSnapshot(path string) (SnapshotInfo, error) {
+	terms, triples, version, err := ReadSnapshotFile(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{
+		Path:    path,
+		Version: version,
+		Terms:   len(terms),
+		Triples: len(triples),
+		Bytes:   fi.Size(),
+	}, nil
+}

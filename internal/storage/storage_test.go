@@ -1,0 +1,822 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+)
+
+func tr(i int) rdf.Triple {
+	return rdf.NewTriple(
+		rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i)),
+		rdf.NewIRI("http://example.org/p"),
+		rdf.NewIntLiteral(int64(i)),
+	)
+}
+
+// sortedTriples canonicalizes a store's contents for comparison.
+func sortedTriples(st *rdf.Store) []string {
+	var out []string
+	for _, t := range st.Triples() {
+		out = append(out, t.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := CreateLog(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]rdf.Triple
+	k := 0
+	for b := 0; b < 7; b++ {
+		var batch []rdf.Triple
+		for i := 0; i < 3+b; i++ {
+			batch = append(batch, tr(k))
+			k++
+		}
+		// Repeat a triple so dictionary reuse across records is exercised.
+		batch = append(batch, tr(0))
+		for _, x := range batch {
+			if err := l.Record(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, batch)
+	}
+	if got := l.Recorded(); got != uint64(k+7) {
+		t.Errorf("Recorded = %d, want %d", got, k+7)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]rdf.Triple
+	l2, err := OpenLog(path, Options{}, func(batch []rdf.Triple) error {
+		got = append(got, append([]rdf.Triple(nil), batch...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	// The reopened log must append with the reconstructed dictionary.
+	extra := tr(999)
+	if err := l2.Record(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := ReplayLog(path, func(batch []rdf.Triple) error { n += len(batch); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range want {
+		total += len(b)
+	}
+	if n != total+1 {
+		t.Fatalf("after append: replayed %d triples, want %d", n, total+1)
+	}
+}
+
+// TestWALTornTailEveryOffset is the kill(-9)-style crash recovery
+// property test: the WAL is truncated at every byte offset of the final
+// record (and a couple of offsets into earlier ones) and recovery must
+// always succeed, yielding exactly the committed batch prefix that lies
+// before the cut.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := CreateLog(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 4
+	var boundaries []int64 // file size after each commit
+	k := 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < 5; i++ {
+			if err := l.Record(tr(k)); err != nil {
+				t.Fatal(err)
+			}
+			k++
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fi.Size())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != boundaries[batches-1] {
+		t.Fatalf("file grew after last sync: %d vs %d", len(full), boundaries[batches-1])
+	}
+
+	// batchesBefore(cut) = number of complete records at or before cut.
+	batchesBefore := func(cut int64) int {
+		n := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	lastStart := boundaries[batches-2]
+	for cut := lastStart; cut <= int64(len(full)); cut++ {
+		truncated := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(truncated, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gotBatches := 0
+		gotTriples := 0
+		lg, err := OpenLog(truncated, Options{}, func(batch []rdf.Triple) error {
+			gotBatches++
+			gotTriples += len(batch)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut at %d: recovery errored: %v", cut, err)
+		}
+		wantB := batchesBefore(cut)
+		if gotBatches != wantB {
+			lg.Close()
+			t.Fatalf("cut at %d: recovered %d batches, want %d", cut, gotBatches, wantB)
+		}
+		if gotTriples != wantB*5 {
+			lg.Close()
+			t.Fatalf("cut at %d: recovered %d triples, want %d", cut, gotTriples, wantB*5)
+		}
+		// Recovery truncates the torn tail and the log must accept and
+		// persist a fresh batch afterwards.
+		if err := lg.Record(tr(1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatalf("cut at %d: close after recovery: %v", cut, err)
+		}
+		after := 0
+		if _, err := ReplayLog(truncated, func(b []rdf.Triple) error { after += len(b); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if after != wantB*5+1 {
+			t.Fatalf("cut at %d: post-recovery append lost data: %d triples, want %d", cut, after, wantB*5+1)
+		}
+	}
+}
+
+// TestWALMidFileCorruption flips one byte in an early record: replay
+// must stop at the corruption and still hand back the prefix.
+func TestWALMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := CreateLog(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstEnd int64
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 4; i++ {
+			if err := l.Record(tr(b*4 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if b == 0 {
+			fi, _ := os.Stat(path)
+			firstEnd = fi.Size()
+		}
+	}
+	l.Close()
+	raw, _ := os.ReadFile(path)
+	raw[firstEnd+10] ^= 0xff // inside record 2's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	dropped, err := ReplayLog(path, func(b []rdf.Triple) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d batches past corruption, want 1", n)
+	}
+	if dropped == 0 {
+		t.Fatal("mid-file corruption not reported as dropped bytes")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := rdf.NewStore()
+	for i := 0; i < 500; i++ {
+		src.AddTriple(tr(i))
+	}
+	src.Add(rdf.NewIRI("http://g"), rdf.NewIRI(rdf.GeoAsWKT),
+		rdf.NewWKTLiteral("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"))
+	src.Add(rdf.NewIRI("http://l"), rdf.NewIRI("http://p"),
+		rdf.NewLangLiteral("hostile \"quote\"\nline", "en"))
+
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if err := WriteSnapshotFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Triples != src.Len() {
+		t.Errorf("info.Triples = %d, want %d", info.Triples, src.Len())
+	}
+
+	terms, triples, _, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := rdf.NewStore()
+	if err := dst.InstallSnapshot(terms, triples); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedTriples(dst), sortedTriples(src)) {
+		t.Fatal("snapshot round trip changed contents")
+	}
+	if dst.Version() == 0 {
+		t.Error("installed store version is 0; caches would never invalidate on the first write")
+	}
+}
+
+// TestLoadSnapshotFileLargeDictionary pushes the dictionary well past
+// one index batch (8192 terms), so the pipelined term→ID builder runs
+// its concurrent branch (meaningful under -race).
+func TestLoadSnapshotFileLargeDictionary(t *testing.T) {
+	src := rdf.NewStore()
+	for i := 0; i < 6000; i++ {
+		src.Add(
+			rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i)),
+			rdf.NewIRI(fmt.Sprintf("http://example.org/p%d", i%7)),
+			rdf.NewLiteral(fmt.Sprintf("value-%d", i)),
+		)
+	}
+	if src.Dict().Len() <= 8192 {
+		t.Fatalf("test needs > 8192 terms, have %d", src.Dict().Len())
+	}
+	path := filepath.Join(t.TempDir(), "big.snap")
+	if err := WriteSnapshotFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := rdf.NewStore()
+	info, err := LoadSnapshotFile(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Triples != src.Len() || dst.Len() != src.Len() {
+		t.Fatalf("loaded %d/%d triples, want %d", info.Triples, dst.Len(), src.Len())
+	}
+	// The prepared index must be usable for term-bound lookups.
+	got := 0
+	dst.MatchTerms(rdf.NewIRI("http://example.org/s123"), rdf.Term{}, rdf.Term{}, func(rdf.Triple) bool {
+		got++
+		return true
+	})
+	if got != 1 {
+		t.Fatalf("lookup through prepared index found %d triples, want 1", got)
+	}
+}
+
+// TestWALRecordAutoSplit commits one batch whose payload exceeds the
+// writer's soft cap and checks it lands as multiple records that all
+// replay — the writer must never emit a record the reader would treat
+// as a torn tail.
+func TestWALRecordAutoSplit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := CreateLog(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("x", 8<<20) // 8 MiB literal
+	const n = 10                      // ~80 MiB total, past the 64 MiB soft cap
+	for i := 0; i < n; i++ {
+		tr := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://example.org/big%d", i)),
+			rdf.NewIRI("http://example.org/p"),
+			rdf.NewLiteral(fmt.Sprintf("%s-%d", big, i)),
+		)
+		if err := l.Record(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	batches, triples := 0, 0
+	if _, err := ReplayLog(path, func(b []rdf.Triple) error {
+		batches++
+		triples += len(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if triples != n {
+		t.Fatalf("replayed %d triples, want %d", triples, n)
+	}
+	if batches < 2 {
+		t.Fatalf("oversized batch was not split (got %d records)", batches)
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	src := rdf.NewStore()
+	for i := 0; i < 50; i++ {
+		src.AddTriple(tr(i))
+	}
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if err := WriteSnapshotFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	for _, off := range []int{0, len(snapshotMagic) + 3, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x55
+		bad := filepath.Join(t.TempDir(), "bad.snap")
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadSnapshotFile(bad); err == nil {
+			t.Errorf("corruption at offset %d not detected", off)
+		}
+	}
+	if _, _, _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("missing snapshot not an error")
+	}
+}
+
+// TestDBDirectoryLock ensures two processes (simulated by two DB
+// handles) cannot share a data directory, and that Close releases it.
+func TestDBDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a locked directory succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	db2.Close()
+}
+
+// TestDBRecoverLifecycle drives the full open → write → snapshot →
+// write → reopen cycle and checks contents plus on-disk compaction.
+func TestDBRecoverLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	stats, err := db.Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotPath != "" || stats.WALTriples != 0 {
+		t.Fatalf("fresh dir recovered %+v", stats)
+	}
+	st.SetJournal(db.Log())
+
+	var batch1 []rdf.Triple
+	for i := 0; i < 100; i++ {
+		batch1 = append(batch1, tr(i))
+	}
+	if err := st.AddBatch(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SinceSnapshot(); got != 100 {
+		t.Errorf("SinceSnapshot = %d, want 100", got)
+	}
+	snapPath, err := db.Snapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SinceSnapshot() != 0 {
+		t.Errorf("SinceSnapshot after snapshot = %d", db.SinceSnapshot())
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-snapshot writes land in the WAL tail only.
+	var batch2 []rdf.Triple
+	for i := 100; i < 130; i++ {
+		batch2 = append(batch2, tr(i))
+	}
+	if err := st.AddBatch(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: snapshot + WAL tail must reconstruct everything.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rdf.NewStore()
+	stats2, err := db2.Recover(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if stats2.SnapshotTriples != 100 {
+		t.Errorf("snapshot triples = %d, want 100", stats2.SnapshotTriples)
+	}
+	// Segments covered by the newest snapshot stick around until a
+	// snapshot two generations later prunes them; replaying them on top
+	// of the snapshot is idempotent. 100 (pre-snapshot, retained) + 30.
+	if stats2.WALTriples != 130 {
+		t.Errorf("WAL triples = %d, want 130", stats2.WALTriples)
+	}
+	if !reflect.DeepEqual(sortedTriples(st2), sortedTriples(st)) {
+		t.Fatal("recovered store differs from original")
+	}
+
+	// Retention: two snapshot generations are kept, and segments only
+	// fall away once a snapshot two generations newer covers them. Run
+	// two more snapshot cycles and check the steady state.
+	st2.SetJournal(db2.Log())
+	for cycle := 0; cycle < 2; cycle++ {
+		var more []rdf.Triple
+		for i := 0; i < 10; i++ {
+			more = append(more, tr(1000+cycle*10+i))
+		}
+		if err := st2.AddBatch(more); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db2.Snapshot(st2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 2 {
+		t.Errorf("snapshots on disk = %v, want 2 generations", snaps)
+	}
+	if len(segs) == 0 || len(segs) > 3 {
+		t.Errorf("wal segments on disk = %v, want 1-3 (pruned up to the older kept snapshot)", segs)
+	}
+}
+
+// TestDBRecoverFallsBackToOlderSnapshot corrupts the newest snapshot
+// and expects recovery to use the previous generation plus the WAL.
+func TestDBRecoverFallsBackToOlderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	for i := 0; i < 40; i++ {
+		st.AddTriple(tr(i))
+	}
+	if err := st.CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 60; i++ {
+		st.AddTriple(tr(i))
+	}
+	if err := st.CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := db.Snapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Bit-rot the NEWEST snapshot: recovery must fall back to the
+	// previous generation and rebuild the full state from the retained
+	// WAL segments (this is why two generations are kept).
+	raw, err := os.ReadFile(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(snap2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rdf.NewStore()
+	stats, err := db2.Recover(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if stats.SnapshotPath == snap2 || stats.SnapshotPath == "" {
+		t.Errorf("recovered from %q, want the older generation", stats.SnapshotPath)
+	}
+	if st2.Len() != 60 {
+		t.Errorf("recovered %d triples, want 60", st2.Len())
+	}
+}
+
+// TestDBSeededSnapshotNeverShadowsNewer: a hand-seeded snapshot with an
+// inflated filename version (the eecat -pack workflow) must not shadow
+// runtime snapshots taken after it — Snapshot names strictly above any
+// existing file.
+func TestDBSeededSnapshotNeverShadowsNewer(t *testing.T) {
+	dir := t.TempDir()
+	seedStore := rdf.NewStore()
+	for i := 0; i < 20; i++ {
+		seedStore.AddTriple(tr(i))
+	}
+	if err := WriteSnapshotFile(filepath.Join(dir, "snap-9000000000.snap"), seedStore); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	stats, err := db.Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotTriples != 20 {
+		t.Fatalf("seed snapshot not loaded: %+v", stats)
+	}
+	st.SetJournal(db.Log())
+	for i := 20; i < 50; i++ {
+		st.AddTriple(tr(i))
+	}
+	if err := st.CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath, err := db.Snapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(filepath.Base(snapPath), "snap-%d.snap", &v); err != nil || v <= 9000000000 {
+		t.Fatalf("runtime snapshot %s does not order above the seed", snapPath)
+	}
+	// A second snapshot prunes the seed's WAL coverage; recovery must
+	// still see all 50 triples via the newest snapshot.
+	st.AddTriple(tr(50))
+	if err := st.CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rdf.NewStore()
+	if _, err := db2.Recover(st2); err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if st2.Len() != 51 {
+		t.Fatalf("recovered %d triples, want 51 (seed shadowed newer data?)", st2.Len())
+	}
+}
+
+// TestDBConcurrentWritersAndSnapshot exercises the group-commit path
+// under -race: several writers add journaled batches while snapshots
+// run concurrently, then everything must recover.
+func TestDBConcurrentWritersAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i += 10 {
+				var batch []rdf.Triple
+				for j := 0; j < 10; j++ {
+					batch = append(batch, tr(w*perWriter+i+j))
+				}
+				if err := st.AddBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for i := 0; i < 5; i++ {
+			if _, err := db.Snapshot(st); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapDone
+	if err := st.JournalErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rdf.NewStore()
+	if _, err := db2.Recover(st2); err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if st2.Len() != writers*perWriter {
+		t.Fatalf("recovered %d triples, want %d", st2.Len(), writers*perWriter)
+	}
+	if !reflect.DeepEqual(sortedTriples(st2), sortedTriples(st)) {
+		t.Fatal("recovered store differs")
+	}
+}
+
+// TestGeostoreRecoveryWithGeometries round-trips a geospatial store
+// through snapshot + WAL recovery and compares spatial query results.
+func TestGeostoreRecoveryWithGeometries(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst := geostore.New(geostore.ModeIndexed)
+	if _, err := db.Recover(gst.RDF()); err != nil {
+		t.Fatal(err)
+	}
+	gst.RDF().SetJournal(db.Log())
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	for _, f := range geostore.GeneratePointFeatures(300, 7, extent) {
+		if err := gst.AddFeature(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gst.RDF().CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(gst.RDF()); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	query := geostore.SelectionQuery(geom.NewRect(100, 100, 600, 600))
+	want, err := gst.QueryString(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst2 := geostore.New(geostore.ModeIndexed)
+	if _, err := db2.Recover(gst2.RDF()); err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := gst2.RestoreGeometries(); err != nil {
+		t.Fatal(err)
+	}
+	if gst2.NumGeometries() != gst.NumGeometries() {
+		t.Fatalf("restored %d geometries, want %d", gst2.NumGeometries(), gst.NumGeometries())
+	}
+	got, err := gst2.QueryString(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 || got.Len() != want.Len() {
+		t.Fatalf("recovered store answered %d rows, want %d (nonzero)", got.Len(), want.Len())
+	}
+}
+
+func TestBulkLoadMatchesSequential(t *testing.T) {
+	extent := geom.NewRect(0, 0, 1000, 1000)
+	ref := geostore.New(geostore.ModeIndexed)
+	for _, f := range geostore.GeneratePointFeatures(500, 9, extent) {
+		if err := ref.AddFeature(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var nt strings.Builder
+	for _, tri := range ref.RDF().Triples() {
+		nt.WriteString(tri.String())
+		nt.WriteByte('\n')
+	}
+
+	for _, workers := range []int{1, 4} {
+		st := geostore.New(geostore.ModeIndexed)
+		n, err := BulkLoad(strings.NewReader(nt.String()), st, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != ref.Len() {
+			t.Errorf("workers=%d: loaded %d triples, want %d", workers, n, ref.Len())
+		}
+		if st.NumGeometries() != ref.NumGeometries() {
+			t.Errorf("workers=%d: %d geometries, want %d", workers, st.NumGeometries(), ref.NumGeometries())
+		}
+		if !reflect.DeepEqual(sortedTriples(st.RDF()), sortedTriples(ref.RDF())) {
+			t.Errorf("workers=%d: contents differ", workers)
+		}
+		q := geostore.SelectionQuery(geom.NewRect(0, 0, 500, 500))
+		want, _ := ref.QueryString(q)
+		got, err := st.QueryString(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Errorf("workers=%d: query rows %d, want %d", workers, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestBulkLoadPropagatesParseError(t *testing.T) {
+	input := "<http://a> <http://p> \"ok\" .\nthis is not a triple\n"
+	st := geostore.New(geostore.ModeIndexed)
+	if _, err := BulkLoad(strings.NewReader(input), st, 4); err == nil {
+		t.Fatal("malformed input did not error")
+	}
+	bad := `<http://g> <` + rdf.GeoAsWKT + `> "NOT WKT AT ALL"^^<` + rdf.WKTLiteral + `> .` + "\n"
+	if _, err := BulkLoad(strings.NewReader(bad), geostore.New(geostore.ModeIndexed), 2); err == nil {
+		t.Fatal("invalid WKT did not error")
+	}
+}

@@ -1,0 +1,411 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Options tunes the write-ahead log's durability/throughput trade-off.
+type Options struct {
+	// SyncEvery fsyncs the log after every n-th commit (group commit);
+	// values <= 1 sync on every commit. Unsynced commits survive process
+	// crashes (the OS has the writes) but not machine crashes.
+	SyncEvery int
+	// NoSync skips fsync entirely. For bulk loads and tests.
+	NoSync bool
+}
+
+// Log is an append-only, dictionary-encoded write-ahead log over one
+// segment file. It implements rdf.Journal: the store calls Record for
+// every novel triple (under its write lock) and Commit seals the
+// buffered triples into one length-prefixed, CRC-framed record. All
+// methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	opts Options
+
+	// dict maps terms to segment-local IDs; definitions are written in
+	// the record where a term first appears.
+	dict   map[rdf.Term]uint64
+	nextID uint64
+
+	// current record under construction.
+	defs    []byte // encoded novel term definitions
+	nDefs   uint64
+	triples []byte // encoded (s, p, o) ID tuples
+	nTrip   uint64
+
+	sinceSync int
+	recorded  uint64 // triples recorded since open (monotonic across Rotate)
+	broken    error  // sticky write failure
+}
+
+// CreateLog creates (truncating) a fresh WAL segment at path.
+func CreateLog(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create WAL: %w", err)
+	}
+	return newLog(f, opts), nil
+}
+
+func newLog(f *os.File, opts Options) *Log {
+	return &Log{
+		f:      f,
+		w:      bufio.NewWriterSize(f, 1<<16),
+		opts:   opts,
+		dict:   make(map[rdf.Term]uint64),
+		nextID: 1,
+	}
+}
+
+// OpenLog opens an existing WAL segment for appending: it replays every
+// valid record through fn (in commit order), truncates a torn tail if
+// the final record is incomplete or fails its CRC, and positions the
+// writer after the last valid record with the segment dictionary
+// reconstructed. A missing file behaves like an empty one.
+func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open WAL: %w", err)
+	}
+	terms, good, err := replayRecords(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek WAL: %w", err)
+	}
+	l := newLog(f, opts)
+	for i, t := range terms {
+		l.dict[t] = uint64(i + 1)
+	}
+	l.nextID = uint64(len(terms) + 1)
+	return l, nil
+}
+
+// ReplayLog replays every valid record of the segment at path through
+// fn without opening it for writing. Like OpenLog it stops at the first
+// damaged record; dropped reports how many trailing bytes were not
+// replayed, so callers can distinguish a benign torn tail (expected on
+// the youngest segment after a crash) from corruption inside a sealed
+// segment (worth reporting).
+func ReplayLog(path string, fn func(batch []rdf.Triple) error) (dropped int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: replay WAL: %w", err)
+	}
+	defer f.Close()
+	_, good, err := replayRecords(f, fn)
+	if err != nil {
+		return 0, err
+	}
+	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > good {
+		dropped = fi.Size() - good
+	}
+	return dropped, nil
+}
+
+// replayRecords scans records from the start of f, calling fn per valid
+// record and accumulating the segment dictionary. It returns the
+// dictionary and the byte offset just past the last valid record.
+// Framing damage (short header, short payload, CRC mismatch, payload
+// that does not decode) ends the scan without error: everything from
+// the damaged record on is an uncommitted tail. Only fn errors and I/O
+// errors other than EOF are reported.
+func replayRecords(f *os.File, fn func(batch []rdf.Triple) error) (terms []rdf.Term, good int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("storage: seek WAL: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return terms, good, nil // clean end or torn header
+			}
+			return terms, good, fmt.Errorf("storage: read WAL: %w", err)
+		}
+		plen := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if plen == 0 || plen > maxRecordLen {
+			return terms, good, nil // corrupt length prefix: torn tail
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return terms, good, nil // torn payload
+			}
+			return terms, good, fmt.Errorf("storage: read WAL: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return terms, good, nil // corrupt record
+		}
+		newTerms, batch, derr := decodeRecord(payload, terms)
+		if derr != nil {
+			// CRC passed but the payload does not decode: written by a
+			// different format version or flipped bits that collided.
+			// Treat as end-of-valid-log rather than failing recovery.
+			return terms, good, nil
+		}
+		terms = newTerms
+		if len(batch) > 0 && fn != nil {
+			if err := fn(batch); err != nil {
+				return terms, good, err
+			}
+		}
+		good += int64(8 + plen)
+	}
+}
+
+// decodeRecord decodes one record payload against the dictionary built
+// so far, returning the extended dictionary and the record's triples.
+func decodeRecord(payload []byte, terms []rdf.Term) ([]rdf.Term, []rdf.Triple, error) {
+	// One string conversion per record; decoded term values alias it.
+	d := &decoder{buf: string(payload)}
+	nDefs, err := d.uvarint()
+	if err != nil {
+		return terms, nil, err
+	}
+	for i := uint64(0); i < nDefs; i++ {
+		t, err := d.term()
+		if err != nil {
+			return terms, nil, err
+		}
+		terms = append(terms, t)
+	}
+	nTrip, err := d.uvarint()
+	if err != nil {
+		return terms, nil, err
+	}
+	batch := make([]rdf.Triple, 0, nTrip)
+	for i := uint64(0); i < nTrip; i++ {
+		var ids [3]uint64
+		for j := range ids {
+			v, err := d.uvarint()
+			if err != nil {
+				return terms, nil, err
+			}
+			if v == 0 || v > uint64(len(terms)) {
+				return terms, nil, fmt.Errorf("storage: WAL triple references undefined term ID %d", v)
+			}
+			ids[j] = v
+		}
+		batch = append(batch, rdf.Triple{
+			S: terms[ids[0]-1], P: terms[ids[1]-1], O: terms[ids[2]-1],
+		})
+	}
+	if d.remaining() != 0 {
+		return terms, nil, fmt.Errorf("storage: %d trailing bytes in WAL record", d.remaining())
+	}
+	return terms, batch, nil
+}
+
+// maxBufferedRecord is the soft cap on an in-construction record's
+// payload. Record seals the current record once it grows past this, so
+// the writer can never emit a record the reader's maxRecordLen guard
+// would reject as torn (a giant AddBatch just becomes several records,
+// which only narrows its atomicity under crash — never loses it
+// silently).
+const maxBufferedRecord = 1 << 26 // 64 MiB, ¼ of maxRecordLen
+
+// Record buffers one triple into the current (uncommitted) record,
+// emitting a dictionary definition for each term it has not seen in
+// this segment. It satisfies rdf.Journal.
+func (l *Log) Record(t rdf.Triple) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	if len(l.defs)+len(l.triples) >= maxBufferedRecord {
+		if err := l.commitLocked(); err != nil {
+			return err
+		}
+	}
+	var ids [3]uint64
+	for i, term := range [3]rdf.Term{t.S, t.P, t.O} {
+		id, ok := l.dict[term]
+		if !ok {
+			id = l.nextID
+			l.nextID++
+			l.dict[term] = id
+			l.defs = appendTerm(l.defs, term)
+			l.nDefs++
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		l.triples = binary.AppendUvarint(l.triples, id)
+	}
+	l.nTrip++
+	l.recorded++
+	return nil
+}
+
+// Commit seals the buffered triples into one durable record. Depending
+// on Options it may defer the fsync to a later commit (group commit);
+// Sync forces it. An empty commit is a no-op.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commitLocked()
+}
+
+func (l *Log) commitLocked() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if l.nTrip == 0 && l.nDefs == 0 {
+		return nil
+	}
+	payload := make([]byte, 0, 16+len(l.defs)+len(l.triples))
+	payload = binary.AppendUvarint(payload, l.nDefs)
+	payload = append(payload, l.defs...)
+	payload = binary.AppendUvarint(payload, l.nTrip)
+	payload = append(payload, l.triples...)
+	if len(payload) > maxRecordLen {
+		// Only reachable with a single term encoding near maxRecordLen
+		// (Record seals well before the soft cap otherwise); refuse
+		// rather than write a record replay would discard as torn.
+		return l.fail(fmt.Errorf("record payload %d exceeds limit %d", len(payload), maxRecordLen))
+	}
+
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(header[:]); err != nil {
+		return l.fail(err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return l.fail(err)
+	}
+	l.defs, l.nDefs = l.defs[:0], 0
+	l.triples, l.nTrip = l.triples[:0], 0
+
+	// Hand the record to the kernel immediately: a committed batch must
+	// survive a process crash (only machine crashes wait on the
+	// group-commit fsync below).
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	l.sinceSync++
+	if !l.opts.NoSync && l.sinceSync >= max(1, l.opts.SyncEvery) {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the segment file.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return l.fail(err)
+		}
+	}
+	l.sinceSync = 0
+	return nil
+}
+
+// Rotate seals and syncs the current segment, closes it, and starts a
+// fresh empty segment at path with a reset dictionary. Triples recorded
+// before Rotate returns are durable in the old segment; the caller (DB)
+// is responsible for only deleting that segment once a snapshot
+// covering it is on disk.
+func (l *Log) Rotate(path string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	if err := l.commitLocked(); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return l.fail(err)
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return l.fail(err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.dict = make(map[rdf.Term]uint64)
+	l.nextID = 1
+	l.sinceSync = 0
+	return nil
+}
+
+// Recorded returns the number of triples recorded since the log was
+// opened; it keeps counting across Rotate. The DB uses the delta since
+// the last snapshot to drive compaction.
+func (l *Log) Recorded() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}
+
+// Close seals any buffered triples, syncs, and closes the segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		l.f.Close()
+		return l.broken
+	}
+	if err := l.commitLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// fail marks the log broken so later calls fail fast instead of
+// interleaving partial records after a write error.
+func (l *Log) fail(err error) error {
+	if l.broken == nil {
+		l.broken = fmt.Errorf("storage: WAL write failed: %w", err)
+	}
+	return l.broken
+}
