@@ -20,6 +20,7 @@ import (
 	"repro/internal/dl"
 	"repro/internal/dl/datasets"
 	"repro/internal/endpoint"
+	"repro/internal/experiments"
 	"repro/internal/federate"
 	"repro/internal/geom"
 	"repro/internal/geostore"
@@ -529,6 +530,102 @@ func benchEndpoint(b *testing.B, cacheSize int, format string) {
 		srv.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// --- Query executor: compiled slot-based pipeline vs legacy evaluator ---
+
+// The BenchmarkQuery group measures the hottest serving-path kernel —
+// multi-pattern BGP joins with filters — on a 100k-triple dataset
+// (10k point features × 10 triples: type, geometry pair, value, six
+// band observations). Each workload runs through the legacy map-based
+// evaluator (the reference oracle) and the compiled slot executor, on
+// the uncached path: the slot variants re-plan every iteration.
+
+const queryBenchFeatures = 10000 // ×10 triples per feature = 100k triples
+
+// queryWorkload fetches a workload from the shared corpus in
+// internal/experiments (also behind `eebench -bench-out`), so the root
+// benchmarks and the JSON perf report measure identical queries.
+func queryWorkload(b *testing.B, name string) experiments.QueryWorkload {
+	b.Helper()
+	for _, w := range experiments.QueryWorkloads {
+		if w.Name == name {
+			return w
+		}
+	}
+	b.Fatalf("unknown query workload %q", name)
+	return experiments.QueryWorkload{}
+}
+
+func benchQueryEval(b *testing.B, name string,
+	eval func(*rdf.Store, *sparql.Query) (*sparql.Results, error)) {
+	b.Helper()
+	w := queryWorkload(b, name)
+	st, _ := storageDataset(b, queryBenchFeatures)
+	rst := st.RDF()
+	q := sparql.MustParse(w.Query)
+	if res, err := eval(rst, q); err != nil || res.Len() < w.MinRows {
+		b.Fatalf("warmup: rows = %v, err = %v", res.Len(), err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval(rst, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() < w.MinRows {
+			b.Fatalf("rows = %d, want >= %d", res.Len(), w.MinRows)
+		}
+	}
+}
+
+func BenchmarkQuery_JoinFilter_Legacy(b *testing.B) {
+	benchQueryEval(b, "join_filter", sparql.EvalLegacy)
+}
+func BenchmarkQuery_JoinFilter_Slot(b *testing.B) {
+	benchQueryEval(b, "join_filter", sparql.Eval)
+}
+func BenchmarkQuery_Distinct_Legacy(b *testing.B) {
+	benchQueryEval(b, "distinct", sparql.EvalLegacy)
+}
+func BenchmarkQuery_Distinct_Slot(b *testing.B) {
+	benchQueryEval(b, "distinct", sparql.Eval)
+}
+func BenchmarkQuery_OrderByLimit_Legacy(b *testing.B) {
+	benchQueryEval(b, "order_by_limit", sparql.EvalLegacy)
+}
+func BenchmarkQuery_OrderByLimit_Slot(b *testing.B) {
+	benchQueryEval(b, "order_by_limit", sparql.Eval)
+}
+func BenchmarkQuery_CountGroup_Legacy(b *testing.B) {
+	benchQueryEval(b, "count_group", sparql.EvalLegacy)
+}
+func BenchmarkQuery_CountGroup_Slot(b *testing.B) {
+	benchQueryEval(b, "count_group", sparql.Eval)
+}
+
+// BenchmarkQuery_JoinFilter_SlotPlanned executes a pre-compiled plan,
+// isolating execution cost from planning (the serving path pays planning
+// once per store version thanks to geostore's plan cache).
+func BenchmarkQuery_JoinFilter_SlotPlanned(b *testing.B) {
+	w := queryWorkload(b, "join_filter")
+	st, _ := storageDataset(b, queryBenchFeatures)
+	q := sparql.MustParse(w.Query)
+	plan, err := sparql.CompilePlan(st.RDF(), q, sparql.PlanOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res, err := plan.Execute(); err != nil || res.Len() < w.MinRows {
+		b.Fatalf("warmup: rows = %v, err = %v", res.Len(), err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

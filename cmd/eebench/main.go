@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	eebench              # run everything at full scale
-//	eebench -quick       # reduced workloads (~seconds)
-//	eebench -exp E4,E11  # selected experiments only
+//	eebench                               # run everything at full scale
+//	eebench -quick                        # reduced workloads (~seconds)
+//	eebench -exp E4,E11                   # selected experiments only
+//	eebench -bench-out BENCH_query.json   # query-executor group + JSON report
 package main
 
 import (
@@ -23,10 +24,21 @@ func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	benchOut := flag.String("bench-out", "",
+		"run the query-executor benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
 	start := time.Now()
+	if *benchOut != "" {
+		table, rep := experiments.QueryBench(cfg)
+		table.Fprint(os.Stdout)
+		if err := experiments.WriteQueryBenchJSON(*benchOut, rep); err != nil {
+			log.Fatalf("eebench: write %s: %v", *benchOut, err)
+		}
+		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *exp == "" {
 		for _, t := range experiments.All(cfg) {
 			t.Fprint(os.Stdout)

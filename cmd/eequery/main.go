@@ -6,6 +6,8 @@
 //	eequery -n 10000 'SELECT ?f WHERE { ?f a ee:Feature . } LIMIT 5'
 //	eequery -mode naive -n 10000 '<query>'   # Strabon-2012 baseline
 //	eequery -format json '<query>'           # SPARQL 1.1 JSON results
+//	eequery -explain '<query>'               # compiled plan: join order,
+//	                                         # access paths, pushed filters
 //
 // With no query argument, a default rectangular-selection query runs.
 package main
@@ -37,6 +39,7 @@ func run(args []string) error {
 	mode := fs.String("mode", "indexed", "store mode: indexed or naive")
 	seed := fs.Int64("seed", 42, "workload seed")
 	format := fs.String("format", "table", "output format: table, json, csv, tsv or geojson")
+	explain := fs.Bool("explain", false, "print the compiled query plan (join order, access paths, pushed filters) before the results")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -98,6 +101,15 @@ func run(args []string) error {
 	fmt.Fprintf(info, "loaded %d features (%d triples, %s mode)\n", *n, st.Len(), st.Mode())
 	if defaulted {
 		fmt.Fprintln(info, "no query given; running default rectangular selection")
+	}
+	if *explain {
+		text, err := st.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(info, "--- plan ---")
+		fmt.Fprint(info, text)
+		fmt.Fprintln(info, "------------")
 	}
 
 	start := time.Now()

@@ -46,6 +46,13 @@ func (m *metrics) observe(d time.Duration) {
 // CacheHits returns the number of queries answered from the result cache.
 func (s *Server) CacheHits() uint64 { return s.metrics.cacheHits.Load() }
 
+// PlanCacheStatser is the optional engine capability behind the plan
+// cache metrics: engines that compile and cache slot-based query plans
+// (geostore single-node and partitioned stores) report their counters.
+type PlanCacheStatser interface {
+	PlanCacheStats() (hits, misses uint64)
+}
+
 // handleMetrics serves the counters in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := &s.metrics
@@ -62,6 +69,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeCounter("sparql_loads_total", "Successful POST /load ingestions.", m.loads.Load())
 	writeCounter("sparql_load_errors_total", "Failed POST /load ingestions.", m.loadErrors.Load())
 	writeCounter("sparql_loaded_triples_total", "Triples read by POST /load.", m.loadedTriples.Load())
+	if pc, ok := s.engine.(PlanCacheStatser); ok {
+		hits, misses := pc.PlanCacheStats()
+		writeCounter("sparql_plan_cache_hits_total", "Queries evaluated with a cached compiled plan.", hits)
+		writeCounter("sparql_plan_cache_misses_total", "Queries that compiled a fresh plan.", misses)
+	}
 	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
 
 	fmt.Fprintf(w, "# HELP sparql_query_duration_seconds Query latency histogram.\n# TYPE sparql_query_duration_seconds histogram\n")

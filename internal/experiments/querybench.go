@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// This file implements the query-executor benchmark group behind
+// `eebench -bench-out BENCH_query.json`: the perf trajectory of the
+// compiled slot-based executor against the legacy map-based evaluator,
+// recorded as machine-readable JSON so successive PRs can compare runs.
+
+// QueryBenchResult is one measured (workload, engine) cell.
+type QueryBenchResult struct {
+	Name    string `json:"name"`    // workload name
+	Engine  string `json:"engine"`  // "legacy", "slot" or "slot-planned"
+	Triples int    `json:"triples"` // dataset size
+	Rows    int    `json:"rows"`    // result rows per evaluation
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// QueryBenchReport is the BENCH_query.json schema.
+type QueryBenchReport struct {
+	Group     string             `json:"group"`
+	Generated string             `json:"generated"`
+	Triples   int                `json:"triples"`
+	Results   []QueryBenchResult `json:"results"`
+}
+
+// QueryWorkload is one workload of the query-executor benchmark group.
+// The list is the single source of truth shared with the
+// repository-root BenchmarkQuery_* benchmarks.
+type QueryWorkload struct {
+	Name  string
+	Query string
+	// MinRows guards against a silently empty (and therefore
+	// meaningless) measurement at the 10k-feature dataset scale.
+	MinRows int
+}
+
+// QueryWorkloads are multi-pattern joins with filters over the
+// band-observation dataset.
+var QueryWorkloads = []QueryWorkload{
+	{"join_filter", `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?v0 ?v1 WHERE {
+			?f a ee:Feature .
+			?f ee:band0 ?v0 .
+			?f ee:band1 ?v1 .
+			FILTER(?v0 > 200 && ?v1 < 64)
+		}`, 100},
+	{"distinct", `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT DISTINCT ?v0 WHERE {
+			?f ee:band0 ?v0 .
+			?f ee:band1 ?v1 .
+			FILTER(?v1 >= 128)
+		}`, 100},
+	{"order_by_limit", `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?v0 WHERE {
+			?f a ee:Feature .
+			?f ee:band0 ?v0 .
+		} ORDER BY DESC ?v0 LIMIT 10`, 10},
+	{"count_group", `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?v0 (COUNT(*) AS ?n) WHERE {
+			?f ee:band0 ?v0 .
+			?f ee:band1 ?v1 .
+			FILTER(?v1 < 32)
+		} GROUP BY ?v0`, 100},
+}
+
+// queryBenchDataset builds the band-observation corpus: point features
+// with six integer band properties (10 triples per feature).
+func queryBenchDataset(features int) *rdf.Store {
+	gst := geostore.New(geostore.ModeIndexed)
+	rng := rand.New(rand.NewSource(43))
+	extent := geom.NewRect(0, 0, 10000, 10000)
+	for _, f := range geostore.GeneratePointFeatures(features, 42, extent) {
+		for band := 0; band < 6; band++ {
+			f.Props[fmt.Sprintf("http://extremeearth.eu/ontology#band%d", band)] =
+				rdf.NewIntLiteral(int64(rng.Intn(256)))
+		}
+		if err := gst.AddFeature(f); err != nil {
+			panic(err)
+		}
+	}
+	return gst.RDF()
+}
+
+// QueryBench runs the query-executor group and returns a printable table
+// plus the JSON report.
+func QueryBench(cfg Config) (*Table, *QueryBenchReport) {
+	features := cfg.scale(10000, 1000)
+	iters := cfg.scale(5, 2)
+	st := queryBenchDataset(features)
+
+	t := &Table{
+		ID:     "QUERY",
+		Title:  "Query executor: compiled slot pipeline vs legacy evaluator",
+		Header: []string{"workload", "engine", "rows", "wall_ms", "speedup"},
+		Notes:  "uncached path; slot-planned reuses one compiled plan (the serving-path steady state)",
+	}
+	rep := &QueryBenchReport{
+		Group:     "query",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Triples:   st.Len(),
+	}
+
+	measure := func(eval func() (*sparql.Results, error)) (int, time.Duration) {
+		rows := 0
+		// Warm indexes, statistics and allocator before timing.
+		if res, err := eval(); err != nil {
+			panic(err)
+		} else {
+			rows = res.Len()
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := eval(); err != nil {
+				panic(err)
+			}
+		}
+		return rows, time.Since(start) / time.Duration(iters)
+	}
+
+	for _, w := range QueryWorkloads {
+		q := sparql.MustParse(w.Query)
+		plan, err := sparql.CompilePlan(st, q, sparql.PlanOpts{})
+		if err != nil {
+			panic(err)
+		}
+		engines := []struct {
+			name string
+			eval func() (*sparql.Results, error)
+		}{
+			{"legacy", func() (*sparql.Results, error) { return sparql.EvalLegacy(st, q) }},
+			{"slot", func() (*sparql.Results, error) { return sparql.Eval(st, q) }},
+			{"slot-planned", func() (*sparql.Results, error) { return plan.Execute() }},
+		}
+		var legacyNs int64
+		for _, e := range engines {
+			rows, d := measure(e.eval)
+			if e.name == "legacy" {
+				legacyNs = d.Nanoseconds()
+			}
+			speedup := "1.00"
+			if d > 0 && e.name != "legacy" {
+				speedup = f2(float64(legacyNs) / float64(d.Nanoseconds()))
+			}
+			t.Rows = append(t.Rows, []string{w.Name, e.name, i0(rows), ms(d), speedup})
+			rep.Results = append(rep.Results, QueryBenchResult{
+				Name: w.Name, Engine: e.name, Triples: st.Len(),
+				Rows: rows, Iters: iters, NsPerOp: d.Nanoseconds(),
+			})
+		}
+	}
+	return t, rep
+}
+
+// WriteQueryBenchJSON writes the report to path (the conventional name
+// is BENCH_query.json).
+func WriteQueryBenchJSON(path string, rep *QueryBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

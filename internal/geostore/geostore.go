@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/geom"
@@ -67,6 +67,10 @@ type Store struct {
 	rdfStore *rdf.Store
 	mode     Mode
 
+	// plans caches compiled slot-based query plans keyed on canonical
+	// query text, invalidated by store version.
+	plans *planCache
+
 	mu sync.RWMutex
 	// geoms maps the dictionary ID of a WKT literal to its parsed
 	// geometry; parsed once at insert.
@@ -81,6 +85,7 @@ func New(mode Mode) *Store {
 	return &Store{
 		rdfStore: rdf.NewStore(),
 		mode:     mode,
+		plans:    newPlanCache(),
 		geoms:    make(map[rdf.ID]geom.Geometry),
 		rtree:    geom.NewRTree(),
 	}
@@ -289,91 +294,113 @@ func (s *Store) QueryString(qs string) (*sparql.Results, error) {
 // Query evaluates a parsed query according to the store mode.
 func (s *Store) Query(q *sparql.Query) (*sparql.Results, error) {
 	if s.mode == ModeNaive {
-		return sparql.Eval(s.rdfStore, q)
+		// The 2012-era baseline: map-based nested-loop evaluation with
+		// per-row WKT parsing, kept as the E1/E2 contrast and as the
+		// reference oracle for the slot executor.
+		return sparql.EvalLegacy(s.rdfStore, q)
 	}
 	return s.queryIndexed(q)
 }
 
 // queryIndexed is the filter-and-refine pipeline of the re-engineered
-// store: the most selective accelerable spatial filter seeds BGP
-// evaluation with R-tree survivors, remaining spatial filters refine
-// against pre-parsed geometries, and non-spatial filters run through the
-// generic evaluator.
+// store, running entirely on the compiled slot executor: the most
+// selective accelerable spatial filter seeds the pipeline with sorted
+// R-tree survivors (enabling merge joins against the seed stream),
+// remaining spatial filters refine against pre-parsed geometries inside
+// the pipeline at the step that binds their variable, and non-spatial
+// filters are pushed down by the planner. Compiled plans are cached by
+// canonical query text and store version.
 func (s *Store) queryIndexed(q *sparql.Query) (*sparql.Results, error) {
-	spatial := sparql.ExtractSpatialFilters(q)
-	if len(spatial) == 0 {
-		return sparql.Eval(s.rdfStore, q)
+	entry, err := s.cachedPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(entry.spatial) == 0 {
+		return entry.plan.Execute()
 	}
 	s.mu.Lock()
 	s.buildLocked()
 	s.mu.Unlock()
 
-	// Seed from the first spatial filter; enforce the others (and any
-	// non-exclusive or non-spatial filters) during refinement.
-	seedFilter := spatial[0]
-	seeds := s.seedBindings(seedFilter)
-	if len(seeds) == 0 {
+	seedIDs := s.seedIDs(entry.spatial[0])
+	if len(seedIDs) == 0 {
 		return &sparql.Results{Vars: q.Vars}, nil
 	}
-
-	// Filters fully enforced by index+refinement need no generic pass.
-	skip := make(map[int]bool)
-	if seedFilter.Exclusive {
-		skip[seedFilter.FilterIndex] = true
-	}
-	refiners := spatial[1:]
-	for _, sf := range refiners {
-		if sf.Exclusive {
-			skip[sf.FilterIndex] = true
-		}
-	}
-
-	var evalErr error
-	filter := func(st *rdf.Store, b rdf.Binding) bool {
-		for _, sf := range refiners {
-			id, ok := b[sf.Var]
-			if !ok {
-				return false
-			}
-			if !s.refine(sf, id) {
-				return false
-			}
-		}
-		for i, f := range q.Filters {
-			if skip[i] {
-				continue
-			}
-			ok, err := sparql.EvalFilter(st, f, b)
-			if err != nil {
-				if evalErr == nil {
-					evalErr = err
-				}
-				return false
-			}
-			if !ok {
-				return false
-			}
-		}
-		return true
-	}
-	bindings := s.rdfStore.SolveSeeded(seeds, q.Patterns, filter)
-	return sparql.Project(s.rdfStore, q, bindings)
+	return entry.plan.ExecuteSeeded(entry.plan.SeedRows(seedIDs))
 }
 
-// seedBindings runs the R-tree window query for the filter and refines
-// survivors exactly, returning one binding per passing geometry.
-func (s *Store) seedBindings(sf sparql.SpatialFilter) []rdf.Binding {
+// cachedPlan returns the compiled plan for q at the current store
+// version, compiling and caching on miss.
+func (s *Store) cachedPlan(q *sparql.Query) (*planEntry, error) {
+	key := q.Canonical()
+	version := s.Version()
+	if e, ok := s.plans.get(key, version); ok {
+		return e, nil
+	}
+	spatial := sparql.ExtractSpatialFilters(q)
+	opt := sparql.PlanOpts{}
+	if len(spatial) > 0 {
+		// Seed from the first spatial filter; the others become pushed
+		// refiners. Filters fully enforced by index+refinement are
+		// skipped in the generic pass.
+		opt.SeedVar = spatial[0].Var
+		opt.SeedsSorted = true
+		opt.SkipFilters = make(map[int]bool)
+		if spatial[0].Exclusive {
+			opt.SkipFilters[spatial[0].FilterIndex] = true
+		}
+		for _, sf := range spatial[1:] {
+			if sf.Exclusive {
+				opt.SkipFilters[sf.FilterIndex] = true
+			}
+			sf := sf
+			opt.Refiners = append(opt.Refiners, sparql.Refiner{
+				Var:   sf.Var,
+				Label: "spatial refine " + sf.Fn + "(?" + sf.Var + ", ...)",
+				Pred:  func(id rdf.ID) bool { return s.refine(sf, id) },
+			})
+		}
+	}
+	plan, err := sparql.CompilePlan(s.rdfStore, q, opt)
+	if err != nil {
+		return nil, err
+	}
+	e := &planEntry{key: key, version: version, plan: plan, spatial: spatial}
+	s.plans.put(e)
+	return e, nil
+}
+
+// PlanCacheStats returns the plan cache hit/miss counters (exposed by
+// the endpoint's /metrics).
+func (s *Store) PlanCacheStats() (hits, misses uint64) { return s.plans.stats() }
+
+// Explain compiles (or fetches) the plan for q and renders the chosen
+// join order, access paths and pushed filters.
+func (s *Store) Explain(q *sparql.Query) (string, error) {
+	if s.mode == ModeNaive {
+		return "naive mode: legacy map-based nested-loop evaluator (no compiled plan)", nil
+	}
+	entry, err := s.cachedPlan(q)
+	if err != nil {
+		return "", err
+	}
+	return entry.plan.Explain(), nil
+}
+
+// seedIDs runs the R-tree window query for the filter and refines
+// survivors exactly, returning the passing geometry literal IDs.
+func (s *Store) seedIDs(sf sparql.SpatialFilter) []rdf.ID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var seeds []rdf.Binding
+	var ids []rdf.ID
 	s.rtree.Search(sf.Window, func(_ geom.Rect, data int64) bool {
 		id := rdf.ID(data)
 		if s.refineLocked(sf, id) {
-			seeds = append(seeds, rdf.Binding{sf.Var: id})
+			ids = append(ids, id)
 		}
 		return true
 	})
-	return seeds
+	return ids
 }
 
 // refine tests the exact spatial predicate between the stored geometry and
@@ -443,6 +470,16 @@ func (ps *PartitionedStore) Version() uint64 {
 	return v
 }
 
+// PlanCacheStats sums the partition plan cache counters.
+func (ps *PartitionedStore) PlanCacheStats() (hits, misses uint64) {
+	for _, p := range ps.parts {
+		h, m := p.PlanCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // AddFeature routes a feature to a partition by IRI hash.
 func (ps *PartitionedStore) AddFeature(f Feature) error {
 	return ps.parts[fnvHash(f.IRI)%uint32(len(ps.parts))].AddFeature(f)
@@ -471,22 +508,28 @@ func (ps *PartitionedStore) QueryString(qs string) (*sparql.Results, error) {
 }
 
 // Query fans the query out to every partition in parallel and merges the
-// result rows, re-applying ORDER BY and LIMIT globally.
+// result rows, folding COUNT aggregates and re-applying DISTINCT, ORDER
+// BY and LIMIT globally. When no global reordering or deduplication is
+// needed, the limit is pushed down so each partition's slot pipeline
+// short-circuits.
 func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 	type partRes struct {
 		res *sparql.Results
 		err error
 	}
+	// The limit survives pushdown only when partition results merge by
+	// plain concatenation: any global sort or dedup could discard rows.
+	pushLimit := q.OrderBy == "" && !q.Distinct && len(q.Aggregates) == 0
 	out := make([]partRes, len(ps.parts))
 	var wg sync.WaitGroup
 	for i, p := range ps.parts {
 		wg.Add(1)
 		go func(i int, p *Store) {
 			defer wg.Done()
-			// Partitions compute unlimited results; the merge applies the
-			// global modifiers.
 			local := *q
-			local.Limit = 0
+			if !pushLimit {
+				local.Limit = 0
+			}
 			r, err := p.Query(&local)
 			out[i] = partRes{r, err}
 		}(i, p)
@@ -506,10 +549,16 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 	if merged == nil {
 		merged = &sparql.Results{Vars: q.Vars}
 	}
-	// Re-apply global ORDER BY / LIMIT on the merged rows via a projection
-	// pass with pre-decoded rows: simplest is local sort + cut.
+	if len(q.Aggregates) > 0 {
+		mergeAggregateRows(merged, q)
+	}
+	if q.Distinct {
+		// Partitions deduplicate locally; identical rows can still
+		// arrive from different partitions.
+		dedupRows(merged)
+	}
 	if q.OrderBy != "" {
-		sortResults(merged, q.OrderBy, q.OrderDesc)
+		sparql.SortRows(merged.Rows, q.OrderBy, q.OrderDesc)
 	}
 	if q.Limit > 0 && len(merged.Rows) > q.Limit {
 		merged.Rows = merged.Rows[:q.Limit]
@@ -517,22 +566,69 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 	return merged, nil
 }
 
-func sortResults(r *sparql.Results, by string, desc bool) {
-	sort.SliceStable(r.Rows, func(i, j int) bool {
-		a, b := r.Rows[i][by], r.Rows[j][by]
-		fa, errA := a.Float()
-		fb, errB := b.Float()
-		if errA == nil && errB == nil {
-			if desc {
-				return fa > fb
+// mergeAggregateRows folds per-partition aggregate rows into global
+// groups. Features are co-located, so every partition contributes
+// disjoint solutions and COUNT columns simply sum; rows sharing a GROUP
+// BY key (or the single global group) collapse into one.
+func mergeAggregateRows(r *sparql.Results, q *sparql.Query) {
+	type group struct {
+		key    rdf.Term
+		counts []int64
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range r.Rows {
+		key := ""
+		if q.GroupBy != "" {
+			key = row[q.GroupBy].String()
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{key: row[q.GroupBy], counts: make([]int64, len(q.Aggregates))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range q.Aggregates {
+			if n, err := row[a.As].Int(); err == nil {
+				g.counts[i] += n
 			}
-			return fa < fb
 		}
-		if desc {
-			return a.Value > b.Value
+	}
+	r.Rows = r.Rows[:0]
+	for _, key := range order {
+		g := groups[key]
+		row := make(map[string]rdf.Term, len(q.Aggregates)+1)
+		if q.GroupBy != "" {
+			row[q.GroupBy] = g.key
 		}
-		return a.Value < b.Value
-	})
+		for i, a := range q.Aggregates {
+			row[a.As] = rdf.NewIntLiteral(g.counts[i])
+		}
+		r.Rows = append(r.Rows, row)
+	}
+}
+
+// dedupRows removes duplicate result rows across partitions, keeping
+// first-seen order.
+func dedupRows(r *sparql.Results) {
+	seen := make(map[string]bool, len(r.Rows))
+	var key strings.Builder
+	w := 0
+	for _, row := range r.Rows {
+		key.Reset()
+		for _, v := range r.Vars {
+			key.WriteString(row[v].String())
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r.Rows[w] = row
+		w++
+	}
+	r.Rows = r.Rows[:w]
 }
 
 func fnvHash(s string) uint32 {

@@ -1,0 +1,76 @@
+package geostore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sparql"
+)
+
+// planCacheSize bounds the number of compiled plans kept per store.
+const planCacheSize = 128
+
+// planEntry is one cached compilation: the slot-based plan plus the
+// spatial filters extracted alongside it (the seed filter drives R-tree
+// seeding at execution time).
+type planEntry struct {
+	key     string
+	version uint64
+	plan    *sparql.Plan
+	spatial []sparql.SpatialFilter
+}
+
+// planCache is an LRU over compiled query plans keyed on canonical query
+// text. Entries embed dictionary IDs and cardinality estimates, so they
+// are valid only for the store version they were compiled against; a
+// version mismatch recompiles in place. Safe for concurrent use.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns the cached entry when present and compiled at version.
+func (c *planCache) get(key string, version uint64) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok || el.Value.(*planEntry).version != version {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planEntry), true
+}
+
+// put stores an entry, evicting the least recently used beyond capacity.
+func (c *planCache) put(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		c.order.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	el := c.order.PushFront(e)
+	c.entries[e.key] = el
+	for c.order.Len() > planCacheSize {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*planEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -76,6 +76,11 @@ type Filter func(st *Store, b Binding) bool
 // Evaluation is index nested-loop join: patterns are greedily reordered by
 // estimated selectivity (most-bound-first, using store counts), then each
 // pattern extends the current bindings via a Match range scan.
+//
+// Solve is the legacy map-based evaluator. The serving path uses the
+// compiled slot-based executor (PlanBGP/Run in exec.go); Solve is kept
+// as the reference oracle for differential testing and as the naive-mode
+// baseline of the E1/E2 experiments.
 func (s *Store) Solve(patterns []TriplePattern, filters ...Filter) []Binding {
 	return s.SolveSeeded([]Binding{{}}, patterns, filters...)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // EncTriple is a dictionary-encoded triple.
@@ -36,6 +37,10 @@ type Store struct {
 	version uint64
 	journal Journal
 	jerr    error
+
+	// stats caches the query planner's cardinality statistics; it is
+	// rebuilt lazily when version moves past the cached value (exec.go).
+	stats atomic.Pointer[execStats]
 }
 
 // Journal is the durability hook a write-ahead log implements
@@ -264,7 +269,12 @@ func (s *Store) Match(sub, pred, obj ID, fn func(EncTriple) bool) {
 	s.ensureIndexed()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.matchLocked(sub, pred, obj, fn)
+}
 
+// matchLocked is Match for callers that already hold the read lock with
+// pending writes flushed (the plan executor holds it for a whole run).
+func (s *Store) matchLocked(sub, pred, obj ID, fn func(EncTriple) bool) {
 	// Choose the index whose sort order puts the bound components first.
 	switch {
 	case sub != NoID:

@@ -2,7 +2,6 @@ package sparql
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/geom"
@@ -45,23 +44,34 @@ func (r *Results) String() string {
 	return b.String()
 }
 
-// Eval evaluates the query against the store. Filters are evaluated by the
-// generic expression evaluator, including the GeoSPARQL functions (which
-// decode WKT literals on the fly). Stores that maintain spatial indexes
-// should use their own accelerated paths (see internal/geostore) and fall
-// back to this.
+// Eval evaluates the query against the store with the compiled
+// slot-based streaming executor: one planning pass resolves variables to
+// slots and constants to dictionary IDs, pushes filters down to the
+// earliest pattern that binds them, and streams flat slot rows through
+// the join pipeline. Stores that maintain spatial indexes use their own
+// accelerated seeding (see internal/geostore) on top of the same
+// executor; callers that evaluate one query repeatedly should compile
+// once with CompilePlan and reuse the plan.
 func Eval(st *rdf.Store, q *Query) (*Results, error) {
-	var evalErr error
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute()
+}
+
+// EvalLegacy is the original map-based nested-loop evaluator, retained
+// as the reference oracle for differential testing of the slot executor
+// and as the ModeNaive baseline of the E1/E2 experiments. Filters are
+// evaluated by the generic expression evaluator over full bindings, after
+// the complete join has been built.
+func EvalLegacy(st *rdf.Store, q *Query) (*Results, error) {
 	filter := func(s *rdf.Store, b rdf.Binding) bool {
 		for _, f := range q.Filters {
 			v, err := evalExpr(s, f, b)
 			if err != nil {
 				// Errors in FILTER mean "solution rejected" in SPARQL
-				// semantics, but we surface type errors from the first
-				// row to aid debugging of malformed queries.
-				if evalErr == nil {
-					evalErr = err
-				}
+				// semantics.
 				return false
 			}
 			if !v.Bool() {
@@ -84,7 +94,9 @@ func Project(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Results, error) 
 	if len(q.Aggregates) > 0 {
 		return projectAggregates(st, q, bindings)
 	}
-	vars := q.Vars
+	// Copy: appending into q.Vars' spare capacity in the SELECT * path
+	// could mutate a Query shared across goroutines or cached by text.
+	vars := append([]string(nil), q.Vars...)
 	if q.Star {
 		seen := map[string]bool{}
 		for _, p := range q.Patterns {
@@ -120,14 +132,9 @@ func Project(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Results, error) 
 		res.Rows = append(res.Rows, row)
 	}
 	if q.OrderBy != "" {
-		v := q.OrderBy
-		sort.SliceStable(res.Rows, func(i, j int) bool {
-			less := termLess(res.Rows[i][v], res.Rows[j][v])
-			if q.OrderDesc {
-				return termLess(res.Rows[j][v], res.Rows[i][v])
-			}
-			return less
-		})
+		// SortRows precomputes one key per row instead of re-parsing
+		// numeric literals on every comparison.
+		SortRows(res.Rows, q.OrderBy, q.OrderDesc)
 	}
 	if q.Limit > 0 && len(res.Rows) > q.Limit {
 		res.Rows = res.Rows[:q.Limit]
@@ -195,27 +202,12 @@ func projectAggregates(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Result
 		res.Rows = append(res.Rows, row)
 	}
 	if q.OrderBy != "" {
-		v := q.OrderBy
-		sort.SliceStable(res.Rows, func(i, j int) bool {
-			if q.OrderDesc {
-				return termLess(res.Rows[j][v], res.Rows[i][v])
-			}
-			return termLess(res.Rows[i][v], res.Rows[j][v])
-		})
+		SortRows(res.Rows, q.OrderBy, q.OrderDesc)
 	}
 	if q.Limit > 0 && len(res.Rows) > q.Limit {
 		res.Rows = res.Rows[:q.Limit]
 	}
 	return res, nil
-}
-
-func termLess(a, b rdf.Term) bool {
-	fa, errA := a.Float()
-	fb, errB := b.Float()
-	if errA == nil && errB == nil {
-		return fa < fb
-	}
-	return a.Value < b.Value
 }
 
 // EvalFilter evaluates a single filter expression to its effective boolean
