@@ -264,6 +264,120 @@ func BenchmarkE8_Interlink_Blocked(b *testing.B) { benchInterlink(b, interlink.D
 func BenchmarkE8_Interlink_MetaBlocked(b *testing.B) {
 	benchInterlink(b, interlink.DiscoverMetaBlocked)
 }
+func BenchmarkE8_Interlink_Indexed(b *testing.B) { benchInterlink(b, interlink.DiscoverIndexed) }
+
+// --- Spatial join: index join vs naive cross-product ---
+
+// The BenchmarkSpatialJoin group tracks the variable-variable spatial
+// join this repository used to degrade to a cartesian scan. The kernel
+// pair runs the shared geom join core at the acceptance scale (10k x 10k
+// geometries; the index join must be >=10x faster than the naive cross
+// product). The query pair measures the same join through the full
+// SPARQL pipeline: indexed mode runs an R-tree probe step, the cartesian
+// baseline evaluates the filter per pair of candidate rows.
+
+func benchSpatialJoinKernel(b *testing.B,
+	f func(a, bs []interlink.Entity, cfg interlink.Config) ([]interlink.Link, interlink.Stats)) {
+	b.Helper()
+	a := benchEntities(10000, 61, "a")
+	bs := benchEntities(10000, 62, "b")
+	cfg := interlink.Config{Relation: interlink.RelIntersects}
+	links, _ := f(a, bs, cfg)
+	if len(links) == 0 {
+		b.Fatal("warmup: no links")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, bs, cfg)
+	}
+}
+
+func BenchmarkSpatialJoin_NaiveCross_10kx10k(b *testing.B) {
+	benchSpatialJoinKernel(b, interlink.DiscoverNaive)
+}
+
+func BenchmarkSpatialJoin_Index_10kx10k(b *testing.B) {
+	benchSpatialJoinKernel(b, interlink.DiscoverIndexed)
+}
+
+// spatialJoinStore loads n rectangle features per side under distinct
+// classes into the given store.
+func spatialJoinStore(b *testing.B, add func(geostore.Feature) error, n int) {
+	b.Helper()
+	for _, side := range []struct {
+		class string
+		seed  int64
+	}{
+		{"http://extremeearth.eu/ontology#Left", 61},
+		{"http://extremeearth.eu/ontology#Right", 62},
+	} {
+		for _, e := range benchEntities(n, side.seed, side.class) {
+			if err := add(geostore.Feature{IRI: e.IRI, Class: side.class, Geometry: e.Geometry}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+const spatialJoinQuery = `
+	PREFIX ee: <http://extremeearth.eu/ontology#>
+	SELECT ?a ?b WHERE {
+		?a a ee:Left . ?a geo:hasGeometry ?ga . ?ga geo:asWKT ?g1 .
+		?b a ee:Right . ?b geo:hasGeometry ?gb . ?gb geo:asWKT ?g2 .
+		FILTER(geof:sfIntersects(?g1, ?g2))
+	}`
+
+func benchSpatialJoinQuery(b *testing.B, engine interface {
+	Query(*sparql.Query) (*sparql.Results, error)
+}) {
+	b.Helper()
+	q := sparql.MustParse(spatialJoinQuery)
+	res, err := engine.Query(q)
+	if err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	if res.Len() == 0 {
+		b.Fatal("warmup: no rows")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpatialJoin_Query_Cartesian_1kx1k is the degradation this PR
+// removed: naive mode evaluates the var-var filter over the full
+// cross-product with per-pair WKT parsing (kept small — it is the slow
+// baseline).
+func BenchmarkSpatialJoin_Query_Cartesian_1kx1k(b *testing.B) {
+	st := geostore.New(geostore.ModeNaive)
+	spatialJoinStore(b, st.AddFeature, 1000)
+	benchSpatialJoinQuery(b, st)
+}
+
+func BenchmarkSpatialJoin_Query_Index_1kx1k(b *testing.B) {
+	st := geostore.New(geostore.ModeIndexed)
+	spatialJoinStore(b, st.AddFeature, 1000)
+	st.Build()
+	benchSpatialJoinQuery(b, st)
+}
+
+func BenchmarkSpatialJoin_Query_Index_10kx10k(b *testing.B) {
+	st := geostore.New(geostore.ModeIndexed)
+	spatialJoinStore(b, st.AddFeature, 10000)
+	st.Build()
+	benchSpatialJoinQuery(b, st)
+}
+
+func BenchmarkSpatialJoin_Query_Partitioned4_10kx10k(b *testing.B) {
+	ps := geostore.NewPartitioned(4)
+	spatialJoinStore(b, ps.AddFeature, 10000)
+	ps.Build()
+	benchSpatialJoinQuery(b, ps)
+}
 
 // --- E9: federation ---
 

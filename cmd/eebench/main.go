@@ -7,6 +7,8 @@
 //	eebench -quick                        # reduced workloads (~seconds)
 //	eebench -exp E4,E11                   # selected experiments only
 //	eebench -bench-out BENCH_query.json   # query-executor group + JSON report
+//	eebench -bench-group spatial -bench-out BENCH_spatial.json
+//	                                      # spatial-join group + JSON report
 package main
 
 import (
@@ -25,16 +27,29 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	benchOut := flag.String("bench-out", "",
-		"run the query-executor benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
+		"run a benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
+	benchGroup := flag.String("bench-group", "query",
+		"benchmark group for -bench-out: query (slot executor) or spatial (index spatial join)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
 	start := time.Now()
 	if *benchOut != "" {
-		table, rep := experiments.QueryBench(cfg)
-		table.Fprint(os.Stdout)
-		if err := experiments.WriteQueryBenchJSON(*benchOut, rep); err != nil {
-			log.Fatalf("eebench: write %s: %v", *benchOut, err)
+		switch *benchGroup {
+		case "query":
+			table, rep := experiments.QueryBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteQueryBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
+		case "spatial":
+			table, rep := experiments.SpatialJoinBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteSpatialBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
+		default:
+			log.Fatalf("eebench: unknown bench group %q (use query or spatial)", *benchGroup)
 		}
 		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
 		return

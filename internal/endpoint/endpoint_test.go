@@ -229,6 +229,49 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	}
 }
 
+// TestSpatialJoinMetricAndOffsetPaging drives a variable-variable
+// spatial join through the protocol (the probe counter must move) and
+// pages a query with OFFSET (pages must not share cache entries).
+func TestSpatialJoinMetricAndOffsetPaging(t *testing.T) {
+	st := testStore(t)
+	srv := endpoint.New(st, endpoint.Config{CacheSize: 16, Loader: st})
+
+	joinQuery := `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?a ?b WHERE {
+			?a geo:hasGeometry ?ga . ?ga geo:asWKT ?g1 .
+			?b geo:hasGeometry ?gb . ?gb geo:asWKT ?g2 .
+			FILTER(geof:sfIntersects(?g1, ?g2))
+		}`
+	rec := get(t, srv, sparqlURL(joinQuery, ""), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("join query status %d: %s", rec.Code, rec.Body.String())
+	}
+	mrec := get(t, srv, "/metrics", nil)
+	if !strings.Contains(mrec.Body.String(), "sparql_spatial_join_probes_total") {
+		t.Fatalf("/metrics missing sparql_spatial_join_probes_total:\n%s", mrec.Body.String())
+	}
+	if strings.Contains(mrec.Body.String(), "sparql_spatial_join_probes_total 0\n") {
+		t.Fatalf("spatial join probes did not advance:\n%s", mrec.Body.String())
+	}
+
+	// OFFSET pagination: page 2 must be a cache miss with different rows.
+	base := `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f WHERE { ?f a ee:Feature . } ORDER BY ?f LIMIT 1`
+	p1 := get(t, srv, sparqlURL(base, ""), nil)
+	p2 := get(t, srv, sparqlURL(base+" OFFSET 1", ""), nil)
+	if p1.Code != http.StatusOK || p2.Code != http.StatusOK {
+		t.Fatalf("paging status %d/%d", p1.Code, p2.Code)
+	}
+	if p2.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("page 2 served from page 1's cache entry")
+	}
+	if p1.Body.String() == p2.Body.String() {
+		t.Fatalf("pages returned identical rows:\n%s", p1.Body.String())
+	}
+}
+
 // blockingEngine parks every Query until released, signalling entry.
 type blockingEngine struct {
 	started chan struct{}

@@ -53,6 +53,13 @@ type PlanCacheStatser interface {
 	PlanCacheStats() (hits, misses uint64)
 }
 
+// SpatialJoinStatser is the optional engine capability behind the
+// spatial-join metric: engines that answer variable-variable spatial
+// predicates with R-tree index joins report how many probes they issued.
+type SpatialJoinStatser interface {
+	SpatialJoinStats() (probes uint64)
+}
+
 // handleMetrics serves the counters in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := &s.metrics
@@ -73,6 +80,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		hits, misses := pc.PlanCacheStats()
 		writeCounter("sparql_plan_cache_hits_total", "Queries evaluated with a cached compiled plan.", hits)
 		writeCounter("sparql_plan_cache_misses_total", "Queries that compiled a fresh plan.", misses)
+	}
+	if sj, ok := s.engine.(SpatialJoinStatser); ok {
+		writeCounter("sparql_spatial_join_probes_total", "R-tree probes issued by index spatial joins.", sj.SpatialJoinStats())
 	}
 	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
 

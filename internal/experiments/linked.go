@@ -102,6 +102,14 @@ func E8(cfg Config) *Table {
 	metaT := time.Since(start)
 	t.Rows = append(t.Rows, []string{"meta-blocked-8core", i0(2 * n), i0(stM.Comparisons),
 		i0(stM.Links), f2(interlink.Recall(meta, truth)), ms(metaT)})
+
+	// The R-tree index join shared with the store's SPARQL spatial-join
+	// operator (geom.IndexJoin).
+	start = time.Now()
+	idx, stI := interlink.DiscoverIndexed(a, b, lcfg)
+	idxT := time.Since(start)
+	t.Rows = append(t.Rows, []string{"rtree-join", i0(2 * n), i0(stI.Comparisons),
+		i0(stI.Links), f2(interlink.Recall(idx, truth)), ms(idxT)})
 	return t
 }
 

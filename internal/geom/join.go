@@ -1,0 +1,109 @@
+package geom
+
+// This file is the shared spatial-join core: the filter-and-refine
+// primitive behind the geostore's SPARQL spatial-join operator
+// (variable-variable geof predicates answered by R-tree probes) and the
+// interlink package's index-join discovery strategy. Both layers share
+// the same window derivation (JoinWindow) and the same exact predicate
+// (JoinHolds), so the query engine and the link-discovery engine cannot
+// drift apart on join semantics.
+
+// JoinRelation enumerates the spatial predicates the index join core
+// accelerates.
+type JoinRelation int
+
+const (
+	// JoinIntersects holds when the geometries share any point.
+	JoinIntersects JoinRelation = iota
+	// JoinContains holds when the left geometry contains the right.
+	JoinContains
+	// JoinWithin holds when the left geometry is within the right.
+	JoinWithin
+	// JoinNearer holds when the geometries are strictly nearer than the
+	// distance threshold.
+	JoinNearer
+	// JoinNearerEq is JoinNearer with a closed (<=) threshold.
+	JoinNearerEq
+)
+
+// String returns a GeoSPARQL-flavoured name for the relation.
+func (r JoinRelation) String() string {
+	switch r {
+	case JoinIntersects:
+		return "sfIntersects"
+	case JoinContains:
+		return "sfContains"
+	case JoinWithin:
+		return "sfWithin"
+	case JoinNearer:
+		return "distance<"
+	case JoinNearerEq:
+		return "distance<="
+	default:
+		return "joinRelation(?)"
+	}
+}
+
+// JoinHolds tests the relation between two geometries exactly; d is the
+// threshold for the distance relations and ignored otherwise.
+func JoinHolds(rel JoinRelation, a, b Geometry, d float64) bool {
+	switch rel {
+	case JoinIntersects:
+		return Intersects(a, b)
+	case JoinContains:
+		return Contains(a, b)
+	case JoinWithin:
+		return Within(a, b)
+	case JoinNearer:
+		return Distance(a, b) < d
+	case JoinNearerEq:
+		return Distance(a, b) <= d
+	default:
+		return false
+	}
+}
+
+// JoinWindow returns the R-tree search window that makes an MBR probe a
+// complete filter for the relation with g on the probe side: the MBR
+// itself for the topological predicates (two geometries can only relate
+// when their MBRs intersect), expanded by the distance threshold for the
+// distance relations.
+func JoinWindow(rel JoinRelation, g Geometry, d float64) Rect {
+	w := g.Bounds()
+	if rel == JoinNearer || rel == JoinNearerEq {
+		w = w.Expand(d)
+	}
+	return w
+}
+
+// IndexJoin streams every (left[i], right[j]) pair satisfying rel to
+// emit, using filter-and-refine over a bulk-loaded R-tree on the right
+// side: each left geometry's JoinWindow prunes candidates, survivors are
+// tested exactly with JoinHolds. It returns the number of exact
+// geometry tests performed (the E8 comparison metric). Complete by
+// construction: the window is a superset filter for every relation.
+func IndexJoin(left, right []Geometry, rel JoinRelation, d float64, emit func(i, j int)) int {
+	if len(left) == 0 || len(right) == 0 {
+		return 0
+	}
+	tree := NewRTree()
+	bounds := make([]Rect, len(right))
+	data := make([]int64, len(right))
+	for j, g := range right {
+		bounds[j] = g.Bounds()
+		data[j] = int64(j)
+	}
+	tree.BulkLoad(bounds, data)
+	comparisons := 0
+	for i, g := range left {
+		tree.Search(JoinWindow(rel, g, d), func(_ Rect, dj int64) bool {
+			j := int(dj)
+			comparisons++
+			if JoinHolds(rel, g, right[j], d) {
+				emit(i, j)
+			}
+			return true
+		})
+	}
+	return comparisons
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func joinTestGeoms(n int, seed int64) []Geometry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Geometry, n)
+	for i := range out {
+		x := rng.Float64() * 500
+		y := rng.Float64() * 500
+		s := 5 + rng.Float64()*40
+		out[i] = NewRect(x, y, x+s, y+s)
+	}
+	return out
+}
+
+// TestIndexJoinMatchesCrossProduct checks the index join against the
+// exhaustive cross product for every relation.
+func TestIndexJoinMatchesCrossProduct(t *testing.T) {
+	left := joinTestGeoms(60, 1)
+	right := joinTestGeoms(60, 2)
+	for _, rel := range []JoinRelation{JoinIntersects, JoinContains, JoinWithin, JoinNearer, JoinNearerEq} {
+		const d = 25.0
+		want := map[[2]int]bool{}
+		for i, a := range left {
+			for j, b := range right {
+				if JoinHolds(rel, a, b, d) {
+					want[[2]int{i, j}] = true
+				}
+			}
+		}
+		got := map[[2]int]bool{}
+		comparisons := IndexJoin(left, right, rel, d, func(i, j int) {
+			got[[2]int{i, j}] = true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d pairs, want %d", rel, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("%v: missing pair %v", rel, p)
+			}
+		}
+		if comparisons >= len(left)*len(right) {
+			t.Errorf("%v: index join did no pruning (%d comparisons)", rel, comparisons)
+		}
+	}
+}
+
+// TestJoinWindowCompleteness: any pair satisfying the relation must have
+// the right geometry's bounds intersect the left geometry's JoinWindow
+// (the MBR probe is a superset filter).
+func TestJoinWindowCompleteness(t *testing.T) {
+	left := joinTestGeoms(40, 3)
+	right := joinTestGeoms(40, 4)
+	for _, rel := range []JoinRelation{JoinIntersects, JoinContains, JoinWithin, JoinNearer, JoinNearerEq} {
+		const d = 30.0
+		for _, a := range left {
+			w := JoinWindow(rel, a, d)
+			for _, b := range right {
+				if JoinHolds(rel, a, b, d) && !w.Intersects(b.Bounds()) {
+					t.Fatalf("%v: satisfied pair escapes the probe window", rel)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexJoinEmptySides(t *testing.T) {
+	gs := joinTestGeoms(5, 5)
+	if n := IndexJoin(nil, gs, JoinIntersects, 0, func(int, int) { t.Fatal("emit on empty left") }); n != 0 {
+		t.Fatalf("comparisons = %d", n)
+	}
+	if n := IndexJoin(gs, nil, JoinIntersects, 0, func(int, int) { t.Fatal("emit on empty right") }); n != 0 {
+		t.Fatalf("comparisons = %d", n)
+	}
+}

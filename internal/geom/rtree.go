@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 )
@@ -306,33 +307,43 @@ func (t *RTree) searchContained(n *rtreeNode, window Rect, fn func(Rect, int64) 
 	return true
 }
 
+// nearestCand is one best-first search frontier entry: an interior node
+// or a leaf entry, keyed by its rectangle distance to the query point.
+type nearestCand struct {
+	node *rtreeNode
+	ent  rtreeEntry
+	dist float64
+	leaf bool
+}
+
+// nearestQueue is a min-heap over frontier entries (container/heap).
+type nearestQueue []nearestCand
+
+func (q nearestQueue) Len() int            { return len(q) }
+func (q nearestQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nearestQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nearestQueue) Push(x interface{}) { *q = append(*q, x.(nearestCand)) }
+func (q *nearestQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	c := old[n-1]
+	*q = old[:n-1]
+	return c
+}
+
 // Nearest returns the k entries whose bounds are nearest to p (by
-// rectangle distance), using best-first search over the tree.
+// rectangle distance), using best-first search over the tree with a
+// container/heap priority queue, so each pop is O(log frontier) instead
+// of a linear scan.
 func (t *RTree) Nearest(p Point, k int) []int64 {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
-	type cand struct {
-		node *rtreeNode
-		ent  rtreeEntry
-		dist float64
-		leaf bool
-	}
-	// simple priority queue via sorted slice (k and tree sizes here are
-	// modest; avoids a heap dependency)
-	queue := []cand{{node: t.root, dist: 0}}
+	queue := nearestQueue{{node: t.root, dist: 0}}
+	heap.Init(&queue)
 	var out []int64
-	for len(queue) > 0 && len(out) < k {
-		// pop min
-		mi := 0
-		for i := range queue {
-			if queue[i].dist < queue[mi].dist {
-				mi = i
-			}
-		}
-		c := queue[mi]
-		queue[mi] = queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	for queue.Len() > 0 && len(out) < k {
+		c := heap.Pop(&queue).(nearestCand)
 		if c.leaf {
 			out = append(out, c.ent.data)
 			continue
@@ -341,9 +352,9 @@ func (t *RTree) Nearest(p Point, k int) []int64 {
 		for _, e := range n.entries {
 			d := e.bounds.DistanceToPoint(p)
 			if n.leaf {
-				queue = append(queue, cand{ent: e, dist: d, leaf: true})
+				heap.Push(&queue, nearestCand{ent: e, dist: d, leaf: true})
 			} else {
-				queue = append(queue, cand{node: e.child, dist: d})
+				heap.Push(&queue, nearestCand{node: e.child, dist: d})
 			}
 		}
 	}

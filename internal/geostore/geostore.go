@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/rdf"
@@ -70,6 +71,10 @@ type Store struct {
 	// plans caches compiled slot-based query plans keyed on canonical
 	// query text, invalidated by store version.
 	plans *planCache
+
+	// joinProbes counts R-tree probes issued by index spatial joins
+	// (exposed as sparql_spatial_join_probes_total).
+	joinProbes atomic.Uint64
 
 	mu sync.RWMutex
 	// geoms maps the dictionary ID of a WKT literal to its parsed
@@ -315,13 +320,18 @@ func (s *Store) queryIndexed(q *sparql.Query) (*sparql.Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(entry.spatial) == 0 {
+	if len(entry.spatial) == 0 && len(entry.joins) == 0 {
 		return entry.plan.Execute()
 	}
+	// Both the seed scan and the spatial-join probe steps read the
+	// R-tree during execution.
 	s.mu.Lock()
 	s.buildLocked()
 	s.mu.Unlock()
 
+	if len(entry.spatial) == 0 {
+		return entry.plan.Execute()
+	}
 	seedIDs := s.seedIDs(entry.spatial[0])
 	if len(seedIDs) == 0 {
 		return &sparql.Results{Vars: q.Vars}, nil
@@ -338,6 +348,7 @@ func (s *Store) cachedPlan(q *sparql.Query) (*planEntry, error) {
 		return e, nil
 	}
 	spatial := sparql.ExtractSpatialFilters(q)
+	joins := sparql.ExtractSpatialJoins(q)
 	opt := sparql.PlanOpts{}
 	if len(spatial) > 0 {
 		// Seed from the first spatial filter; the others become pushed
@@ -361,30 +372,118 @@ func (s *Store) cachedPlan(q *sparql.Query) (*planEntry, error) {
 			})
 		}
 	}
+	// Variable-variable spatial predicates become index join probes:
+	// once the pipeline binds one side's geometry, the R-tree generates
+	// exact candidates for the other side instead of the cartesian scan
+	// the generic filter would force. Probes refine exactly, so an
+	// exclusive join filter is fully enforced and skipped generically.
+	for _, sj := range joins {
+		if sj.Exclusive {
+			if opt.SkipFilters == nil {
+				opt.SkipFilters = make(map[int]bool)
+			}
+			opt.SkipFilters[sj.FilterIndex] = true
+		}
+		sj := sj
+		opt.Probes = append(opt.Probes, sparql.JoinProbe{
+			VarA: sj.VarA, VarB: sj.VarB,
+			Candidates: func(bound rdf.ID, aBound bool, yield func(rdf.ID) bool) {
+				s.probeJoin(sj, bound, aBound, yield)
+			},
+			Check: func(a, b rdf.ID) bool { return s.checkJoin(sj, a, b) },
+			Label: "spatial index join " + sj.String() + " (R-tree probe + exact refine)",
+		})
+	}
 	plan, err := sparql.CompilePlan(s.rdfStore, q, opt)
 	if err != nil {
 		return nil, err
 	}
-	e := &planEntry{key: key, version: version, plan: plan, spatial: spatial}
+	e := &planEntry{key: key, version: version, plan: plan, spatial: spatial, joins: joins}
 	s.plans.put(e)
 	return e, nil
 }
+
+// probeJoin answers one index spatial-join probe: search the R-tree with
+// the bound geometry's join window (its MBR, distance-expanded for
+// distance joins) and refine candidates exactly, honouring the
+// predicate's argument order. Yielded IDs therefore satisfy the join
+// predicate — the executor does not re-check.
+func (s *Store) probeJoin(sj sparql.SpatialJoin, bound rdf.ID, aBound bool, yield func(rdf.ID) bool) {
+	s.joinProbes.Add(1)
+	rel := sj.Relation()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.geoms[bound]
+	if !ok {
+		// Not a registered geometry: the predicate errors on this row in
+		// SPARQL semantics, so it contributes no candidates.
+		return
+	}
+	s.rtree.Search(geom.JoinWindow(rel, g, sj.Distance), func(_ geom.Rect, data int64) bool {
+		id := rdf.ID(data)
+		cand, ok := s.geoms[id]
+		if !ok {
+			return true
+		}
+		var holds bool
+		if aBound {
+			holds = geom.JoinHolds(rel, g, cand, sj.Distance)
+		} else {
+			holds = geom.JoinHolds(rel, cand, g, sj.Distance)
+		}
+		if holds {
+			return yield(id)
+		}
+		return true
+	})
+}
+
+// checkJoin tests the join predicate between two already-bound geometry
+// IDs (the planner's fallback when pattern steps bound both sides before
+// a probe step could run).
+func (s *Store) checkJoin(sj sparql.SpatialJoin, a, b rdf.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ga, ok := s.geoms[a]
+	if !ok {
+		return false
+	}
+	gb, ok := s.geoms[b]
+	if !ok {
+		return false
+	}
+	return geom.JoinHolds(sj.Relation(), ga, gb, sj.Distance)
+}
+
+// SpatialJoinStats returns the number of index spatial-join probes the
+// store has answered (exposed by /metrics as
+// sparql_spatial_join_probes_total).
+func (s *Store) SpatialJoinStats() (probes uint64) { return s.joinProbes.Load() }
 
 // PlanCacheStats returns the plan cache hit/miss counters (exposed by
 // the endpoint's /metrics).
 func (s *Store) PlanCacheStats() (hits, misses uint64) { return s.plans.stats() }
 
 // Explain compiles (or fetches) the plan for q and renders the chosen
-// join order, access paths and pushed filters.
+// join order, access paths and pushed filters, followed by one strategy
+// line per spatial predicate (index spatial join vs cartesian+filter) so
+// an unaccelerable predicate is never silent.
 func (s *Store) Explain(q *sparql.Query) (string, error) {
 	if s.mode == ModeNaive {
-		return "naive mode: legacy map-based nested-loop evaluator (no compiled plan)", nil
+		text := "naive mode: legacy map-based nested-loop evaluator (no compiled plan)\n" +
+			"spatial strategy: every spatial predicate evaluated per row after the full join\n" +
+			"(cartesian scan + exact filter for variable-variable predicates)\n"
+		return text, nil
 	}
 	entry, err := s.cachedPlan(q)
 	if err != nil {
 		return "", err
 	}
-	return entry.plan.Explain(), nil
+	text := entry.plan.Explain()
+	if rep := sparql.SpatialReport(q); len(rep) > 0 {
+		text += strings.Join(rep, "\n") + "\n"
+	}
+	return text, nil
 }
 
 // seedIDs runs the R-tree window query for the filter and refines
@@ -431,9 +530,22 @@ func (s *Store) refineLocked(sf sparql.SpatialFilter, id rdf.ID) bool {
 // PartitionedStore is the scale-out variant: features are hash-partitioned
 // across k indexed stores and queries fan out in parallel. Because a
 // feature's triples are co-located in one partition, BGP solutions never
-// span partitions, so merging is concatenation.
+// span partitions, so merging is concatenation — except for
+// variable-variable spatial joins, whose two sides usually live in
+// different partitions; those are evaluated by broadcasting the probe
+// side across partitions (see partjoin.go).
 type PartitionedStore struct {
 	parts []*Store
+	// joinProbes counts the global pairing probes of broadcast spatial
+	// joins (partition-local probes are counted by each partition).
+	joinProbes atomic.Uint64
+
+	// merged caches the transient single-node fallback store for
+	// non-decomposable spatial-join queries, keyed on the summed
+	// partition versions (see queryMerged).
+	mergedMu      sync.Mutex
+	merged        *Store
+	mergedVersion uint64
 }
 
 // NewPartitioned returns a store with k indexed partitions.
@@ -480,6 +592,22 @@ func (ps *PartitionedStore) PlanCacheStats() (hits, misses uint64) {
 	return hits, misses
 }
 
+// SpatialJoinStats sums partition-local probe counters with the global
+// pairing probes of broadcast joins and the merged fallback store's
+// probes.
+func (ps *PartitionedStore) SpatialJoinStats() (probes uint64) {
+	probes = ps.joinProbes.Load()
+	ps.mergedMu.Lock()
+	if ps.merged != nil {
+		probes += ps.merged.SpatialJoinStats()
+	}
+	ps.mergedMu.Unlock()
+	for _, p := range ps.parts {
+		probes += p.SpatialJoinStats()
+	}
+	return probes
+}
+
 // AddFeature routes a feature to a partition by IRI hash.
 func (ps *PartitionedStore) AddFeature(f Feature) error {
 	return ps.parts[fnvHash(f.IRI)%uint32(len(ps.parts))].AddFeature(f)
@@ -513,12 +641,20 @@ func (ps *PartitionedStore) QueryString(qs string) (*sparql.Results, error) {
 // needed, the limit is pushed down so each partition's slot pipeline
 // short-circuits.
 func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
+	if joins := sparql.ExtractSpatialJoins(q); len(joins) > 0 {
+		// Variable-variable spatial joins pair features across
+		// partitions; per-partition evaluation would silently lose every
+		// cross-partition pair.
+		return ps.querySpatialJoin(q, joins)
+	}
 	type partRes struct {
 		res *sparql.Results
 		err error
 	}
 	// The limit survives pushdown only when partition results merge by
 	// plain concatenation: any global sort or dedup could discard rows.
+	// OFFSET never pushes down (each partition sees only part of the
+	// stream), but it widens the pushed limit so enough rows survive.
 	pushLimit := q.OrderBy == "" && !q.Distinct && len(q.Aggregates) == 0
 	out := make([]partRes, len(ps.parts))
 	var wg sync.WaitGroup
@@ -527,7 +663,10 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 		go func(i int, p *Store) {
 			defer wg.Done()
 			local := *q
-			if !pushLimit {
+			local.Offset = 0
+			if pushLimit && q.Limit > 0 {
+				local.Limit = q.Limit + q.Offset
+			} else {
 				local.Limit = 0
 			}
 			r, err := p.Query(&local)
@@ -560,9 +699,7 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 	if q.OrderBy != "" {
 		sparql.SortRows(merged.Rows, q.OrderBy, q.OrderDesc)
 	}
-	if q.Limit > 0 && len(merged.Rows) > q.Limit {
-		merged.Rows = merged.Rows[:q.Limit]
-	}
+	sparql.ApplyOffsetLimit(merged, q)
 	return merged, nil
 }
 

@@ -12,13 +12,15 @@ import (
 const planCacheSize = 128
 
 // planEntry is one cached compilation: the slot-based plan plus the
-// spatial filters extracted alongside it (the seed filter drives R-tree
-// seeding at execution time).
+// spatial filters and variable-variable spatial joins extracted
+// alongside it (the seed filter drives R-tree seeding at execution
+// time; the joins mark plans whose probe steps need the R-tree built).
 type planEntry struct {
 	key     string
 	version uint64
 	plan    *sparql.Plan
 	spatial []sparql.SpatialFilter
+	joins   []sparql.SpatialJoin
 }
 
 // planCache is an LRU over compiled query plans keyed on canonical query

@@ -61,6 +61,32 @@ func TestBlockedMatchesNaive(t *testing.T) {
 	}
 }
 
+func TestIndexedMatchesNaive(t *testing.T) {
+	a := makeEntities(150, 5, "a")
+	b := makeEntities(150, 6, "b")
+	for _, rel := range []Relation{RelIntersects, RelWithin, RelContains, RelNear} {
+		cfg := Config{Relation: rel, Distance: 12}
+		truth, stNaive := DiscoverNaive(a, b, cfg)
+		got, st := DiscoverIndexed(a, b, cfg)
+		if len(got) != len(truth) {
+			t.Fatalf("%v: indexed found %d links, naive %d", rel, len(got), len(truth))
+		}
+		gotSet := linkSet(got)
+		for _, l := range truth {
+			if !gotSet[l] {
+				t.Errorf("%v: indexed missed link %v", rel, l)
+			}
+		}
+		if Recall(got, truth) != 1.0 {
+			t.Errorf("%v: recall < 1.0", rel)
+		}
+		if st.Comparisons >= stNaive.Comparisons {
+			t.Errorf("%v: index join did not reduce comparisons: %d vs %d",
+				rel, st.Comparisons, stNaive.Comparisons)
+		}
+	}
+}
+
 func TestMetaBlockedMatchesNaive(t *testing.T) {
 	a := makeEntities(150, 3, "a")
 	b := makeEntities(150, 4, "b")

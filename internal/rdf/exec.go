@@ -67,6 +67,27 @@ type PlanFilter struct {
 	Label string
 }
 
+// PlanProbe is a variable-variable join constraint backed by an external
+// index (e.g. the geostore's R-tree): once one of its two slots is bound
+// by the pipeline, the planner inserts a probe step that calls
+// Candidates to generate the IDs for the other slot, replacing the
+// cartesian enumeration a plain filter would require. If pattern steps
+// bind both slots before a probe step could run, the probe degrades to a
+// pushed filter over Check.
+type PlanProbe struct {
+	SlotA, SlotB int
+	// Candidates streams candidate IDs for the unbound slot given the
+	// bound slot's ID; aBound reports whether SlotA is the bound side.
+	// Implementations must yield only IDs that satisfy the join predicate
+	// exactly (the executor does not re-check), and must stop when yield
+	// returns false.
+	Candidates func(bound ID, aBound bool, yield func(ID) bool)
+	// Check tests the join predicate with both sides bound.
+	Check func(a, b ID) bool
+	// Label names the join for Explain.
+	Label string
+}
+
 // BGPOptions tunes PlanBGP for seeded evaluation.
 type BGPOptions struct {
 	// SeedSlots lists slots pre-bound in every seed row passed to Run.
@@ -77,6 +98,9 @@ type BGPOptions struct {
 	// Filters are pushed down to the earliest step that binds them;
 	// filters fully bound by the seeds run once per seed row.
 	Filters []PlanFilter
+	// Probes are index-backed variable-variable join constraints; each
+	// becomes a candidate-generating step as soon as one side is bound.
+	Probes []PlanProbe
 }
 
 // refKind classifies one triple-pattern position at a given plan step.
@@ -113,7 +137,9 @@ const (
 	mergeONewS
 )
 
-// planStep is one compiled join step.
+// planStep is one compiled join step: a triple pattern, or — when probe
+// is non-nil — an index probe that binds one slot from candidates
+// generated off another bound slot (the spatial-join step).
 type planStep struct {
 	tp      TriplePattern
 	s, p, o slotRef
@@ -121,7 +147,8 @@ type planStep struct {
 	eqPS, eqOS, eqOP bool
 	// filters run immediately after this step binds its slots.
 	filters []PlanFilter
-	// est is the planner's estimated output rows per upstream row.
+	// est is the planner's estimated output rows per upstream row
+	// (negative: unknown, e.g. probe steps).
 	est float64
 	// access describes the chosen access path (for Explain).
 	access string
@@ -129,6 +156,16 @@ type planStep struct {
 	merge      mergeKind
 	mergeSlot  int // stream slot supplying the sorted probe key
 	segA, segB ID  // segment range key: POS(p[,o]) or SPO(s,p)
+
+	probe *compiledProbe
+}
+
+// compiledProbe is a PlanProbe resolved against the bound set at its
+// insertion point: boundSlot feeds Candidates, newSlot receives them.
+type compiledProbe struct {
+	boundSlot, newSlot int
+	aBound             bool
+	candidates         func(bound ID, aBound bool, yield func(ID) bool)
 }
 
 // BGPPlan is a compiled basic graph pattern ready for streaming
@@ -316,6 +353,63 @@ func (s *Store) PlanBGP(patterns []TriplePattern, slots map[string]int, numSlots
 		plan.seedFilters = append(plan.seedFilters, f)
 	})
 
+	// attachFilter pushes a filter to the latest existing step (or the
+	// seed stage when no step exists yet).
+	attachFilter := func(f PlanFilter) {
+		if len(plan.steps) == 0 {
+			plan.seedFilters = append(plan.seedFilters, f)
+		} else {
+			last := &plan.steps[len(plan.steps)-1]
+			last.filters = append(last.filters, f)
+		}
+	}
+
+	// tryProbes fires every probe whose sides just became reachable: one
+	// side bound inserts a candidate-generating probe step (binding the
+	// other side), both sides bound degrades to an exact-check filter.
+	// Loops because a probe's new binding can enable another probe.
+	pendingProbes := append([]PlanProbe(nil), opt.Probes...)
+	tryProbes := func() {
+		for {
+			progressed := false
+			rest := pendingProbes[:0]
+			for _, pr := range pendingProbes {
+				aB, bB := bound[pr.SlotA], bound[pr.SlotB]
+				if !aB && !bB {
+					rest = append(rest, pr)
+					continue
+				}
+				progressed = true
+				if aB && bB {
+					pr := pr
+					attachFilter(PlanFilter{
+						Slots: []int{pr.SlotA, pr.SlotB},
+						Pred:  func(row Row) bool { return pr.Check(row[pr.SlotA], row[pr.SlotB]) },
+						Label: pr.Label + " (both sides bound: exact check)",
+					})
+					continue
+				}
+				cp := &compiledProbe{candidates: pr.Candidates, aBound: aB}
+				if aB {
+					cp.boundSlot, cp.newSlot = pr.SlotA, pr.SlotB
+				} else {
+					cp.boundSlot, cp.newSlot = pr.SlotB, pr.SlotA
+				}
+				bound[cp.newSlot] = true
+				step := planStep{probe: cp, est: -1, access: pr.Label}
+				pending = plan.attachReady(pending, bound, func(f PlanFilter) {
+					step.filters = append(step.filters, f)
+				})
+				plan.steps = append(plan.steps, step)
+			}
+			pendingProbes = rest
+			if !progressed {
+				return
+			}
+		}
+	}
+	tryProbes()
+
 	remaining := append([]TriplePattern(nil), patterns...)
 	for len(remaining) > 0 {
 		best, bestEst := 0, 0.0
@@ -351,18 +445,23 @@ func (s *Store) PlanBGP(patterns []TriplePattern, slots map[string]int, numSlots
 			step.filters = append(step.filters, f)
 		})
 		plan.steps = append(plan.steps, step)
+		tryProbes()
 	}
 	// Filters never fully bound (a variable outside the BGP) reject every
 	// row, matching the legacy evaluator's unbound-variable semantics.
+	// Probes left with neither side bound join the same fate: their
+	// variables are outside the BGP, where legacy evaluation errors (and
+	// therefore rejects) on every row.
+	for _, pr := range pendingProbes {
+		attachFilter(PlanFilter{
+			Pred:  func(Row) bool { return false },
+			Label: pr.Label + " (unbound: rejects all)",
+		})
+	}
 	for _, f := range pending {
 		reject := f
 		reject.Pred = func(Row) bool { return false }
-		if len(plan.steps) == 0 {
-			plan.seedFilters = append(plan.seedFilters, reject)
-		} else {
-			last := &plan.steps[len(plan.steps)-1]
-			last.filters = append(last.filters, reject)
-		}
+		attachFilter(reject)
 	}
 	plan.sortedSlot = sorted
 	return plan
@@ -570,7 +669,12 @@ func (p *BGPPlan) Explain() []string {
 		out = append(out, fmt.Sprintf("seed filter: %s", f.Label))
 	}
 	for i, st := range p.steps {
-		line := fmt.Sprintf("step %d: %s  [%s, est %.3g]", i+1, strings.TrimSuffix(st.tp.String(), " ."), st.access, st.est)
+		var line string
+		if st.probe != nil {
+			line = fmt.Sprintf("step %d: %s", i+1, st.access)
+		} else {
+			line = fmt.Sprintf("step %d: %s  [%s, est %.3g]", i+1, strings.TrimSuffix(st.tp.String(), " ."), st.access, st.est)
+		}
 		out = append(out, line)
 		for _, f := range st.filters {
 			out = append(out, fmt.Sprintf("  pushed filter: %s", f.Label))
@@ -659,6 +763,9 @@ func (st *execState) run(i int, row Row) bool {
 		return st.emit(row)
 	}
 	step := &st.plan.steps[i]
+	if step.probe != nil {
+		return st.runProbe(i, step, row)
+	}
 	switch step.merge {
 	case mergeS:
 		return st.runMergeS(i, step, row)
@@ -666,6 +773,29 @@ func (st *execState) run(i int, row Row) bool {
 		return st.runMergeO(i, step, row)
 	}
 	return st.runScan(i, step, row)
+}
+
+// runProbe executes an index probe step: the external index generates
+// exact candidates for the unbound slot from the bound slot's ID, and
+// each candidate extends the row depth-first (preserving the stream's
+// outer sort order, like a nested-loop extension).
+func (st *execState) runProbe(i int, step *planStep, row Row) bool {
+	pr := step.probe
+	ok := true
+	pr.candidates(row[pr.boundSlot], pr.aBound, func(id ID) bool {
+		row[pr.newSlot] = id
+		for _, f := range step.filters {
+			if !f.Pred(row) {
+				return true
+			}
+		}
+		if !st.run(i+1, row) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
 }
 
 func resolveRef(r slotRef, row Row) ID {

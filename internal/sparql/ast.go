@@ -50,6 +50,7 @@ type Query struct {
 	Patterns   []rdf.TriplePattern
 	Filters    []Expr
 	Limit      int // 0 = no limit
+	Offset     int // 0 = no offset
 	OrderBy    string
 	OrderDesc  bool
 }
@@ -81,6 +82,9 @@ func (q *Query) String() string {
 	b.WriteString("}")
 	if q.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
 	}
 	return b.String()
 }

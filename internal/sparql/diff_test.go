@@ -107,7 +107,7 @@ func randomQuery(rng *rand.Rand) *Query {
 	for i := 0; i < nfil; i++ {
 		v := used[rng.Intn(len(used))]
 		var e Expr
-		switch rng.Intn(5) {
+		switch rng.Intn(7) {
 		case 0:
 			e = CmpExpr{Op: CmpOp(rng.Intn(6)), L: VarExpr{Name: v},
 				R: ConstExpr{Term: rdf.NewIntLiteral(int64(rng.Intn(100)))}}
@@ -129,6 +129,26 @@ func randomQuery(rng *rand.Rand) *Query {
 			e = AndExpr{
 				L: CmpExpr{Op: OpGe, L: VarExpr{Name: name}, R: ConstExpr{Term: rdf.NewIntLiteral(0)}},
 				R: CmpExpr{Op: OpNe, L: VarExpr{Name: v}, R: ConstExpr{Term: rdf.NewLiteral("nope")}},
+			}
+		case 4:
+			// Variable-variable geof predicate: a spatial join (or a
+			// type-error rejection when the vars bind non-geometries).
+			fns := []string{FnSfIntersects, FnSfContains, FnSfWithin}
+			e = FuncExpr{Name: fns[rng.Intn(len(fns))], Args: []Expr{
+				VarExpr{Name: v},
+				VarExpr{Name: used[rng.Intn(len(used))]},
+			}}
+		case 5:
+			// Distance join, both comparison spellings.
+			call := FuncExpr{Name: FnDistance, Args: []Expr{
+				VarExpr{Name: v},
+				VarExpr{Name: used[rng.Intn(len(used))]},
+			}}
+			d := ConstExpr{Term: rdf.NewFloatLiteral(rng.Float64() * 80)}
+			if rng.Float64() < 0.5 {
+				e = CmpExpr{Op: OpLt, L: call, R: d}
+			} else {
+				e = CmpExpr{Op: OpGe, L: d, R: call}
 			}
 		default:
 			win := fmt.Sprintf("POLYGON ((%d %d, %d %d, %d %d, %d %d, %d %d))",
@@ -176,6 +196,9 @@ func randomQuery(rng *rand.Rand) *Query {
 	}
 	if rng.Float64() < 0.4 {
 		q.Limit = 1 + rng.Intn(10)
+	}
+	if rng.Float64() < 0.3 {
+		q.Offset = 1 + rng.Intn(8)
 	}
 	return q
 }
@@ -233,7 +256,7 @@ func checkEquivalent(t *testing.T, st *rdf.Store, q *Query, tag string) {
 	if got.Len() != want.Len() {
 		t.Fatalf("%s: rows = %d, want %d\nquery: %s", tag, got.Len(), want.Len(), q.Canonical())
 	}
-	if q.Limit == 0 {
+	if q.Limit == 0 && q.Offset == 0 {
 		// Without truncation the full multisets must match regardless of
 		// row order.
 		if !sameMultiset(multiset(got), multiset(want)) {
@@ -241,11 +264,12 @@ func checkEquivalent(t *testing.T, st *rdf.Store, q *Query, tag string) {
 				tag, q.Canonical(), got, want)
 		}
 	} else {
-		// Truncation can cut ties differently; every returned row must
-		// exist in the oracle's unlimited solution set (with
-		// multiplicity).
+		// LIMIT truncation and OFFSET skipping can cut ties differently;
+		// every returned row must exist in the oracle's unmodified
+		// solution set (with multiplicity).
 		full := *q
 		full.Limit = 0
+		full.Offset = 0
 		wantFull, err := EvalLegacy(st, &full)
 		if err != nil {
 			t.Fatalf("%s: EvalLegacy(no limit): %v", tag, err)
@@ -302,6 +326,14 @@ func TestDifferentialParsedQueries(t *testing.T) {
 		`SELECT ?a WHERE { ?a a <http://example.org/NoSuchClass> . }`,
 		`SELECT ?n WHERE { ?a <http://example.org/p/name> ?n . ?a <http://example.org/p/value> ?v . } ORDER BY ?n LIMIT 7`,
 		`SELECT DISTINCT ?t WHERE { ?a a ?t . ?a <http://example.org/p/value> ?v . FILTER(?v >= 10) } ORDER BY ?t`,
+		`SELECT ?a ?v WHERE { ?a <http://example.org/p/value> ?v . } ORDER BY ?v OFFSET 5`,
+		`SELECT ?a ?v WHERE { ?a <http://example.org/p/value> ?v . } ORDER BY ?v LIMIT 4 OFFSET 3`,
+		`SELECT ?a ?v WHERE { ?a <http://example.org/p/value> ?v . } OFFSET 6 LIMIT 4`,
+		`SELECT DISTINCT ?v WHERE { ?a <http://example.org/p/value> ?v . } OFFSET 10`,
+		`SELECT ?a WHERE { ?a <http://example.org/p/value> ?v . } OFFSET 100000`,
+		`SELECT ?a ?b WHERE { ?a <http://example.org/p/wkt> ?wa . ?b <http://example.org/p/wkt> ?wb . FILTER(geof:sfIntersects(?wa, ?wb)) }`,
+		`SELECT ?a ?b WHERE { ?a <http://example.org/p/wkt> ?wa . ?b <http://example.org/p/wkt> ?wb . FILTER(geof:distance(?wa, ?wb) < 25) } ORDER BY ?a LIMIT 20`,
+		`SELECT ?a WHERE { ?a <http://example.org/p/wkt> ?wa . ?a <http://example.org/p/name> ?n . FILTER(geof:sfWithin(?wa, ?n)) }`,
 	}
 	for i, qs := range queries {
 		q, err := Parse(qs)

@@ -136,10 +136,25 @@ func Project(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Results, error) 
 		// numeric literals on every comparison.
 		SortRows(res.Rows, q.OrderBy, q.OrderDesc)
 	}
+	ApplyOffsetLimit(res, q)
+	return res, nil
+}
+
+// ApplyOffsetLimit drops the first Offset rows and truncates to Limit
+// (solution-modifier order: OFFSET before LIMIT). It is shared by the
+// evaluators here and by stores that merge partial results themselves
+// (the partitioned geostore).
+func ApplyOffsetLimit(res *Results, q *Query) {
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = res.Rows[:0]
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
 	if q.Limit > 0 && len(res.Rows) > q.Limit {
 		res.Rows = res.Rows[:q.Limit]
 	}
-	return res, nil
 }
 
 // projectAggregates evaluates COUNT aggregates, grouped by GroupBy when
@@ -204,9 +219,7 @@ func projectAggregates(st *rdf.Store, q *Query, bindings []rdf.Binding) (*Result
 	if q.OrderBy != "" {
 		SortRows(res.Rows, q.OrderBy, q.OrderDesc)
 	}
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
-	}
+	ApplyOffsetLimit(res, q)
 	return res, nil
 }
 
@@ -475,6 +488,305 @@ func ExtractSpatialFilters(q *Query) []SpatialFilter {
 		visit(f, i, true)
 	}
 	return out
+}
+
+// ExprVars returns the distinct variable names referenced anywhere in
+// the expression, in first-use order.
+func ExprVars(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case VarExpr:
+			if !seen[ex.Name] {
+				seen[ex.Name] = true
+				out = append(out, ex.Name)
+			}
+		case NotExpr:
+			walk(ex.E)
+		case AndExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case OrExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case CmpExpr:
+			walk(ex.L)
+			walk(ex.R)
+		case FuncExpr:
+			for _, a := range ex.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// SpatialJoin describes a recognised variable-variable spatial
+// restriction: a geof simple-feature predicate between two geometry
+// variables, or a distance join geof:distance(?a, ?b) < d. Spatially
+// indexed stores accelerate it with an R-tree index spatial join (probe
+// with the bound side's MBR, refine exactly) instead of degrading to a
+// cartesian scan with per-pair geometry tests.
+type SpatialJoin struct {
+	// VarA and VarB are the two geometry variables in argument order.
+	VarA, VarB string
+	// Fn is the GeoSPARQL function IRI (FnDistance for distance joins).
+	Fn string
+	// Distance is the window-expansion threshold for FnDistance joins.
+	Distance float64
+	// StrictLess reports a strict (<) distance comparison; false means <=.
+	StrictLess bool
+	// FilterIndex is the index into Query.Filters this was extracted from.
+	FilterIndex int
+	// Exclusive reports that the top-level filter consists solely of this
+	// join, so an index join that refines exactly fully enforces it.
+	Exclusive bool
+}
+
+// Relation maps the join onto the shared geom join core.
+func (j SpatialJoin) Relation() geom.JoinRelation {
+	switch j.Fn {
+	case FnSfContains:
+		return geom.JoinContains
+	case FnSfWithin:
+		return geom.JoinWithin
+	case FnDistance:
+		if j.StrictLess {
+			return geom.JoinNearer
+		}
+		return geom.JoinNearerEq
+	default:
+		return geom.JoinIntersects
+	}
+}
+
+// String renders the join predicate compactly for plans and logs.
+func (j SpatialJoin) String() string {
+	if j.Fn == FnDistance {
+		op := "<="
+		if j.StrictLess {
+			op = "<"
+		}
+		return fmt.Sprintf("geof:distance(?%s, ?%s) %s %g", j.VarA, j.VarB, op, j.Distance)
+	}
+	return fmt.Sprintf("%s(?%s, ?%s)", geofShortName(j.Fn), j.VarA, j.VarB)
+}
+
+// geofShortName compacts a geof: function IRI for display.
+func geofShortName(iri string) string {
+	const ns = "http://www.opengis.net/def/function/geosparql/"
+	if strings.HasPrefix(iri, ns) {
+		return "geof:" + iri[len(ns):]
+	}
+	return "<" + iri + ">"
+}
+
+// ExtractSpatialJoins scans the query's filters for accelerable
+// variable-variable spatial joins: geof:sfIntersects/sfContains/sfWithin
+// between two distinct variables, and distance joins of the forms
+// geof:distance(?a, ?b) < d, geof:distance(?a, ?b) <= d, d >
+// geof:distance(?a, ?b) and d >= geof:distance(?a, ?b). Only top-level
+// and AND-combined conjuncts are considered; anything under OR/NOT stays
+// with the generic evaluator.
+func ExtractSpatialJoins(q *Query) []SpatialJoin {
+	var out []SpatialJoin
+	var visit func(e Expr, idx int, exclusive bool)
+	visit = func(e Expr, idx int, exclusive bool) {
+		switch ex := e.(type) {
+		case AndExpr:
+			visit(ex.L, idx, false)
+			visit(ex.R, idx, false)
+		case FuncExpr:
+			if ex.Name != FnSfIntersects && ex.Name != FnSfContains && ex.Name != FnSfWithin {
+				return
+			}
+			a, b, ok := splitVarVar(ex)
+			if !ok {
+				return
+			}
+			out = append(out, SpatialJoin{
+				VarA: a, VarB: b, Fn: ex.Name,
+				FilterIndex: idx, Exclusive: exclusive,
+			})
+		case CmpExpr:
+			j, ok := distanceJoin(ex)
+			if !ok {
+				return
+			}
+			j.FilterIndex = idx
+			j.Exclusive = exclusive
+			out = append(out, j)
+		}
+	}
+	for i, f := range q.Filters {
+		visit(f, i, true)
+	}
+	return out
+}
+
+// splitVarVar matches a two-argument call whose arguments are two
+// distinct variables.
+func splitVarVar(ex FuncExpr) (a, b string, ok bool) {
+	if len(ex.Args) != 2 {
+		return "", "", false
+	}
+	va, okA := ex.Args[0].(VarExpr)
+	vb, okB := ex.Args[1].(VarExpr)
+	if !okA || !okB || va.Name == vb.Name {
+		return "", "", false
+	}
+	return va.Name, vb.Name, true
+}
+
+// distanceJoin matches the distance-join comparison shapes. The
+// threshold must be a non-negative numeric constant.
+func distanceJoin(ex CmpExpr) (SpatialJoin, bool) {
+	match := func(fe Expr, ce Expr, strict bool) (SpatialJoin, bool) {
+		f, ok := fe.(FuncExpr)
+		if !ok || f.Name != FnDistance {
+			return SpatialJoin{}, false
+		}
+		a, b, ok := splitVarVar(f)
+		if !ok {
+			return SpatialJoin{}, false
+		}
+		c, ok := ce.(ConstExpr)
+		if !ok || c.Term.Kind != rdf.Literal {
+			return SpatialJoin{}, false
+		}
+		d, err := c.Term.Float()
+		if err != nil || d < 0 {
+			return SpatialJoin{}, false
+		}
+		return SpatialJoin{VarA: a, VarB: b, Fn: FnDistance, Distance: d, StrictLess: strict}, true
+	}
+	switch ex.Op {
+	case OpLt:
+		return match(ex.L, ex.R, true)
+	case OpLe:
+		return match(ex.L, ex.R, false)
+	case OpGt:
+		return match(ex.R, ex.L, true)
+	case OpGe:
+		return match(ex.R, ex.L, false)
+	}
+	return SpatialJoin{}, false
+}
+
+// SpatialReport classifies every geof call in the query's filters and
+// returns one strategy line per call: index filter-and-refine for
+// accelerable variable-constant predicates, R-tree index spatial join
+// for accelerable variable-variable predicates, an unbound-variable
+// rejection for predicates over variables outside the pattern group,
+// and an explicit per-row/cartesian warning for everything else — so an
+// unaccelerable spatial predicate can never degrade silently. The
+// classification mirrors ExtractSpatialFilters, ExtractSpatialJoins and
+// the planner's unbound-variable handling.
+func SpatialReport(q *Query) []string {
+	inBGP := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			inBGP[v] = true
+		}
+	}
+	unboundOf := func(vars ...string) string {
+		for _, v := range vars {
+			if !inBGP[v] {
+				return v
+			}
+		}
+		return ""
+	}
+	var out []string
+	report := func(idx int, desc, verdict string) {
+		out = append(out, fmt.Sprintf("spatial: %s — %s (filter #%d)", desc, verdict, idx))
+	}
+	var visit func(e Expr, idx int, conjunct bool)
+	visit = func(e Expr, idx int, conjunct bool) {
+		switch ex := e.(type) {
+		case AndExpr:
+			visit(ex.L, idx, conjunct)
+			visit(ex.R, idx, conjunct)
+		case OrExpr:
+			visit(ex.L, idx, false)
+			visit(ex.R, idx, false)
+		case NotExpr:
+			visit(ex.E, idx, false)
+		case CmpExpr:
+			if conjunct {
+				if j, ok := distanceJoin(ex); ok {
+					if u := unboundOf(j.VarA, j.VarB); u != "" {
+						report(idx, j.String(), "rejects every row (?"+u+" is outside the pattern group)")
+					} else {
+						report(idx, j.String(), "R-tree index distance join")
+					}
+					return
+				}
+			}
+			visit(ex.L, idx, false)
+			visit(ex.R, idx, false)
+		case FuncExpr:
+			switch ex.Name {
+			case FnSfIntersects, FnSfContains, FnSfWithin, FnDistance:
+			default:
+				for _, a := range ex.Args {
+					visit(a, idx, false)
+				}
+				return
+			}
+			desc := geofShortName(ex.Name) + renderArgs(ex.Args)
+			if len(ex.Args) != 2 {
+				report(idx, desc, "NOT index-accelerated: evaluated per row")
+				return
+			}
+			if a, b, varVar := splitVarVar(ex); ex.Name != FnDistance && conjunct && varVar {
+				if u := unboundOf(a, b); u != "" {
+					report(idx, desc, "rejects every row (?"+u+" is outside the pattern group)")
+				} else {
+					report(idx, desc, "R-tree index spatial join")
+				}
+				return
+			}
+			if ex.Name != FnDistance && conjunct {
+				if v, c, _ := splitVarConst(ex.Args[0], ex.Args[1]); v != "" {
+					if _, err := geom.ParseWKT(c.Value); err == nil {
+						if !inBGP[v] {
+							report(idx, desc, "rejects every row (?"+v+" is outside the pattern group)")
+						} else {
+							report(idx, desc, "index filter-and-refine")
+						}
+						return
+					}
+				}
+			}
+			if _, _, varVar := splitVarVar(ex); varVar {
+				report(idx, desc, "NOT index-accelerated: cartesian scan with per-pair exact tests")
+				return
+			}
+			report(idx, desc, "NOT index-accelerated: evaluated per row")
+		}
+	}
+	for i, f := range q.Filters {
+		visit(f, i, true)
+	}
+	return out
+}
+
+// renderArgs renders a call argument list compactly, eliding long
+// constants (WKT literals run to kilobytes).
+func renderArgs(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		s := a.String()
+		if len(s) > 24 {
+			s = s[:21] + "..."
+		}
+		parts[i] = s
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
 }
 
 func splitVarConst(a, b Expr) (varName string, c rdf.Term, swapped bool) {

@@ -10,7 +10,8 @@ import (
 
 // Canonical renders the query in a deterministic normal form covering every
 // field that affects results: projection (including DISTINCT and
-// aggregates), patterns, filters, GROUP BY, ORDER BY and LIMIT. Two query
+// aggregates), patterns, filters, GROUP BY, ORDER BY, LIMIT and OFFSET.
+// Two query
 // strings that parse to equivalent ASTs — regardless of whitespace,
 // comments, prefix spellings or keyword case — share one canonical form,
 // which is what query-result caches key on.
@@ -57,6 +58,11 @@ func (q *Query) Canonical() string {
 	}
 	if q.Limit > 0 {
 		b.WriteString(" LIMIT " + strconv.Itoa(q.Limit))
+	}
+	// OFFSET is part of the canonical form so result caches never
+	// conflate different pages of one query.
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET " + strconv.Itoa(q.Offset))
 	}
 	return b.String()
 }

@@ -18,7 +18,8 @@ import (
 //	block    := (triple "." | filter)*
 //	triple   := term term term
 //	filter   := "FILTER" "(" orExpr ")"
-//	modifiers := ("ORDER" "BY" ("ASC"|"DESC")? var)? ("LIMIT" INT)?
+//	modifiers := ("ORDER" "BY" ("ASC"|"DESC")? var)?
+//	             ("LIMIT" INT | "OFFSET" INT)*   (each at most once)
 func Parse(input string) (*Query, error) {
 	p := &parser{lex: newLexer(input), prefixes: map[string]string{}}
 	for k, v := range builtinPrefixes {
@@ -153,12 +154,37 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.OrderBy = v
 	}
-	if p.lex.acceptKeyword("LIMIT") {
-		n, err := p.lex.expectInt()
-		if err != nil {
-			return nil, err
+	// LIMIT and OFFSET accept either order (SPARQL's LimitOffsetClauses),
+	// at most once each.
+	sawLimit, sawOffset := false, false
+	for {
+		switch {
+		case !sawLimit && p.lex.peekKeyword("LIMIT"):
+			p.lex.acceptKeyword("LIMIT")
+			n, err := p.lex.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("negative LIMIT %d", n)
+			}
+			q.Limit = n
+			sawLimit = true
+			continue
+		case !sawOffset && p.lex.peekKeyword("OFFSET"):
+			p.lex.acceptKeyword("OFFSET")
+			n, err := p.lex.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("negative OFFSET %d", n)
+			}
+			q.Offset = n
+			sawOffset = true
+			continue
 		}
-		q.Limit = n
+		break
 	}
 	if !p.lex.atEOF() {
 		return nil, fmt.Errorf("trailing input at %s", p.lex.where())

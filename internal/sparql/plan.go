@@ -55,6 +55,25 @@ type Refiner struct {
 	Pred  func(rdf.ID) bool
 }
 
+// JoinProbe wires one variable-variable spatial join into the plan: an
+// index-backed candidate generator between two geometry variables. The
+// planner inserts a probe step as soon as one side's slot is bound; the
+// executor then enumerates exact candidates for the other side instead
+// of the cartesian product a plain filter would force.
+type JoinProbe struct {
+	// VarA and VarB are the two joined variables.
+	VarA, VarB string
+	// Candidates streams the IDs for the unbound side that satisfy the
+	// join predicate exactly, given the bound side's ID (aBound reports
+	// whether VarA is the bound side). It must stop when yield returns
+	// false.
+	Candidates func(bound rdf.ID, aBound bool, yield func(rdf.ID) bool)
+	// Check tests the predicate when both sides are already bound.
+	Check func(a, b rdf.ID) bool
+	// Label names the join in Explain output.
+	Label string
+}
+
 // PlanOpts tunes compilation for seeded (spatially accelerated)
 // evaluation. The zero value compiles a plain plan.
 type PlanOpts struct {
@@ -64,11 +83,14 @@ type PlanOpts struct {
 	// enabling merge joins against the seed stream.
 	SeedsSorted bool
 	// SkipFilters marks filter indexes fully enforced by the caller
-	// (e.g. exclusive spatial filters answered by the R-tree seed).
+	// (e.g. exclusive spatial filters answered by the R-tree seed, or
+	// exclusive spatial joins answered by an index probe).
 	SkipFilters map[int]bool
 	// Refiners are extra per-variable predicates pushed into the
 	// pipeline at the variable's binding step.
 	Refiners []Refiner
+	// Probes are index spatial joins between two variables.
+	Probes []JoinProbe
 }
 
 // CompilePlan compiles q against st.
@@ -123,6 +145,29 @@ func CompilePlan(st *rdf.Store, q *Query, opt PlanOpts) (*Plan, error) {
 	}
 
 	bgpOpt := rdf.BGPOptions{SortedSlot: -1, Filters: filters}
+	for _, jp := range opt.Probes {
+		slA, okA := p.slots[jp.VarA]
+		slB, okB := p.slots[jp.VarB]
+		if !okA || !okB {
+			// A join variable outside the BGP can never bind: legacy
+			// evaluation errors (and rejects) on every row.
+			missing := jp.VarA
+			if okA {
+				missing = jp.VarB
+			}
+			bgpOpt.Filters = append(bgpOpt.Filters, rdf.PlanFilter{
+				Pred:  func(rdf.Row) bool { return false },
+				Label: jp.Label + " (?" + missing + " unbound: rejects all)",
+			})
+			continue
+		}
+		bgpOpt.Probes = append(bgpOpt.Probes, rdf.PlanProbe{
+			SlotA: slA, SlotB: slB,
+			Candidates: jp.Candidates,
+			Check:      jp.Check,
+			Label:      jp.Label,
+		})
+	}
 	if p.seedSlot >= 0 {
 		bgpOpt.SeedSlots = []int{p.seedSlot}
 		if opt.SeedsSorted {
@@ -251,6 +296,7 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 		keyBuf = make([]byte, 0, 8*len(p.projSlots))
 	}
 	limit := q.Limit
+	skip := q.Offset
 
 	p.bgp.Run(p.st, seeds, func(row rdf.Row) bool {
 		if q.Distinct {
@@ -267,6 +313,13 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 				return true
 			}
 			dedup[k] = true
+		}
+		if !needSort && skip > 0 {
+			// Streaming OFFSET: skipped (distinct) rows are never
+			// materialized, and the LIMIT short-circuit below only counts
+			// rows past the offset.
+			skip--
+			return true
 		}
 		rows = append(rows, arena.Copy(row))
 		if needSort {
@@ -296,6 +349,14 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 			ordered[i] = rows[pi]
 		}
 		rows = ordered
+		// Under ORDER BY the offset can only apply after the global sort.
+		if q.Offset > 0 {
+			if q.Offset >= len(rows) {
+				rows = rows[:0]
+			} else {
+				rows = rows[q.Offset:]
+			}
+		}
 	}
 	if limit > 0 && len(rows) > limit {
 		rows = rows[:limit]
@@ -376,9 +437,7 @@ func (p *Plan) executeAggregates(seeds []rdf.Row) (*Results, error) {
 	if q.OrderBy != "" {
 		SortRows(res.Rows, q.OrderBy, q.OrderDesc)
 	}
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
-	}
+	ApplyOffsetLimit(res, q)
 	return res, nil
 }
 
@@ -622,6 +681,13 @@ func (p *Plan) Explain() string {
 			mods = append(mods, "ORDER BY ?"+p.q.OrderBy+" (precomputed keys)")
 		} else {
 			mods = append(mods, "ORDER BY ?"+p.q.OrderBy+" (no-op: not projected)")
+		}
+	}
+	if p.q.Offset > 0 {
+		if p.orderSlot < 0 && !p.aggregate {
+			mods = append(mods, fmt.Sprintf("OFFSET %d (streaming skip)", p.q.Offset))
+		} else {
+			mods = append(mods, fmt.Sprintf("OFFSET %d", p.q.Offset))
 		}
 	}
 	if p.q.Limit > 0 {

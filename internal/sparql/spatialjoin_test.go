@@ -1,0 +1,198 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestParseOffset(t *testing.T) {
+	cases := []struct {
+		in            string
+		limit, offset int
+	}{
+		{`SELECT ?x WHERE { ?s ?p ?x . } LIMIT 10 OFFSET 20`, 10, 20},
+		{`SELECT ?x WHERE { ?s ?p ?x . } OFFSET 20 LIMIT 10`, 10, 20},
+		{`SELECT ?x WHERE { ?s ?p ?x . } OFFSET 7`, 0, 7},
+		{`SELECT ?x WHERE { ?s ?p ?x . } ORDER BY ?x OFFSET 3 LIMIT 2`, 2, 3},
+		{`SELECT ?x WHERE { ?s ?p ?x . } offset 4`, 0, 4}, // keywords are case-insensitive
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if q.Limit != c.limit || q.Offset != c.offset {
+			t.Errorf("Parse(%q): limit=%d offset=%d, want %d/%d",
+				c.in, q.Limit, q.Offset, c.limit, c.offset)
+		}
+	}
+	bad := []string{
+		`SELECT ?x WHERE { ?s ?p ?x . } OFFSET`,
+		`SELECT ?x WHERE { ?s ?p ?x . } OFFSET abc`,
+		`SELECT ?x WHERE { ?s ?p ?x . } OFFSET -3`,
+		`SELECT ?x WHERE { ?s ?p ?x . } LIMIT 2 LIMIT 3`,
+		`SELECT ?x WHERE { ?s ?p ?x . } OFFSET 2 OFFSET 3`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCanonicalIncludesOffset(t *testing.T) {
+	page1 := MustParse(`SELECT ?x WHERE { ?s ?p ?x . } LIMIT 10`)
+	page2 := MustParse(`SELECT ?x WHERE { ?s ?p ?x . } LIMIT 10 OFFSET 10`)
+	if page1.Canonical() == page2.Canonical() {
+		t.Fatalf("canonical form conflates pages: %s", page1.Canonical())
+	}
+	if page1.Fingerprint() == page2.Fingerprint() {
+		t.Fatal("fingerprint conflates pages")
+	}
+	if !strings.Contains(page2.Canonical(), "OFFSET 10") {
+		t.Fatalf("canonical missing OFFSET: %s", page2.Canonical())
+	}
+	// Both LIMIT/OFFSET orders share one canonical spelling.
+	alt := MustParse(`SELECT ?x WHERE { ?s ?p ?x . } OFFSET 10 LIMIT 10`)
+	if alt.Canonical() != page2.Canonical() {
+		t.Fatalf("order-sensitive canonical: %q vs %q", alt.Canonical(), page2.Canonical())
+	}
+}
+
+func TestExtractSpatialJoins(t *testing.T) {
+	q := MustParse(`SELECT ?a ?b WHERE {
+		?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+		FILTER(geof:sfIntersects(?g1, ?g2))
+	}`)
+	joins := ExtractSpatialJoins(q)
+	if len(joins) != 1 {
+		t.Fatalf("joins = %d, want 1", len(joins))
+	}
+	j := joins[0]
+	if j.VarA != "g1" || j.VarB != "g2" || j.Fn != FnSfIntersects || !j.Exclusive {
+		t.Fatalf("join = %+v", j)
+	}
+	if j.Relation() != geom.JoinIntersects {
+		t.Fatalf("relation = %v", j.Relation())
+	}
+
+	// AND conjuncts extract non-exclusively.
+	q2 := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+		FILTER(geof:sfWithin(?g1, ?g2) && ?a != ?b) }`)
+	j2 := ExtractSpatialJoins(q2)
+	if len(j2) != 1 || j2[0].Exclusive || j2[0].Fn != FnSfWithin {
+		t.Fatalf("AND join = %+v", j2)
+	}
+
+	// Under OR nothing extracts.
+	q3 := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+		FILTER(geof:sfWithin(?g1, ?g2) || geof:sfContains(?g1, ?g2)) }`)
+	if got := ExtractSpatialJoins(q3); len(got) != 0 {
+		t.Fatalf("OR join extracted: %+v", got)
+	}
+
+	// Same variable twice is not a join.
+	q4 := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 .
+		FILTER(geof:sfIntersects(?g1, ?g1)) }`)
+	if got := ExtractSpatialJoins(q4); len(got) != 0 {
+		t.Fatalf("self join extracted: %+v", got)
+	}
+}
+
+func TestExtractDistanceJoins(t *testing.T) {
+	cases := []struct {
+		filter string
+		dist   float64
+		strict bool
+	}{
+		{`geof:distance(?g1, ?g2) < 5`, 5, true},
+		{`geof:distance(?g1, ?g2) <= 5.5`, 5.5, false},
+		{`7 > geof:distance(?g1, ?g2)`, 7, true},
+		{`7 >= geof:distance(?g1, ?g2)`, 7, false},
+	}
+	for _, c := range cases {
+		q := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+			FILTER(` + c.filter + `) }`)
+		joins := ExtractSpatialJoins(q)
+		if len(joins) != 1 {
+			t.Fatalf("%s: joins = %d, want 1", c.filter, len(joins))
+		}
+		j := joins[0]
+		if j.Fn != FnDistance || j.Distance != c.dist || j.StrictLess != c.strict {
+			t.Fatalf("%s: join = %+v", c.filter, j)
+		}
+		wantRel := geom.JoinNearerEq
+		if c.strict {
+			wantRel = geom.JoinNearer
+		}
+		if j.Relation() != wantRel {
+			t.Fatalf("%s: relation = %v", c.filter, j.Relation())
+		}
+	}
+	// The wrong comparison direction (distance must be LARGE) is not a
+	// window-expandable join.
+	q := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+		FILTER(geof:distance(?g1, ?g2) > 5) }`)
+	if got := ExtractSpatialJoins(q); len(got) != 0 {
+		t.Fatalf("far-join extracted: %+v", got)
+	}
+}
+
+func TestSpatialReport(t *testing.T) {
+	q := MustParse(`SELECT ?a ?b WHERE {
+		?a geo:asWKT ?g1 . ?b geo:asWKT ?g2 .
+		FILTER(geof:sfIntersects(?g1, ?g2))
+		FILTER(geof:sfWithin(?g1, "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"^^geo:wktLiteral))
+		FILTER(geof:sfContains(?g1, ?g2) || ?a = ?b)
+		FILTER(geof:distance(?g1, ?g2) < 4)
+	}`)
+	rep := strings.Join(SpatialReport(q), "\n")
+	for _, want := range []string{
+		"geof:sfIntersects(?g1, ?g2) — R-tree index spatial join",
+		"geof:sfWithin(?g1, ",
+		"index filter-and-refine",
+		"geof:sfContains(?g1, ?g2) — NOT index-accelerated: cartesian scan",
+		"geof:distance(?g1, ?g2) < 4 — R-tree index distance join",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if got := SpatialReport(MustParse(`SELECT ?x WHERE { ?s ?p ?x . }`)); len(got) != 0 {
+		t.Fatalf("non-spatial query reported: %v", got)
+	}
+
+	// A join variable outside the pattern group is not an index join —
+	// the plan rejects every row, and the report must say so (not claim
+	// acceleration).
+	unbound := MustParse(`SELECT ?a WHERE { ?a geo:asWKT ?g1 .
+		FILTER(geof:sfIntersects(?g1, ?zz)) FILTER(geof:distance(?g1, ?zz) < 2)
+		FILTER(geof:sfWithin(?none, "POINT (1 2)"^^geo:wktLiteral)) }`)
+	urep := strings.Join(SpatialReport(unbound), "\n")
+	if strings.Contains(urep, "index spatial join") || strings.Contains(urep, "index distance join") ||
+		strings.Contains(urep, "filter-and-refine") {
+		t.Fatalf("report claims acceleration for unbound variables:\n%s", urep)
+	}
+	for _, want := range []string{"(?zz is outside the pattern group)", "(?none is outside the pattern group)"} {
+		if !strings.Contains(urep, want) {
+			t.Fatalf("report missing %q:\n%s", want, urep)
+		}
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	q := MustParse(`SELECT ?a WHERE { ?a ?p ?b .
+		FILTER(geof:distance(?g1, ?g2) < 4 || !(?a = ?b && ?c > 1)) }`)
+	got := ExprVars(q.Filters[0])
+	want := []string{"g1", "g2", "a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", got, want)
+		}
+	}
+}
