@@ -680,8 +680,10 @@ func benchQueryEval(b *testing.B, name string,
 	st, _ := storageDataset(b, queryBenchFeatures)
 	rst := st.RDF()
 	q := sparql.MustParse(w.Query)
-	if res, err := eval(rst, q); err != nil || res.Len() < w.MinRows {
-		b.Fatalf("warmup: rows = %v, err = %v", res.Len(), err)
+	if res, err := eval(rst, q); err != nil {
+		b.Fatalf("warmup: %v", err)
+	} else if res.Len() < w.MinRows {
+		b.Fatalf("warmup: rows = %d, want >= %d", res.Len(), w.MinRows)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -732,8 +734,10 @@ func BenchmarkQuery_JoinFilter_SlotPlanned(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if res, err := plan.Execute(); err != nil || res.Len() < w.MinRows {
-		b.Fatalf("warmup: rows = %v, err = %v", res.Len(), err)
+	if res, err := plan.Execute(); err != nil {
+		b.Fatalf("warmup: %v", err)
+	} else if res.Len() < w.MinRows {
+		b.Fatalf("warmup: rows = %d, want >= %d", res.Len(), w.MinRows)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -743,6 +747,102 @@ func BenchmarkQuery_JoinFilter_SlotPlanned(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel executor: morsel-driven worker pool ---
+
+// The BenchmarkParallelQuery group measures the morsel-driven parallel
+// executor against the sequential slot pipeline on the same 100k-triple
+// band-observation dataset, at degrees 1/2/4/NumCPU. Degree 1 runs the
+// full morsel machinery with a single worker — the overhead the
+// acceptance bar holds within 5% of the sequential executor — while the
+// spatial-refinement workload runs through the geostore so R-tree
+// seeding and in-pipeline geometry refiners are part of what scales.
+// Workloads are shared with `eebench -bench-group parallel`
+// (experiments.ParallelWorkloads), so BENCH_parallel.json reports the
+// identical queries.
+
+// parallelBenchStore lazily builds one shared dataset for the group.
+var parallelBenchStore *geostore.Store
+
+func parallelBenchDataset(b *testing.B) *geostore.Store {
+	b.Helper()
+	if parallelBenchStore == nil {
+		parallelBenchStore = experiments.ParallelBenchDataset(queryBenchFeatures)
+	}
+	return parallelBenchStore
+}
+
+func parallelWorkload(b *testing.B, name string) experiments.ParallelWorkload {
+	b.Helper()
+	for _, w := range experiments.ParallelWorkloads {
+		if w.Name == name {
+			return w
+		}
+	}
+	b.Fatalf("unknown parallel workload %q", name)
+	return experiments.ParallelWorkload{}
+}
+
+// benchParallelQuery measures one workload at one degree (0 = the
+// sequential slot executor baseline).
+func benchParallelQuery(b *testing.B, name string, degree int) {
+	b.Helper()
+	w := parallelWorkload(b, name)
+	gst := parallelBenchDataset(b)
+	q := sparql.MustParse(w.Query)
+
+	var eval func() (*sparql.Results, error)
+	if w.Spatial {
+		d := degree
+		if d == 0 {
+			d = 1 // geostore runs sequentially below degree 2
+		}
+		eval = func() (*sparql.Results, error) {
+			return experiments.ParallelSpatialQuery(gst, q, d)
+		}
+	} else {
+		plan, err := sparql.CompilePlan(gst.RDF(), q, sparql.PlanOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if degree == 0 {
+			eval = plan.Execute
+		} else {
+			eval = func() (*sparql.Results, error) {
+				return plan.ExecuteParallel(sparql.ParallelExec{Degree: degree})
+			}
+		}
+	}
+	res, err := eval()
+	if err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	if res.Len() < w.MinRows {
+		b.Fatalf("warmup: rows = %d, want >= %d", res.Len(), w.MinRows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParallelDegrees runs the sequential baseline plus degrees
+// 1/2/4/NumCPU as sub-benchmarks.
+func benchParallelDegrees(b *testing.B, name string) {
+	b.Run("seq", func(b *testing.B) { benchParallelQuery(b, name, 0) })
+	for _, d := range experiments.ParallelDegrees() {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) { benchParallelQuery(b, name, d) })
+	}
+}
+
+func BenchmarkParallelQuery_LargeScan(b *testing.B)     { benchParallelDegrees(b, "large_scan") }
+func BenchmarkParallelQuery_FilterHeavy(b *testing.B)   { benchParallelDegrees(b, "filter_heavy") }
+func BenchmarkParallelQuery_SpatialRefine(b *testing.B) { benchParallelDegrees(b, "spatial_refine") }
+func BenchmarkParallelQuery_CountGroup(b *testing.B)    { benchParallelDegrees(b, "count_group") }
+func BenchmarkParallelQuery_OrderByLimit(b *testing.B)  { benchParallelDegrees(b, "order_by_limit") }
 
 // --- Storage: durability engine (WAL + snapshots) ---
 

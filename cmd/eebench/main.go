@@ -9,6 +9,8 @@
 //	eebench -bench-out BENCH_query.json   # query-executor group + JSON report
 //	eebench -bench-group spatial -bench-out BENCH_spatial.json
 //	                                      # spatial-join group + JSON report
+//	eebench -bench-group parallel -bench-out BENCH_parallel.json
+//	                                      # morsel-executor group + JSON report
 package main
 
 import (
@@ -29,7 +31,7 @@ func main() {
 	benchOut := flag.String("bench-out", "",
 		"run a benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
 	benchGroup := flag.String("bench-group", "query",
-		"benchmark group for -bench-out: query (slot executor) or spatial (index spatial join)")
+		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join) or parallel (morsel-driven executor)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
@@ -48,8 +50,14 @@ func main() {
 			if err := experiments.WriteSpatialBenchJSON(*benchOut, rep); err != nil {
 				log.Fatalf("eebench: write %s: %v", *benchOut, err)
 			}
+		case "parallel":
+			table, rep := experiments.ParallelBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteParallelBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
 		default:
-			log.Fatalf("eebench: unknown bench group %q (use query or spatial)", *benchGroup)
+			log.Fatalf("eebench: unknown bench group %q (use query, spatial or parallel)", *benchGroup)
 		}
 		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
 		return

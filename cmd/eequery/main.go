@@ -8,6 +8,8 @@
 //	eequery -format json '<query>'           # SPARQL 1.1 JSON results
 //	eequery -explain '<query>'               # compiled plan: join order,
 //	                                         # access paths, pushed filters
+//	eequery -parallel 4 '<query>'            # morsel-driven parallel
+//	                                         # execution with 4 workers
 //
 // With no query argument, a default rectangular-selection query runs.
 package main
@@ -40,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	format := fs.String("format", "table", "output format: table, json, csv, tsv or geojson")
 	explain := fs.Bool("explain", false, "print the compiled query plan (join order, access paths, pushed filters) before the results")
+	parallel := fs.Int("parallel", 1, "morsel-driven executor workers (>= 2 enables parallel execution; indexed mode only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -85,6 +88,7 @@ func run(args []string) error {
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
 	st := geostore.New(m)
+	st.SetParallel(*parallel, nil)
 	for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
 		if err := st.AddFeature(f); err != nil {
 			return err

@@ -13,6 +13,9 @@
 //	eeserve -mode partitioned -parts 4 -n 1000000
 //	eeserve -load data.nt -n 0
 //	eeserve -data-dir /var/lib/eeserve -load-token s3cret
+//	eeserve -query-workers 8            # morsel-parallel execution: up to 8
+//	                                    # workers per query, and at most 8
+//	                                    # extra executor goroutines in total
 //
 // Example queries:
 //
@@ -34,6 +37,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/geom"
 	"repro/internal/geostore"
+	"repro/internal/rdf"
 	"repro/internal/storage"
 )
 
@@ -60,6 +64,8 @@ func run(args []string) error {
 	loadToken := fs.String("load-token", "", "bearer token enabling POST /load ingestion (empty disables)")
 	snapshotEvery := fs.Int("snapshot-every", 100000, "journaled triples that trigger a background snapshot (0 disables)")
 	walSyncEvery := fs.Int("wal-sync-every", 8, "WAL commits between fsyncs (group commit; 1 = sync every commit)")
+	queryWorkers := fs.Int("query-workers", 0,
+		"morsel-driven executor workers: per-query degree and the server-wide cap on extra executor goroutines (0 disables parallel execution)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -75,6 +81,13 @@ func run(args []string) error {
 	var engine endpoint.Engine
 	var loader endpoint.Loader
 	var db *storage.DB
+	// One server-wide pool bounds executor goroutines across concurrent
+	// queries: admission control caps queries, the pool caps the extra
+	// workers those queries may fan out to.
+	var pool *rdf.WorkerPool
+	if *queryWorkers >= 2 {
+		pool = rdf.NewWorkerPool(*queryWorkers)
+	}
 	switch *mode {
 	case "indexed", "naive":
 		m := geostore.ModeIndexed
@@ -82,6 +95,9 @@ func run(args []string) error {
 			m = geostore.ModeNaive
 		}
 		st := geostore.New(m)
+		if pool != nil {
+			st.SetParallel(*queryWorkers, pool)
+		}
 
 		if *dataDir != "" {
 			var err error
@@ -146,6 +162,9 @@ func run(args []string) error {
 			return fmt.Errorf("-data-dir is only supported with indexed/naive modes")
 		}
 		ps := geostore.NewPartitioned(*parts)
+		if pool != nil {
+			ps.SetParallel(*queryWorkers, pool)
+		}
 		for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
 			if err := ps.AddFeature(f); err != nil {
 				return err
@@ -164,6 +183,7 @@ func run(args []string) error {
 		CacheSize:    *cacheSize,
 		Loader:       loader,
 		LoadToken:    *loadToken,
+		Workers:      pool,
 	})
 	durable := "ephemeral"
 	if db != nil {

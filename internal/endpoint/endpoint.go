@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -36,6 +37,16 @@ type Engine interface {
 	Version() uint64
 	// Len returns the triple count (served by /healthz).
 	Len() int
+}
+
+// ContextEngine is the optional cancellation capability of an Engine:
+// engines running the morsel-driven parallel executor poll ctx at every
+// morsel dispatch, so the per-query timeout (and a vanished client)
+// stops all executor workers promptly instead of letting an abandoned
+// query burn CPU to completion. Both geostore store flavours implement
+// it.
+type ContextEngine interface {
+	QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Results, error)
 }
 
 // Loader is the optional live-ingestion capability behind POST /load:
@@ -66,6 +77,14 @@ type Config struct {
 	// disabled (404) while it is empty, so a write path is never exposed
 	// by accident.
 	LoadToken string
+	// Workers is the server-wide executor worker pool shared with the
+	// engine (see rdf.NewWorkerPool and geostore's SetParallel): morsel
+	// workers beyond each query's first must win a slot here, so
+	// admission control bounds total executor goroutines — MaxInFlight
+	// queries plus Workers.Cap() extra workers — not just concurrent
+	// queries. Nil when parallel execution is off; /metrics exports the
+	// pool's busy gauge as sparql_exec_workers_busy.
+	Workers *rdf.WorkerPool
 }
 
 func (c Config) withDefaults() Config {
@@ -313,10 +332,12 @@ func (s *Server) finish(w http.ResponseWriter, format Format, body []byte, hit b
 }
 
 // evalWithTimeout evaluates q, abandoning the wait when the per-query
-// deadline or the client connection expires. Store evaluation takes no
-// context and is therefore not preemptible, so a timed-out query finishes
-// in the background; it holds its admission slot until then, which is
-// what bounds runaway load. The caller must have acquired s.sem.
+// deadline or the client connection expires. Engines implementing
+// ContextEngine receive the deadline context and stop their executor
+// workers promptly on expiry; plain Engine evaluation is not
+// preemptible, so a timed-out query finishes in the background. Either
+// way the admission slot is held until evaluation actually ends, which
+// is what bounds runaway load. The caller must have acquired s.sem.
 func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
 	defer cancel()
@@ -327,7 +348,15 @@ func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query) (*sparql.
 	ch := make(chan evalResult, 1)
 	go func() {
 		defer func() { <-s.sem }()
-		res, err := s.engine.Query(q)
+		var res *sparql.Results
+		var err error
+		if ce, ok := s.engine.(ContextEngine); ok {
+			// A timed-out engine reports ctx.Err() itself, which the
+			// handler's error switch already maps to 504.
+			res, err = ce.QueryContext(ctx, q)
+		} else {
+			res, err = s.engine.Query(q)
+		}
 		ch <- evalResult{res, err}
 	}()
 	select {

@@ -1,6 +1,7 @@
 package endpoint_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/endpoint"
 	"repro/internal/geom"
 	"repro/internal/geostore"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -429,5 +431,62 @@ func TestPartitionedEngine(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
 	if len(lines) != direct.Len()+1 { // header + one line per row
 		t.Fatalf("lines = %d, want %d: %q", len(lines), direct.Len()+1, rec.Body.String())
+	}
+}
+
+// TestParallelExecMetrics drives a morsel-parallel engine through the
+// endpoint and checks /metrics exports the executor counter and the
+// worker-pool gauge.
+func TestParallelExecMetrics(t *testing.T) {
+	st := testStore(t)
+	pool := rdf.NewWorkerPool(8)
+	st.SetParallel(4, pool)
+	srv := endpoint.New(st, endpoint.Config{CacheSize: -1, Workers: pool})
+
+	rec := get(t, srv, sparqlURL(`SELECT ?s WHERE { ?s ?p ?o . }`, ""), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := get(t, srv, "/metrics", nil).Body.String()
+	if !strings.Contains(body, "sparql_exec_morsels_total") {
+		t.Fatalf("/metrics missing sparql_exec_morsels_total:\n%s", body)
+	}
+	if strings.Contains(body, "sparql_exec_morsels_total 0\n") {
+		t.Fatalf("morsel counter did not advance:\n%s", body)
+	}
+	if !strings.Contains(body, "sparql_exec_workers_busy 0") {
+		t.Fatalf("/metrics missing idle sparql_exec_workers_busy gauge:\n%s", body)
+	}
+}
+
+// ctxEngine blocks until its context is canceled, proving the endpoint
+// threads the per-query deadline into ContextEngine implementations.
+type ctxEngine struct{ sawCancel chan struct{} }
+
+func (e *ctxEngine) Query(q *sparql.Query) (*sparql.Results, error) {
+	return nil, fmt.Errorf("plain Query must not be used on a ContextEngine")
+}
+func (e *ctxEngine) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	<-ctx.Done()
+	close(e.sawCancel)
+	return nil, ctx.Err()
+}
+func (e *ctxEngine) Version() uint64 { return 1 }
+func (e *ctxEngine) Len() int        { return 0 }
+
+// TestTimeoutCancelsContextEngine is the endpoint half of the timeout
+// regression: the deadline must reach the engine (stopping its morsel
+// workers) rather than merely abandoning the goroutine.
+func TestTimeoutCancelsContextEngine(t *testing.T) {
+	eng := &ctxEngine{sawCancel: make(chan struct{})}
+	srv := endpoint.New(eng, endpoint.Config{QueryTimeout: 15 * time.Millisecond, CacheSize: -1})
+	rec := get(t, srv, sparqlURL("SELECT ?x WHERE { ?x ?p ?o . }", ""), nil)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %q)", rec.Code, rec.Body.String())
+	}
+	select {
+	case <-eng.sawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("engine never saw the cancellation")
 	}
 }

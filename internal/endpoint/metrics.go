@@ -60,6 +60,13 @@ type SpatialJoinStatser interface {
 	SpatialJoinStats() (probes uint64)
 }
 
+// ExecStatser is the optional engine capability behind the parallel
+// executor metric: engines running morsel-driven execution report how
+// many morsels they dispatched (sparql_exec_morsels_total).
+type ExecStatser interface {
+	ExecStats() (morsels uint64)
+}
+
 // handleMetrics serves the counters in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := &s.metrics
@@ -83,6 +90,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if sj, ok := s.engine.(SpatialJoinStatser); ok {
 		writeCounter("sparql_spatial_join_probes_total", "R-tree probes issued by index spatial joins.", sj.SpatialJoinStats())
+	}
+	if es, ok := s.engine.(ExecStatser); ok {
+		writeCounter("sparql_exec_morsels_total", "Morsels dispatched by the parallel query executor.", es.ExecStats())
+	}
+	if s.cfg.Workers != nil {
+		fmt.Fprintf(w, "# HELP sparql_exec_workers_busy Executor worker slots currently in use.\n# TYPE sparql_exec_workers_busy gauge\nsparql_exec_workers_busy %d\n", s.cfg.Workers.Busy())
 	}
 	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
 

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// This file implements the parallel-executor benchmark group behind
+// `eebench -bench-group parallel -bench-out BENCH_parallel.json`: the
+// morsel-driven executor measured against the sequential slot executor
+// at degrees 1, 2, 4 and NumCPU, recorded as machine-readable JSON so
+// successive PRs can compare runs. The workload list is the single
+// source of truth shared with the repository-root
+// BenchmarkParallelQuery_* benchmarks.
+
+// ParallelWorkload is one workload of the parallel benchmark group.
+type ParallelWorkload struct {
+	Name  string
+	Query string
+	// Spatial marks workloads that must run through the geostore
+	// (R-tree seeding and in-pipeline spatial refiners); the rest run
+	// compiled plans against the raw RDF store.
+	Spatial bool
+	// MinRows guards against silently empty measurements at the
+	// 10k-feature dataset scale.
+	MinRows int
+}
+
+// ParallelWorkloads span the shapes the morsel executor parallelizes:
+// a large scan, a filter-heavy pipeline, R-tree-seeded spatial
+// refinement, an aggregate fold, and ORDER BY + LIMIT.
+var ParallelWorkloads = []ParallelWorkload{
+	{Name: "large_scan", Query: `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?v0 WHERE {
+			?f a ee:Feature .
+			?f ee:band0 ?v0 .
+		}`, MinRows: 1000},
+	{Name: "filter_heavy", Query: `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?v0 ?v1 ?v2 WHERE {
+			?f ee:band0 ?v0 .
+			?f ee:band1 ?v1 .
+			?f ee:band2 ?v2 .
+			FILTER(?v0 > 32 && ?v1 < 224 && (?v2 > 64 || ?v0 < 128))
+		}`, MinRows: 100},
+	{Name: "spatial_refine", Query: `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?wkt WHERE {
+			?f a ee:Feature .
+			?f geo:hasGeometry ?g .
+			?g geo:asWKT ?wkt .
+			FILTER(geof:sfIntersects(?wkt, "POLYGON ((0 0, 9000 0, 9000 9000, 0 9000, 0 0))"^^geo:wktLiteral))
+			FILTER(geof:sfWithin(?wkt, "POLYGON ((100 100, 8900 100, 8900 8900, 100 8900, 100 100))"^^geo:wktLiteral))
+		}`, Spatial: true, MinRows: 100},
+	{Name: "count_group", Query: `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?v0 (COUNT(*) AS ?n) WHERE {
+			?f ee:band0 ?v0 .
+			?f ee:band1 ?v1 .
+		} GROUP BY ?v0`, MinRows: 100},
+	{Name: "order_by_limit", Query: `
+		PREFIX ee: <http://extremeearth.eu/ontology#>
+		SELECT ?f ?v0 WHERE {
+			?f a ee:Feature .
+			?f ee:band0 ?v0 .
+		} ORDER BY DESC ?v0 LIMIT 10`, MinRows: 10},
+}
+
+// ParallelDegrees are the measured worker counts: 1 isolates the morsel
+// machinery's overhead against the sequential baseline, NumCPU is the
+// saturation point.
+func ParallelDegrees() []int {
+	ds := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	for _, d := range ds {
+		if d == n {
+			return ds
+		}
+	}
+	return append(ds, n)
+}
+
+// ParallelBenchResult is one measured (workload, engine) cell.
+type ParallelBenchResult struct {
+	Name    string `json:"name"`    // workload name
+	Engine  string `json:"engine"`  // "seq" or "parN"
+	Degree  int    `json:"degree"`  // 0 for the sequential baseline
+	Triples int    `json:"triples"` // dataset size
+	Rows    int    `json:"rows"`    // result rows per evaluation
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// ParallelBenchReport is the BENCH_parallel.json schema.
+type ParallelBenchReport struct {
+	Group     string                `json:"group"`
+	Generated string                `json:"generated"`
+	Triples   int                   `json:"triples"`
+	CPUs      int                   `json:"cpus"`
+	Results   []ParallelBenchResult `json:"results"`
+}
+
+// ParallelBenchDataset builds the band-observation geostore shared by
+// the parallel group and the root BenchmarkParallelQuery_* benchmarks.
+func ParallelBenchDataset(features int) *geostore.Store {
+	gst := geostore.New(geostore.ModeIndexed)
+	rng := rand.New(rand.NewSource(43))
+	extent := geom.NewRect(0, 0, 10000, 10000)
+	for _, f := range geostore.GeneratePointFeatures(features, 42, extent) {
+		for band := 0; band < 6; band++ {
+			f.Props[fmt.Sprintf("http://extremeearth.eu/ontology#band%d", band)] =
+				rdf.NewIntLiteral(int64(rng.Intn(256)))
+		}
+		if err := gst.AddFeature(f); err != nil {
+			panic(err)
+		}
+	}
+	gst.Build()
+	return gst
+}
+
+// ParallelBench runs the parallel-executor group and returns a
+// printable table plus the JSON report. Non-spatial workloads execute
+// one compiled plan directly (sequential vs ExecuteParallel at each
+// degree); spatial workloads run through the geostore so R-tree seeding
+// and in-pipeline refiners are part of the measurement.
+func ParallelBench(cfg Config) (*Table, *ParallelBenchReport) {
+	features := cfg.scale(10000, 1000)
+	iters := cfg.scale(5, 2)
+	gst := ParallelBenchDataset(features)
+	st := gst.RDF()
+	degrees := ParallelDegrees()
+
+	t := &Table{
+		ID:     "PARALLEL",
+		Title:  "Parallel executor: morsel-driven worker pool vs sequential slot pipeline",
+		Header: []string{"workload", "engine", "rows", "wall_ms", "speedup_vs_seq"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; par1 isolates morsel-machinery overhead (spatial workloads fall back to the sequential path below degree 2); byte-identical results enforced by tests",
+			runtime.GOMAXPROCS(0)),
+	}
+	rep := &ParallelBenchReport{
+		Group:     "parallel",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Triples:   st.Len(),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	measure := func(eval func() (*sparql.Results, error), min int) (int, time.Duration) {
+		res, err := eval()
+		if err != nil {
+			panic(err)
+		}
+		if res.Len() < min {
+			panic(fmt.Sprintf("parallel bench workload returned %d rows, want >= %d", res.Len(), min))
+		}
+		rows := res.Len()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := eval(); err != nil {
+				panic(err)
+			}
+		}
+		return rows, time.Since(start) / time.Duration(iters)
+	}
+
+	for _, w := range ParallelWorkloads {
+		q := sparql.MustParse(w.Query)
+		var evals []struct {
+			name   string
+			degree int
+			eval   func() (*sparql.Results, error)
+		}
+		add := func(name string, degree int, eval func() (*sparql.Results, error)) {
+			evals = append(evals, struct {
+				name   string
+				degree int
+				eval   func() (*sparql.Results, error)
+			}{name, degree, eval})
+		}
+		if w.Spatial {
+			add("seq", 0, func() (*sparql.Results, error) {
+				gst.SetParallel(1, nil)
+				return gst.Query(q)
+			})
+			for _, d := range degrees {
+				d := d
+				add(fmt.Sprintf("par%d", d), d, func() (*sparql.Results, error) {
+					return ParallelSpatialQuery(gst, q, d)
+				})
+			}
+		} else {
+			plan, err := sparql.CompilePlan(st, q, sparql.PlanOpts{})
+			if err != nil {
+				panic(err)
+			}
+			add("seq", 0, plan.Execute)
+			for _, d := range degrees {
+				d := d
+				add(fmt.Sprintf("par%d", d), d, func() (*sparql.Results, error) {
+					return plan.ExecuteParallel(sparql.ParallelExec{Degree: d})
+				})
+			}
+		}
+
+		var seqNs int64
+		for _, e := range evals {
+			rows, dur := measure(e.eval, w.MinRows)
+			if e.name == "seq" {
+				seqNs = dur.Nanoseconds()
+			}
+			speedup := "1.00"
+			if dur > 0 && e.name != "seq" {
+				speedup = f2(float64(seqNs) / float64(dur.Nanoseconds()))
+			}
+			t.Rows = append(t.Rows, []string{w.Name, e.name, i0(rows), ms(dur), speedup})
+			rep.Results = append(rep.Results, ParallelBenchResult{
+				Name: w.Name, Engine: e.name, Degree: e.degree, Triples: st.Len(),
+				Rows: rows, Iters: iters, NsPerOp: dur.Nanoseconds(),
+			})
+		}
+	}
+	gst.SetParallel(1, nil)
+	return t, rep
+}
+
+// ParallelSpatialQuery evaluates q on gst with the morsel executor at
+// the given degree (helper shared with the root benchmarks; it flips
+// the store's degree for the duration of the call, so it must not race
+// with other queries).
+func ParallelSpatialQuery(gst *geostore.Store, q *sparql.Query, degree int) (*sparql.Results, error) {
+	gst.SetParallel(degree, nil)
+	return gst.Query(q)
+}
+
+// WriteParallelBenchJSON writes the report to path (the conventional
+// name is BENCH_parallel.json).
+func WriteParallelBenchJSON(path string, rep *ParallelBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -16,6 +16,8 @@
 package geostore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -76,6 +78,14 @@ type Store struct {
 	// (exposed as sparql_spatial_join_probes_total).
 	joinProbes atomic.Uint64
 
+	// parallel is the morsel-driven execution degree (< 2 = sequential);
+	// gate bounds executor goroutines server-wide; execMorsels counts
+	// dispatched morsels (exposed as sparql_exec_morsels_total). Set via
+	// SetParallel before serving.
+	parallel    int
+	gate        rdf.WorkerGate
+	execMorsels atomic.Uint64
+
 	mu sync.RWMutex
 	// geoms maps the dictionary ID of a WKT literal to its parsed
 	// geometry; parsed once at insert.
@@ -98,6 +108,25 @@ func New(mode Mode) *Store {
 
 // Mode returns the store's execution mode.
 func (s *Store) Mode() Mode { return s.mode }
+
+// SetParallel enables morsel-driven parallel query execution at the
+// given degree (< 2 disables it). gate, when non-nil, bounds executor
+// goroutines across concurrent queries (see rdf.WorkerGate); a query's
+// first worker never needs a slot, so execution degrades gracefully
+// toward sequential under load. Call before serving: the degree is a
+// store-wide execution property, so cached plans (keyed on query text
+// and store version) remain valid.
+func (s *Store) SetParallel(degree int, gate rdf.WorkerGate) {
+	if degree < 1 {
+		degree = 1
+	}
+	s.parallel = degree
+	s.gate = gate
+}
+
+// ExecStats returns the number of parallel executor morsels dispatched
+// (exposed by /metrics as sparql_exec_morsels_total).
+func (s *Store) ExecStats() (morsels uint64) { return s.execMorsels.Load() }
 
 // RDF exposes the underlying triple store.
 func (s *Store) RDF() *rdf.Store { return s.rdfStore }
@@ -298,13 +327,22 @@ func (s *Store) QueryString(qs string) (*sparql.Results, error) {
 
 // Query evaluates a parsed query according to the store mode.
 func (s *Store) Query(q *sparql.Query) (*sparql.Results, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: when the store runs the
+// morsel-driven parallel executor, ctx is polled at every morsel
+// dispatch (and inside exploding morsels), so a timed-out or abandoned
+// query stops all its workers promptly and returns ctx.Err(). The
+// sequential paths are not preemptible and ignore ctx.
+func (s *Store) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	if s.mode == ModeNaive {
 		// The 2012-era baseline: map-based nested-loop evaluation with
 		// per-row WKT parsing, kept as the E1/E2 contrast and as the
 		// reference oracle for the slot executor.
 		return sparql.EvalLegacy(s.rdfStore, q)
 	}
-	return s.queryIndexed(q)
+	return s.queryIndexed(ctx, q)
 }
 
 // queryIndexed is the filter-and-refine pipeline of the re-engineered
@@ -314,29 +352,43 @@ func (s *Store) Query(q *sparql.Query) (*sparql.Results, error) {
 // remaining spatial filters refine against pre-parsed geometries inside
 // the pipeline at the step that binds their variable, and non-spatial
 // filters are pushed down by the planner. Compiled plans are cached by
-// canonical query text and store version.
-func (s *Store) queryIndexed(q *sparql.Query) (*sparql.Results, error) {
+// canonical query text and store version. With SetParallel(>= 2) the
+// plan runs on the morsel-driven parallel executor — spatial refiners
+// and probe steps included — with ctx cancellation threaded into morsel
+// dispatch.
+func (s *Store) queryIndexed(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	entry, err := s.cachedPlan(q)
 	if err != nil {
 		return nil, err
 	}
-	if len(entry.spatial) == 0 && len(entry.joins) == 0 {
-		return entry.plan.Execute()
+	if len(entry.spatial) > 0 || len(entry.joins) > 0 {
+		// Both the seed scan and the spatial-join probe steps read the
+		// R-tree during execution.
+		s.mu.Lock()
+		s.buildLocked()
+		s.mu.Unlock()
 	}
-	// Both the seed scan and the spatial-join probe steps read the
-	// R-tree during execution.
-	s.mu.Lock()
-	s.buildLocked()
-	s.mu.Unlock()
-
-	if len(entry.spatial) == 0 {
-		return entry.plan.Execute()
+	var seeds []rdf.Row
+	if len(entry.spatial) > 0 {
+		seedIDs := s.seedIDs(entry.spatial[0])
+		if len(seedIDs) == 0 {
+			return &sparql.Results{Vars: q.Vars}, nil
+		}
+		seeds = entry.plan.SeedRows(seedIDs)
 	}
-	seedIDs := s.seedIDs(entry.spatial[0])
-	if len(seedIDs) == 0 {
-		return &sparql.Results{Vars: q.Vars}, nil
+	if s.parallel >= 2 {
+		res, err := entry.plan.ExecuteParallelSeeded(seeds, sparql.ParallelExec{
+			Degree:  s.parallel,
+			Cancel:  func() bool { return ctx.Err() != nil },
+			Gate:    s.gate,
+			Morsels: &s.execMorsels,
+		})
+		if errors.Is(err, sparql.ErrCanceled) {
+			return nil, ctx.Err()
+		}
+		return res, err
 	}
-	return entry.plan.ExecuteSeeded(entry.plan.SeedRows(seedIDs))
+	return entry.plan.ExecuteSeeded(seeds)
 }
 
 // cachedPlan returns the compiled plan for q at the current store
@@ -349,7 +401,9 @@ func (s *Store) cachedPlan(q *sparql.Query) (*planEntry, error) {
 	}
 	spatial := sparql.ExtractSpatialFilters(q)
 	joins := sparql.ExtractSpatialJoins(q)
-	opt := sparql.PlanOpts{}
+	// Parallel only annotates Explain (workers=N and the split); it does
+	// not change compilation, so the cache key stays (query, version).
+	opt := sparql.PlanOpts{Parallel: s.parallel}
 	if len(spatial) > 0 {
 		// Seed from the first spatial filter; the others become pushed
 		// refiners. Filters fully enforced by index+refinement are
@@ -540,6 +594,11 @@ type PartitionedStore struct {
 	// joins (partition-local probes are counted by each partition).
 	joinProbes atomic.Uint64
 
+	// parallel/gate mirror Store.SetParallel for the partitions and the
+	// merged fallback store.
+	parallel int
+	gate     rdf.WorkerGate
+
 	// merged caches the transient single-node fallback store for
 	// non-decomposable spatial-join queries, keyed on the summed
 	// partition versions (see queryMerged).
@@ -562,6 +621,36 @@ func NewPartitioned(k int) *PartitionedStore {
 
 // NumPartitions returns the partition count.
 func (ps *PartitionedStore) NumPartitions() int { return len(ps.parts) }
+
+// SetParallel enables morsel-driven parallel execution inside every
+// partition (and the merged fallback store). Partitions already fan out
+// across goroutines, so the gate matters even more here: it keeps
+// partitions × morsel-workers from oversubscribing the host.
+func (ps *PartitionedStore) SetParallel(degree int, gate rdf.WorkerGate) {
+	ps.parallel, ps.gate = degree, gate
+	for _, p := range ps.parts {
+		p.SetParallel(degree, gate)
+	}
+	ps.mergedMu.Lock()
+	if ps.merged != nil {
+		ps.merged.SetParallel(degree, gate)
+	}
+	ps.mergedMu.Unlock()
+}
+
+// ExecStats sums the partitions' dispatched-morsel counters with the
+// merged fallback store's.
+func (ps *PartitionedStore) ExecStats() (morsels uint64) {
+	ps.mergedMu.Lock()
+	if ps.merged != nil {
+		morsels += ps.merged.ExecStats()
+	}
+	ps.mergedMu.Unlock()
+	for _, p := range ps.parts {
+		morsels += p.ExecStats()
+	}
+	return morsels
+}
 
 // Len returns the total triple count.
 func (ps *PartitionedStore) Len() int {
@@ -641,11 +730,17 @@ func (ps *PartitionedStore) QueryString(qs string) (*sparql.Results, error) {
 // needed, the limit is pushed down so each partition's slot pipeline
 // short-circuits.
 func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
+	return ps.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation threaded into every
+// partition's executor (see Store.QueryContext).
+func (ps *PartitionedStore) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	if joins := sparql.ExtractSpatialJoins(q); len(joins) > 0 {
 		// Variable-variable spatial joins pair features across
 		// partitions; per-partition evaluation would silently lose every
 		// cross-partition pair.
-		return ps.querySpatialJoin(q, joins)
+		return ps.querySpatialJoin(ctx, q, joins)
 	}
 	type partRes struct {
 		res *sparql.Results
@@ -669,7 +764,7 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 			} else {
 				local.Limit = 0
 			}
-			r, err := p.Query(&local)
+			r, err := p.QueryContext(ctx, &local)
 			out[i] = partRes{r, err}
 		}(i, p)
 	}

@@ -1,6 +1,7 @@
 package geostore
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/geom"
@@ -38,16 +39,16 @@ type joinSplit struct {
 // querySpatialJoin evaluates a query containing variable-variable
 // spatial joins across all partitions without losing cross-partition
 // pairs.
-func (ps *PartitionedStore) querySpatialJoin(q *sparql.Query, joins []sparql.SpatialJoin) (*sparql.Results, error) {
+func (ps *PartitionedStore) querySpatialJoin(ctx context.Context, q *sparql.Query, joins []sparql.SpatialJoin) (*sparql.Results, error) {
 	sp, ok := splitSpatialJoin(q, joins)
 	if !ok {
-		return ps.queryMerged(q)
+		return ps.queryMerged(ctx, q)
 	}
 	j := sp.join
 	rel := j.Relation()
 
 	// 1+2. Probe side on every partition.
-	leftRes, err := ps.queryAllParts(sp.left)
+	leftRes, err := ps.queryAllParts(ctx, sp.left)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +238,7 @@ func splitSpatialJoin(q *sparql.Query, joins []sparql.SpatialJoin) (*joinSplit, 
 // queryAllParts evaluates a component subquery on every partition in
 // parallel and concatenates the rows (features are co-located, so
 // component solutions never span partitions).
-func (ps *PartitionedStore) queryAllParts(q *sparql.Query) ([]map[string]rdf.Term, error) {
+func (ps *PartitionedStore) queryAllParts(ctx context.Context, q *sparql.Query) ([]map[string]rdf.Term, error) {
 	type partRes struct {
 		res *sparql.Results
 		err error
@@ -248,7 +249,7 @@ func (ps *PartitionedStore) queryAllParts(q *sparql.Query) ([]map[string]rdf.Ter
 		wg.Add(1)
 		go func(i int, p *Store) {
 			defer wg.Done()
-			r, err := p.Query(q)
+			r, err := p.QueryContext(ctx, q)
 			out[i] = partRes{r, err}
 		}(i, p)
 	}
@@ -332,12 +333,12 @@ func (s *Store) queryWindowSeeded(q *sparql.Query, geomVar string, windows []geo
 // queries that do not decompose into two broadcastable components. The
 // merged store is cached and rebuilt only when a partition mutates, so
 // repeated fallback queries pay the merge once per store version.
-func (ps *PartitionedStore) queryMerged(q *sparql.Query) (*sparql.Results, error) {
+func (ps *PartitionedStore) queryMerged(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	st, err := ps.mergedStore()
 	if err != nil {
 		return nil, err
 	}
-	return st.Query(q)
+	return st.QueryContext(ctx, q)
 }
 
 // mergedStore returns the cached merged store, rebuilding it when any
@@ -350,6 +351,7 @@ func (ps *PartitionedStore) mergedStore() (*Store, error) {
 		return ps.merged, nil
 	}
 	st := New(ModeIndexed)
+	st.SetParallel(ps.parallel, ps.gate)
 	for _, p := range ps.parts {
 		for _, t := range p.rdfStore.Triples() {
 			if err := st.Add(t.S, t.P, t.O); err != nil {

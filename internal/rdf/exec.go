@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // This file implements the compiled, slot-based, streaming BGP executor
@@ -693,6 +694,29 @@ type execState struct {
 	cursors []int
 	segs    [][]EncTriple
 	emit    func(Row) bool
+
+	// cancel, when non-nil (parallel runs), is polled every
+	// parCancelRows pipeline extensions — scans, probes and merge-group
+	// bindings, not just final emits — so even a morsel whose explosion
+	// is entirely filtered out observes a timeout promptly. aborted
+	// reports the poll fired.
+	cancel  func() bool
+	tick    int
+	aborted *atomic.Bool
+}
+
+// pollCancel returns true when the run's cancellation hook fired; the
+// budget keeps the poll off the per-extension hot path.
+func (st *execState) pollCancel() bool {
+	if st.tick--; st.tick > 0 {
+		return false
+	}
+	st.tick = parCancelRows
+	if st.cancel() {
+		st.aborted.Store(true)
+		return true
+	}
+	return false
 }
 
 // Run executes the plan, emitting every solution row to emit until it
@@ -711,23 +735,8 @@ func (p *BGPPlan) Run(s *Store, seeds []Row, emit func(Row) bool) {
 	defer s.mu.RUnlock()
 
 	st := &execState{s: s, plan: p, emit: emit}
-	for i := range p.steps {
-		step := &p.steps[i]
-		if step.merge == mergeNone {
-			continue
-		}
-		if st.segs == nil {
-			st.segs = make([][]EncTriple, len(p.steps))
-			st.cursors = make([]int, len(p.steps))
-		}
-		switch step.merge {
-		case mergeS:
-			st.segs[i] = s.posRangeLocked(step.segA, step.segB)
-		case mergeOConstS:
-			st.segs[i] = s.spoRangeLocked(step.segA, step.segB)
-		case mergeONewS:
-			st.segs[i] = s.posRangeLocked(step.segA, NoID)
-		}
+	if st.segs = p.resolveSegsLocked(s); st.segs != nil {
+		st.cursors = make([]int, len(p.steps))
 	}
 
 	row := make(Row, p.numSlots)
@@ -783,6 +792,10 @@ func (st *execState) runProbe(i int, step *planStep, row Row) bool {
 	pr := step.probe
 	ok := true
 	pr.candidates(row[pr.boundSlot], pr.aBound, func(id ID) bool {
+		if st.cancel != nil && st.pollCancel() {
+			ok = false
+			return false
+		}
 		row[pr.newSlot] = id
 		for _, f := range step.filters {
 			if !f.Pred(row) {
@@ -815,6 +828,10 @@ func (st *execState) runScan(i int, step *planStep, row Row) bool {
 	eo := resolveRef(step.o, row)
 	ok := true
 	st.s.matchLocked(es, ep, eo, func(t EncTriple) bool {
+		if st.cancel != nil && st.pollCancel() {
+			ok = false
+			return false
+		}
 		if step.eqPS && t.P != t.S {
 			return true
 		}
@@ -898,6 +915,9 @@ func (st *execState) runMergeO(i int, step *planStep, row Row) bool {
 	}
 group:
 	for j := c; j < len(seg) && seg[j].O == k; j++ {
+		if st.cancel != nil && st.pollCancel() {
+			return false
+		}
 		row[step.s.slot] = seg[j].S
 		for _, f := range step.filters {
 			if !f.Pred(row) {

@@ -1,0 +1,472 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements morsel-driven parallel execution of a BGPPlan:
+// the work feeding the first pipeline step — the first step's index
+// range on an unseeded run, or the sorted seed-row stream on a seeded
+// one — is split into cache-sized morsels dispatched to a small worker
+// pool. Each worker owns its execState and scratch Row, so the hot path
+// stays allocation-free and lock-free, and claims morsels off one
+// atomic counter, so the morsels a given worker processes are strictly
+// increasing in stream order. That claim order is what keeps the
+// sequential executor's merge-join machinery valid per worker: a
+// worker's merge cursors only ever advance, and every later morsel it
+// claims carries equal-or-higher sort keys.
+//
+// Parallel-aware result handling lives with the caller: workers hand
+// rows to a MorselSink, which buffers per morsel and reduces in morsel
+// index order, reproducing the sequential executor's output exactly
+// (see internal/sparql's parallel sinks).
+
+// WorkerGate bounds executor goroutines across concurrent queries. A
+// query's first worker (its own goroutine) never goes through the gate;
+// each extra worker must TryAcquire a slot and Release it on exit, so a
+// server-wide pool caps total executor parallelism rather than
+// parallelism per query.
+type WorkerGate interface {
+	// TryAcquire claims a worker slot without blocking.
+	TryAcquire() bool
+	// Release returns a slot claimed by TryAcquire.
+	Release()
+}
+
+// WorkerPool is the standard WorkerGate: a counting semaphore with a
+// busy gauge for /metrics. The zero value is not usable; call
+// NewWorkerPool.
+type WorkerPool struct {
+	sem  chan struct{}
+	busy atomic.Int64
+}
+
+// NewWorkerPool returns a gate admitting up to n extra workers in total
+// across all concurrent queries.
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 0 {
+		n = 0
+	}
+	return &WorkerPool{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire implements WorkerGate.
+func (p *WorkerPool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		p.busy.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release implements WorkerGate.
+func (p *WorkerPool) Release() {
+	p.busy.Add(-1)
+	<-p.sem
+}
+
+// Busy returns the number of currently acquired worker slots (the
+// sparql_exec_workers_busy gauge).
+func (p *WorkerPool) Busy() int64 { return p.busy.Load() }
+
+// Cap returns the pool capacity.
+func (p *WorkerPool) Cap() int { return cap(p.sem) }
+
+// Default morsel sizes: first-step triples and seed rows per morsel.
+// Both keep a morsel's first-step footprint within L2 while leaving
+// enough morsels for load balancing on skewed pipelines.
+const (
+	DefaultScanMorsel = 4096
+	DefaultSeedMorsel = 256
+)
+
+// parCancelRows is how many pipeline extensions (scanned triples, probe
+// candidates, merge-group bindings) pass between cancellation checks
+// inside one morsel, bounding the latency of a timeout even when a
+// single morsel explodes — including explosions whose rows are all
+// filtered out before the final emit.
+const parCancelRows = 4096
+
+// ParallelOpts tunes RunParallel.
+type ParallelOpts struct {
+	// Workers is the requested parallelism degree; values < 1 mean 1.
+	// The effective degree is further capped by the morsel count and by
+	// Gate admission.
+	Workers int
+	// ScanMorsel and SeedMorsel override the morsel sizes (0 = default).
+	ScanMorsel, SeedMorsel int
+	// Cancel, when non-nil, is polled at every morsel claim and every
+	// parCancelRows pipeline extensions; returning true stops all
+	// workers promptly and makes RunParallel report cancellation.
+	Cancel func() bool
+	// Gate admits workers beyond the first; nil admits all requested.
+	Gate WorkerGate
+	// Morsels, when non-nil, is incremented once per dispatched morsel
+	// (the sparql_exec_morsels_total counter).
+	Morsels *atomic.Uint64
+}
+
+// MorselSink consumes the rows of a parallel run. Begin is called once
+// before any worker starts; StartMorsel is called from the claiming
+// worker's goroutine and returns the emit callback for that morsel's
+// rows (nil stops all further morsel claims — the sink has what it
+// needs); emitted Rows are reused by the worker and must be copied to
+// be retained. FinishMorsel marks the morsel drained (its emit will not
+// be called again); FinishWorker marks one worker done (sinks use it to
+// run per-worker reduction, e.g. sorting, inside the pool).
+//
+// Each morsel is started, fed and finished by exactly one worker, so
+// per-morsel sink state needs no locking; cross-morsel state does.
+type MorselSink interface {
+	Begin(morsels, workers int)
+	StartMorsel(worker, morsel int) func(Row) bool
+	FinishMorsel(worker, morsel int)
+	FinishWorker(worker int)
+}
+
+// morselSource enumerates the units of first-step work.
+type morselSource struct {
+	// seeds is the seed-row stream (seeded runs); chunked by seedMorsel.
+	seeds []Row
+	// seg is the first step's index segment (unseeded runs); chunked by
+	// scanMorsel. checkO carries a residual constant object the segment's
+	// range prefix does not already enforce (S constant, P unbound).
+	seg    []EncTriple
+	checkO bool
+	co     ID
+	// whole marks a run with no splittable first step (an empty BGP):
+	// one morsel executes the plan from the single empty row.
+	whole bool
+
+	chunk int // rows or triples per morsel
+	count int // number of morsels
+}
+
+// RunParallel executes the plan with morsel-driven parallelism,
+// streaming rows into sink. It returns true when opt.Cancel stopped the
+// run early (the sink's contents are then incomplete). seeds follows
+// the same contract as Run. Like Run, the store's read lock is held for
+// the whole call; emit and filter callbacks must not mutate the store.
+func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink MorselSink) bool {
+	if p.empty {
+		sink.Begin(0, 0)
+		return false
+	}
+	s.ensureIndexed()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Seed-stage filters gate the run exactly as in Run: on an unseeded
+	// run they are applied once to the single empty row.
+	if seeds == nil && len(p.seedFilters) > 0 {
+		empty := make(Row, p.numSlots)
+		for _, f := range p.seedFilters {
+			if !f.Pred(empty) {
+				sink.Begin(0, 0)
+				return false
+			}
+		}
+	}
+
+	src := p.morselSource(s, seeds, opt)
+	if src.count == 0 {
+		sink.Begin(0, 0)
+		return false
+	}
+
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > src.count {
+		workers = src.count
+	}
+	// Workers beyond the first must win a slot from the server-wide
+	// gate; on a saturated server the query degrades gracefully toward
+	// sequential execution instead of oversubscribing the host.
+	extra := 0
+	if workers > 1 && opt.Gate != nil {
+		for extra < workers-1 {
+			if !opt.Gate.TryAcquire() {
+				break
+			}
+			extra++
+		}
+		workers = extra + 1
+	} else if workers > 1 {
+		extra = workers - 1
+	}
+
+	sink.Begin(src.count, workers)
+
+	var (
+		next     atomic.Int64 // next unclaimed morsel
+		canceled atomic.Bool
+	)
+	segs := p.resolveSegsLocked(s)
+
+	worker := func(w int) {
+		st := &execState{s: s, plan: p, segs: segs,
+			cancel: opt.Cancel, tick: parCancelRows, aborted: &canceled}
+		if segs != nil {
+			st.cursors = make([]int, len(p.steps))
+		}
+		row := make(Row, p.numSlots)
+		for {
+			m := int(next.Add(1)) - 1
+			if m >= src.count {
+				break
+			}
+			if opt.Cancel != nil && opt.Cancel() {
+				canceled.Store(true)
+				break
+			}
+			emit := sink.StartMorsel(w, m)
+			if emit == nil {
+				break
+			}
+			if opt.Morsels != nil {
+				opt.Morsels.Add(1)
+			}
+			st.emit = emit
+			p.runMorsel(st, src, m, row)
+			sink.FinishMorsel(w, m)
+			if canceled.Load() {
+				break
+			}
+		}
+		sink.FinishWorker(w)
+	}
+
+	if workers == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		worker(0)
+		wg.Wait()
+	}
+	if opt.Gate != nil {
+		for i := 0; i < extra; i++ {
+			opt.Gate.Release()
+		}
+	}
+	return canceled.Load()
+}
+
+// resolveSegsLocked resolves the merge-join segments of the plan (the
+// per-run part of Run's setup); the slices are shared read-only across
+// workers, the cursors are per worker.
+func (p *BGPPlan) resolveSegsLocked(s *Store) [][]EncTriple {
+	var segs [][]EncTriple
+	for i := range p.steps {
+		step := &p.steps[i]
+		if step.merge == mergeNone {
+			continue
+		}
+		if segs == nil {
+			segs = make([][]EncTriple, len(p.steps))
+		}
+		switch step.merge {
+		case mergeS:
+			segs[i] = s.posRangeLocked(step.segA, step.segB)
+		case mergeOConstS:
+			segs[i] = s.spoRangeLocked(step.segA, step.segB)
+		case mergeONewS:
+			segs[i] = s.posRangeLocked(step.segA, NoID)
+		}
+	}
+	return segs
+}
+
+// morselSource builds the morsel decomposition for this run. Caller
+// holds the read lock with pending writes flushed.
+func (p *BGPPlan) morselSource(s *Store, seeds []Row, opt ParallelOpts) morselSource {
+	if seeds != nil {
+		chunk := opt.SeedMorsel
+		if chunk <= 0 {
+			chunk = DefaultSeedMorsel
+		}
+		return morselSource{seeds: seeds, chunk: chunk, count: (len(seeds) + chunk - 1) / chunk}
+	}
+	if len(p.steps) == 0 || p.steps[0].probe != nil {
+		// No splittable first step: the whole plan is one morsel. (An
+		// unseeded first step is always a pattern scan; the probe guard
+		// is defensive.)
+		return morselSource{whole: true, count: 1}
+	}
+	src := p.firstStepRangeLocked(s)
+	chunk := opt.ScanMorsel
+	if chunk <= 0 {
+		chunk = DefaultScanMorsel
+	}
+	src.chunk = chunk
+	src.count = (len(src.seg) + chunk - 1) / chunk
+	return src
+}
+
+// firstStepRangeLocked computes the contiguous index segment the first
+// step's scan enumerates, mirroring matchLocked's index dispatch so the
+// concatenation of morsels visits triples in exactly the sequential
+// executor's order. Positions the range prefix does not pin become
+// residual per-triple checks.
+func (p *BGPPlan) firstStepRangeLocked(s *Store) morselSource {
+	step := &p.steps[0]
+	// At step 0 of an unseeded run every position is refConst or refNew.
+	var cs, cp, co ID = NoID, NoID, NoID
+	if step.s.kind == refConst {
+		cs = step.s.id
+	}
+	if step.p.kind == refConst {
+		cp = step.p.id
+	}
+	if step.o.kind == refConst {
+		co = step.o.id
+	}
+	var src morselSource
+	switch {
+	case cs != NoID:
+		// scanSPO order. Tighten the range by P when it is constant; a
+		// constant O with unbound P stays a residual check.
+		switch {
+		case cp != NoID && co != NoID:
+			lo, hi := rangeBounds(s.spo, lessSPO, EncTriple{cs, cp, co}, EncTriple{cs, cp, co + 1})
+			src.seg = s.spo[lo:hi]
+		case cp != NoID:
+			lo, hi := rangeBounds(s.spo, lessSPO, EncTriple{S: cs, P: cp}, EncTriple{S: cs, P: cp + 1})
+			src.seg = s.spo[lo:hi]
+		default:
+			lo, hi := rangeBounds(s.spo, lessSPO, EncTriple{S: cs}, EncTriple{S: cs + 1})
+			src.seg = s.spo[lo:hi]
+			if co != NoID {
+				src.checkO, src.co = true, co
+			}
+		}
+	case cp != NoID:
+		// scanPOS order.
+		if co != NoID {
+			lo, hi := rangeBounds(s.pos, lessPOS, EncTriple{P: cp, O: co}, EncTriple{P: cp, O: co + 1})
+			src.seg = s.pos[lo:hi]
+		} else {
+			lo, hi := rangeBounds(s.pos, lessPOS, EncTriple{P: cp}, EncTriple{P: cp + 1})
+			src.seg = s.pos[lo:hi]
+		}
+	case co != NoID:
+		// scanOSP order.
+		lo, hi := rangeBounds(s.osp, lessOSP, EncTriple{O: co}, EncTriple{O: co + 1})
+		src.seg = s.osp[lo:hi]
+	default:
+		src.seg = s.spo
+	}
+	return src
+}
+
+// runMorsel executes one morsel's slice of first-step work through the
+// whole pipeline.
+func (p *BGPPlan) runMorsel(st *execState, src morselSource, m int, row Row) {
+	switch {
+	case src.whole:
+		for i := range row {
+			row[i] = NoID
+		}
+		st.run(0, row)
+	case src.seeds != nil:
+		lo := m * src.chunk
+		hi := lo + src.chunk
+		if hi > len(src.seeds) {
+			hi = len(src.seeds)
+		}
+	seedLoop:
+		for _, seed := range src.seeds[lo:hi] {
+			copy(row, seed)
+			for _, f := range p.seedFilters {
+				if !f.Pred(row) {
+					continue seedLoop
+				}
+			}
+			if !st.run(0, row) {
+				return
+			}
+		}
+	default:
+		lo := m * src.chunk
+		hi := lo + src.chunk
+		if hi > len(src.seg) {
+			hi = len(src.seg)
+		}
+		st.runScanSlice(&p.steps[0], src, src.seg[lo:hi], row)
+	}
+}
+
+// runScanSlice is runScan over an explicit first-step slice: the same
+// residual checks, intra-pattern equality constraints, fresh-variable
+// bindings and pushed filters, continuing into steps[1:].
+func (st *execState) runScanSlice(step *planStep, src morselSource, seg []EncTriple, row Row) bool {
+	for i := range seg {
+		t := seg[i]
+		if st.cancel != nil && st.pollCancel() {
+			return false
+		}
+		if src.checkO && t.O != src.co {
+			continue
+		}
+		if step.eqPS && t.P != t.S {
+			continue
+		}
+		if step.eqOS && t.O != t.S {
+			continue
+		}
+		if step.eqOP && t.O != t.P {
+			continue
+		}
+		if step.s.kind == refNew {
+			row[step.s.slot] = t.S
+		}
+		if step.p.kind == refNew {
+			row[step.p.slot] = t.P
+		}
+		if step.o.kind == refNew {
+			row[step.o.slot] = t.O
+		}
+		passed := true
+		for _, f := range step.filters {
+			if !f.Pred(row) {
+				passed = false
+				break
+			}
+		}
+		if !passed {
+			continue
+		}
+		if !st.run(1, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParallelSplit names the morsel decomposition RunParallel will use for
+// this plan (for Explain): the sorted seed stream on seeded plans, the
+// first step's index range otherwise.
+func (p *BGPPlan) ParallelSplit(seeded bool) string {
+	if p.empty {
+		return "none (plan is empty)"
+	}
+	if seeded {
+		return "sorted seed stream"
+	}
+	if len(p.steps) == 0 {
+		return "single empty row"
+	}
+	return fmt.Sprintf("first-step range [%s]", p.steps[0].access)
+}

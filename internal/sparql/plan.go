@@ -1,7 +1,6 @@
 package sparql
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,7 +37,8 @@ type Plan struct {
 	aggSlots  []int // per aggregate: countStar, countNever, or a slot
 	aggregate bool
 
-	skipped []int // filter indexes enforced outside the plan (for Explain)
+	parallel int   // intended execution degree (Explain annotation)
+	skipped  []int // filter indexes enforced outside the plan (for Explain)
 }
 
 const (
@@ -91,6 +91,12 @@ type PlanOpts struct {
 	Refiners []Refiner
 	// Probes are index spatial joins between two variables.
 	Probes []JoinProbe
+	// Parallel is the morsel-driven execution degree the plan's owner
+	// intends to run it at (annotated by Explain as workers=N). It does
+	// not change the compiled plan — parallelism is an execution-time
+	// property (see ExecuteParallelSeeded) — so plan caches keyed on
+	// query text and store version stay valid.
+	Parallel int
 }
 
 // CompilePlan compiles q against st.
@@ -175,6 +181,7 @@ func CompilePlan(st *rdf.Store, q *Query, opt PlanOpts) (*Plan, error) {
 		}
 	}
 	p.bgp = st.PlanBGP(q.Patterns, p.slots, p.width, bgpOpt)
+	p.parallel = opt.Parallel
 
 	p.compileProjection()
 	return p, nil
@@ -300,14 +307,7 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 
 	p.bgp.Run(p.st, seeds, func(row rdf.Row) bool {
 		if q.Distinct {
-			keyBuf = keyBuf[:0]
-			for _, sl := range p.projSlots {
-				var id rdf.ID
-				if sl >= 0 {
-					id = row[sl]
-				}
-				keyBuf = binary.LittleEndian.AppendUint64(keyBuf, uint64(id))
-			}
+			keyBuf = p.projKey(keyBuf, row)
 			k := string(keyBuf)
 			if dedup[k] {
 				return true
@@ -415,22 +415,31 @@ func (p *Plan) executeAggregates(seeds []rdf.Row) (*Results, error) {
 			return true
 		})
 	}
-	if !grouped && len(groups) == 0 {
-		// COUNT over the empty solution set is a single zero row.
-		groups[rdf.NoID] = &group{counts: make([]int, len(q.Aggregates))}
-		order = append(order, rdf.NoID)
-	}
+	return p.renderAggregates(order, func(k rdf.ID) []int { return groups[k].counts })
+}
 
+// renderAggregates builds the decoded aggregate result from per-group
+// counters in first-seen order, applying the empty-COUNT zero row,
+// ORDER BY and OFFSET/LIMIT. It is shared by the sequential and
+// parallel executors so their aggregate output can never diverge.
+func (p *Plan) renderAggregates(order []rdf.ID, counts func(rdf.ID) []int) (*Results, error) {
+	q := p.q
+	grouped := q.GroupBy != ""
+	if !grouped && len(order) == 0 {
+		// COUNT over the empty solution set is a single zero row.
+		zero := make([]int, len(q.Aggregates))
+		order = []rdf.ID{rdf.NoID}
+		counts = func(rdf.ID) []int { return zero }
+	}
 	res := &Results{Vars: p.vars}
 	dict := p.st.Dict()
 	for _, key := range order {
-		g := groups[key]
 		row := make(map[string]rdf.Term, len(p.vars))
+		for i, n := range counts(key) {
+			row[q.Aggregates[i].As] = rdf.NewIntLiteral(int64(n))
+		}
 		if grouped {
 			row[q.GroupBy] = dict.MustDecode(key)
-		}
-		for i, a := range q.Aggregates {
-			row[a.As] = rdf.NewIntLiteral(int64(g.counts[i]))
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -699,6 +708,10 @@ func (p *Plan) Explain() string {
 	}
 	if len(mods) > 0 {
 		fmt.Fprintf(&b, "project: %s\n", strings.Join(mods, "; "))
+	}
+	if p.parallel > 1 {
+		fmt.Fprintf(&b, "parallel: workers=%d, split=%s\n",
+			p.parallel, p.bgp.ParallelSplit(p.seedSlot >= 0))
 	}
 	return b.String()
 }
