@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -843,6 +844,64 @@ func BenchmarkParallelQuery_FilterHeavy(b *testing.B)   { benchParallelDegrees(b
 func BenchmarkParallelQuery_SpatialRefine(b *testing.B) { benchParallelDegrees(b, "spatial_refine") }
 func BenchmarkParallelQuery_CountGroup(b *testing.B)    { benchParallelDegrees(b, "count_group") }
 func BenchmarkParallelQuery_OrderByLimit(b *testing.B)  { benchParallelDegrees(b, "order_by_limit") }
+
+// The BenchmarkAnalyzeOverhead group measures EXPLAIN ANALYZE's
+// instrumented executor against the plain one on the same dataset
+// (workloads shared with `eebench -bench-group analyze`). The plain
+// sub-benchmarks are the regression guard for the disabled path: stats
+// collection is a nil-check on the hot path, so plain ns/op must stay
+// within noise (the acceptance bar is 2%) of the pre-instrumentation
+// executor — compare against BenchmarkParallelQuery_*/seq history.
+func benchAnalyzeOverhead(b *testing.B, name string) {
+	w := parallelWorkload(b, name)
+	gst := parallelBenchDataset(b)
+	q := sparql.MustParse(w.Query)
+
+	var plain, analyzed func() (*sparql.Results, error)
+	if w.Spatial {
+		plain = func() (*sparql.Results, error) { return gst.Query(q) }
+		analyzed = func() (*sparql.Results, error) {
+			res, _, err := gst.QueryAnalyze(context.Background(), q)
+			return res, err
+		}
+	} else {
+		plan, err := sparql.CompilePlan(gst.RDF(), q, sparql.PlanOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = plan.Execute
+		analyzed = func() (*sparql.Results, error) {
+			res, _, err := plan.ExecuteAnalyzed(nil)
+			return res, err
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		eval func() (*sparql.Results, error)
+	}{{"plain", plain}, {"analyzed", analyzed}} {
+		b.Run(mode.name, func(b *testing.B) {
+			res, err := mode.eval()
+			if err != nil {
+				b.Fatalf("warmup: %v", err)
+			}
+			if res.Len() < w.MinRows {
+				b.Fatalf("warmup: rows = %d, want >= %d", res.Len(), w.MinRows)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mode.eval(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAnalyzeOverhead_LargeScan(b *testing.B) { benchAnalyzeOverhead(b, "large_scan") }
+func BenchmarkAnalyzeOverhead_SpatialRefine(b *testing.B) {
+	benchAnalyzeOverhead(b, "spatial_refine")
+}
 
 // --- Storage: durability engine (WAL + snapshots) ---
 

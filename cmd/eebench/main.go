@@ -11,6 +11,8 @@
 //	                                      # spatial-join group + JSON report
 //	eebench -bench-group parallel -bench-out BENCH_parallel.json
 //	                                      # morsel-executor group + JSON report
+//	eebench -bench-group analyze -bench-out BENCH_analyze.json
+//	                                      # EXPLAIN ANALYZE overhead group
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 	benchOut := flag.String("bench-out", "",
 		"run a benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
 	benchGroup := flag.String("bench-group", "query",
-		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join) or parallel (morsel-driven executor)")
+		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join), parallel (morsel-driven executor) or analyze (EXPLAIN ANALYZE overhead)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
@@ -56,8 +58,14 @@ func main() {
 			if err := experiments.WriteParallelBenchJSON(*benchOut, rep); err != nil {
 				log.Fatalf("eebench: write %s: %v", *benchOut, err)
 			}
+		case "analyze":
+			table, rep := experiments.AnalyzeBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteAnalyzeBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
 		default:
-			log.Fatalf("eebench: unknown bench group %q (use query, spatial or parallel)", *benchGroup)
+			log.Fatalf("eebench: unknown bench group %q (use query, spatial, parallel or analyze)", *benchGroup)
 		}
 		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
 		return

@@ -8,6 +8,9 @@
 //	eequery -format json '<query>'           # SPARQL 1.1 JSON results
 //	eequery -explain '<query>'               # compiled plan: join order,
 //	                                         # access paths, pushed filters
+//	eequery -analyze '<query>'               # EXPLAIN ANALYZE: per-step
+//	                                         # rows, matches, filter drops
+//	                                         # and timings from a real run
 //	eequery -parallel 4 '<query>'            # morsel-driven parallel
 //	                                         # execution with 4 workers
 //
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +46,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	format := fs.String("format", "table", "output format: table, json, csv, tsv or geojson")
 	explain := fs.Bool("explain", false, "print the compiled query plan (join order, access paths, pushed filters) before the results")
+	analyze := fs.Bool("analyze", false, "execute with per-step runtime stats and print the EXPLAIN ANALYZE profile before the results")
 	parallel := fs.Int("parallel", 1, "morsel-driven executor workers (>= 2 enables parallel execution; indexed mode only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -106,7 +111,7 @@ func run(args []string) error {
 	if defaulted {
 		fmt.Fprintln(info, "no query given; running default rectangular selection")
 	}
-	if *explain {
+	if *explain || *analyze {
 		text, err := st.Explain(q)
 		if err != nil {
 			return err
@@ -117,11 +122,23 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	res, err := st.Query(q)
-	elapsed := time.Since(start)
-	if err != nil {
-		return err
+	var res *sparql.Results
+	if *analyze {
+		var prof *sparql.Profile
+		res, prof, err = st.QueryAnalyze(context.Background(), q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(info, "--- analyze ---")
+		fmt.Fprint(info, prof.Render())
+		fmt.Fprintln(info, "---------------")
+	} else {
+		res, err = st.Query(q)
+		if err != nil {
+			return err
+		}
 	}
+	elapsed := time.Since(start)
 	fmt.Fprintf(info, "%d rows in %v\n", res.Len(), elapsed.Round(time.Microsecond))
 	if *format == "table" {
 		fmt.Print(res)

@@ -16,6 +16,12 @@
 //	eeserve -query-workers 8            # morsel-parallel execution: up to 8
 //	                                    # workers per query, and at most 8
 //	                                    # extra executor goroutines in total
+//	eeserve -log-format json            # structured access log (one line
+//	                                    # per request, with X-Request-ID)
+//	eeserve -slow-query-threshold 100ms # capture EXPLAIN ANALYZE profiles
+//	                                    # of slow queries at /debug/queries
+//	eeserve -pprof-addr localhost:6060  # admin mux: net/http/pprof +
+//	                                    # /metrics + /debug/queries
 //
 // Example queries:
 //
@@ -28,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -66,6 +73,9 @@ func run(args []string) error {
 	walSyncEvery := fs.Int("wal-sync-every", 8, "WAL commits between fsyncs (group commit; 1 = sync every commit)")
 	queryWorkers := fs.Int("query-workers", 0,
 		"morsel-driven executor workers: per-query degree and the server-wide cap on extra executor goroutines (0 disables parallel execution)")
+	logFormat := fs.String("log-format", "", "structured access log format: text, json or empty (no access log)")
+	slowThreshold := fs.Duration("slow-query-threshold", 0, "capture EXPLAIN ANALYZE profiles of queries slower than this at /debug/queries (0 disables)")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for the admin mux (net/http/pprof, /metrics, /debug/queries); empty disables")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -75,6 +85,18 @@ func run(args []string) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown log format %q", *logFormat)
 	}
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
@@ -98,6 +120,7 @@ func run(args []string) error {
 		if pool != nil {
 			st.SetParallel(*queryWorkers, pool)
 		}
+		st.SetLogger(logger)
 
 		if *dataDir != "" {
 			var err error
@@ -165,6 +188,7 @@ func run(args []string) error {
 		if pool != nil {
 			ps.SetParallel(*queryWorkers, pool)
 		}
+		ps.SetLogger(logger)
 		for _, f := range geostore.GeneratePointFeatures(*n, *seed, extent) {
 			if err := ps.AddFeature(f); err != nil {
 				return err
@@ -178,13 +202,25 @@ func run(args []string) error {
 	}
 
 	srv := endpoint.New(engine, endpoint.Config{
-		MaxInFlight:  *maxInFlight,
-		QueryTimeout: *timeout,
-		CacheSize:    *cacheSize,
-		Loader:       loader,
-		LoadToken:    *loadToken,
-		Workers:      pool,
+		MaxInFlight:        *maxInFlight,
+		QueryTimeout:       *timeout,
+		CacheSize:          *cacheSize,
+		Loader:             loader,
+		LoadToken:          *loadToken,
+		Workers:            pool,
+		Logger:             logger,
+		SlowQueryThreshold: *slowThreshold,
 	})
+	if *pprofAddr != "" {
+		// The admin mux (pprof, metrics, slow queries) binds separately so
+		// profiling endpoints are never exposed on the public address.
+		go func() {
+			fmt.Printf("eeserve: admin mux (pprof, /metrics, /debug/queries) on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, srv.AdminMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "eeserve: admin mux:", err)
+			}
+		}()
+	}
 	durable := "ephemeral"
 	if db != nil {
 		durable = "durable:" + *dataDir

@@ -17,10 +17,13 @@ import (
 	"bytes"
 	"context"
 	"crypto/subtle"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -85,6 +88,18 @@ type Config struct {
 	// queries. Nil when parallel execution is off; /metrics exports the
 	// pool's busy gauge as sparql_exec_workers_busy.
 	Workers *rdf.WorkerPool
+	// Logger, when non-nil, enables the structured access log: one line
+	// per request carrying the request's trace ID (see ServeHTTP). The
+	// same logger should be attached to the engine (geostore SetLogger)
+	// so store-level lines correlate.
+	Logger *slog.Logger
+	// SlowQueryThreshold, when > 0, enables slow-query capture: uncached
+	// queries run with EXPLAIN ANALYZE instrumentation, and any whose
+	// evaluation exceeds the threshold (or times out) records its
+	// profile in the bounded ring served by GET /debug/queries.
+	SlowQueryThreshold time.Duration
+	// DebugRingSize bounds the slow-query ring (default 64 entries).
+	DebugRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryLen == 0 {
 		c.MaxQueryLen = 1 << 20
 	}
+	if c.DebugRingSize <= 0 {
+		c.DebugRingSize = 64
+	}
 	return c
 }
 
@@ -112,23 +130,49 @@ type Server struct {
 	sem     chan struct{}
 	metrics metrics
 	mux     *http.ServeMux
+
+	logger  *slog.Logger
+	started time.Time
+	slow    *queryRing
+	running *runningSet
 }
 
 // New returns a server over engine.
 func New(engine Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		engine: engine,
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheSize),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		mux:    http.NewServeMux(),
+		engine:  engine,
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+		logger:  cfg.Logger,
+		started: time.Now(),
+		slow:    newQueryRing(cfg.DebugRingSize),
+		running: newRunningSet(),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	return s
+}
+
+// AdminMux returns an http.Handler serving the runtime introspection
+// routes — net/http/pprof under /debug/pprof/ plus this server's
+// /metrics and /debug/queries — for binding to a separate, non-public
+// address (eeserve -pprof-addr).
+func (s *Server) AdminMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	return mux
 }
 
 // handleLoad is the live ingestion route: an authenticated POST whose
@@ -190,9 +234,6 @@ func (s *Server) authorizedLoad(r *http.Request) bool {
 	}
 	return tok != "" && subtle.ConstantTimeCompare([]byte(tok), []byte(s.cfg.LoadToken)) == 1
 }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // queryText extracts the query string per the SPARQL Protocol: the
 // `query` parameter on GET or form POST, or the raw body for
@@ -262,19 +303,26 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	q, err := sparql.Parse(qs)
 	if err != nil {
-		s.metrics.errors.Add(1)
+		s.metrics.countError(errKindParse)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	geomVar := r.FormValue("geom")
 
+	// ?analyze=1 (or the SPARQL-Analyze: 1 header) attaches the EXPLAIN
+	// ANALYZE profile as a JSON sidecar; such requests bypass the result
+	// cache because a cached body has no fresh execution to profile.
+	analyze := r.FormValue("analyze") == "1" || r.Header.Get("SPARQL-Analyze") == "1"
+
 	// The key uses the full canonical text rather than its hash: exact,
 	// and the cacheKey is a string anyway.
 	key := cacheKey{query: q.Canonical() + "\x00" + geomVar, version: s.engine.Version(), format: format}
-	if entry, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		s.finish(w, format, entry.body, true, start)
-		return
+	if !analyze {
+		if entry, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			s.finish(w, format, entry.body, true, start)
+			return
+		}
 	}
 
 	// Admission control guards the expensive part — evaluation. Reject
@@ -290,32 +338,75 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 		return
 	}
-	s.metrics.cacheMisses.Add(1)
+	if !analyze {
+		s.metrics.cacheMisses.Add(1)
+	}
 
-	res, err := s.evalWithTimeout(r.Context(), q)
+	// Slow-query capture needs a profile for any query that might turn
+	// out slow, so when the threshold is set every evaluated query runs
+	// instrumented (the enabled-path cost; the disabled path stays free).
+	evalStart := time.Now()
+	res, prof, err := s.evalWithTimeout(r.Context(), q, analyze || s.cfg.SlowQueryThreshold > 0)
+	evalElapsed := time.Since(evalStart)
 	if err != nil {
 		switch err {
 		case context.DeadlineExceeded:
 			s.metrics.timeouts.Add(1)
+			s.recordSlow(r.Context(), q, "timeout", evalStart, evalElapsed, 0, nil)
 			http.Error(w, "query timed out", http.StatusGatewayTimeout)
 		case context.Canceled:
 			// Client went away mid-evaluation; nobody is listening, and it
 			// was not a server-side deadline, so don't count it as one.
 		default:
-			s.metrics.errors.Add(1)
+			s.metrics.countError(errKindEval)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
 		return
 	}
+	s.metrics.execRows.Add(uint64(res.Len()))
+	if prof != nil {
+		s.metrics.filterDrops.Add(uint64(prof.TotalFilterDrops()))
+		s.recordSlow(r.Context(), q, "slow", evalStart, evalElapsed, res.Len(), prof)
+	}
 
+	if analyze {
+		s.writeAnalyzed(w, res, prof, geomVar, start)
+		return
+	}
 	var buf bytes.Buffer
 	if err := WriteResults(&buf, format, res, geomVar); err != nil {
-		s.metrics.errors.Add(1)
+		s.metrics.countError(errKindSerialize)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.cache.put(key, buf.Bytes(), res.Len())
 	s.finish(w, format, buf.Bytes(), false, start)
+}
+
+// writeAnalyzed writes the ?analyze=1 response: a JSON envelope with
+// the execution profile and the SPARQL JSON results side by side.
+func (s *Server) writeAnalyzed(w http.ResponseWriter, res *sparql.Results, prof *sparql.Profile, geomVar string, start time.Time) {
+	var rbuf bytes.Buffer
+	if err := WriteResults(&rbuf, FormatJSON, res, geomVar); err != nil {
+		s.metrics.countError(errKindSerialize)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	env := struct {
+		Profile *sparql.Profile `json:"profile"`
+		Results json.RawMessage `json:"results"`
+	}{Profile: prof, Results: json.RawMessage(rbuf.Bytes())}
+	body, err := json.Marshal(env)
+	if err != nil {
+		s.metrics.countError(errKindSerialize)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "BYPASS")
+	w.Write(append(body, '\n'))
 }
 
 // finish writes a successful response body and records metrics.
@@ -338,31 +429,40 @@ func (s *Server) finish(w http.ResponseWriter, format Format, body []byte, hit b
 // preemptible, so a timed-out query finishes in the background. Either
 // way the admission slot is held until evaluation actually ends, which
 // is what bounds runaway load. The caller must have acquired s.sem.
-func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query, analyze bool) (*sparql.Results, *sparql.Profile, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
 	defer cancel()
 	type evalResult struct {
-		res *sparql.Results
-		err error
+		res  *sparql.Results
+		prof *sparql.Profile
+		err  error
 	}
 	ch := make(chan evalResult, 1)
 	go func() {
 		defer func() { <-s.sem }()
+		// Register in the running-query set for the goroutine's whole
+		// lifetime: a query whose client timed out keeps showing in
+		// /debug/queries while its executor drains.
+		rid := s.running.add(sparql.RequestIDFrom(ctx), q)
+		defer s.running.remove(rid)
 		var res *sparql.Results
+		var prof *sparql.Profile
 		var err error
-		if ce, ok := s.engine.(ContextEngine); ok {
+		if ae, ok := s.engine.(AnalyzeEngine); ok && analyze {
+			res, prof, err = ae.QueryAnalyze(ctx, q)
+		} else if ce, ok := s.engine.(ContextEngine); ok {
 			// A timed-out engine reports ctx.Err() itself, which the
 			// handler's error switch already maps to 504.
 			res, err = ce.QueryContext(ctx, q)
 		} else {
 			res, err = s.engine.Query(q)
 		}
-		ch <- evalResult{res, err}
+		ch <- evalResult{res, prof, err}
 	}()
 	select {
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	case ev := <-ch:
-		return ev.res, ev.err
+		return ev.res, ev.prof, ev.err
 	}
 }

@@ -3,6 +3,8 @@ package endpoint
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -16,11 +18,20 @@ var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.
 // manipulated atomically; the zero value is ready to use.
 type metrics struct {
 	queries     atomic.Uint64 // completed queries (any outcome)
-	errors      atomic.Uint64 // parse or evaluation failures
+	errors      atomic.Uint64 // parse, evaluation, or serialize failures
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	rejected    atomic.Uint64 // admission-control 503s
 	timeouts    atomic.Uint64 // per-query deadline expirations
+
+	// Per-kind breakdown of errors; timeouts above is the fourth kind.
+	errParse     atomic.Uint64
+	errEval      atomic.Uint64
+	errSerialize atomic.Uint64
+
+	slowQueries atomic.Uint64 // queries captured by the slow-query ring
+	execRows    atomic.Uint64 // result rows produced by evaluations
+	filterDrops atomic.Uint64 // rows dropped by pushed filters (profiled runs)
 
 	loads         atomic.Uint64 // successful POST /load requests
 	loadErrors    atomic.Uint64 // failed POST /load requests
@@ -28,6 +39,30 @@ type metrics struct {
 
 	bucketCounts [11]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf
 	latencySumNs atomic.Uint64
+}
+
+// errKind labels the per-kind error counters.
+type errKind int
+
+const (
+	errKindParse errKind = iota
+	errKindEval
+	errKindSerialize
+)
+
+// countError bumps the unlabeled error total plus the matching kind
+// counter, so sparql_query_errors_total stays the sum dashboards built
+// on the unlabeled series expect.
+func (m *metrics) countError(k errKind) {
+	m.errors.Add(1)
+	switch k {
+	case errKindParse:
+		m.errParse.Add(1)
+	case errKindEval:
+		m.errEval.Add(1)
+	case errKindSerialize:
+		m.errSerialize.Add(1)
+	}
 }
 
 // observe records one query latency in the histogram.
@@ -75,7 +110,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	writeCounter("sparql_queries_total", "Completed SPARQL protocol requests.", m.queries.Load())
-	writeCounter("sparql_query_errors_total", "Requests that failed to parse or evaluate.", m.errors.Load())
+	// One family, five samples: the unlabeled total (kept for dashboards
+	// predating the split) plus the per-kind breakdown. The timeout kind
+	// mirrors sparql_timeouts_total.
+	fmt.Fprintf(w, "# HELP sparql_query_errors_total Requests that failed to parse, evaluate, or serialize.\n# TYPE sparql_query_errors_total counter\n")
+	fmt.Fprintf(w, "sparql_query_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"parse\"} %d\n", m.errParse.Load())
+	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"eval\"} %d\n", m.errEval.Load())
+	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"serialize\"} %d\n", m.errSerialize.Load())
+	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"timeout\"} %d\n", m.timeouts.Load())
 	writeCounter("sparql_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
 	writeCounter("sparql_cache_misses_total", "Requests that missed the result cache.", m.cacheMisses.Load())
 	writeCounter("sparql_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
@@ -83,6 +126,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeCounter("sparql_loads_total", "Successful POST /load ingestions.", m.loads.Load())
 	writeCounter("sparql_load_errors_total", "Failed POST /load ingestions.", m.loadErrors.Load())
 	writeCounter("sparql_loaded_triples_total", "Triples read by POST /load.", m.loadedTriples.Load())
+	writeCounter("sparql_slow_queries_total", "Queries captured by the slow-query ring.", m.slowQueries.Load())
+	writeCounter("sparql_exec_rows_total", "Result rows produced by query evaluations.", m.execRows.Load())
+	writeCounter("sparql_filter_drops_total", "Rows dropped by pushed filters in profiled evaluations.", m.filterDrops.Load())
 	if pc, ok := s.engine.(PlanCacheStatser); ok {
 		hits, misses := pc.PlanCacheStats()
 		writeCounter("sparql_plan_cache_hits_total", "Queries evaluated with a cached compiled plan.", hits)
@@ -99,6 +145,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
 
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "# HELP sparql_build_info Build metadata; the value is always 1.\n# TYPE sparql_build_info gauge\nsparql_build_info{go_version=%q,version=%q} 1\n",
+		runtime.Version(), version)
+	fmt.Fprintf(w, "# HELP sparql_uptime_seconds Seconds since the server started.\n# TYPE sparql_uptime_seconds gauge\nsparql_uptime_seconds %g\n",
+		time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "# HELP sparql_goroutines Current goroutine count.\n# TYPE sparql_goroutines gauge\nsparql_goroutines %d\n", runtime.NumGoroutine())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP sparql_heap_bytes Bytes of allocated heap objects.\n# TYPE sparql_heap_bytes gauge\nsparql_heap_bytes %d\n", ms.HeapAlloc)
+
 	fmt.Fprintf(w, "# HELP sparql_query_duration_seconds Query latency histogram.\n# TYPE sparql_query_duration_seconds histogram\n")
 	cum := uint64(0)
 	for i, ub := range latencyBuckets {
@@ -112,9 +171,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleHealthz reports liveness plus basic store facts, so load balancers
-// and Sextant deployments can gate traffic on it.
+// and Sextant deployments can gate traffic on it. When admission control
+// is saturated it answers 503 "overloaded", letting balancers drain
+// traffic away before requests start bouncing off the semaphore.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"triples\":%d,\"store_version\":%d}\n",
-		s.engine.Len(), s.engine.Version())
+	status := "ok"
+	if cap(s.sem) > 0 && len(s.sem) >= cap(s.sem) {
+		status = "overloaded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "{\"status\":%q,\"triples\":%d,\"store_version\":%d}\n",
+		status, s.engine.Len(), s.engine.Version())
 }

@@ -1,0 +1,100 @@
+package endpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// bucketTotals loads the histogram counters as plain ints.
+func bucketTotals(m *metrics) []uint64 {
+	out := make([]uint64, len(m.bucketCounts))
+	for i := range m.bucketCounts {
+		out[i] = m.bucketCounts[i].Load()
+	}
+	return out
+}
+
+// TestObserveBucketBoundaries pins the histogram's bucket edges:
+// latencies exactly on an upper bound land in that bucket (le is
+// inclusive, the Prometheus convention), just above it in the next, and
+// anything beyond the last bound in +Inf.
+func TestObserveBucketBoundaries(t *testing.T) {
+	for i, ub := range latencyBuckets {
+		exact := time.Duration(ub * float64(time.Second))
+		// Durations are integer nanoseconds, so every bucket bound (down
+		// to 0.0001s) is exactly representable.
+		if exact.Seconds() != ub {
+			t.Fatalf("bucket bound %g not representable as a duration", ub)
+		}
+		var m metrics
+		m.observe(exact)
+		if got := bucketTotals(&m); got[i] != 1 {
+			t.Errorf("observe(%v) landed in %v, want bucket %d (le=%g)", exact, got, i, ub)
+		}
+		var m2 metrics
+		m2.observe(exact + time.Nanosecond)
+		want := i + 1
+		if got := bucketTotals(&m2); got[want] != 1 {
+			t.Errorf("observe(%v+1ns) landed in %v, want bucket %d", exact, got, want)
+		}
+	}
+
+	var m metrics
+	over := time.Duration(latencyBuckets[len(latencyBuckets)-1]*float64(time.Second)) + time.Second
+	m.observe(over)
+	if got := bucketTotals(&m); got[len(latencyBuckets)] != 1 {
+		t.Errorf("observe(%v) landed in %v, want the +Inf bucket", over, got)
+	}
+	if m.latencySumNs.Load() != uint64(over.Nanoseconds()) {
+		t.Errorf("latencySumNs = %d, want %d", m.latencySumNs.Load(), over.Nanoseconds())
+	}
+}
+
+// TestObserveConcurrent hammers observe from many goroutines (run under
+// -race) and checks no samples are lost from the count or the sum.
+func TestObserveConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+		d          = time.Millisecond
+	)
+	var m metrics
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.observe(d)
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, c := range bucketTotals(&m) {
+		total += c
+	}
+	if total != goroutines*perG {
+		t.Errorf("bucket count total = %d, want %d", total, goroutines*perG)
+	}
+	if got, want := m.latencySumNs.Load(), uint64(goroutines*perG*d.Nanoseconds()); got != want {
+		t.Errorf("latencySumNs = %d, want %d", got, want)
+	}
+}
+
+// TestCountError checks the per-kind split stays consistent with the
+// unlabeled total.
+func TestCountError(t *testing.T) {
+	var m metrics
+	m.countError(errKindParse)
+	m.countError(errKindParse)
+	m.countError(errKindEval)
+	m.countError(errKindSerialize)
+	if got := m.errors.Load(); got != 4 {
+		t.Errorf("errors = %d, want 4", got)
+	}
+	if p, e, s := m.errParse.Load(), m.errEval.Load(), m.errSerialize.Load(); p != 2 || e != 1 || s != 1 {
+		t.Errorf("kind counters = parse %d, eval %d, serialize %d; want 2, 1, 1", p, e, s)
+	}
+}

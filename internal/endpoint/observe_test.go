@@ -1,0 +1,280 @@
+package endpoint_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// ridEngine records the request ID its evaluation context carried, so
+// the end-to-end test can prove the ID seen by the engine, the response
+// header, and the access-log line are one and the same.
+type ridEngine struct{ got chan string }
+
+func (e *ridEngine) Query(*sparql.Query) (*sparql.Results, error) {
+	return &sparql.Results{Vars: []string{"x"}}, nil
+}
+func (e *ridEngine) QueryContext(ctx context.Context, _ *sparql.Query) (*sparql.Results, error) {
+	e.got <- sparql.RequestIDFrom(ctx)
+	return &sparql.Results{Vars: []string{"x"}}, nil
+}
+func (e *ridEngine) Version() uint64 { return 1 }
+func (e *ridEngine) Len() int        { return 0 }
+
+// TestRequestIDEndToEnd sends a request with an explicit X-Request-ID
+// and asserts the same ID shows up (a) in the evaluation context inside
+// the engine, (b) on the response header, and (c) in the structured
+// access-log line.
+func TestRequestIDEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	eng := &ridEngine{got: make(chan string, 1)}
+	srv := endpoint.New(eng, endpoint.Config{
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		CacheSize: -1,
+	})
+
+	const id = "e2e-trace-42"
+	rec := get(t, srv, sparqlURL("SELECT ?x WHERE { ?x ?p ?o . }", ""), map[string]string{"X-Request-ID": id})
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (body %q)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != id {
+		t.Errorf("response X-Request-ID = %q, want %q", got, id)
+	}
+	if got := <-eng.got; got != id {
+		t.Errorf("engine saw request ID %q, want %q", got, id)
+	}
+	var line struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		Bytes     int64   `json:"bytes"`
+		Duration  float64 `json:"duration"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if line.Msg != "request" || line.RequestID != id || line.Path != "/sparql" || line.Status != 200 || line.Bytes <= 0 {
+		t.Errorf("access log line = %+v, want request_id %q on /sparql with a body", line, id)
+	}
+}
+
+// TestRequestIDGenerated checks requests without an inbound ID get a
+// fresh 16-hex-char one.
+func TestRequestIDGenerated(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{})
+	rec := get(t, srv, "/healthz", nil)
+	id := rec.Header().Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+	// A second request must get a different ID.
+	if id2 := get(t, srv, "/healthz", nil).Header().Get("X-Request-ID"); id2 == id {
+		t.Errorf("two requests got the same generated ID %q", id)
+	}
+}
+
+// TestAnalyzeSidecar checks ?analyze=1: a JSON envelope carrying the
+// per-step profile alongside the SPARQL JSON results, bypassing the
+// result cache.
+func TestAnalyzeSidecar(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{})
+
+	// Warm the cache with a plain request, then prove analyze bypasses it.
+	if rec := get(t, srv, sparqlURL(spatialQuery, ""), nil); rec.Code != 200 {
+		t.Fatalf("warmup status = %d", rec.Code)
+	}
+	rec := get(t, srv, sparqlURL(spatialQuery, "analyze=1"), nil)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (body %q)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "BYPASS" {
+		t.Errorf("X-Cache = %q, want BYPASS", got)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var env struct {
+		Profile *sparql.Profile `json:"profile"`
+		Results struct {
+			Head struct {
+				Vars []string `json:"vars"`
+			} `json:"head"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("envelope not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if env.Profile == nil || len(env.Profile.Steps) == 0 {
+		t.Fatalf("envelope missing profile steps:\n%s", rec.Body.String())
+	}
+	if env.Profile.Rows != 2 || env.Profile.Emitted == 0 {
+		t.Errorf("profile rows = %d, emitted = %d; want 2 rows", env.Profile.Rows, env.Profile.Emitted)
+	}
+	if len(env.Results.Head.Vars) == 0 {
+		t.Errorf("envelope missing results:\n%s", rec.Body.String())
+	}
+
+	// The header spelling works too.
+	hrec := get(t, srv, sparqlURL(spatialQuery, ""), map[string]string{"SPARQL-Analyze": "1"})
+	if hrec.Code != 200 || !strings.Contains(hrec.Body.String(), `"profile"`) {
+		t.Errorf("SPARQL-Analyze header: status %d, body %q", hrec.Code, hrec.Body.String())
+	}
+}
+
+// TestDebugQueriesSlowCapture checks that queries over the threshold
+// land in GET /debug/queries with their profile attached, and bump
+// sparql_slow_queries_total.
+func TestDebugQueriesSlowCapture(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		CacheSize:          -1,
+	})
+	if rec := get(t, srv, sparqlURL(spatialQuery, ""), map[string]string{"X-Request-ID": "slow-1"}); rec.Code != 200 {
+		t.Fatalf("query status = %d", rec.Code)
+	}
+
+	rec := get(t, srv, "/debug/queries", nil)
+	if rec.Code != 200 {
+		t.Fatalf("/debug/queries status = %d", rec.Code)
+	}
+	var doc struct {
+		ThresholdMs float64 `json:"slow_query_threshold_ms"`
+		Running     []json.RawMessage
+		Recent      []struct {
+			RequestID   string          `json:"request_id"`
+			Fingerprint string          `json:"fingerprint"`
+			Status      string          `json:"status"`
+			DurationMs  float64         `json:"duration_ms"`
+			Rows        int             `json:"rows"`
+			Profile     *sparql.Profile `json:"profile"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/queries not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Recent) != 1 {
+		t.Fatalf("recent = %d entries, want 1:\n%s", len(doc.Recent), rec.Body.String())
+	}
+	e := doc.Recent[0]
+	if e.RequestID != "slow-1" || e.Status != "slow" || e.Fingerprint == "" || e.Rows != 2 {
+		t.Errorf("captured entry = %+v", e)
+	}
+	if e.Profile == nil || len(e.Profile.Steps) == 0 {
+		t.Errorf("captured entry missing executor profile:\n%s", rec.Body.String())
+	}
+	if !strings.Contains(get(t, srv, "/metrics", nil).Body.String(), "sparql_slow_queries_total 1") {
+		t.Error("/metrics missing sparql_slow_queries_total 1")
+	}
+
+}
+
+// TestHealthzOverloaded checks /healthz flips to 503 "overloaded" while
+// admission control is saturated and recovers afterwards.
+func TestHealthzOverloaded(t *testing.T) {
+	eng := &blockingEngine{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := endpoint.New(eng, endpoint.Config{MaxInFlight: 1, CacheSize: -1})
+
+	done := make(chan struct{})
+	go func() {
+		get(t, srv, sparqlURL("SELECT ?x WHERE { ?x ?p ?o . }", ""), nil)
+		close(done)
+	}()
+	<-eng.started
+
+	rec := get(t, srv, "/healthz", nil)
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), `"status":"overloaded"`) {
+		t.Fatalf("saturated healthz = %d %q, want 503 overloaded", rec.Code, rec.Body.String())
+	}
+
+	close(eng.release)
+	<-done
+	// The admission slot is released asynchronously by the eval
+	// goroutine; wait for healthz to recover.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec = get(t, srv, "/healthz", nil)
+		if rec.Code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz still %d after release", rec.Code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Fatalf("recovered healthz body = %q", rec.Body.String())
+	}
+}
+
+// TestErrorKindMetrics checks the labeled error breakdown stays in sync
+// with the unlabeled total.
+func TestErrorKindMetrics(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{})
+	if rec := get(t, srv, sparqlURL("NOT A QUERY", ""), nil); rec.Code != 400 {
+		t.Fatalf("parse error status = %d", rec.Code)
+	}
+	body := get(t, srv, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		"sparql_query_errors_total 1",
+		`sparql_query_errors_total{kind="parse"} 1`,
+		`sparql_query_errors_total{kind="eval"} 0`,
+		`sparql_query_errors_total{kind="serialize"} 0`,
+		`sparql_query_errors_total{kind="timeout"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestAdminMux checks the admin surface exposes pprof, /metrics and
+// /debug/queries.
+func TestAdminMux(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{})
+	admin := srv.AdminMux()
+	for path, wantSub := range map[string]string{
+		"/debug/pprof/":     "profiles",
+		"/metrics":          "sparql_queries_total",
+		"/debug/queries":    `"recent"`,
+		"/debug/pprof/heap": "",
+	} {
+		rec := get(t, admin, path, nil)
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d", path, rec.Code)
+			continue
+		}
+		if wantSub != "" && !strings.Contains(rec.Body.String(), wantSub) {
+			t.Errorf("GET %s body missing %q", path, wantSub)
+		}
+	}
+}
+
+// TestUptimeAndRuntimeGauges checks the runtime gauges render sane
+// values.
+func TestUptimeAndRuntimeGauges(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{Workers: rdf.NewWorkerPool(2)})
+	body := get(t, srv, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		"sparql_build_info{go_version=\"go",
+		"sparql_uptime_seconds ",
+		"sparql_goroutines ",
+		"sparql_heap_bytes ",
+		"sparql_exec_workers_busy ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

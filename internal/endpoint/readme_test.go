@@ -1,0 +1,34 @@
+package endpoint_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/rdf"
+)
+
+// TestMetricsDocumentedInReadme guards the README metrics table against
+// drift: every metric family handleMetrics can emit must be named in
+// README.md. The server is configured so all optional families render
+// (worker pool attached, geostore engine for the plan-cache, spatial
+// and morsel stats).
+func TestMetricsDocumentedInReadme(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := endpoint.New(testStore(t), endpoint.Config{Workers: rdf.NewWorkerPool(2)})
+	body := get(t, srv, "/metrics", nil).Body.String()
+	names := regexp.MustCompile(`(?m)^# TYPE (\S+) `).FindAllStringSubmatch(body, -1)
+	if len(names) < 15 {
+		t.Fatalf("only %d metric families in /metrics; exposition broken?\n%s", len(names), body)
+	}
+	doc := string(readme)
+	for _, m := range names {
+		if !regexp.MustCompile(`\b` + regexp.QuoteMeta(m[1]) + `\b`).MatchString(doc) {
+			t.Errorf("metric %s served by /metrics but not documented in README.md", m[1])
+		}
+	}
+}

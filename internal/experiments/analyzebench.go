@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sparql"
+)
+
+// This file implements the analyze-overhead benchmark group behind
+// `eebench -bench-group analyze -bench-out BENCH_analyze.json`: the
+// EXPLAIN ANALYZE instrumentation measured against the plain executor
+// on the two workload shapes that stress it most — a large scan (one
+// counter bump per row per step) and R-tree-seeded spatial refinement
+// (probe counters inside the refine loop). The plain rows double as the
+// regression guard for the disabled-path cost: stats collection is a
+// nil-check on the hot path, so plain ns/op must stay level with
+// earlier BENCH_parallel.json large_scan/spatial_refine numbers. The
+// workload list is shared with the repository-root
+// BenchmarkAnalyzeOverhead_* benchmarks.
+
+// AnalyzeWorkloadNames selects the ParallelWorkloads entries measured
+// by the analyze group.
+var AnalyzeWorkloadNames = []string{"large_scan", "spatial_refine"}
+
+// AnalyzeWorkloads resolves AnalyzeWorkloadNames against
+// ParallelWorkloads.
+func AnalyzeWorkloads() []ParallelWorkload {
+	var out []ParallelWorkload
+	for _, name := range AnalyzeWorkloadNames {
+		for _, w := range ParallelWorkloads {
+			if w.Name == name {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeBenchResult is one measured (workload, mode) cell.
+type AnalyzeBenchResult struct {
+	Name    string `json:"name"` // workload name
+	Mode    string `json:"mode"` // "plain" or "analyzed"
+	Triples int    `json:"triples"`
+	Rows    int    `json:"rows"`
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// OverheadPct is the analyzed-vs-plain slowdown in percent (set on
+	// analyzed rows only).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+// AnalyzeBenchReport is the BENCH_analyze.json schema.
+type AnalyzeBenchReport struct {
+	Group     string               `json:"group"`
+	Generated string               `json:"generated"`
+	Triples   int                  `json:"triples"`
+	CPUs      int                  `json:"cpus"`
+	Results   []AnalyzeBenchResult `json:"results"`
+}
+
+// AnalyzeBench runs the analyze-overhead group and returns a printable
+// table plus the JSON report. Both modes run the sequential executor:
+// the comparison isolates what stats collection itself costs, not
+// parallelism.
+func AnalyzeBench(cfg Config) (*Table, *AnalyzeBenchReport) {
+	features := cfg.scale(10000, 1000)
+	iters := cfg.scale(5, 2)
+	gst := ParallelBenchDataset(features)
+	st := gst.RDF()
+
+	t := &Table{
+		ID:     "ANALYZE",
+		Title:  "EXPLAIN ANALYZE overhead: instrumented executor vs plain",
+		Header: []string{"workload", "mode", "rows", "wall_ms", "overhead_pct"},
+		Notes:  "plain = stats sink nil (the production path); analyzed = per-step counters + timings collected",
+	}
+	rep := &AnalyzeBenchReport{
+		Group:     "analyze",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Triples:   st.Len(),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	measure := func(eval func() (*sparql.Results, error), min int) (int, time.Duration) {
+		res, err := eval()
+		if err != nil {
+			panic(err)
+		}
+		if res.Len() < min {
+			panic("analyze bench workload returned too few rows")
+		}
+		rows := res.Len()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := eval(); err != nil {
+				panic(err)
+			}
+		}
+		return rows, time.Since(start) / time.Duration(iters)
+	}
+
+	for _, w := range AnalyzeWorkloads() {
+		q := sparql.MustParse(w.Query)
+		var plain, analyzed func() (*sparql.Results, error)
+		if w.Spatial {
+			plain = func() (*sparql.Results, error) { return gst.Query(q) }
+			analyzed = func() (*sparql.Results, error) {
+				res, _, err := gst.QueryAnalyze(context.Background(), q)
+				return res, err
+			}
+		} else {
+			plan, err := sparql.CompilePlan(st, q, sparql.PlanOpts{})
+			if err != nil {
+				panic(err)
+			}
+			plain = plan.Execute
+			analyzed = func() (*sparql.Results, error) {
+				res, _, err := plan.ExecuteAnalyzed(nil)
+				return res, err
+			}
+		}
+
+		rows, plainDur := measure(plain, w.MinRows)
+		_, analyzedDur := measure(analyzed, w.MinRows)
+		overhead := 0.0
+		if plainDur > 0 {
+			overhead = (float64(analyzedDur)/float64(plainDur) - 1) * 100
+		}
+		t.Rows = append(t.Rows,
+			[]string{w.Name, "plain", i0(rows), ms(plainDur), ""},
+			[]string{w.Name, "analyzed", i0(rows), ms(analyzedDur), f2(overhead)})
+		rep.Results = append(rep.Results,
+			AnalyzeBenchResult{Name: w.Name, Mode: "plain", Triples: st.Len(),
+				Rows: rows, Iters: iters, NsPerOp: plainDur.Nanoseconds()},
+			AnalyzeBenchResult{Name: w.Name, Mode: "analyzed", Triples: st.Len(),
+				Rows: rows, Iters: iters, NsPerOp: analyzedDur.Nanoseconds(), OverheadPct: overhead})
+	}
+	return t, rep
+}
+
+// WriteAnalyzeBenchJSON writes the report to path (the conventional
+// name is BENCH_analyze.json).
+func WriteAnalyzeBenchJSON(path string, rep *AnalyzeBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

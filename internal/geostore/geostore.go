@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rdf"
@@ -86,6 +88,11 @@ type Store struct {
 	gate        rdf.WorkerGate
 	execMorsels atomic.Uint64
 
+	// logger, when non-nil, records execution-path events (query
+	// cancellation) with the request ID carried by the query context, so
+	// store-level lines correlate with the endpoint's access log.
+	logger *slog.Logger
+
 	mu sync.RWMutex
 	// geoms maps the dictionary ID of a WKT literal to its parsed
 	// geometry; parsed once at insert.
@@ -127,6 +134,11 @@ func (s *Store) SetParallel(degree int, gate rdf.WorkerGate) {
 // ExecStats returns the number of parallel executor morsels dispatched
 // (exposed by /metrics as sparql_exec_morsels_total).
 func (s *Store) ExecStats() (morsels uint64) { return s.execMorsels.Load() }
+
+// SetLogger attaches a structured logger for execution-path events
+// (currently query cancellations, tagged with the context's request ID).
+// nil (the default) disables store-level logging.
+func (s *Store) SetLogger(l *slog.Logger) { s.logger = l }
 
 // RDF exposes the underlying triple store.
 func (s *Store) RDF() *rdf.Store { return s.rdfStore }
@@ -342,7 +354,41 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Resu
 		// reference oracle for the slot executor.
 		return sparql.EvalLegacy(s.rdfStore, q)
 	}
-	return s.queryIndexed(ctx, q)
+	res, _, err := s.queryIndexed(ctx, q, false)
+	return res, err
+}
+
+// QueryAnalyze is QueryContext with EXPLAIN ANALYZE profiling: the query
+// runs with executor stats collection on and the per-step profile is
+// returned alongside the results. Naive mode's legacy evaluator is not
+// instrumented; it returns a timing-only profile with a note.
+func (s *Store) QueryAnalyze(ctx context.Context, q *sparql.Query) (*sparql.Results, *sparql.Profile, error) {
+	if s.mode == ModeNaive {
+		start := time.Now()
+		res, err := sparql.EvalLegacy(s.rdfStore, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof := &sparql.Profile{
+			Query:       q.Canonical(),
+			Fingerprint: q.Fingerprint(),
+			ElapsedNs:   int64(time.Since(start)),
+			Rows:        res.Len(),
+			Note:        "naive mode: legacy map-based evaluator (per-step stats not collected)",
+		}
+		return res, prof, nil
+	}
+	return s.queryIndexed(ctx, q, true)
+}
+
+// logCanceled records a query cancellation with the request ID from ctx.
+func (s *Store) logCanceled(ctx context.Context, q *sparql.Query) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "query canceled",
+		slog.String("request_id", sparql.RequestIDFrom(ctx)),
+		slog.String("fingerprint", q.Fingerprint()))
 }
 
 // queryIndexed is the filter-and-refine pipeline of the re-engineered
@@ -356,10 +402,10 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Resu
 // plan runs on the morsel-driven parallel executor — spatial refiners
 // and probe steps included — with ctx cancellation threaded into morsel
 // dispatch.
-func (s *Store) queryIndexed(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+func (s *Store) queryIndexed(ctx context.Context, q *sparql.Query, analyze bool) (*sparql.Results, *sparql.Profile, error) {
 	entry, err := s.cachedPlan(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(entry.spatial) > 0 || len(entry.joins) > 0 {
 		// Both the seed scan and the spatial-join probe steps read the
@@ -372,23 +418,45 @@ func (s *Store) queryIndexed(ctx context.Context, q *sparql.Query) (*sparql.Resu
 	if len(entry.spatial) > 0 {
 		seedIDs := s.seedIDs(entry.spatial[0])
 		if len(seedIDs) == 0 {
-			return &sparql.Results{Vars: q.Vars}, nil
+			var prof *sparql.Profile
+			if analyze {
+				prof = &sparql.Profile{
+					Query:       q.Canonical(),
+					Fingerprint: q.Fingerprint(),
+					Note:        "spatial seed produced no candidates; pipeline not run",
+				}
+			}
+			return &sparql.Results{Vars: q.Vars}, prof, nil
 		}
 		seeds = entry.plan.SeedRows(seedIDs)
 	}
 	if s.parallel >= 2 {
-		res, err := entry.plan.ExecuteParallelSeeded(seeds, sparql.ParallelExec{
+		px := sparql.ParallelExec{
 			Degree:  s.parallel,
 			Cancel:  func() bool { return ctx.Err() != nil },
 			Gate:    s.gate,
 			Morsels: &s.execMorsels,
-		})
-		if errors.Is(err, sparql.ErrCanceled) {
-			return nil, ctx.Err()
 		}
-		return res, err
+		var (
+			res  *sparql.Results
+			prof *sparql.Profile
+		)
+		if analyze {
+			res, prof, err = entry.plan.ExecuteParallelAnalyzed(seeds, px)
+		} else {
+			res, err = entry.plan.ExecuteParallelSeeded(seeds, px)
+		}
+		if errors.Is(err, sparql.ErrCanceled) {
+			s.logCanceled(ctx, q)
+			return nil, nil, ctx.Err()
+		}
+		return res, prof, err
 	}
-	return entry.plan.ExecuteSeeded(seeds)
+	if analyze {
+		return entry.plan.ExecuteAnalyzed(seeds)
+	}
+	res, err := entry.plan.ExecuteSeeded(seeds)
+	return res, nil, err
 }
 
 // cachedPlan returns the compiled plan for q at the current store
@@ -595,9 +663,10 @@ type PartitionedStore struct {
 	joinProbes atomic.Uint64
 
 	// parallel/gate mirror Store.SetParallel for the partitions and the
-	// merged fallback store.
+	// merged fallback store; logger mirrors Store.SetLogger.
 	parallel int
 	gate     rdf.WorkerGate
+	logger   *slog.Logger
 
 	// merged caches the transient single-node fallback store for
 	// non-decomposable spatial-join queries, keyed on the summed
@@ -634,6 +703,20 @@ func (ps *PartitionedStore) SetParallel(degree int, gate rdf.WorkerGate) {
 	ps.mergedMu.Lock()
 	if ps.merged != nil {
 		ps.merged.SetParallel(degree, gate)
+	}
+	ps.mergedMu.Unlock()
+}
+
+// SetLogger attaches a structured logger to every partition (and the
+// merged fallback store); see Store.SetLogger.
+func (ps *PartitionedStore) SetLogger(l *slog.Logger) {
+	ps.logger = l
+	for _, p := range ps.parts {
+		p.SetLogger(l)
+	}
+	ps.mergedMu.Lock()
+	if ps.merged != nil {
+		ps.merged.SetLogger(l)
 	}
 	ps.mergedMu.Unlock()
 }
@@ -736,15 +819,41 @@ func (ps *PartitionedStore) Query(q *sparql.Query) (*sparql.Results, error) {
 // QueryContext is Query with cancellation threaded into every
 // partition's executor (see Store.QueryContext).
 func (ps *PartitionedStore) QueryContext(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	res, _, err := ps.queryCtx(ctx, q, false)
+	return res, err
+}
+
+// QueryAnalyze is QueryContext with EXPLAIN ANALYZE profiling: the
+// returned profile carries one sub-profile per partition (broadcast
+// spatial joins, which run through a transient merged store, return a
+// timing-only profile with a note instead).
+func (ps *PartitionedStore) QueryAnalyze(ctx context.Context, q *sparql.Query) (*sparql.Results, *sparql.Profile, error) {
+	return ps.queryCtx(ctx, q, true)
+}
+
+func (ps *PartitionedStore) queryCtx(ctx context.Context, q *sparql.Query, analyze bool) (*sparql.Results, *sparql.Profile, error) {
+	start := time.Now()
 	if joins := sparql.ExtractSpatialJoins(q); len(joins) > 0 {
 		// Variable-variable spatial joins pair features across
 		// partitions; per-partition evaluation would silently lose every
 		// cross-partition pair.
-		return ps.querySpatialJoin(ctx, q, joins)
+		res, err := ps.querySpatialJoin(ctx, q, joins)
+		if err != nil || !analyze {
+			return res, nil, err
+		}
+		prof := &sparql.Profile{
+			Query:       q.Canonical(),
+			Fingerprint: q.Fingerprint(),
+			ElapsedNs:   int64(time.Since(start)),
+			Rows:        res.Len(),
+			Note:        "broadcast spatial join across partitions: per-step executor profile not collected",
+		}
+		return res, prof, nil
 	}
 	type partRes struct {
-		res *sparql.Results
-		err error
+		res  *sparql.Results
+		prof *sparql.Profile
+		err  error
 	}
 	// The limit survives pushdown only when partition results merge by
 	// plain concatenation: any global sort or dedup could discard rows.
@@ -764,16 +873,23 @@ func (ps *PartitionedStore) QueryContext(ctx context.Context, q *sparql.Query) (
 			} else {
 				local.Limit = 0
 			}
+			if analyze {
+				r, prof, err := p.QueryAnalyze(ctx, &local)
+				out[i] = partRes{r, prof, err}
+				return
+			}
 			r, err := p.QueryContext(ctx, &local)
-			out[i] = partRes{r, err}
+			out[i] = partRes{res: r, err: err}
 		}(i, p)
 	}
 	wg.Wait()
 	var merged *sparql.Results
+	var profs []*sparql.Profile
 	for _, pr := range out {
 		if pr.err != nil {
-			return nil, pr.err
+			return nil, nil, pr.err
 		}
+		profs = append(profs, pr.prof)
 		if merged == nil {
 			merged = pr.res
 			continue
@@ -795,7 +911,22 @@ func (ps *PartitionedStore) QueryContext(ctx context.Context, q *sparql.Query) (
 		sparql.SortRows(merged.Rows, q.OrderBy, q.OrderDesc)
 	}
 	sparql.ApplyOffsetLimit(merged, q)
-	return merged, nil
+	var prof *sparql.Profile
+	if analyze {
+		prof = &sparql.Profile{
+			Query:       q.Canonical(),
+			Fingerprint: q.Fingerprint(),
+			ElapsedNs:   int64(time.Since(start)),
+			Rows:        merged.Len(),
+			Partitions:  profs,
+		}
+		for _, sub := range profs {
+			if sub != nil {
+				prof.Emitted += sub.Emitted
+			}
+		}
+	}
+	return merged, prof, nil
 }
 
 // mergeAggregateRows folds per-partition aggregate rows into global

@@ -352,6 +352,7 @@ func (ps *PartitionedStore) mergedStore() (*Store, error) {
 	}
 	st := New(ModeIndexed)
 	st.SetParallel(ps.parallel, ps.gate)
+	st.SetLogger(ps.logger)
 	for _, p := range ps.parts {
 		for _, t := range p.rdfStore.Triples() {
 			if err := st.Add(t.S, t.P, t.O); err != nil {

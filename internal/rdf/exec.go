@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the compiled, slot-based, streaming BGP executor
@@ -703,6 +704,11 @@ type execState struct {
 	cancel  func() bool
 	tick    int
 	aborted *atomic.Bool
+
+	// stats, when non-nil, collects per-step runtime counters (EXPLAIN
+	// ANALYZE). Every collection site is a nil-check so the default path
+	// stays branch-predictable and allocation-free.
+	stats *RunStats
 }
 
 // pollCancel returns true when the run's cancellation hook fired; the
@@ -727,6 +733,14 @@ func (st *execState) pollCancel() bool {
 // store's read lock for its whole duration; emit and filter callbacks
 // must not mutate the store.
 func (p *BGPPlan) Run(s *Store, seeds []Row, emit func(Row) bool) {
+	p.RunProfiled(s, seeds, nil, emit)
+}
+
+// RunProfiled is Run with an optional runtime-statistics sink: when stats
+// is non-nil (size it with NewRunStats) the executor collects per-step
+// rows-in, matches, filter drops and inclusive elapsed time. With a nil
+// sink the run is identical to Run.
+func (p *BGPPlan) RunProfiled(s *Store, seeds []Row, stats *RunStats, emit func(Row) bool) {
 	if p.empty {
 		return
 	}
@@ -734,7 +748,7 @@ func (p *BGPPlan) Run(s *Store, seeds []Row, emit func(Row) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
-	st := &execState{s: s, plan: p, emit: emit}
+	st := &execState{s: s, plan: p, emit: emit, stats: stats}
 	if st.segs = p.resolveSegsLocked(s); st.segs != nil {
 		st.cursors = make([]int, len(p.steps))
 	}
@@ -744,8 +758,14 @@ func (p *BGPPlan) Run(s *Store, seeds []Row, emit func(Row) bool) {
 		// Filters with no slot dependencies (constant or unsatisfiable
 		// expressions) attach to the seed stage; apply them to the single
 		// empty row too.
+		if stats != nil {
+			stats.SeedRows++
+		}
 		for _, f := range p.seedFilters {
 			if !f.Pred(row) {
+				if stats != nil {
+					stats.SeedDrops++
+				}
 				return
 			}
 		}
@@ -755,8 +775,14 @@ func (p *BGPPlan) Run(s *Store, seeds []Row, emit func(Row) bool) {
 seedLoop:
 	for _, seed := range seeds {
 		copy(row, seed)
+		if stats != nil {
+			stats.SeedRows++
+		}
 		for _, f := range p.seedFilters {
 			if !f.Pred(row) {
+				if stats != nil {
+					stats.SeedDrops++
+				}
 				continue seedLoop
 			}
 		}
@@ -769,9 +795,32 @@ seedLoop:
 // run executes steps[i:] against row; false aborts the whole pipeline.
 func (st *execState) run(i int, row Row) bool {
 	if i == len(st.plan.steps) {
+		if st.stats != nil {
+			st.stats.Emitted++
+		}
 		return st.emit(row)
 	}
-	step := &st.plan.steps[i]
+	if st.stats != nil {
+		return st.runInstrumented(i, row)
+	}
+	return st.dispatch(i, &st.plan.steps[i], row)
+}
+
+// runInstrumented wraps dispatch with the per-step counters: one rows-in
+// increment and one inclusive clock read pair per invocation. Elapsed
+// time is inclusive of downstream steps; profile renderers derive self
+// time by subtracting the next step's inclusive total.
+func (st *execState) runInstrumented(i int, row Row) bool {
+	sr := &st.stats.Steps[i]
+	sr.RowsIn++
+	start := time.Now()
+	ok := st.dispatch(i, &st.plan.steps[i], row)
+	sr.ElapsedNs += int64(time.Since(start))
+	return ok
+}
+
+// dispatch selects the step's access strategy.
+func (st *execState) dispatch(i int, step *planStep, row Row) bool {
 	if step.probe != nil {
 		return st.runProbe(i, step, row)
 	}
@@ -796,9 +845,15 @@ func (st *execState) runProbe(i int, step *planStep, row Row) bool {
 			ok = false
 			return false
 		}
+		if st.stats != nil {
+			st.stats.Steps[i].Matches++
+		}
 		row[pr.newSlot] = id
 		for _, f := range step.filters {
 			if !f.Pred(row) {
+				if st.stats != nil {
+					st.stats.Steps[i].FilterDrops++
+				}
 				return true
 			}
 		}
@@ -841,6 +896,9 @@ func (st *execState) runScan(i int, step *planStep, row Row) bool {
 		if step.eqOP && t.O != t.P {
 			return true
 		}
+		if st.stats != nil {
+			st.stats.Steps[i].Matches++
+		}
 		if step.s.kind == refNew {
 			row[step.s.slot] = t.S
 		}
@@ -852,6 +910,9 @@ func (st *execState) runScan(i int, step *planStep, row Row) bool {
 		}
 		for _, f := range step.filters {
 			if !f.Pred(row) {
+				if st.stats != nil {
+					st.stats.Steps[i].FilterDrops++
+				}
 				return true
 			}
 		}
@@ -880,8 +941,14 @@ func (st *execState) runMergeS(i int, step *planStep, row Row) bool {
 	if seg[c].S != k {
 		return true
 	}
+	if st.stats != nil {
+		st.stats.Steps[i].Matches++
+	}
 	for _, f := range step.filters {
 		if !f.Pred(row) {
+			if st.stats != nil {
+				st.stats.Steps[i].FilterDrops++
+			}
 			return true
 		}
 	}
@@ -906,8 +973,14 @@ func (st *execState) runMergeO(i int, step *planStep, row Row) bool {
 		return true
 	}
 	if step.merge == mergeOConstS {
+		if st.stats != nil {
+			st.stats.Steps[i].Matches++
+		}
 		for _, f := range step.filters {
 			if !f.Pred(row) {
+				if st.stats != nil {
+					st.stats.Steps[i].FilterDrops++
+				}
 				return true
 			}
 		}
@@ -918,9 +991,15 @@ group:
 		if st.cancel != nil && st.pollCancel() {
 			return false
 		}
+		if st.stats != nil {
+			st.stats.Steps[i].Matches++
+		}
 		row[step.s.slot] = seg[j].S
 		for _, f := range step.filters {
 			if !f.Pred(row) {
+				if st.stats != nil {
+					st.stats.Steps[i].FilterDrops++
+				}
 				continue group
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements morsel-driven parallel execution of a BGPPlan:
@@ -108,6 +109,11 @@ type ParallelOpts struct {
 	// Morsels, when non-nil, is incremented once per dispatched morsel
 	// (the sparql_exec_morsels_total counter).
 	Morsels *atomic.Uint64
+	// Stats, when non-nil, collects the run's EXPLAIN ANALYZE profile:
+	// each worker accumulates into a private RunStats (no atomics, no
+	// sharing on the hot path) and the results are merged into Stats
+	// before RunParallel returns, along with per-worker utilization.
+	Stats *ParallelRunStats
 }
 
 // MorselSink consumes the rows of a parallel run. Begin is called once
@@ -152,6 +158,9 @@ type morselSource struct {
 // the same contract as Run. Like Run, the store's read lock is held for
 // the whole call; emit and filter callbacks must not mutate the store.
 func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink MorselSink) bool {
+	if opt.Stats != nil && len(opt.Stats.Steps) != len(p.steps) {
+		opt.Stats.Steps = make([]StepRuntime, len(p.steps))
+	}
 	if p.empty {
 		sink.Begin(0, 0)
 		return false
@@ -166,6 +175,9 @@ func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink Mors
 		empty := make(Row, p.numSlots)
 		for _, f := range p.seedFilters {
 			if !f.Pred(empty) {
+				if opt.Stats != nil {
+					opt.Stats.SeedRows, opt.Stats.SeedDrops = 1, 1
+				}
 				sink.Begin(0, 0)
 				return false
 			}
@@ -209,11 +221,30 @@ func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink Mors
 	)
 	segs := p.resolveSegsLocked(s)
 
+	// Profiled runs give each worker a private stats sink; they are merged
+	// after the pool drains so the instrumented hot path needs no atomics.
+	var wstats []*RunStats
+	var winfo []WorkerRunStats
+	if opt.Stats != nil {
+		wstats = make([]*RunStats, workers)
+		for w := range wstats {
+			wstats[w] = p.NewRunStats()
+		}
+		winfo = make([]WorkerRunStats, workers)
+	}
+
 	worker := func(w int) {
 		st := &execState{s: s, plan: p, segs: segs,
 			cancel: opt.Cancel, tick: parCancelRows, aborted: &canceled}
+		if wstats != nil {
+			st.stats = wstats[w]
+		}
 		if segs != nil {
 			st.cursors = make([]int, len(p.steps))
+		}
+		var busyStart time.Time
+		if winfo != nil {
+			busyStart = time.Now()
 		}
 		row := make(Row, p.numSlots)
 		for {
@@ -232,12 +263,19 @@ func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink Mors
 			if opt.Morsels != nil {
 				opt.Morsels.Add(1)
 			}
+			if winfo != nil {
+				winfo[w].Morsels++
+			}
 			st.emit = emit
 			p.runMorsel(st, src, m, row)
 			sink.FinishMorsel(w, m)
 			if canceled.Load() {
 				break
 			}
+		}
+		if winfo != nil {
+			winfo[w].BusyNs = int64(time.Since(busyStart))
+			winfo[w].Rows = st.stats.Emitted
 		}
 		sink.FinishWorker(w)
 	}
@@ -259,6 +297,20 @@ func (p *BGPPlan) RunParallel(s *Store, seeds []Row, opt ParallelOpts, sink Mors
 	if opt.Gate != nil {
 		for i := 0; i < extra; i++ {
 			opt.Gate.Release()
+		}
+	}
+	if opt.Stats != nil {
+		for _, ws := range wstats {
+			opt.Stats.RunStats.add(ws)
+		}
+		opt.Stats.Workers = winfo
+		for _, wi := range winfo {
+			opt.Stats.Morsels += wi.Morsels
+		}
+		if seeds == nil {
+			// The unseeded pipeline starts from one empty row, matching
+			// the sequential executor's seed accounting.
+			opt.Stats.SeedRows = 1
 		}
 	}
 	return canceled.Load()
@@ -389,8 +441,14 @@ func (p *BGPPlan) runMorsel(st *execState, src morselSource, m int, row Row) {
 	seedLoop:
 		for _, seed := range src.seeds[lo:hi] {
 			copy(row, seed)
+			if st.stats != nil {
+				st.stats.SeedRows++
+			}
 			for _, f := range p.seedFilters {
 				if !f.Pred(row) {
+					if st.stats != nil {
+						st.stats.SeedDrops++
+					}
 					continue seedLoop
 				}
 			}
@@ -403,6 +461,18 @@ func (p *BGPPlan) runMorsel(st *execState, src morselSource, m int, row Row) {
 		hi := lo + src.chunk
 		if hi > len(src.seg) {
 			hi = len(src.seg)
+		}
+		if st.stats != nil {
+			// The morsel slice bypasses run(0), so step 0's counters are
+			// kept here: one rows-in per morsel (each morsel is one slice
+			// of the single logical first-step invocation), inclusive
+			// elapsed around the whole slice.
+			sr := &st.stats.Steps[0]
+			sr.RowsIn++
+			start := time.Now()
+			st.runScanSlice(&p.steps[0], src, src.seg[lo:hi], row)
+			sr.ElapsedNs += int64(time.Since(start))
+			return
 		}
 		st.runScanSlice(&p.steps[0], src, src.seg[lo:hi], row)
 	}
@@ -429,6 +499,9 @@ func (st *execState) runScanSlice(step *planStep, src morselSource, seg []EncTri
 		if step.eqOP && t.O != t.P {
 			continue
 		}
+		if st.stats != nil {
+			st.stats.Steps[0].Matches++
+		}
 		if step.s.kind == refNew {
 			row[step.s.slot] = t.S
 		}
@@ -446,6 +519,9 @@ func (st *execState) runScanSlice(step *planStep, src morselSource, seg []EncTri
 			}
 		}
 		if !passed {
+			if st.stats != nil {
+				st.stats.Steps[0].FilterDrops++
+			}
 			continue
 		}
 		if !st.run(1, row) {

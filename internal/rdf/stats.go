@@ -1,0 +1,122 @@
+package rdf
+
+// This file defines the runtime-statistics sinks behind EXPLAIN ANALYZE.
+// The executor (exec.go, exec_parallel.go) is instrumented with optional
+// per-step counters: every collection point is guarded by a nil check on
+// the run's stats sink, so the default (uninstrumented) execution path
+// pays only a handful of predictable never-taken branches — no clock
+// reads, no atomics, no allocations (BenchmarkAnalyzeOverhead pins the
+// disabled-path cost at < 2%). Parallel runs give every worker its own
+// private RunStats, merged once after the pool drains, so instrumented
+// execution stays lock-free and atomics-free on the hot path too.
+
+// StepRuntime accumulates one plan step's runtime counters.
+//
+// RowsIn counts upstream rows entering the step (invocations of the
+// step); Matches counts index entries or probe candidates that matched
+// the step's pattern before pushed filters ran; FilterDrops counts rows
+// rejected by filters pushed to this step; ElapsedNs is inclusive wall
+// time — the step and everything downstream of it — so a step's self
+// time is its ElapsedNs minus the next step's.
+type StepRuntime struct {
+	RowsIn      int64
+	Matches     int64
+	FilterDrops int64
+	ElapsedNs   int64
+}
+
+// RunStats collects one sequential execution's runtime profile: one
+// StepRuntime per plan step plus the seed-stage and emit counters. Use
+// NewRunStats to size it for a plan; a run with a non-nil sink collects,
+// a nil sink costs (almost) nothing.
+type RunStats struct {
+	// Steps holds one entry per plan step, in execution order.
+	Steps []StepRuntime
+	// SeedRows counts seed rows entering the pipeline (1 for an
+	// unseeded run with seed-stage filters); SeedDrops counts those
+	// rejected by seed-stage filters.
+	SeedRows, SeedDrops int64
+	// Emitted counts rows that reached the emit callback (pre-LIMIT
+	// truncation by the consumer, post pushed filters).
+	Emitted int64
+}
+
+// NewRunStats returns a stats sink sized for the plan.
+func (p *BGPPlan) NewRunStats() *RunStats {
+	return &RunStats{Steps: make([]StepRuntime, len(p.steps))}
+}
+
+// add folds o into s (used by the parallel merge).
+func (s *RunStats) add(o *RunStats) {
+	for i := range o.Steps {
+		s.Steps[i].RowsIn += o.Steps[i].RowsIn
+		s.Steps[i].Matches += o.Steps[i].Matches
+		s.Steps[i].FilterDrops += o.Steps[i].FilterDrops
+		s.Steps[i].ElapsedNs += o.Steps[i].ElapsedNs
+	}
+	s.SeedRows += o.SeedRows
+	s.SeedDrops += o.SeedDrops
+	s.Emitted += o.Emitted
+}
+
+// WorkerRunStats is one parallel worker's contribution to a profiled
+// run: the morsels it claimed, the rows it emitted, and its busy wall
+// time (claim loop entry to exit — workers never block between morsels,
+// so busy time over run elapsed time is the worker's utilization).
+type WorkerRunStats struct {
+	Morsels int64
+	Rows    int64
+	BusyNs  int64
+}
+
+// ParallelRunStats collects one parallel execution's runtime profile:
+// the per-step counters merged across workers, the morsel count, and
+// per-worker utilization. Pass it via ParallelOpts.Stats; RunParallel
+// fills it before returning.
+type ParallelRunStats struct {
+	RunStats
+	// Morsels is the number of morsels dispatched by this run.
+	Morsels int64
+	// Workers holds one entry per pool worker, indexed by worker id.
+	Workers []WorkerRunStats
+}
+
+// StepInfo describes one compiled plan step for profiling callers: the
+// access path chosen by the planner, the pattern it evaluates ("" for
+// probe steps), the planner's cardinality estimate (negative when
+// unknown, e.g. probe steps), and the labels of filters pushed to it.
+type StepInfo struct {
+	Access  string
+	Pattern string
+	Est     float64
+	Filters []string
+}
+
+// StepInfos returns one StepInfo per plan step, aligned with
+// RunStats.Steps, so profilers can pair measured counters with the
+// planner's static description.
+func (p *BGPPlan) StepInfos() []StepInfo {
+	infos := make([]StepInfo, len(p.steps))
+	for i := range p.steps {
+		st := &p.steps[i]
+		info := StepInfo{Access: st.access, Est: st.est}
+		if st.probe == nil {
+			info.Pattern = st.tp.String()
+		}
+		for _, f := range st.filters {
+			info.Filters = append(info.Filters, f.Label)
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// SeedFilterLabels returns the labels of filters attached to the seed
+// stage (applied once per seed row before the first step).
+func (p *BGPPlan) SeedFilterLabels() []string {
+	var labels []string
+	for _, f := range p.seedFilters {
+		labels = append(labels, f.Label)
+	}
+	return labels
+}

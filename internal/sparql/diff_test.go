@@ -318,9 +318,22 @@ func checkParallel(t *testing.T, st *rdf.Store, q *Query, seq *Results, tag stri
 		t.Fatalf("%s: CompilePlan: %v", tag, err)
 	}
 	for _, d := range parallelDegrees {
-		got, err := plan.ExecuteParallel(ParallelExec{Degree: d, ScanMorsel: 16, SeedMorsel: 8})
+		// Run analyzed: differential coverage doubles as proof that stats
+		// collection never perturbs results (and is race-clean under -race).
+		got, prof, err := plan.ExecuteParallelAnalyzed(nil, ParallelExec{Degree: d, ScanMorsel: 16, SeedMorsel: 8})
 		if err != nil {
-			t.Fatalf("%s: ExecuteParallel(%d): %v", tag, d, err)
+			t.Fatalf("%s: ExecuteParallelAnalyzed(%d): %v", tag, d, err)
+		}
+		if prof == nil {
+			t.Fatalf("%s: ExecuteParallelAnalyzed(%d): nil profile", tag, d)
+		}
+		// Emitted counts pipeline solutions pre-truncation/aggregation, so
+		// it can only undercount the final rows when a LIMIT short-circuits
+		// or aggregation folds; it must never be below a full result set.
+		if q.OrderBy == "" && q.Limit == 0 && q.Offset == 0 && !q.Distinct && len(q.Aggregates) == 0 {
+			if prof.Emitted != int64(got.Len()) {
+				t.Fatalf("%s: parallel(%d) profile emitted = %d, want %d", tag, d, prof.Emitted, got.Len())
+			}
 		}
 		if strings.Join(got.Vars, ",") != strings.Join(seq.Vars, ",") {
 			t.Fatalf("%s: parallel(%d) vars = %v, want %v", tag, d, got.Vars, seq.Vars)

@@ -44,6 +44,10 @@ type ParallelExec struct {
 	// ScanMorsel and SeedMorsel override morsel sizes (0 = defaults);
 	// tests shrink them to force many morsels on small data.
 	ScanMorsel, SeedMorsel int
+	// Stats, when non-nil, collects the run's executor profile (per-step
+	// counters, morsels, per-worker utilization); see ExecuteParallelAnalyzed
+	// for the high-level entry point.
+	Stats *rdf.ParallelRunStats
 }
 
 func (px ParallelExec) runOpts() rdf.ParallelOpts {
@@ -54,6 +58,7 @@ func (px ParallelExec) runOpts() rdf.ParallelOpts {
 		Morsels:    px.Morsels,
 		ScanMorsel: px.ScanMorsel,
 		SeedMorsel: px.SeedMorsel,
+		Stats:      px.Stats,
 	}
 }
 

@@ -284,8 +284,14 @@ func (p *Plan) Execute() (*Results, error) { return p.ExecuteSeeded(nil) }
 // fold rows into group counters without materializing solutions, and
 // ORDER BY sorts on keys computed once per row.
 func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
+	return p.executeSeededStats(seeds, nil)
+}
+
+// executeSeededStats is ExecuteSeeded with an optional executor stats
+// sink (the EXPLAIN ANALYZE path; see ExecuteAnalyzed).
+func (p *Plan) executeSeededStats(seeds []rdf.Row, stats *rdf.RunStats) (*Results, error) {
 	if p.aggregate {
-		return p.executeAggregates(seeds)
+		return p.executeAggregates(seeds, stats)
 	}
 	q := p.q
 	res := &Results{Vars: p.vars}
@@ -305,7 +311,7 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 	limit := q.Limit
 	skip := q.Offset
 
-	p.bgp.Run(p.st, seeds, func(row rdf.Row) bool {
+	p.bgp.RunProfiled(p.st, seeds, stats, func(row rdf.Row) bool {
 		if q.Distinct {
 			keyBuf = p.projKey(keyBuf, row)
 			k := string(keyBuf)
@@ -378,7 +384,7 @@ func (p *Plan) ExecuteSeeded(seeds []rdf.Row) (*Results, error) {
 
 // executeAggregates folds the solution stream into COUNT groups without
 // materializing rows.
-func (p *Plan) executeAggregates(seeds []rdf.Row) (*Results, error) {
+func (p *Plan) executeAggregates(seeds []rdf.Row, stats *rdf.RunStats) (*Results, error) {
 	q := p.q
 	grouped := q.GroupBy != ""
 	type group struct{ counts []int }
@@ -388,7 +394,7 @@ func (p *Plan) executeAggregates(seeds []rdf.Row) (*Results, error) {
 	// A GROUP BY variable outside the BGP never binds; the legacy
 	// evaluator skips every row, so no groups form.
 	if !grouped || p.groupSlot >= 0 {
-		p.bgp.Run(p.st, seeds, func(row rdf.Row) bool {
+		p.bgp.RunProfiled(p.st, seeds, stats, func(row rdf.Row) bool {
 			var key rdf.ID
 			if grouped {
 				key = row[p.groupSlot]

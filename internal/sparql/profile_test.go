@@ -1,0 +1,206 @@
+package sparql
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExecuteAnalyzedBGP checks the profile of a plain BGP run: step
+// counters chain (rows out of step i = rows into step i+1, last step's
+// rows out = emitted), Emitted matches the result set, and identity
+// fields are populated.
+func TestExecuteAnalyzedBGP(t *testing.T) {
+	st := planTestStore()
+	q := MustParse(`
+		SELECT ?a ?v WHERE {
+			?a a <http://example.org/Class1> .
+			?a <http://example.org/p/value> ?v .
+		}`)
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := p.ExecuteAnalyzed(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected rows")
+	}
+	if prof.Query != q.Canonical() || prof.Fingerprint != q.Fingerprint() {
+		t.Errorf("profile identity = (%q, %q), want canonical query + fingerprint", prof.Query, prof.Fingerprint)
+	}
+	if prof.Emitted != int64(res.Len()) {
+		t.Errorf("Emitted = %d, want %d", prof.Emitted, res.Len())
+	}
+	if prof.SeedRows != 1 {
+		t.Errorf("SeedRows = %d, want 1 (unseeded run)", prof.SeedRows)
+	}
+	if len(prof.Steps) != 2 {
+		t.Fatalf("len(Steps) = %d, want 2", len(prof.Steps))
+	}
+	for i, sp := range prof.Steps {
+		if sp.Step != i+1 {
+			t.Errorf("Steps[%d].Step = %d, want %d", i, sp.Step, i+1)
+		}
+		if sp.Access == "" {
+			t.Errorf("Steps[%d].Access empty", i)
+		}
+	}
+	if prof.Steps[0].RowsOut != prof.Steps[1].RowsIn {
+		t.Errorf("step 1 rows out = %d, step 2 rows in = %d; must chain",
+			prof.Steps[0].RowsOut, prof.Steps[1].RowsIn)
+	}
+	if prof.Steps[1].RowsOut != prof.Emitted {
+		t.Errorf("last step rows out = %d, want emitted %d", prof.Steps[1].RowsOut, prof.Emitted)
+	}
+	if prof.Steps[0].RowsIn != 1 {
+		t.Errorf("step 1 rows in = %d, want 1 (unseeded)", prof.Steps[0].RowsIn)
+	}
+}
+
+// TestExecuteAnalyzedFilterDrops checks that pushed-filter rejections
+// are counted, per step and in the TotalFilterDrops rollup.
+func TestExecuteAnalyzedFilterDrops(t *testing.T) {
+	st := planTestStore()
+	q := MustParse(`
+		SELECT ?a ?v WHERE {
+			?a <http://example.org/p/value> ?v .
+			FILTER(?v > 50)
+		}`)
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := p.ExecuteAnalyzed(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := prof.TotalFilterDrops()
+	if total <= 0 {
+		t.Fatalf("TotalFilterDrops = %d, want > 0 (filter rejects about half the values)", total)
+	}
+	var stepDrops, matches int64
+	for _, sp := range prof.Steps {
+		stepDrops += sp.FilterDrops
+		matches += sp.Matches
+	}
+	if stepDrops+prof.SeedDrops != total {
+		t.Errorf("step drops %d + seed drops %d != total %d", stepDrops, prof.SeedDrops, total)
+	}
+	// Matches counts pre-filter candidates, so the books must balance:
+	// matches on the filtered step = survivors + drops.
+	if prof.Steps[0].Matches != prof.Steps[0].RowsOut+prof.Steps[0].FilterDrops {
+		t.Errorf("matches %d != rows out %d + drops %d",
+			prof.Steps[0].Matches, prof.Steps[0].RowsOut, prof.Steps[0].FilterDrops)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected surviving rows")
+	}
+}
+
+// TestExecuteParallelAnalyzed checks the parallel profile: worker and
+// morsel detail present, counters merged across workers, and results
+// identical to the sequential run.
+func TestExecuteParallelAnalyzed(t *testing.T) {
+	st := diffStore(13, 400)
+	q := MustParse(`
+		SELECT ?a ?v WHERE {
+			?a <http://example.org/p/value> ?v .
+			?a <http://example.org/p/link> ?b .
+		}`)
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := p.ExecuteParallelAnalyzed(nil, ParallelExec{Degree: 2, ScanMorsel: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != seq.Len() {
+		t.Fatalf("parallel rows = %d, sequential = %d", res.Len(), seq.Len())
+	}
+	if prof.Parallel < 1 {
+		t.Errorf("Parallel = %d, want >= 1", prof.Parallel)
+	}
+	if len(prof.Workers) == 0 {
+		t.Fatal("expected per-worker stats")
+	}
+	if prof.Morsels <= 0 {
+		t.Errorf("Morsels = %d, want > 0", prof.Morsels)
+	}
+	var workerMorsels, workerRows int64
+	for _, wp := range prof.Workers {
+		workerMorsels += wp.Morsels
+		workerRows += wp.Rows
+		if wp.Utilization < 0 || wp.Utilization > 1 {
+			t.Errorf("worker %d utilization = %g, want [0,1]", wp.Worker, wp.Utilization)
+		}
+	}
+	if workerMorsels != prof.Morsels {
+		t.Errorf("sum of worker morsels = %d, profile Morsels = %d", workerMorsels, prof.Morsels)
+	}
+	if workerRows != prof.Emitted {
+		t.Errorf("sum of worker rows = %d, profile Emitted = %d", workerRows, prof.Emitted)
+	}
+	if prof.Emitted != int64(res.Len()) {
+		t.Errorf("Emitted = %d, want %d", prof.Emitted, res.Len())
+	}
+}
+
+// TestExplainAnalyzeRender checks the human rendering: the static plan
+// followed by measured per-step lines.
+func TestExplainAnalyzeRender(t *testing.T) {
+	st := planTestStore()
+	q := MustParse(`SELECT ?a WHERE { ?a a <http://example.org/Class1> . }`)
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.ExplainAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"query:", "analyze:", "step 1:", "rows in ", "matches ", "filter drops ", "rows out "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfileJSONRoundTrip checks the profile serializes with its
+// documented field names (the endpoint sidecar / /debug/queries
+// contract).
+func TestProfileJSONRoundTrip(t *testing.T) {
+	st := planTestStore()
+	q := MustParse(`SELECT ?a WHERE { ?a a <http://example.org/Class1> . }`)
+	p, err := CompilePlan(st, q, PlanOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof, err := p.ExecuteAnalyzed(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"fingerprint"`, `"elapsed_ns"`, `"rows"`, `"steps"`, `"rows_in"`, `"rows_out"`, `"matches"`, `"filter_drops"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("profile JSON missing %s:\n%s", key, data)
+		}
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint != prof.Fingerprint || len(back.Steps) != len(prof.Steps) {
+		t.Error("profile did not round-trip")
+	}
+}

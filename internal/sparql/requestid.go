@@ -1,0 +1,25 @@
+package sparql
+
+import "context"
+
+// Request-ID context plumbing: the endpoint assigns (or propagates) an
+// X-Request-ID per HTTP request and carries it down through the engine
+// via context, so log lines emitted anywhere along endpoint → sparql →
+// geostore correlate. It lives in this package because both layers
+// already depend on sparql.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request's trace ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the trace ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
