@@ -2,13 +2,15 @@
 // the semantic catalogue, and answers both a conventional area+year
 // search and the paper's flagship iceberg query from the command line.
 // It doubles as the snapshot tool for the durable storage engine:
-// -inspect summarizes a snapshot file, -convert dumps one back to
-// N-Triples, and -pack bulk-loads an N-Triples file (sharded parsing)
-// into a fresh snapshot.
+// -inspect summarizes a snapshot file or a whole data directory (WAL
+// segments and snapshot generations with sizes and ages), -convert
+// dumps a snapshot back to N-Triples, and -pack bulk-loads an
+// N-Triples file (sharded parsing) into a fresh snapshot.
 //
 // Usage:
 //
 //	eecat -products 5000 -bergs 500 -year 2017
+//	eecat -inspect data/                                # directory listing
 //	eecat -inspect data/snap-0000000000030000.snap
 //	eecat -convert data/snap-0000000000030000.snap > dump.nt
 //	eecat -pack dump.nt -o snap-1.snap -workers 8
@@ -48,7 +50,7 @@ func run(args []string) error {
 	nProducts := fs.Int("products", 5000, "synthetic products to catalogue")
 	nBergs := fs.Int("bergs", 500, "synthetic iceberg observations")
 	year := fs.Int("year", 2017, "observation year for the iceberg query")
-	inspect := fs.String("inspect", "", "snapshot file: print a summary and exit")
+	inspect := fs.String("inspect", "", "snapshot file or data directory: print a summary and exit")
 	convert := fs.String("convert", "", "snapshot file: dump as N-Triples on stdout and exit")
 	pack := fs.String("pack", "", "N-Triples file: bulk-load and write a snapshot (-o) and exit")
 	out := fs.String("o", "", "output snapshot path for -pack")
@@ -121,8 +123,13 @@ func run(args []string) error {
 	return nil
 }
 
-// inspectSnapshot prints a verified summary of a snapshot file.
+// inspectSnapshot prints a verified summary of a snapshot file, or —
+// given a data directory — the directory's WAL segment and snapshot
+// generation listing (sizes, ages, the active segment).
 func inspectSnapshot(path string) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return inspectDataDir(path)
+	}
 	info, err := storage.InspectSnapshot(path)
 	if err != nil {
 		return err
@@ -131,6 +138,36 @@ func inspectSnapshot(path string) error {
 		info.Path, info.Triples, info.Terms, info.Version, info.Bytes,
 		float64(info.Bytes)/float64(max(info.Triples, 1)))
 	return nil
+}
+
+// inspectDataDir prints an eeserve data directory's durability state
+// without opening or locking it (safe against a live server).
+func inspectDataDir(dir string) error {
+	st, err := storage.InspectDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d WAL segments (%d bytes), %d snapshot generations (%d bytes)\n",
+		st.Dir, len(st.Segments), st.WALBytes, len(st.Snapshots), st.SnapshotBytes)
+	for _, s := range st.Segments {
+		active := ""
+		if s.Active {
+			active = "  [active]"
+		}
+		fmt.Printf("  wal seq %d: %d bytes, modified %s ago%s\n",
+			s.Seq, s.Bytes, age(s.AgeSeconds), active)
+	}
+	for _, s := range st.Snapshots {
+		fmt.Printf("  snapshot generation %d: %d bytes, written %s ago\n",
+			s.Version, s.Bytes, age(s.AgeSeconds))
+	}
+	return nil
+}
+
+// age renders seconds with sub-minute precision dropped once it stops
+// mattering.
+func age(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Second).String()
 }
 
 // convertSnapshot streams a snapshot's triples to stdout as N-Triples,

@@ -21,7 +21,7 @@
 //	eeserve -slow-query-threshold 100ms # capture EXPLAIN ANALYZE profiles
 //	                                    # of slow queries at /debug/queries
 //	eeserve -pprof-addr localhost:6060  # admin mux: net/http/pprof +
-//	                                    # /metrics + /debug/queries
+//	                                    # /metrics + /debug/{queries,store,cache}
 //
 // Example queries:
 //
@@ -46,6 +46,7 @@ import (
 	"repro/internal/geostore"
 	"repro/internal/rdf"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -98,6 +99,18 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unknown log format %q", *logFormat)
 	}
+	// Boot events always log; -log-format picks their encoding (the
+	// access log stays opt-in). JSON keeps machine-parsed boot reports —
+	// notably the recovery timeline — on one self-describing line.
+	boot := logger
+	if boot == nil {
+		boot = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	// One registry for the whole process: endpoint counters, storage
+	// durability metrics, and store memory gauges share the /metrics
+	// exposition.
+	reg := telemetry.NewRegistry()
 
 	extent := geom.NewRect(0, 0, 10000, 10000)
 	var engine endpoint.Engine
@@ -124,11 +137,10 @@ func run(args []string) error {
 
 		if *dataDir != "" {
 			var err error
-			db, err = storage.Open(*dataDir, storage.Options{SyncEvery: *walSyncEvery})
+			db, err = storage.Open(*dataDir, storage.Options{SyncEvery: *walSyncEvery, Metrics: storage.NewMetrics(reg)})
 			if err != nil {
 				return err
 			}
-			start := time.Now()
 			stats, err := db.Recover(st.RDF())
 			if err != nil {
 				return err
@@ -136,9 +148,9 @@ func run(args []string) error {
 			if err := st.RestoreGeometries(); err != nil {
 				return err
 			}
-			fmt.Printf("eeserve: recovered %d snapshot triples + %d WAL triples (%d batches, %d segments) from %s in %v\n",
-				stats.SnapshotTriples, stats.WALTriples, stats.WALBatches, stats.WALSegments,
-				*dataDir, time.Since(start).Round(time.Millisecond))
+			// The recovery timeline (phase durations, torn-tail and corrupt
+			// segment accounting) logs as one structured group.
+			boot.Info("recovered", slog.String("dir", *dataDir), slog.Any("recovery", stats))
 			// Attach the journal only now, so replayed triples were not
 			// re-journaled; everything below is durable.
 			st.RDF().SetJournal(db.Log())
@@ -169,13 +181,13 @@ func run(args []string) error {
 				if path, err := db.Snapshot(st.RDF()); err != nil {
 					return err
 				} else {
-					fmt.Printf("eeserve: boot snapshot %s\n", path)
+					boot.Info("boot snapshot", slog.String("path", path))
 				}
 			}
 			if *snapshotEvery > 0 {
-				go snapshotLoop(db, st, *snapshotEvery)
+				go snapshotLoop(db, st, *snapshotEvery, boot)
 			}
-			shutdownOnSignal(db)
+			shutdownOnSignal(db, boot)
 		}
 	case "partitioned":
 		if *load != "" {
@@ -201,7 +213,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	srv := endpoint.New(engine, endpoint.Config{
+	cfg := endpoint.Config{
 		MaxInFlight:        *maxInFlight,
 		QueryTimeout:       *timeout,
 		CacheSize:          *cacheSize,
@@ -210,12 +222,25 @@ func run(args []string) error {
 		Workers:            pool,
 		Logger:             logger,
 		SlowQueryThreshold: *slowThreshold,
-	})
+		Registry:           reg,
+	}
+	if db != nil {
+		// GET /debug/store embeds the live WAL/snapshot listing.
+		cfg.StorageStats = func() any {
+			stats, err := db.Stats()
+			if err != nil {
+				return map[string]string{"error": err.Error()}
+			}
+			return stats
+		}
+	}
+	srv := endpoint.New(engine, cfg)
 	if *pprofAddr != "" {
-		// The admin mux (pprof, metrics, slow queries) binds separately so
+		// The admin mux (pprof, metrics, debug routes) binds separately so
 		// profiling endpoints are never exposed on the public address.
 		go func() {
-			fmt.Printf("eeserve: admin mux (pprof, /metrics, /debug/queries) on %s\n", *pprofAddr)
+			boot.Info("admin mux listening", slog.String("addr", *pprofAddr),
+				slog.String("routes", "/debug/pprof/, /metrics, /debug/queries, /debug/store, /debug/cache"))
 			if err := http.ListenAndServe(*pprofAddr, srv.AdminMux()); err != nil {
 				fmt.Fprintln(os.Stderr, "eeserve: admin mux:", err)
 			}
@@ -225,8 +250,11 @@ func run(args []string) error {
 	if db != nil {
 		durable = "durable:" + *dataDir
 	}
-	fmt.Printf("eeserve: %d triples (store version %d, %s mode, %s); listening on %s\n",
-		engine.Len(), engine.Version(), *mode, durable, *addr)
+	boot.Info("listening", slog.String("addr", *addr),
+		slog.Int("triples", engine.Len()),
+		slog.Uint64("store_version", engine.Version()),
+		slog.String("mode", *mode),
+		slog.String("storage", durable))
 	return http.ListenAndServe(*addr, srv)
 }
 
@@ -248,10 +276,10 @@ func loadNTriplesFile(st *geostore.Store, path string) error {
 
 // snapshotLoop periodically compacts the WAL into a fresh snapshot once
 // enough triples have been journaled since the last one.
-func snapshotLoop(db *storage.DB, st *geostore.Store, every int) {
+func snapshotLoop(db *storage.DB, st *geostore.Store, every int, log *slog.Logger) {
 	for range time.Tick(5 * time.Second) {
 		if err := st.RDF().JournalErr(); err != nil {
-			fmt.Fprintf(os.Stderr, "eeserve: journal failed, snapshots suspended: %v\n", err)
+			log.Error("journal failed, snapshots suspended", slog.Any("err", err))
 			return
 		}
 		if db.SinceSnapshot() < uint64(every) {
@@ -260,21 +288,22 @@ func snapshotLoop(db *storage.DB, st *geostore.Store, every int) {
 		start := time.Now()
 		path, err := db.Snapshot(st.RDF())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "eeserve: background snapshot failed: %v\n", err)
+			log.Error("background snapshot failed", slog.Any("err", err))
 			continue
 		}
-		fmt.Printf("eeserve: snapshot %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+		log.Info("snapshot", slog.String("path", path),
+			slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
 	}
 }
 
 // shutdownOnSignal flushes and closes the WAL on SIGINT/SIGTERM so the
 // final group-commit window is not lost on an orderly stop.
-func shutdownOnSignal(db *storage.DB) {
+func shutdownOnSignal(db *storage.DB, log *slog.Logger) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
-		fmt.Fprintln(os.Stderr, "eeserve: shutting down, sealing WAL")
+		log.Info("shutting down, sealing WAL")
 		if err := db.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "eeserve:", err)
 			os.Exit(1)

@@ -3,6 +3,7 @@ package endpoint
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // cacheKey identifies one cached response: the canonical (normalized)
@@ -20,6 +21,7 @@ type cacheEntry struct {
 	key  cacheKey
 	body []byte
 	rows int
+	at   time.Time // when the body was cached (GET /debug/cache ages)
 }
 
 // resultCache is a size-bounded LRU over serialized query results. All
@@ -63,10 +65,10 @@ func (c *resultCache) put(k cacheKey, body []byte, rows int) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.order.MoveToFront(el)
-		el.Value = &cacheEntry{key: k, body: body, rows: rows}
+		el.Value = &cacheEntry{key: k, body: body, rows: rows, at: time.Now()}
 		return
 	}
-	el := c.order.PushFront(&cacheEntry{key: k, body: body, rows: rows})
+	el := c.order.PushFront(&cacheEntry{key: k, body: body, rows: rows, at: time.Now()})
 	c.entries[k] = el
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
@@ -80,4 +82,16 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// items returns a point-in-time copy of the entries, most recently
+// used first (GET /debug/cache).
+func (c *resultCache) items() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
 }

@@ -1,0 +1,134 @@
+package endpoint
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file is the store-introspection surface: GET /debug/store (triple
+// counts, memory accounting, durability-layer listing) and
+// GET /debug/cache (result-cache contents and hit rates), plus the auth
+// gate all public /debug/* routes share. Debug responses expose query
+// text and store internals, so on the public listener they require the
+// load token; the admin mux (eeserve -pprof-addr, a non-public bind)
+// serves them without auth.
+
+// debugAuth wraps a debug handler with the load-token check for the
+// public listener. With no LoadToken configured there is no credential
+// that could grant access, so the routes answer 401 unconditionally and
+// stay admin-mux-only.
+func (s *Server) debugAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorizedLoad(r) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="debug"`)
+			http.Error(w, "debug endpoints require the load token; use the admin listener (-pprof-addr) for tokenless access", http.StatusUnauthorized)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// maxDebugQueryLen bounds the query text echoed per cache item, so a
+// single pathological query can't bloat the /debug/cache response.
+const maxDebugQueryLen = 200
+
+// debugCacheItem is one result-cache entry as served by /debug/cache.
+type debugCacheItem struct {
+	Query        string  `json:"query"`
+	Format       string  `json:"format"`
+	StoreVersion uint64  `json:"store_version"`
+	Rows         int     `json:"rows"`
+	Bytes        int     `json:"bytes"`
+	AgeSeconds   float64 `json:"age_seconds"`
+}
+
+// handleDebugStore serves the store's introspection report: triple
+// count and version, the engine's memory accounting (when it implements
+// MemoryStatser), and the durability-layer listing supplied by
+// Config.StorageStats (WAL segments, snapshot generations).
+func (s *Server) handleDebugStore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	out := struct {
+		Triples      int                    `json:"triples"`
+		StoreVersion uint64                 `json:"store_version"`
+		Memory       *telemetry.StoreMemory `json:"memory,omitempty"`
+		Storage      any                    `json:"storage,omitempty"`
+	}{
+		Triples:      s.engine.Len(),
+		StoreVersion: s.engine.Version(),
+	}
+	if ms, ok := s.engine.(MemoryStatser); ok {
+		mem := ms.MemoryStats()
+		out.Memory = &mem
+	}
+	if s.cfg.StorageStats != nil {
+		out.Storage = s.cfg.StorageStats()
+	}
+	writeDebugJSON(w, out)
+}
+
+// handleDebugCache serves the result cache's live contents: capacity,
+// hit/miss totals, and one row per entry (query text truncated, format,
+// the store version it was computed against, body size, and age).
+func (s *Server) handleDebugCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	now := time.Now()
+	entries := s.cache.items()
+	items := make([]debugCacheItem, 0, len(entries))
+	for _, e := range entries {
+		// The cache key appends "\x00"+geomVar to the canonical text;
+		// strip the suffix so the report shows the query alone.
+		q, _, _ := strings.Cut(e.key.query, "\x00")
+		if len(q) > maxDebugQueryLen {
+			q = q[:maxDebugQueryLen] + "…"
+		}
+		items = append(items, debugCacheItem{
+			Query:        q,
+			Format:       e.key.format.String(),
+			StoreVersion: e.key.version,
+			Rows:         e.rows,
+			Bytes:        len(e.body),
+			AgeSeconds:   now.Sub(e.at).Seconds(),
+		})
+	}
+	hits, misses := s.metrics.cacheHits.Load(), s.metrics.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	out := struct {
+		Capacity int              `json:"capacity"`
+		Entries  int              `json:"entries"`
+		Hits     uint64           `json:"hits"`
+		Misses   uint64           `json:"misses"`
+		HitRatio float64          `json:"hit_ratio"`
+		Items    []debugCacheItem `json:"items"`
+	}{
+		Capacity: s.cfg.CacheSize,
+		Entries:  len(items),
+		Hits:     hits,
+		Misses:   misses,
+		HitRatio: ratio,
+		Items:    items,
+	}
+	writeDebugJSON(w, out)
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

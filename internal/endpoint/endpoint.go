@@ -25,10 +25,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/telemetry"
 )
 
 // Engine is the query-evaluation capability the endpoint serves. Both
@@ -100,6 +102,15 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// DebugRingSize bounds the slow-query ring (default 64 entries).
 	DebugRingSize int
+	// Registry, when non-nil, is the telemetry registry /metrics serves.
+	// eeserve passes the registry its storage metrics are already on, so
+	// one scrape covers the whole process. Nil creates a private one.
+	// Each registry supports at most one Server (family names collide).
+	Registry *telemetry.Registry
+	// StorageStats, when non-nil, supplies the durability-layer listing
+	// GET /debug/store embeds under "storage" (eeserve passes a closure
+	// over storage.DB.Stats). The value is marshaled as JSON verbatim.
+	StorageStats func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +139,7 @@ type Server struct {
 	cfg     Config
 	cache   *resultCache
 	sem     chan struct{}
+	reg     *telemetry.Registry
 	metrics metrics
 	mux     *http.ServeMux
 
@@ -135,34 +147,56 @@ type Server struct {
 	started time.Time
 	slow    *queryRing
 	running *runningSet
+
+	// storeMem caches the engine's memory accounting for one scrape; a
+	// registry prepare hook refreshes it (see registerRuntimeMetrics).
+	storeMem atomic.Pointer[telemetry.StoreMemory]
 }
 
 // New returns a server over engine.
 func New(engine Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		engine:  engine,
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		reg:     reg,
 		mux:     http.NewServeMux(),
 		logger:  cfg.Logger,
 		started: time.Now(),
 		slow:    newQueryRing(cfg.DebugRingSize),
 		running: newRunningSet(),
 	}
+	s.metrics = newMetrics(reg)
+	s.registerRuntimeMetrics()
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	// The /debug/* routes expose query text and store internals, so the
+	// public listener requires the load token; the admin mux (a separate,
+	// non-public bind) serves them unauthenticated.
+	s.mux.HandleFunc("/debug/queries", s.debugAuth(s.handleDebugQueries))
+	s.mux.HandleFunc("/debug/store", s.debugAuth(s.handleDebugStore))
+	s.mux.HandleFunc("/debug/cache", s.debugAuth(s.handleDebugCache))
 	return s
 }
 
+// Registry returns the telemetry registry /metrics serves, so embedders
+// can register process-level families on the same exposition.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
 // AdminMux returns an http.Handler serving the runtime introspection
 // routes — net/http/pprof under /debug/pprof/ plus this server's
-// /metrics and /debug/queries — for binding to a separate, non-public
-// address (eeserve -pprof-addr).
+// /metrics, /debug/queries, /debug/store, and /debug/cache — for
+// binding to a separate, non-public address (eeserve -pprof-addr).
+// Unlike the public mux, the debug routes here skip token auth: the
+// bind address is the access control.
 func (s *Server) AdminMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -172,6 +206,8 @@ func (s *Server) AdminMux() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/store", s.handleDebugStore)
+	mux.HandleFunc("/debug/cache", s.handleDebugCache)
 	return mux
 }
 

@@ -5,8 +5,9 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the query latency
@@ -14,31 +15,66 @@ import (
 // analytic queries.
 var latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
-// metrics aggregates the endpoint's operational counters. All fields are
-// manipulated atomically; the zero value is ready to use.
+// metrics holds the endpoint's operational counters, registered on the
+// server's telemetry registry so /metrics renders them alongside the
+// storage and memory families. Construct with newMetrics; the handlers
+// mutate the counters directly on the hot path (atomic increments, no
+// registry involvement).
 type metrics struct {
-	queries     atomic.Uint64 // completed queries (any outcome)
-	errors      atomic.Uint64 // parse, evaluation, or serialize failures
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	rejected    atomic.Uint64 // admission-control 503s
-	timeouts    atomic.Uint64 // per-query deadline expirations
+	queries     *telemetry.Counter // completed queries (any outcome)
+	errors      *telemetry.Counter // parse, evaluation, or serialize failures
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	rejected    *telemetry.Counter // admission-control 503s
+	timeouts    *telemetry.Counter // per-query deadline expirations
 
 	// Per-kind breakdown of errors; timeouts above is the fourth kind.
-	errParse     atomic.Uint64
-	errEval      atomic.Uint64
-	errSerialize atomic.Uint64
+	errParse     *telemetry.Counter
+	errEval      *telemetry.Counter
+	errSerialize *telemetry.Counter
 
-	slowQueries atomic.Uint64 // queries captured by the slow-query ring
-	execRows    atomic.Uint64 // result rows produced by evaluations
-	filterDrops atomic.Uint64 // rows dropped by pushed filters (profiled runs)
+	slowQueries *telemetry.Counter // queries captured by the slow-query ring
+	execRows    *telemetry.Counter // result rows produced by evaluations
+	filterDrops *telemetry.Counter // rows dropped by pushed filters (profiled runs)
 
-	loads         atomic.Uint64 // successful POST /load requests
-	loadErrors    atomic.Uint64 // failed POST /load requests
-	loadedTriples atomic.Uint64 // triples read by POST /load (incl. partial loads)
+	loads         *telemetry.Counter // successful POST /load requests
+	loadErrors    *telemetry.Counter // failed POST /load requests
+	loadedTriples *telemetry.Counter // triples read by POST /load (incl. partial loads)
 
-	bucketCounts [11]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf
-	latencySumNs atomic.Uint64
+	latency *telemetry.Histogram // sparql_query_duration_seconds
+}
+
+// newMetrics registers the endpoint counter families on reg in the
+// order the hand-rolled /metrics handler historically printed them, so
+// the exposition stays byte-stable for scrapers and the README drift
+// test.
+func newMetrics(reg *telemetry.Registry) metrics {
+	var m metrics
+	m.queries = reg.Counter("sparql_queries_total", "Completed SPARQL protocol requests.")
+	// One family, five samples: the unlabeled total (kept for dashboards
+	// predating the split) plus the per-kind breakdown. The timeout kind
+	// mirrors sparql_timeouts_total — one shared counter attached to both
+	// families, so the two series can never drift apart.
+	m.errors = telemetry.NewCounter()
+	m.timeouts = telemetry.NewCounter()
+	errs := reg.CounterFamily("sparql_query_errors_total", "Requests that failed to parse, evaluate, or serialize.")
+	errs.Attach(m.errors)
+	m.errParse = errs.Counter("kind", "parse")
+	m.errEval = errs.Counter("kind", "eval")
+	m.errSerialize = errs.Counter("kind", "serialize")
+	errs.Attach(m.timeouts, "kind", "timeout")
+	m.cacheHits = reg.Counter("sparql_cache_hits_total", "Requests served from the result cache.")
+	m.cacheMisses = reg.Counter("sparql_cache_misses_total", "Requests that missed the result cache.")
+	m.rejected = reg.Counter("sparql_rejected_total", "Requests rejected by admission control.")
+	reg.CounterFamily("sparql_timeouts_total", "Requests cancelled by the per-query timeout.").Attach(m.timeouts)
+	m.loads = reg.Counter("sparql_loads_total", "Successful POST /load ingestions.")
+	m.loadErrors = reg.Counter("sparql_load_errors_total", "Failed POST /load ingestions.")
+	m.loadedTriples = reg.Counter("sparql_loaded_triples_total", "Triples read by POST /load.")
+	m.slowQueries = reg.Counter("sparql_slow_queries_total", "Queries captured by the slow-query ring.")
+	m.execRows = reg.Counter("sparql_exec_rows_total", "Result rows produced by query evaluations.")
+	m.filterDrops = reg.Counter("sparql_filter_drops_total", "Rows dropped by pushed filters in profiled evaluations.")
+	m.latency = reg.DurationHistogram("sparql_query_duration_seconds", "Query latency histogram.", latencyBuckets)
+	return m
 }
 
 // errKind labels the per-kind error counters.
@@ -54,29 +90,19 @@ const (
 // counter, so sparql_query_errors_total stays the sum dashboards built
 // on the unlabeled series expect.
 func (m *metrics) countError(k errKind) {
-	m.errors.Add(1)
+	m.errors.Inc()
 	switch k {
 	case errKindParse:
-		m.errParse.Add(1)
+		m.errParse.Inc()
 	case errKindEval:
-		m.errEval.Add(1)
+		m.errEval.Inc()
 	case errKindSerialize:
-		m.errSerialize.Add(1)
+		m.errSerialize.Inc()
 	}
 }
 
 // observe records one query latency in the histogram.
-func (m *metrics) observe(d time.Duration) {
-	m.latencySumNs.Add(uint64(d.Nanoseconds()))
-	sec := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if sec <= ub {
-			m.bucketCounts[i].Add(1)
-			return
-		}
-	}
-	m.bucketCounts[len(latencyBuckets)].Add(1)
-}
+func (m *metrics) observe(d time.Duration) { m.latency.ObserveDuration(d) }
 
 // CacheHits returns the number of queries answered from the result cache.
 func (s *Server) CacheHits() uint64 { return s.metrics.cacheHits.Load() }
@@ -102,72 +128,97 @@ type ExecStatser interface {
 	ExecStats() (morsels uint64)
 }
 
-// handleMetrics serves the counters in Prometheus text exposition format.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	m := &s.metrics
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeCounter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	writeCounter("sparql_queries_total", "Completed SPARQL protocol requests.", m.queries.Load())
-	// One family, five samples: the unlabeled total (kept for dashboards
-	// predating the split) plus the per-kind breakdown. The timeout kind
-	// mirrors sparql_timeouts_total.
-	fmt.Fprintf(w, "# HELP sparql_query_errors_total Requests that failed to parse, evaluate, or serialize.\n# TYPE sparql_query_errors_total counter\n")
-	fmt.Fprintf(w, "sparql_query_errors_total %d\n", m.errors.Load())
-	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"parse\"} %d\n", m.errParse.Load())
-	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"eval\"} %d\n", m.errEval.Load())
-	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"serialize\"} %d\n", m.errSerialize.Load())
-	fmt.Fprintf(w, "sparql_query_errors_total{kind=\"timeout\"} %d\n", m.timeouts.Load())
-	writeCounter("sparql_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
-	writeCounter("sparql_cache_misses_total", "Requests that missed the result cache.", m.cacheMisses.Load())
-	writeCounter("sparql_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
-	writeCounter("sparql_timeouts_total", "Requests cancelled by the per-query timeout.", m.timeouts.Load())
-	writeCounter("sparql_loads_total", "Successful POST /load ingestions.", m.loads.Load())
-	writeCounter("sparql_load_errors_total", "Failed POST /load ingestions.", m.loadErrors.Load())
-	writeCounter("sparql_loaded_triples_total", "Triples read by POST /load.", m.loadedTriples.Load())
-	writeCounter("sparql_slow_queries_total", "Queries captured by the slow-query ring.", m.slowQueries.Load())
-	writeCounter("sparql_exec_rows_total", "Result rows produced by query evaluations.", m.execRows.Load())
-	writeCounter("sparql_filter_drops_total", "Rows dropped by pushed filters in profiled evaluations.", m.filterDrops.Load())
+// MemoryStatser is the optional engine capability behind the
+// store_memory_* gauges and GET /debug/store: engines that can account
+// for their in-memory footprint (dictionary, index, R-tree, plan cache)
+// report it as a telemetry.StoreMemory. Both geostore store flavours
+// implement it.
+type MemoryStatser interface {
+	MemoryStats() telemetry.StoreMemory
+}
+
+// registerRuntimeMetrics adds the engine-capability counters, runtime
+// gauges, and store-memory gauges to the registry. Called once from
+// New, after newMetrics, preserving the historical family order.
+func (s *Server) registerRuntimeMetrics() {
+	reg := s.reg
 	if pc, ok := s.engine.(PlanCacheStatser); ok {
-		hits, misses := pc.PlanCacheStats()
-		writeCounter("sparql_plan_cache_hits_total", "Queries evaluated with a cached compiled plan.", hits)
-		writeCounter("sparql_plan_cache_misses_total", "Queries that compiled a fresh plan.", misses)
+		reg.CounterFunc("sparql_plan_cache_hits_total", "Queries evaluated with a cached compiled plan.",
+			func() uint64 { hits, _ := pc.PlanCacheStats(); return hits })
+		reg.CounterFunc("sparql_plan_cache_misses_total", "Queries that compiled a fresh plan.",
+			func() uint64 { _, misses := pc.PlanCacheStats(); return misses })
 	}
 	if sj, ok := s.engine.(SpatialJoinStatser); ok {
-		writeCounter("sparql_spatial_join_probes_total", "R-tree probes issued by index spatial joins.", sj.SpatialJoinStats())
+		reg.CounterFunc("sparql_spatial_join_probes_total", "R-tree probes issued by index spatial joins.", sj.SpatialJoinStats)
 	}
 	if es, ok := s.engine.(ExecStatser); ok {
-		writeCounter("sparql_exec_morsels_total", "Morsels dispatched by the parallel query executor.", es.ExecStats())
+		reg.CounterFunc("sparql_exec_morsels_total", "Morsels dispatched by the parallel query executor.", es.ExecStats)
 	}
 	if s.cfg.Workers != nil {
-		fmt.Fprintf(w, "# HELP sparql_exec_workers_busy Executor worker slots currently in use.\n# TYPE sparql_exec_workers_busy gauge\nsparql_exec_workers_busy %d\n", s.cfg.Workers.Busy())
+		reg.IntGaugeFunc("sparql_exec_workers_busy", "Executor worker slots currently in use.", s.cfg.Workers.Busy)
 	}
-	fmt.Fprintf(w, "# HELP sparql_cache_entries Live result cache entries.\n# TYPE sparql_cache_entries gauge\nsparql_cache_entries %d\n", s.cache.len())
+	reg.IntGaugeFunc("sparql_cache_entries", "Live result cache entries.", func() int64 { return int64(s.cache.len()) })
 
 	version := "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
 		version = bi.Main.Version
 	}
-	fmt.Fprintf(w, "# HELP sparql_build_info Build metadata; the value is always 1.\n# TYPE sparql_build_info gauge\nsparql_build_info{go_version=%q,version=%q} 1\n",
-		runtime.Version(), version)
-	fmt.Fprintf(w, "# HELP sparql_uptime_seconds Seconds since the server started.\n# TYPE sparql_uptime_seconds gauge\nsparql_uptime_seconds %g\n",
-		time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "# HELP sparql_goroutines Current goroutine count.\n# TYPE sparql_goroutines gauge\nsparql_goroutines %d\n", runtime.NumGoroutine())
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(w, "# HELP sparql_heap_bytes Bytes of allocated heap objects.\n# TYPE sparql_heap_bytes gauge\nsparql_heap_bytes %d\n", ms.HeapAlloc)
+	reg.GaugeFamily("sparql_build_info", "Build metadata; the value is always 1.").
+		Const(1, "go_version", runtime.Version(), "version", version)
+	reg.GaugeFunc("sparql_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.IntGaugeFunc("sparql_goroutines", "Current goroutine count.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.IntGaugeFunc("sparql_heap_bytes", "Bytes of allocated heap objects.", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
 
-	fmt.Fprintf(w, "# HELP sparql_query_duration_seconds Query latency histogram.\n# TYPE sparql_query_duration_seconds histogram\n")
-	cum := uint64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.bucketCounts[i].Load()
-		fmt.Fprintf(w, "sparql_query_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	if ms, ok := s.engine.(MemoryStatser); ok {
+		// Walking the store's memory accounting takes the store locks and
+		// is O(dictionary terms), so a prepare hook caches one walk per
+		// scrape and the nine gauge families below read the cached copy.
+		reg.AddPrepare(func() {
+			mem := ms.MemoryStats()
+			s.storeMem.Store(&mem)
+		})
+		read := func(f func(*telemetry.StoreMemory) int64) func() int64 {
+			return func() int64 {
+				if m := s.storeMem.Load(); m != nil {
+					return f(m)
+				}
+				return 0
+			}
+		}
+		reg.IntGaugeFunc("store_memory_dict_terms", "Interned RDF dictionary terms.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.DictTerms }))
+		reg.IntGaugeFunc("store_memory_dict_bytes", "Bytes of interned term text (values, datatypes, language tags).",
+			read(func(m *telemetry.StoreMemory) int64 { return m.DictBytes }))
+		triples := reg.GaugeFamily("store_memory_index_triples", "Encoded triples held per index ordering.")
+		for _, idx := range []string{"spo", "pos", "osp", "pending"} {
+			idx := idx
+			triples.IntFunc(read(func(m *telemetry.StoreMemory) int64 { return m.IndexTriples[idx] }), "index", idx)
+		}
+		reg.IntGaugeFunc("store_memory_index_bytes", "Bytes of encoded triples across the sorted indexes and pending runs.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.IndexBytes }))
+		reg.IntGaugeFunc("store_memory_dedup_entries", "Entries in the ingestion dedup set.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.DedupEntries }))
+		reg.IntGaugeFunc("store_memory_geometries", "Parsed geometries held by the geo store.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.Geometries }))
+		reg.IntGaugeFunc("store_memory_rtree_nodes", "Nodes in the spatial R-tree.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.RTreeNodes }))
+		reg.IntGaugeFunc("store_memory_rtree_entries", "Entry slots across all R-tree nodes.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.RTreeEntries }))
+		reg.IntGaugeFunc("store_memory_plan_cache_entries", "Compiled query plans held by the plan cache.",
+			read(func(m *telemetry.StoreMemory) int64 { return m.PlanCacheEntries }))
 	}
-	cum += m.bucketCounts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "sparql_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "sparql_query_duration_seconds_sum %g\n", float64(m.latencySumNs.Load())/1e9)
-	fmt.Fprintf(w, "sparql_query_duration_seconds_count %d\n", cum)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // handleHealthz reports liveness plus basic store facts, so load balancers

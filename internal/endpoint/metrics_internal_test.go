@@ -4,16 +4,9 @@ import (
 	"sync"
 	"testing"
 	"time"
-)
 
-// bucketTotals loads the histogram counters as plain ints.
-func bucketTotals(m *metrics) []uint64 {
-	out := make([]uint64, len(m.bucketCounts))
-	for i := range m.bucketCounts {
-		out[i] = m.bucketCounts[i].Load()
-	}
-	return out
-}
+	"repro/internal/telemetry"
+)
 
 // TestObserveBucketBoundaries pins the histogram's bucket edges:
 // latencies exactly on an upper bound land in that bucket (le is
@@ -27,39 +20,40 @@ func TestObserveBucketBoundaries(t *testing.T) {
 		if exact.Seconds() != ub {
 			t.Fatalf("bucket bound %g not representable as a duration", ub)
 		}
-		var m metrics
+		m := newMetrics(telemetry.NewRegistry())
 		m.observe(exact)
-		if got := bucketTotals(&m); got[i] != 1 {
+		if got := m.latency.BucketCounts(); got[i] != 1 {
 			t.Errorf("observe(%v) landed in %v, want bucket %d (le=%g)", exact, got, i, ub)
 		}
-		var m2 metrics
+		m2 := newMetrics(telemetry.NewRegistry())
 		m2.observe(exact + time.Nanosecond)
 		want := i + 1
-		if got := bucketTotals(&m2); got[want] != 1 {
+		if got := m2.latency.BucketCounts(); got[want] != 1 {
 			t.Errorf("observe(%v+1ns) landed in %v, want bucket %d", exact, got, want)
 		}
 	}
 
-	var m metrics
+	m := newMetrics(telemetry.NewRegistry())
 	over := time.Duration(latencyBuckets[len(latencyBuckets)-1]*float64(time.Second)) + time.Second
 	m.observe(over)
-	if got := bucketTotals(&m); got[len(latencyBuckets)] != 1 {
+	if got := m.latency.BucketCounts(); got[len(latencyBuckets)] != 1 {
 		t.Errorf("observe(%v) landed in %v, want the +Inf bucket", over, got)
 	}
-	if m.latencySumNs.Load() != uint64(over.Nanoseconds()) {
-		t.Errorf("latencySumNs = %d, want %d", m.latencySumNs.Load(), over.Nanoseconds())
+	if got := m.latency.Sum(); got != over.Seconds() {
+		t.Errorf("latency sum = %g, want %g", got, over.Seconds())
 	}
 }
 
 // TestObserveConcurrent hammers observe from many goroutines (run under
-// -race) and checks no samples are lost from the count or the sum.
+// -race) and checks no samples are lost from the count or the sum (the
+// histogram accumulates integer nanoseconds, so the sum is exact).
 func TestObserveConcurrent(t *testing.T) {
 	const (
 		goroutines = 8
 		perG       = 1000
 		d          = time.Millisecond
 	)
-	var m metrics
+	m := newMetrics(telemetry.NewRegistry())
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -71,22 +65,19 @@ func TestObserveConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	var total uint64
-	for _, c := range bucketTotals(&m) {
-		total += c
+	if got := m.latency.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
 	}
-	if total != goroutines*perG {
-		t.Errorf("bucket count total = %d, want %d", total, goroutines*perG)
-	}
-	if got, want := m.latencySumNs.Load(), uint64(goroutines*perG*d.Nanoseconds()); got != want {
-		t.Errorf("latencySumNs = %d, want %d", got, want)
+	wantNs := uint64(goroutines * perG * d.Nanoseconds())
+	if got, want := m.latency.Sum(), float64(wantNs)/1e9; got != want {
+		t.Errorf("latency sum = %g, want %g", got, want)
 	}
 }
 
 // TestCountError checks the per-kind split stays consistent with the
 // unlabeled total.
 func TestCountError(t *testing.T) {
-	var m metrics
+	m := newMetrics(telemetry.NewRegistry())
 	m.countError(errKindParse)
 	m.countError(errKindParse)
 	m.countError(errKindEval)
@@ -96,5 +87,36 @@ func TestCountError(t *testing.T) {
 	}
 	if p, e, s := m.errParse.Load(), m.errEval.Load(), m.errSerialize.Load(); p != 2 || e != 1 || s != 1 {
 		t.Errorf("kind counters = parse %d, eval %d, serialize %d; want 2, 1, 1", p, e, s)
+	}
+}
+
+// TestTimeoutCounterShared proves the timeout series cannot drift: one
+// counter is attached to both sparql_timeouts_total and
+// sparql_query_errors_total{kind="timeout"}.
+func TestTimeoutCounterShared(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newMetrics(reg)
+	m.timeouts.Inc()
+	m.timeouts.Inc()
+	for _, fam := range reg.Snapshot().Families {
+		switch fam.Name {
+		case "sparql_timeouts_total":
+			if len(fam.Series) != 1 || fam.Series[0].Value != 2 {
+				t.Errorf("sparql_timeouts_total series = %+v, want one sample of 2", fam.Series)
+			}
+		case "sparql_query_errors_total":
+			found := false
+			for _, s := range fam.Series {
+				if s.Labels == `{kind="timeout"}` {
+					found = true
+					if s.Value != 2 {
+						t.Errorf("errors{kind=timeout} = %g, want 2", s.Value)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no kind=timeout series in %+v", fam.Series)
+			}
+		}
 	}
 }

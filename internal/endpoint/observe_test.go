@@ -145,7 +145,9 @@ func TestDebugQueriesSlowCapture(t *testing.T) {
 		t.Fatalf("query status = %d", rec.Code)
 	}
 
-	rec := get(t, srv, "/debug/queries", nil)
+	// The public route requires the load token (see TestDebugAuth); the
+	// admin mux serves the ring without auth.
+	rec := get(t, srv.AdminMux(), "/debug/queries", nil)
 	if rec.Code != 200 {
 		t.Fatalf("/debug/queries status = %d", rec.Code)
 	}
@@ -240,7 +242,7 @@ func TestErrorKindMetrics(t *testing.T) {
 }
 
 // TestAdminMux checks the admin surface exposes pprof, /metrics and
-// /debug/queries.
+// the debug routes without token auth.
 func TestAdminMux(t *testing.T) {
 	srv := endpoint.New(testStore(t), endpoint.Config{})
 	admin := srv.AdminMux()
@@ -248,6 +250,8 @@ func TestAdminMux(t *testing.T) {
 		"/debug/pprof/":     "profiles",
 		"/metrics":          "sparql_queries_total",
 		"/debug/queries":    `"recent"`,
+		"/debug/store":      `"memory"`,
+		"/debug/cache":      `"hit_ratio"`,
 		"/debug/pprof/heap": "",
 	} {
 		rec := get(t, admin, path, nil)

@@ -3,11 +3,16 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // This file implements the analyze-overhead benchmark group behind
@@ -20,7 +25,10 @@ import (
 // nil-check on the hot path, so plain ns/op must stay level with
 // earlier BENCH_parallel.json large_scan/spatial_refine numbers. The
 // workload list is shared with the repository-root
-// BenchmarkAnalyzeOverhead_* benchmarks.
+// BenchmarkAnalyzeOverhead_* benchmarks. A wal_append disabled/enabled
+// pair (mirroring BenchmarkTelemetryOverhead_*) extends the same
+// discipline to the storage telemetry: journaling with an instrumented
+// log must stay level with the uninstrumented path.
 
 // AnalyzeWorkloadNames selects the ParallelWorkloads entries measured
 // by the analyze group.
@@ -139,7 +147,63 @@ func AnalyzeBench(cfg Config) (*Table, *AnalyzeBenchReport) {
 			AnalyzeBenchResult{Name: w.Name, Mode: "analyzed", Triples: st.Len(),
 				Rows: rows, Iters: iters, NsPerOp: analyzedDur.Nanoseconds(), OverheadPct: overhead})
 	}
+
+	// The storage-telemetry pair rides in the same group: WAL appends
+	// with and without an instrumented log, mirroring the repository-root
+	// BenchmarkTelemetryOverhead_* pair. The disabled path is the
+	// production default (nil checks only); the enabled delta bounds what
+	// attaching a registry costs.
+	walTriples := cfg.scale(200000, 20000)
+	baseTriples, baseDur := measureWALAppend(walTriples, nil)
+	_, instDur := measureWALAppend(walTriples, storage.NewMetrics(telemetry.NewRegistry()))
+	walOverhead := 0.0
+	if baseDur > 0 {
+		walOverhead = (float64(instDur)/float64(baseDur) - 1) * 100
+	}
+	t.Rows = append(t.Rows,
+		[]string{"wal_append", "disabled", i0(baseTriples), ms(baseDur), ""},
+		[]string{"wal_append", "enabled", i0(baseTriples), ms(instDur), f2(walOverhead)})
+	rep.Results = append(rep.Results,
+		AnalyzeBenchResult{Name: "wal_append", Mode: "disabled", Triples: walTriples,
+			Rows: baseTriples, Iters: 1, NsPerOp: baseDur.Nanoseconds()},
+		AnalyzeBenchResult{Name: "wal_append", Mode: "enabled", Triples: walTriples,
+			Rows: baseTriples, Iters: 1, NsPerOp: instDur.Nanoseconds(), OverheadPct: walOverhead})
 	return t, rep
+}
+
+// measureWALAppend journals n triples (group commits of 100, no fsync
+// so the cost measured is CPU) into a throwaway log and returns the
+// triple count and total wall time.
+func measureWALAppend(n int, m *storage.Metrics) (int, time.Duration) {
+	dir, err := os.MkdirTemp("", "eebench-wal-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := storage.CreateLog(filepath.Join(dir, "wal.log"), storage.Options{NoSync: true, Metrics: m})
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	pred := rdf.NewIRI("http://extremeearth.eu/ontology#value")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://extremeearth.eu/feature/%d", i)),
+			pred, rdf.NewIntLiteral(int64(i)))
+		if err := l.Record(t); err != nil {
+			panic(err)
+		}
+		if i%100 == 99 {
+			if err := l.Commit(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := l.Commit(); err != nil {
+		panic(err)
+	}
+	return n, time.Since(start)
 }
 
 // WriteAnalyzeBenchJSON writes the report to path (the conventional

@@ -360,3 +360,26 @@ func (t *RTree) Nearest(p Point, k int) []int64 {
 	}
 	return out
 }
+
+// Stats walks the tree and reports its node count and total entry slots
+// (leaf data entries plus internal child entries), for memory
+// accounting: each entry carries a Rect and a payload/child word.
+func (t *RTree) Stats() (nodes, entries int) {
+	var walk func(n *rtreeNode)
+	walk = func(n *rtreeNode) {
+		nodes++
+		entries += len(n.entries)
+		if n.leaf {
+			return
+		}
+		for _, e := range n.entries {
+			if e.child != nil {
+				walk(e.child)
+			}
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return nodes, entries
+}

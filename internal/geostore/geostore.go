@@ -30,6 +30,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the execution strategy of a single-node store.
@@ -1005,4 +1006,38 @@ func fnvHash(s string) uint32 {
 		h *= prime32
 	}
 	return h
+}
+
+// MemoryStats extends the RDF store's accounting with the geospatial
+// structures: parsed geometries, the R-tree and the plan cache. Like
+// rdf.Store.MemoryStats it is O(dictionary terms); scrape paths should
+// cache the result per read rather than calling it per gauge.
+func (s *Store) MemoryStats() telemetry.StoreMemory {
+	m := s.rdfStore.MemoryStats()
+	s.mu.RLock()
+	m.Geometries = int64(len(s.geoms))
+	nodes, entries := s.rtree.Stats()
+	s.mu.RUnlock()
+	m.RTreeNodes = int64(nodes)
+	m.RTreeEntries = int64(entries)
+	m.PlanCacheEntries = int64(s.plans.len())
+	return m
+}
+
+// MemoryStats sums the partitions' accounting (plus the merged fallback
+// store when one is cached) and records the partition count.
+func (ps *PartitionedStore) MemoryStats() telemetry.StoreMemory {
+	var m telemetry.StoreMemory
+	for _, p := range ps.parts {
+		pm := p.MemoryStats()
+		m.Add(pm)
+	}
+	ps.mergedMu.Lock()
+	merged := ps.merged
+	ps.mergedMu.Unlock()
+	if merged != nil {
+		m.Add(merged.MemoryStats())
+	}
+	m.Partitions = int64(len(ps.parts))
+	return m
 }

@@ -76,3 +76,10 @@ func (c *planCache) put(e *planEntry) {
 func (c *planCache) stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

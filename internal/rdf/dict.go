@@ -114,3 +114,17 @@ func (d *Dict) adopt(terms []Term, byTerm map[Term]ID) error {
 	d.byTerm = byTerm
 	return nil
 }
+
+// TextBytes returns the total text bytes held by interned terms (value
+// + datatype + language tag), the allocator-independent part of the
+// dictionary's memory footprint. O(terms): callers scraping it per
+// metrics read should cache the walk (see telemetry prepare hooks).
+func (d *Dict) TextBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, t := range d.byID {
+		n += int64(len(t.Value) + len(t.Datatype) + len(t.Lang))
+	}
+	return n
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // EncTriple is a dictionary-encoded triple.
@@ -486,4 +488,34 @@ func (s *Store) Triples() []Triple {
 		})
 	}
 	return out
+}
+
+// encTripleBytes is the payload size of one EncTriple (three int64
+// dictionary IDs), used by MemoryStats to convert index lengths into
+// bytes.
+const encTripleBytes = 3 * 8
+
+// MemoryStats walks the store's memory-dominating structures — the term
+// dictionary and the three sorted indexes plus the unsorted pending run
+// — into a point-in-time accounting. It holds the read lock for the
+// duration (the dictionary walk is O(terms)), so scrape paths should
+// cache the result rather than calling it once per gauge.
+func (s *Store) MemoryStats() telemetry.StoreMemory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := telemetry.StoreMemory{
+		DictTerms: int64(s.dict.Len()),
+		DictBytes: s.dict.TextBytes(),
+		IndexTriples: map[string]int64{
+			"spo":     int64(len(s.spo)),
+			"pos":     int64(len(s.pos)),
+			"osp":     int64(len(s.osp)),
+			"pending": int64(len(s.pending)),
+		},
+		// seen is nil (0) while the lazily-built dedup set is unbuilt
+		// after a snapshot install.
+		DedupEntries: int64(len(s.seen)),
+	}
+	m.IndexBytes = m.TriplesIndexed() * encTripleBytes
+	return m
 }

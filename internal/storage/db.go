@@ -2,10 +2,12 @@ package storage
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -36,18 +38,73 @@ type DB struct {
 	recovered   bool
 }
 
-// RecoveryStats reports what Recover found on disk.
+// RecoveryStats is the structured timeline of what Recover found on
+// disk and did about it. It implements slog.LogValuer so serving layers
+// can log the whole report as one structured attribute.
 type RecoveryStats struct {
-	// SnapshotPath is the snapshot that seeded the store ("" if none).
-	SnapshotPath string
+	// SnapshotPath is the snapshot that seeded the store ("" if none);
+	// SnapshotVersion is the store version it captured.
+	SnapshotPath    string
+	SnapshotVersion uint64
 	// SnapshotTriples is the triple count loaded from the snapshot.
 	SnapshotTriples int
+	// SnapshotsSkipped counts newer snapshot generations that failed
+	// verification and were skipped in favour of an older fallback;
+	// UnparsableSnapshots counts snap-*.snap files whose name carries no
+	// numeric version (invisible to recovery and pruning).
+	SnapshotsSkipped    int
+	UnparsableSnapshots int
 	// WALSegments is the number of WAL segment files replayed or opened.
 	WALSegments int
 	// WALBatches and WALTriples count the replayed log records. Replayed
 	// triples already present in the snapshot deduplicate silently.
 	WALBatches int
 	WALTriples int
+	// CorruptSegments counts sealed (non-final) segments with damage
+	// before their end; DroppedBytes sums the bytes skipped after the
+	// damage. TornTailBytes is what OpenLog truncated from the youngest
+	// segment (an expected crash artifact, not corruption).
+	CorruptSegments int
+	DroppedBytes    int64
+	TornTailBytes   int64
+	// SnapshotLoadDuration and WALReplayDuration split Duration, the
+	// whole Recover wall time, into its two phases.
+	SnapshotLoadDuration time.Duration
+	WALReplayDuration    time.Duration
+	Duration             time.Duration
+}
+
+// LogValue renders the recovery timeline as one slog group, so
+// `slog.Any("recovery", stats)` produces structured fields in both text
+// and JSON handlers.
+func (s RecoveryStats) LogValue() slog.Value {
+	attrs := []slog.Attr{
+		slog.String("snapshot", s.SnapshotPath),
+		slog.Uint64("snapshot_version", s.SnapshotVersion),
+		slog.Int("snapshot_triples", s.SnapshotTriples),
+		slog.Int("wal_segments", s.WALSegments),
+		slog.Int("wal_batches", s.WALBatches),
+		slog.Int("wal_triples", s.WALTriples),
+		slog.Duration("snapshot_load", s.SnapshotLoadDuration),
+		slog.Duration("wal_replay", s.WALReplayDuration),
+		slog.Duration("total", s.Duration),
+	}
+	// Damage fields appear only when there was damage, keeping the
+	// healthy-boot line short.
+	if s.SnapshotsSkipped > 0 {
+		attrs = append(attrs, slog.Int("snapshots_skipped", s.SnapshotsSkipped))
+	}
+	if s.UnparsableSnapshots > 0 {
+		attrs = append(attrs, slog.Int("unparsable_snapshots", s.UnparsableSnapshots))
+	}
+	if s.CorruptSegments > 0 {
+		attrs = append(attrs, slog.Int("corrupt_segments", s.CorruptSegments),
+			slog.Int64("dropped_bytes", s.DroppedBytes))
+	}
+	if s.TornTailBytes > 0 {
+		attrs = append(attrs, slog.Int64("torn_tail_bytes", s.TornTailBytes))
+	}
+	return slog.GroupValue(attrs...)
 }
 
 // Open prepares a DB over dir, creating the directory if needed, and
@@ -143,25 +200,38 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 	if db.recovered {
 		return stats, fmt.Errorf("storage: Recover called twice")
 	}
+	recoverStart := time.Now()
 
 	snaps, unparsable, err := db.listSnapshots()
 	if err != nil {
 		return stats, err
 	}
+	stats.UnparsableSnapshots = len(unparsable)
 	for _, p := range unparsable {
 		fmt.Fprintf(os.Stderr, "storage: ignoring %s: snapshots must be named snap-<version>.snap to be recovered\n", p)
 	}
 	for _, s := range snaps {
+		loadStart := time.Now()
 		info, err := LoadSnapshotFile(s.Path, st)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "storage: skipping unreadable snapshot %s: %v\n", s.Path, err)
+			stats.SnapshotsSkipped++
 			continue
 		}
 		stats.SnapshotPath = s.Path
+		stats.SnapshotVersion = info.Version
 		stats.SnapshotTriples = info.Triples
+		stats.SnapshotLoadDuration = time.Since(loadStart)
+		if m := db.opts.Metrics; m != nil {
+			m.snapshotLoad.ObserveDuration(stats.SnapshotLoadDuration)
+			if fi, statErr := os.Stat(s.Path); statErr == nil {
+				m.snapshotBytes.Set(fi.Size())
+			}
+		}
 		break
 	}
 
+	replayStart := time.Now()
 	replay := func(batch []rdf.Triple) error {
 		for _, t := range batch {
 			st.AddTriple(t)
@@ -192,6 +262,8 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 				// A sealed (non-final) segment ending in damage is real
 				// corruption, not a crash-torn tail; recovery proceeds
 				// with what is readable, but loudly.
+				stats.CorruptSegments++
+				stats.DroppedBytes += dropped
 				fmt.Fprintf(os.Stderr,
 					"storage: WARNING: sealed WAL segment %s is corrupt %d bytes before its end; records after the damage were skipped\n",
 					s.Path, dropped)
@@ -203,7 +275,10 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 			return stats, err
 		}
 		db.seq = last.Seq
+		stats.TornTailBytes = db.log.TornBytes()
 	}
+	stats.WALReplayDuration = time.Since(replayStart)
+	stats.Duration = time.Since(recoverStart)
 	db.mark = db.log.Recorded()
 	db.recovered = true
 	return stats, nil
@@ -270,8 +345,17 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 		nameVer = snaps[0].Version + 1
 	}
 	path := db.snapPath(nameVer)
+	writeStart := time.Now()
 	if err := writeSnapshotData(path, terms, triples, version); err != nil {
 		return "", err
+	}
+	if m := db.opts.Metrics; m != nil {
+		m.snapshotWrite.ObserveDuration(time.Since(writeStart))
+		m.snapshotWrites.Inc()
+		m.compactions.Inc()
+		if fi, err := os.Stat(path); err == nil {
+			m.snapshotBytes.Set(fi.Size())
+		}
 	}
 
 	// Prune, keeping TWO snapshot generations so a later CRC failure in
@@ -281,7 +365,9 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 	if segs, err := db.listSegments(); err == nil {
 		for _, s := range segs {
 			if s.Seq <= db.prevSnapSeq {
-				os.Remove(s.Path)
+				if os.Remove(s.Path) == nil && db.opts.Metrics != nil {
+					db.opts.Metrics.segmentsPruned.Inc()
+				}
 			}
 		}
 	}

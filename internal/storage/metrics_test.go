@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"bytes"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/telemetry"
+)
+
+// TestStorageMetricsExposition drives a full durability lifecycle with
+// an instrumented DB and checks the storage_* families land on the
+// registry with sane values and a lint-clean exposition.
+func TestStorageMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	db, err := Open(dir, Options{NoSync: false, SyncEvery: 2, Metrics: NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+
+	var batch []rdf.Triple
+	for i := 0; i < 50; i++ {
+		batch = append(batch, tr(i))
+	}
+	if err := st.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	body := buf.String()
+	for _, want := range []string{
+		"storage_wal_commits_total 1",
+		"storage_wal_recorded_triples_total 50",
+		"storage_snapshot_writes_total 1",
+		"storage_snapshot_compactions_total 1",
+		"storage_wal_rotations_total 1", // snapshot rotates the WAL
+		"storage_wal_append_duration_seconds_count 1",
+		"storage_wal_batch_triples_count 1",
+		`storage_snapshot_duration_seconds_count{op="write"} 1`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "storage_snapshot_last_bytes ") ||
+		strings.Contains(body, "storage_snapshot_last_bytes 0\n") {
+		t.Error("storage_snapshot_last_bytes not set to the snapshot size")
+	}
+	if findings := telemetry.LintExposition(body); len(findings) != 0 {
+		t.Errorf("exposition lint: %v", findings)
+	}
+
+	// Recovery on a second instrumented registry observes the snapshot
+	// load and the same gauge.
+	reg2 := telemetry.NewRegistry()
+	db2, err := Open(dir, Options{Metrics: NewMetrics(reg2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st2 := rdf.NewStore()
+	stats, err := db2.Recover(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotTriples != 50 {
+		t.Fatalf("recovered %d snapshot triples, want 50", stats.SnapshotTriples)
+	}
+	buf.Reset()
+	reg2.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `storage_snapshot_duration_seconds_count{op="load"} 1`) {
+		t.Errorf("recovery did not observe snapshot load:\n%s", buf.String())
+	}
+}
+
+// TestRecoveryStatsTimeline checks the recovery report carries the
+// phase durations, the snapshot version, and the torn-tail accounting
+// after a simulated crash, and that it renders as a structured slog
+// group.
+func TestRecoveryStatsTimeline(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	var batch []rdf.Triple
+	for i := 0; i < 20; i++ {
+		batch = append(batch, tr(i))
+	}
+	if err := st.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage after the last sealed record.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (err %v)", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st2 := rdf.NewStore()
+	stats, err := db2.Recover(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WALTriples != 20 {
+		t.Errorf("replayed %d triples, want 20", stats.WALTriples)
+	}
+	if stats.TornTailBytes != 3 {
+		t.Errorf("TornTailBytes = %d, want 3", stats.TornTailBytes)
+	}
+	if stats.Duration <= 0 || stats.WALReplayDuration <= 0 {
+		t.Errorf("timeline not populated: total %v, replay %v", stats.Duration, stats.WALReplayDuration)
+	}
+	if stats.Duration < stats.SnapshotLoadDuration+stats.WALReplayDuration {
+		t.Errorf("total %v < load %v + replay %v", stats.Duration, stats.SnapshotLoadDuration, stats.WALReplayDuration)
+	}
+
+	// The stats log as one structured group, with damage fields present
+	// only when there was damage.
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	logger.Info("recovered", "recovery", stats)
+	line := logBuf.String()
+	for _, want := range []string{`"wal_triples":20`, `"torn_tail_bytes":3`, `"wal_replay"`, `"total"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slog line missing %s: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "corrupt_segments") {
+		t.Errorf("undamaged recovery should omit corrupt_segments: %s", line)
+	}
+}
+
+// TestInspectDirListing checks the offline directory inspection lists
+// segments and snapshots with sizes, and that an open DB's Stats
+// overlays live compaction state.
+func TestInspectDirListing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	var batch []rdf.Triple
+	for i := 0; i < 30; i++ {
+		batch = append(batch, tr(i))
+	}
+	if err := st.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	var more []rdf.Triple
+	for i := 30; i < 40; i++ {
+		more = append(more, tr(i))
+	}
+	if err := st.AddBatch(more); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.SinceSnapshot != 10 {
+		t.Errorf("SinceSnapshot = %d, want 10", live.SinceSnapshot)
+	}
+	if len(live.Snapshots) != 1 || live.Snapshots[0].Bytes == 0 || live.Snapshots[0].Version == 0 {
+		t.Errorf("snapshots = %+v", live.Snapshots)
+	}
+	activeSeen := false
+	for _, s := range live.Segments {
+		if s.Active {
+			activeSeen = true
+			if s.Seq != 2 {
+				t.Errorf("active segment seq = %d, want 2 (post-snapshot rotation)", s.Seq)
+			}
+		}
+	}
+	if !activeSeen {
+		t.Error("no active segment marked")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline inspection of the closed directory.
+	offline, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.WALBytes == 0 || offline.SnapshotBytes == 0 {
+		t.Errorf("offline sizes: wal %d, snap %d", offline.WALBytes, offline.SnapshotBytes)
+	}
+	if offline.SinceSnapshot != 0 {
+		t.Errorf("offline SinceSnapshot = %d, want 0 (unknown)", offline.SinceSnapshot)
+	}
+	if n := len(offline.Segments); n == 0 || !offline.Segments[n-1].Active {
+		t.Errorf("offline segments = %+v, want youngest marked active", offline.Segments)
+	}
+
+	if _, err := InspectDir(filepath.Join(dir, "nope")); err == nil {
+		t.Error("InspectDir on a missing path should fail")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -20,6 +21,11 @@ type Options struct {
 	SyncEvery int
 	// NoSync skips fsync entirely. For bulk loads and tests.
 	NoSync bool
+	// Metrics, when non-nil, instruments the durability points (commit
+	// latency, fsync latency, batch sizes, rotations, snapshot timings).
+	// The per-triple Record path is never instrumented: nil or not, it
+	// costs the same.
+	Metrics *Metrics
 }
 
 // Log is an append-only, dictionary-encoded write-ahead log over one
@@ -46,6 +52,7 @@ type Log struct {
 
 	sinceSync int
 	recorded  uint64 // triples recorded since open (monotonic across Rotate)
+	torn      int64  // bytes truncated from a torn tail at OpenLog
 	broken    error  // sticky write failure
 }
 
@@ -83,7 +90,9 @@ func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log
 		f.Close()
 		return nil, err
 	}
+	var torn int64
 	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > good {
+		torn = fi.Size() - good
 		if err := f.Truncate(good); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("storage: truncate torn WAL tail: %w", err)
@@ -94,6 +103,7 @@ func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log
 		return nil, fmt.Errorf("storage: seek WAL: %w", err)
 	}
 	l := newLog(f, opts)
+	l.torn = torn
 	for i, t := range terms {
 		l.dict[t] = uint64(i + 1)
 	}
@@ -276,6 +286,13 @@ func (l *Log) commitLocked() error {
 	if l.nTrip == 0 && l.nDefs == 0 {
 		return nil
 	}
+	// One clock read per sealed record when instrumented; Record itself
+	// (the per-triple hot path) never touches the clock.
+	var commitStart time.Time
+	if l.opts.Metrics != nil {
+		commitStart = time.Now()
+	}
+	nTrip := l.nTrip
 	payload := make([]byte, 0, 16+len(l.defs)+len(l.triples))
 	payload = binary.AppendUvarint(payload, l.nDefs)
 	payload = append(payload, l.defs...)
@@ -306,6 +323,9 @@ func (l *Log) commitLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return l.fail(err)
 	}
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.observeCommit(time.Since(commitStart), nTrip)
+	}
 	l.sinceSync++
 	if !l.opts.NoSync && l.sinceSync >= max(1, l.opts.SyncEvery) {
 		return l.syncLocked()
@@ -328,8 +348,15 @@ func (l *Log) syncLocked() error {
 		return l.fail(err)
 	}
 	if !l.opts.NoSync {
+		var syncStart time.Time
+		if l.opts.Metrics != nil {
+			syncStart = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return l.fail(err)
+		}
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.observeFsync(time.Since(syncStart))
 		}
 	}
 	l.sinceSync = 0
@@ -370,6 +397,9 @@ func (l *Log) Rotate(path string) error {
 	l.dict = make(map[rdf.Term]uint64)
 	l.nextID = 1
 	l.sinceSync = 0
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.rotations.Inc()
+	}
 	return nil
 }
 
@@ -380,6 +410,15 @@ func (l *Log) Recorded() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.recorded
+}
+
+// TornBytes returns how many bytes OpenLog truncated from this
+// segment's torn tail (0 for a cleanly sealed log). Recovery reports it
+// in RecoveryStats.
+func (l *Log) TornBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
 }
 
 // Close seals any buffered triples, syncs, and closes the segment.

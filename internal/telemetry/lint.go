@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a promtool-style lint for the text exposition format,
+// shared by the telemetry package's own tests and the endpoint's
+// /metrics tests, so format regressions fail in the ordinary Go test
+// matrix without external tooling.
+
+var (
+	lintHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$`)
+	lintTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	lintSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\S+)$`)
+	lintLeRe     = regexp.MustCompile(`(?:\{|,)le="([^"]*)"`)
+)
+
+// histSeries accumulates one histogram labelset's buckets while
+// linting.
+type lintHist struct {
+	les     []string
+	counts  []float64
+	hasInf  bool
+	inf     float64
+	sumSeen bool
+	count   float64
+	hasCnt  bool
+}
+
+// LintExposition checks text against the Prometheus text-format rules
+// promtool check metrics enforces: HELP and TYPE lines present and
+// preceding their samples, no duplicate series, valid sample syntax,
+// counters named *_total, histogram le buckets cumulative and ending in
+// +Inf with a matching _count and a _sum. It returns one finding per
+// problem; an empty slice means the exposition is clean.
+func LintExposition(text string) []string {
+	var findings []string
+	addf := func(format string, args ...any) {
+		findings = append(findings, fmt.Sprintf(format, args...))
+	}
+
+	types := map[string]string{}
+	helps := map[string]bool{}
+	seen := map[string]bool{}
+	hists := map[string]map[string]*lintHist{} // family -> non-le labels -> state
+
+	// baseFamily resolves a sample name to its TYPE-declared family,
+	// unwrapping histogram suffixes.
+	baseFamily := func(name string) (string, string, bool) {
+		if t, ok := types[name]; ok {
+			return name, t, true
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				return base, "histogram", true
+			}
+		}
+		return "", "", false
+	}
+
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := lintHelpRe.FindStringSubmatch(line); m != nil {
+				if helps[m[1]] {
+					addf("line %d: duplicate HELP for %s", lineNo, m[1])
+				}
+				helps[m[1]] = true
+				continue
+			}
+			if m := lintTypeRe.FindStringSubmatch(line); m != nil {
+				if _, dup := types[m[1]]; dup {
+					addf("line %d: duplicate TYPE for %s", lineNo, m[1])
+				}
+				types[m[1]] = m[2]
+				if m[2] == "counter" && !strings.HasSuffix(m[1], "_total") {
+					addf("line %d: counter %s should end in _total", lineNo, m[1])
+				}
+				continue
+			}
+			addf("line %d: malformed comment line %q", lineNo, line)
+			continue
+		}
+
+		m := lintSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			addf("line %d: malformed sample line %q", lineNo, line)
+			continue
+		}
+		name, labels, valText := m[1], m[2], m[3]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			addf("line %d: sample %s value %q is not a number", lineNo, name, valText)
+			continue
+		}
+		series := name + labels
+		if seen[series] {
+			addf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+
+		fam, kind, ok := baseFamily(name)
+		if !ok {
+			addf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+			continue
+		}
+		if !helps[fam] {
+			addf("line %d: family %s has no # HELP", lineNo, fam)
+		}
+
+		if kind != "histogram" {
+			continue
+		}
+		// Histogram bookkeeping, keyed by the labelset minus le.
+		rest := lintLeRe.ReplaceAllString(labels, "")
+		rest = strings.Trim(strings.TrimPrefix(rest, "{"), "}")
+		byLabels := hists[fam]
+		if byLabels == nil {
+			byLabels = map[string]*lintHist{}
+			hists[fam] = byLabels
+		}
+		h := byLabels[rest]
+		if h == nil {
+			h = &lintHist{}
+			byLabels[rest] = h
+		}
+		switch {
+		case name == fam+"_bucket":
+			le := lintLeRe.FindStringSubmatch(labels)
+			if le == nil {
+				addf("line %d: %s bucket without an le label", lineNo, fam)
+				continue
+			}
+			if le[1] == "+Inf" {
+				h.hasInf, h.inf = true, val
+			} else {
+				if _, err := strconv.ParseFloat(le[1], 64); err != nil {
+					addf("line %d: %s bucket le=%q is not a number", lineNo, fam, le[1])
+				}
+				if h.hasInf {
+					addf("line %d: %s bucket le=%q after the +Inf bucket", lineNo, fam, le[1])
+				}
+			}
+			h.les = append(h.les, le[1])
+			h.counts = append(h.counts, val)
+		case name == fam+"_sum":
+			h.sumSeen = true
+		case name == fam+"_count":
+			h.hasCnt, h.count = true, val
+		}
+	}
+
+	for fam, byLabels := range hists {
+		for labels, h := range byLabels {
+			where := fam
+			if labels != "" {
+				where = fam + "{" + labels + "}"
+			}
+			if !h.hasInf {
+				addf("histogram %s: buckets do not end in le=\"+Inf\"", where)
+			}
+			for i := 1; i < len(h.counts); i++ {
+				if h.counts[i] < h.counts[i-1] {
+					addf("histogram %s: bucket le=%q count %g below previous %g (buckets must be cumulative)",
+						where, h.les[i], h.counts[i], h.counts[i-1])
+				}
+			}
+			if !h.sumSeen {
+				addf("histogram %s: missing _sum", where)
+			}
+			if !h.hasCnt {
+				addf("histogram %s: missing _count", where)
+			} else if h.hasInf && h.count != h.inf {
+				addf("histogram %s: _count %g != +Inf bucket %g", where, h.count, h.inf)
+			}
+		}
+	}
+	return findings
+}

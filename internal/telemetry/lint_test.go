@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintClean checks a well-formed exposition passes.
+func TestLintClean(t *testing.T) {
+	clean := `# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total 4
+reqs_total{kind="parse"} 1
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 1.5
+lat_seconds_count 2
+`
+	if findings := LintExposition(clean); len(findings) != 0 {
+		t.Errorf("clean exposition flagged: %v", findings)
+	}
+}
+
+// TestLintFindings checks each rule fires on a minimal violation.
+func TestLintFindings(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{
+			"missing TYPE",
+			"orphan_total 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"missing HELP",
+			"# TYPE x_total counter\nx_total 1\n",
+			"no # HELP",
+		},
+		{
+			"duplicate series",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total 1\nx_total 2\n",
+			"duplicate series",
+		},
+		{
+			"counter not _total",
+			"# HELP x X.\n# TYPE x counter\nx 1\n",
+			"should end in _total",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"must be cumulative",
+		},
+		{
+			"missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"do not end in le=\"+Inf\"",
+		},
+		{
+			"count mismatch",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+			"_count 4 != +Inf bucket 5",
+		},
+		{
+			"missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		{
+			"bad value",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total banana\n",
+			"not a number",
+		},
+		{
+			"malformed labels",
+			"# HELP x_total X.\n# TYPE x_total counter\nx_total{kind=parse} 1\n",
+			"malformed sample",
+		},
+	}
+	for _, tc := range cases {
+		findings := LintExposition(tc.text)
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, tc.wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: findings %v do not mention %q", tc.name, findings, tc.wantSub)
+		}
+	}
+}

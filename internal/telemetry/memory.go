@@ -1,0 +1,64 @@
+package telemetry
+
+// StoreMemory is a point-in-time memory accounting of a store: the
+// dictionary, the triple indexes, the geometry index and the caches
+// that dominate the process's heap. rdf.Store fills the dictionary and
+// index fields; geostore's stores add the spatial fields and, for the
+// partitioned flavour, sum their partitions. Exposed as store_memory_*
+// gauges on /metrics and verbatim under GET /debug/store.
+type StoreMemory struct {
+	// DictTerms is the number of interned terms; DictBytes is the total
+	// text bytes they hold (value + datatype + language tag), excluding
+	// Go header overhead — the comparable, allocator-independent part.
+	DictTerms int64 `json:"dict_terms"`
+	DictBytes int64 `json:"dict_bytes"`
+	// IndexTriples maps index name (spo, pos, osp, pending) to its
+	// encoded-triple count; IndexBytes is their summed payload size.
+	IndexTriples map[string]int64 `json:"index_triples"`
+	IndexBytes   int64            `json:"index_bytes"`
+	// DedupEntries is the size of the write-path dedup set (0 while it
+	// is lazily unbuilt after a snapshot install).
+	DedupEntries int64 `json:"dedup_entries"`
+
+	// Geometries is the number of parsed geometries held by geostore;
+	// RTreeNodes/RTreeEntries size the spatial index; PlanCacheEntries
+	// counts cached compiled query plans.
+	Geometries       int64 `json:"geometries"`
+	RTreeNodes       int64 `json:"rtree_nodes"`
+	RTreeEntries     int64 `json:"rtree_entries"`
+	PlanCacheEntries int64 `json:"plan_cache_entries"`
+
+	// Partitions is the partition count a partitioned store summed over
+	// (0 for single stores).
+	Partitions int64 `json:"partitions,omitempty"`
+}
+
+// Add accumulates o into m (used by partitioned stores to sum their
+// partitions).
+func (m *StoreMemory) Add(o StoreMemory) {
+	m.DictTerms += o.DictTerms
+	m.DictBytes += o.DictBytes
+	if len(o.IndexTriples) > 0 && m.IndexTriples == nil {
+		m.IndexTriples = make(map[string]int64, len(o.IndexTriples))
+	}
+	for k, v := range o.IndexTriples {
+		m.IndexTriples[k] += v
+	}
+	m.IndexBytes += o.IndexBytes
+	m.DedupEntries += o.DedupEntries
+	m.Geometries += o.Geometries
+	m.RTreeNodes += o.RTreeNodes
+	m.RTreeEntries += o.RTreeEntries
+	m.PlanCacheEntries += o.PlanCacheEntries
+}
+
+// TriplesIndexed returns the summed index triple counts (the spo count
+// approximates distinct triples; pos/osp/pending are the overhead
+// copies).
+func (m *StoreMemory) TriplesIndexed() int64 {
+	var n int64
+	for _, v := range m.IndexTriples {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// TestHistogramBucketBoundaries pins the bucket edges (mirroring the
+// endpoint's historical metrics_internal_test): samples exactly on an
+// upper bound land in that bucket (le is inclusive), just above it in
+// the next, and anything beyond the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for i, ub := range testBuckets {
+		exact := time.Duration(ub * float64(time.Second))
+		// Durations are integer nanoseconds, so every bucket bound (down
+		// to 0.0001s) is exactly representable.
+		if exact.Seconds() != ub {
+			t.Fatalf("bucket bound %g not representable as a duration", ub)
+		}
+		h := newHistogram(testBuckets, 1e9)
+		h.ObserveDuration(exact)
+		if got := h.BucketCounts(); got[i] != 1 {
+			t.Errorf("ObserveDuration(%v) landed in %v, want bucket %d (le=%g)", exact, got, i, ub)
+		}
+		h2 := newHistogram(testBuckets, 1e9)
+		h2.ObserveDuration(exact + time.Nanosecond)
+		if got := h2.BucketCounts(); got[i+1] != 1 {
+			t.Errorf("ObserveDuration(%v+1ns) landed in %v, want bucket %d", exact, got, i+1)
+		}
+	}
+
+	h := newHistogram(testBuckets, 1e9)
+	over := time.Duration(testBuckets[len(testBuckets)-1]*float64(time.Second)) + time.Second
+	h.ObserveDuration(over)
+	if got := h.BucketCounts(); got[len(testBuckets)] != 1 {
+		t.Errorf("ObserveDuration(%v) landed in %v, want the +Inf bucket", over, got)
+	}
+	if got, want := h.Sum(), over.Seconds(); got != want {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+}
+
+// TestValueHistogram checks the integer flavour buckets and sums raw
+// values.
+func TestValueHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 8, 64}, 1)
+	for _, v := range []uint64{1, 2, 8, 9, 1000} {
+		h.ObserveValue(v)
+	}
+	if got := h.BucketCounts(); got[0] != 1 || got[1] != 2 || got[2] != 1 || got[3] != 1 {
+		t.Errorf("bucket counts = %v, want [1 2 1 1]", got)
+	}
+	if got := h.Sum(); got != 1020 {
+		t.Errorf("Sum() = %g, want 1020", got)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+}
+
+// TestConcurrentMutation hammers a counter, gauge and histogram from
+// many goroutines (run under -race) and checks no updates are lost.
+func TestConcurrentMutation(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+		d          = time.Millisecond
+	)
+	r := NewRegistry()
+	c := r.Counter("lost_updates_total", "Counter under concurrent hammering.")
+	g := r.Gauge("water_level", "Gauge under concurrent hammering.")
+	h := r.DurationHistogram("op_duration_seconds", "Histogram under concurrent hammering.", testBuckets)
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveDuration(d)
+				// Concurrent scrapes must be safe too.
+				if j%100 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Load(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Load(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got, want := h.Sum(), float64(goroutines*perG)*d.Seconds(); got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+// TestExposition pins the rendered text format: HELP/TYPE lines,
+// registration order, label rendering, cumulative buckets, %g float
+// spelling and plain-integer gauges.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Add(3)
+	ef := r.CounterFamily("errors_total", "Errors by kind.")
+	shared := NewCounter()
+	ef.Attach(shared)
+	ef.Counter("kind", "parse").Add(2)
+	ef.Attach(shared, "kind", "timeout")
+	shared.Add(5)
+	r.IntGaugeFunc("heap_bytes", "Big integer gauge.", func() int64 { return 1 << 40 })
+	r.GaugeFunc("uptime_seconds", "Float gauge.", func() float64 { return 1.5 })
+	h := r.DurationHistogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveDuration(50 * time.Millisecond)
+	h.ObserveDuration(2 * time.Second)
+	hf := r.DurationHistogramFamily("op_seconds", "Op durations.", []float64{1})
+	hf.Histogram("op", "write").ObserveDuration(500 * time.Millisecond)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	want := `# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total 3
+# HELP errors_total Errors by kind.
+# TYPE errors_total counter
+errors_total 5
+errors_total{kind="parse"} 2
+errors_total{kind="timeout"} 5
+# HELP heap_bytes Big integer gauge.
+# TYPE heap_bytes gauge
+heap_bytes 1099511627776
+# HELP uptime_seconds Float gauge.
+# TYPE uptime_seconds gauge
+uptime_seconds 1.5
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 1
+latency_seconds_bucket{le="+Inf"} 2
+latency_seconds_sum 2.05
+latency_seconds_count 2
+# HELP op_seconds Op durations.
+# TYPE op_seconds histogram
+op_seconds_bucket{op="write",le="1"} 1
+op_seconds_bucket{op="write",le="+Inf"} 1
+op_seconds_sum{op="write"} 0.5
+op_seconds_count{op="write"} 1
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if findings := LintExposition(got); len(findings) != 0 {
+		t.Errorf("lint findings on registry output: %v", findings)
+	}
+}
+
+// TestSnapshot checks the structured read matches the counters.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Add(7)
+	h := r.DurationHistogram("d_seconds", "D.", []float64{1})
+	h.ObserveDuration(2 * time.Second)
+	prepared := 0
+	r.AddPrepare(func() { prepared++ })
+
+	snap := r.Snapshot()
+	if prepared != 1 {
+		t.Errorf("prepare hooks ran %d times, want 1", prepared)
+	}
+	if len(snap.Families) != 2 {
+		t.Fatalf("snapshot has %d families, want 2", len(snap.Families))
+	}
+	if f := snap.Families[0]; f.Name != "a_total" || f.Kind != "counter" || len(f.Series) != 1 || f.Series[0].Value != 7 {
+		t.Errorf("counter family snapshot = %+v", f)
+	}
+	var series []string
+	for _, s := range snap.Families[1].Series {
+		series = append(series, s.Name+s.Labels)
+	}
+	want := []string{`d_seconds_bucket{le="1"}`, `d_seconds_bucket{le="+Inf"}`, "d_seconds_sum", "d_seconds_count"}
+	for i, w := range want {
+		if series[i] != w {
+			t.Errorf("histogram series[%d] = %q, want %q", i, series[i], w)
+		}
+	}
+	if sum := snap.Families[1].Series[2].Value; sum != 2 {
+		t.Errorf("histogram sum = %g, want 2", sum)
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the fail-fast behaviour on name
+// collisions.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "X again.")
+}
