@@ -5,12 +5,15 @@
 package repro
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/sentinel"
 	"repro/internal/sparql"
 	"repro/internal/storage"
+	"repro/internal/storage/vfs"
 	"repro/internal/telemetry"
 	"repro/internal/trainingset"
 )
@@ -1009,6 +1013,62 @@ func BenchmarkTelemetryOverhead_WALAppendDisabled(b *testing.B) {
 // per-triple Record path is never instrumented).
 func BenchmarkTelemetryOverhead_WALAppendEnabled(b *testing.B) {
 	benchWALAppend(b, storage.NewMetrics(telemetry.NewRegistry()))
+}
+
+// benchStream is the slice of vfs.File the stream pair exercises;
+// *os.File satisfies it directly, so the baseline pays no adapter.
+type benchStream interface {
+	Write(p []byte) (int, error)
+	Close() error
+}
+
+// benchStreamWrite is the shared body of the vfs overhead pair: a
+// WAL-shaped buffered stream (64-byte frames, flush every 100) through
+// whichever file handle open returns. Both variants issue identical
+// syscalls; the delta is the cost of the vfs.File interface dispatch
+// that every storage I/O now pays so crash tests can inject faults.
+func benchStreamWrite(b *testing.B, open func(path string) (benchStream, error)) {
+	f, err := open(filepath.Join(b.TempDir(), "stream.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	var rec [64]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i))
+		if _, err := w.Write(rec[:]); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// BenchmarkVFSOverhead_StreamOS is the baseline: the stream goes to a
+// bare *os.File, as the WAL did before the filesystem seam existed.
+func BenchmarkVFSOverhead_StreamOS(b *testing.B) {
+	benchStreamWrite(b, func(path string) (benchStream, error) {
+		return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	})
+}
+
+// BenchmarkVFSOverhead_StreamVFS routes the same stream through
+// vfs.OS — the production default under every WAL and snapshot write.
+// The delta against StreamOS is the full price of the seam.
+func BenchmarkVFSOverhead_StreamVFS(b *testing.B) {
+	benchStreamWrite(b, func(path string) (benchStream, error) {
+		return vfs.OS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	})
 }
 
 const storageBenchFeatures = 20000 // ×10 triples per feature = 200k triples

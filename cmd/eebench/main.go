@@ -13,6 +13,8 @@
 //	                                      # morsel-executor group + JSON report
 //	eebench -bench-group analyze -bench-out BENCH_analyze.json
 //	                                      # EXPLAIN ANALYZE overhead group
+//	eebench -bench-group fault -bench-out BENCH_fault.json
+//	                                      # vfs seam overhead group
 package main
 
 import (
@@ -33,7 +35,7 @@ func main() {
 	benchOut := flag.String("bench-out", "",
 		"run a benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
 	benchGroup := flag.String("bench-group", "query",
-		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join), parallel (morsel-driven executor) or analyze (EXPLAIN ANALYZE overhead)")
+		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join), parallel (morsel-driven executor), analyze (EXPLAIN ANALYZE overhead) or fault (vfs seam overhead)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
@@ -64,8 +66,14 @@ func main() {
 			if err := experiments.WriteAnalyzeBenchJSON(*benchOut, rep); err != nil {
 				log.Fatalf("eebench: write %s: %v", *benchOut, err)
 			}
+		case "fault":
+			table, rep := experiments.FaultBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteFaultBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
 		default:
-			log.Fatalf("eebench: unknown bench group %q (use query, spatial, parallel or analyze)", *benchGroup)
+			log.Fatalf("eebench: unknown bench group %q (use query, spatial, parallel, analyze or fault)", *benchGroup)
 		}
 		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
 		return

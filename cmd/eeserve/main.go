@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -233,6 +234,9 @@ func run(args []string) error {
 			}
 			return stats
 		}
+		// After a sticky WAL failure the endpoint keeps serving queries
+		// but refuses ingestion and reports degraded health.
+		cfg.Degraded = db.Degraded
 	}
 	srv := endpoint.New(engine, cfg)
 	if *pprofAddr != "" {
@@ -275,22 +279,45 @@ func loadNTriplesFile(st *geostore.Store, path string) error {
 }
 
 // snapshotLoop periodically compacts the WAL into a fresh snapshot once
-// enough triples have been journaled since the last one.
+// enough triples have been journaled since the last one. Snapshot
+// failures (a full disk, most likely) back off exponentially with
+// jitter instead of retrying at the full poll rate: each failed
+// attempt rewrites the entire store to disk, so hammering a sick disk
+// every five seconds makes the outage worse. The interval doubles per
+// consecutive failure from snapshotPollInterval up to snapshotBackoffCap
+// and resets on the first success.
+const (
+	snapshotPollInterval = 5 * time.Second
+	snapshotBackoffCap   = 5 * time.Minute
+)
+
 func snapshotLoop(db *storage.DB, st *geostore.Store, every int, log *slog.Logger) {
-	for range time.Tick(5 * time.Second) {
+	// The jitter source is deliberately cheap and unseeded: spreading
+	// retry times across restarted replicas is all it is for.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	delay := snapshotPollInterval
+	for {
+		time.Sleep(delay)
 		if err := st.RDF().JournalErr(); err != nil {
 			log.Error("journal failed, snapshots suspended", slog.Any("err", err))
 			return
 		}
 		if db.SinceSnapshot() < uint64(every) {
+			delay = snapshotPollInterval
 			continue
 		}
 		start := time.Now()
 		path, err := db.Snapshot(st.RDF())
 		if err != nil {
-			log.Error("background snapshot failed", slog.Any("err", err))
+			next := min(delay*2, snapshotBackoffCap)
+			// ±20% jitter so replicas that failed together retry apart.
+			jittered := next + time.Duration((rng.Float64()-0.5)*0.4*float64(next))
+			log.Error("background snapshot failed", slog.Any("err", err),
+				slog.Duration("retry_in", jittered.Round(time.Second)))
+			delay = jittered
 			continue
 		}
+		delay = snapshotPollInterval
 		log.Info("snapshot", slog.String("path", path),
 			slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
 	}

@@ -1,0 +1,118 @@
+package endpoint_test
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/endpoint"
+	"repro/internal/sparql"
+)
+
+// panicEngine is a deliberately broken engine: every evaluation
+// panics, standing in for a query that trips a bug deep in the
+// executor. The endpoint must answer 500 and keep running — the panic
+// happens on the evaluation goroutine, where an unrecovered panic
+// would kill the whole process, not just the request.
+type panicEngine struct{}
+
+func (panicEngine) Query(q *sparql.Query) (*sparql.Results, error) {
+	panic("executor bug: nil morsel")
+}
+func (panicEngine) Version() uint64 { return 0 }
+func (panicEngine) Len() int        { return 0 }
+
+func TestQueryPanicRecovered(t *testing.T) {
+	srv := endpoint.New(panicEngine{}, endpoint.Config{})
+
+	for i := 0; i < 2; i++ { // twice: the first panic must not wedge anything
+		rec := get(t, srv, sparqlURL("SELECT ?s WHERE { ?s ?p ?o }", ""), nil)
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("panicking engine: status = %d, want 500", rec.Code)
+		}
+		rid := rec.Header().Get("X-Request-ID")
+		if rid == "" {
+			t.Fatal("500 response carries no request ID")
+		}
+		if body := rec.Body.String(); !strings.Contains(body, rid) {
+			t.Fatalf("body %q does not reference request ID %q", body, rid)
+		}
+		if body := rec.Body.String(); strings.Contains(body, "morsel") {
+			t.Fatalf("panic value leaked to the client: %q", body)
+		}
+	}
+
+	// The process-level surfaces still work after the panics.
+	if rec := get(t, srv, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: status = %d", rec.Code)
+	}
+	rec := get(t, srv, "/metrics", nil)
+	if !strings.Contains(rec.Body.String(), `sparql_query_errors_total{kind="panic"} 2`) {
+		t.Fatalf("panic counter missing from metrics:\n%s", rec.Body.String())
+	}
+}
+
+// panicLoader covers the handler-level recovery middleware: the panic
+// fires on the request goroutine itself, inside handleLoad.
+type panicLoader struct{}
+
+func (panicLoader) LoadNTriples(r io.Reader) (int, error) { panic("loader bug") }
+
+func TestLoadPanicRecovered(t *testing.T) {
+	srv := endpoint.New(testStore(t), endpoint.Config{Loader: panicLoader{}, LoadToken: "s3cret"})
+	rec := postLoad(srv, ntFeature(0, 1, 1), map[string]string{"Authorization": "Bearer s3cret"})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking loader: status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "loader bug") {
+		t.Fatalf("panic value leaked to the client: %q", body)
+	}
+	if rec := get(t, srv, "/metrics", nil); !strings.Contains(rec.Body.String(), `sparql_query_errors_total{kind="panic"} 1`) {
+		t.Fatal("handler panic not counted")
+	}
+}
+
+// TestDegradedServing pins the degraded-mode contract: queries keep
+// answering 200, POST /load refuses with 503 + Retry-After, and
+// /healthz reports the degraded status with its cause while staying
+// 200 (reads still serve; draining them would widen the outage).
+func TestDegradedServing(t *testing.T) {
+	st := testStore(t)
+	cause := errors.New("storage: WAL fsync failed: injected fault")
+	srv := endpoint.New(st, endpoint.Config{
+		Loader:    st,
+		LoadToken: "s3cret",
+		Degraded:  func() error { return cause },
+	})
+
+	rec := get(t, srv, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query on degraded store: status = %d, want 200", rec.Code)
+	}
+
+	rec = postLoad(srv, ntFeature(0, 1, 1), map[string]string{"Authorization": "Bearer s3cret"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("load on degraded store: status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded 503 carries no Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "read-only") {
+		t.Fatalf("degraded 503 body does not explain: %q", rec.Body.String())
+	}
+	// Auth still gates before the degraded answer: no token, no detail.
+	if rec := postLoad(srv, ntFeature(0, 1, 1), nil); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated load on degraded store: status = %d, want 401", rec.Code)
+	}
+
+	rec = get(t, srv, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz on degraded store: status = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"status":"degraded"`) || !strings.Contains(body, "fsync failed") {
+		t.Fatalf("healthz = %q, want degraded status with cause", body)
+	}
+}

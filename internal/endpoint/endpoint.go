@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,12 @@ type Config struct {
 	// GET /debug/store embeds under "storage" (eeserve passes a closure
 	// over storage.DB.Stats). The value is marshaled as JSON verbatim.
 	StorageStats func() any
+	// Degraded, when non-nil, reports the storage layer's sticky failure
+	// (eeserve passes a closure over storage.DB.Degraded). While it
+	// returns non-nil the server keeps answering queries from memory but
+	// refuses POST /load with 503 + Retry-After, and /healthz reports
+	// status "degraded" with the cause.
+	Degraded func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -174,8 +181,8 @@ func New(engine Engine, cfg Config) *Server {
 	}
 	s.metrics = newMetrics(reg)
 	s.registerRuntimeMetrics()
-	s.mux.HandleFunc("/sparql", s.handleSPARQL)
-	s.mux.HandleFunc("/load", s.handleLoad)
+	s.mux.HandleFunc("/sparql", s.recoverPanics(s.handleSPARQL))
+	s.mux.HandleFunc("/load", s.recoverPanics(s.handleLoad))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	// The /debug/* routes expose query text and store internals, so the
@@ -230,6 +237,18 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="load"`)
 		http.Error(w, "missing or invalid load token", http.StatusUnauthorized)
 		return
+	}
+	// A degraded store is read-only: the WAL took a sticky failure, so
+	// accepting triples would lose them on restart. Queries keep being
+	// served; only this write path closes.
+	if s.cfg.Degraded != nil {
+		if derr := s.cfg.Degraded(); derr != nil {
+			s.metrics.loadErrors.Add(1)
+			w.Header().Set("Retry-After", "30")
+			http.Error(w, fmt.Sprintf("store is degraded (read-only): %v; restart the server to recover", derr),
+				http.StatusServiceUnavailable)
+			return
+		}
 	}
 	start := time.Now()
 	n, err := s.cfg.Loader.LoadNTriples(r.Body)
@@ -394,6 +413,16 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			// Client went away mid-evaluation; nobody is listening, and it
 			// was not a server-side deadline, so don't count it as one.
 		default:
+			var pe *panicError
+			if errors.As(err, &pe) {
+				// The engine panicked inside the evaluation goroutine; the
+				// recover happened there (a handler-level recover cannot
+				// reach another goroutine) and the panic arrived here as an
+				// error. The panic value never leaks to the client — only
+				// the request ID, which correlates with the logged stack.
+				s.serverError(w, r, pe)
+				return
+			}
 			s.metrics.countError(errKindEval)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
@@ -458,6 +487,48 @@ func (s *Server) finish(w http.ResponseWriter, format Format, body []byte, hit b
 	w.Write(body)
 }
 
+// panicError carries a recovered panic out of the evaluation goroutine
+// as an ordinary error.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// recoverPanics wraps a handler so a panic in it answers 500 (with the
+// request ID for log correlation) instead of killing the connection —
+// and, since http.Server would only recover per-connection anyway,
+// keeps the behavior uniform with the evaluation-goroutine recovery,
+// where a panic would otherwise crash the whole process.
+func (s *Server) recoverPanics(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.serverError(w, r, &panicError{val: p, stack: debug.Stack()})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// serverError reports a recovered panic: counts it under
+// sparql_query_errors_total{kind="panic"}, logs the stack with the
+// request ID, and answers 500 carrying only the request ID.
+func (s *Server) serverError(w http.ResponseWriter, r *http.Request, pe *panicError) {
+	s.metrics.countError(errKindPanic)
+	rid := w.Header().Get("X-Request-ID")
+	if s.logger != nil {
+		s.logger.Error("panic serving request",
+			"request_id", rid, "path", r.URL.Path,
+			"panic", fmt.Sprint(pe.val), "stack", string(pe.stack))
+	}
+	// If the handler already streamed a response body this write is a
+	// no-op on the status line; the client sees a truncated body, which
+	// is the best an HTTP/1 server can do mid-stream.
+	http.Error(w, fmt.Sprintf("internal server error (request %s)", rid), http.StatusInternalServerError)
+}
+
 // evalWithTimeout evaluates q, abandoning the wait when the per-query
 // deadline or the client connection expires. Engines implementing
 // ContextEngine receive the deadline context and stop their executor
@@ -484,15 +555,25 @@ func (s *Server) evalWithTimeout(ctx context.Context, q *sparql.Query, analyze b
 		var res *sparql.Results
 		var prof *sparql.Profile
 		var err error
-		if ae, ok := s.engine.(AnalyzeEngine); ok && analyze {
-			res, prof, err = ae.QueryAnalyze(ctx, q)
-		} else if ce, ok := s.engine.(ContextEngine); ok {
-			// A timed-out engine reports ctx.Err() itself, which the
-			// handler's error switch already maps to 504.
-			res, err = ce.QueryContext(ctx, q)
-		} else {
-			res, err = s.engine.Query(q)
-		}
+		// Evaluation runs on this goroutine, out of reach of any
+		// handler-level recover: a panicking engine would kill the whole
+		// process. Recover here and deliver the panic as an error.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err = &panicError{val: p, stack: debug.Stack()}
+				}
+			}()
+			if ae, ok := s.engine.(AnalyzeEngine); ok && analyze {
+				res, prof, err = ae.QueryAnalyze(ctx, q)
+			} else if ce, ok := s.engine.(ContextEngine); ok {
+				// A timed-out engine reports ctx.Err() itself, which the
+				// handler's error switch already maps to 504.
+				res, err = ce.QueryContext(ctx, q)
+			} else {
+				res, err = s.engine.Query(q)
+			}
+		}()
 		ch <- evalResult{res, prof, err}
 	}()
 	select {

@@ -28,10 +28,11 @@ type metrics struct {
 	rejected    *telemetry.Counter // admission-control 503s
 	timeouts    *telemetry.Counter // per-query deadline expirations
 
-	// Per-kind breakdown of errors; timeouts above is the fourth kind.
+	// Per-kind breakdown of errors; timeouts above is the fifth kind.
 	errParse     *telemetry.Counter
 	errEval      *telemetry.Counter
 	errSerialize *telemetry.Counter
+	errPanic     *telemetry.Counter // recovered handler/engine panics
 
 	slowQueries *telemetry.Counter // queries captured by the slow-query ring
 	execRows    *telemetry.Counter // result rows produced by evaluations
@@ -62,6 +63,7 @@ func newMetrics(reg *telemetry.Registry) metrics {
 	m.errParse = errs.Counter("kind", "parse")
 	m.errEval = errs.Counter("kind", "eval")
 	m.errSerialize = errs.Counter("kind", "serialize")
+	m.errPanic = errs.Counter("kind", "panic")
 	errs.Attach(m.timeouts, "kind", "timeout")
 	m.cacheHits = reg.Counter("sparql_cache_hits_total", "Requests served from the result cache.")
 	m.cacheMisses = reg.Counter("sparql_cache_misses_total", "Requests that missed the result cache.")
@@ -84,6 +86,7 @@ const (
 	errKindParse errKind = iota
 	errKindEval
 	errKindSerialize
+	errKindPanic
 )
 
 // countError bumps the unlabeled error total plus the matching kind
@@ -98,6 +101,8 @@ func (m *metrics) countError(k errKind) {
 		m.errEval.Inc()
 	case errKindSerialize:
 		m.errSerialize.Inc()
+	case errKindPanic:
+		m.errPanic.Inc()
 	}
 }
 
@@ -224,13 +229,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz reports liveness plus basic store facts, so load balancers
 // and Sextant deployments can gate traffic on it. When admission control
 // is saturated it answers 503 "overloaded", letting balancers drain
-// traffic away before requests start bouncing off the semaphore.
+// traffic away before requests start bouncing off the semaphore. A
+// degraded (read-only) store reports status "degraded" with the cause
+// but stays 200: queries still serve, and draining read traffic away
+// from a store that can answer it would turn a partial failure into a
+// full one.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	status := "ok"
+	status, cause := "ok", ""
+	if s.cfg.Degraded != nil {
+		if derr := s.cfg.Degraded(); derr != nil {
+			status, cause = "degraded", derr.Error()
+		}
+	}
 	if cap(s.sem) > 0 && len(s.sem) >= cap(s.sem) {
 		status = "overloaded"
 		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if cause != "" {
+		fmt.Fprintf(w, "{\"status\":%q,\"cause\":%q,\"triples\":%d,\"store_version\":%d}\n",
+			status, cause, s.engine.Len(), s.engine.Version())
+		return
 	}
 	fmt.Fprintf(w, "{\"status\":%q,\"triples\":%d,\"store_version\":%d}\n",
 		status, s.engine.Len(), s.engine.Version())

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/storage"
+	"repro/internal/storage/vfs"
+)
+
+// This file implements the fault-seam overhead group behind
+// `eebench -bench-group fault -bench-out BENCH_fault.json`: since the
+// storage engine now performs every filesystem operation through the
+// vfs seam (so crash-simulation tests can substitute a fault-injecting
+// implementation), this group proves the seam costs nothing measurable
+// on the production path. Each workload runs twice over a real temp
+// directory — once against the os package directly, once through
+// vfs.OS — and reports the delta, mirroring the telemetry
+// disabled/enabled discipline of BENCH_analyze.json.
+
+// FaultBenchResult is one measured (workload, mode) cell.
+type FaultBenchResult struct {
+	Name    string `json:"name"` // workload name
+	Mode    string `json:"mode"` // "os" (direct) or "vfs" (through the seam)
+	Ops     int    `json:"ops"`  // records written / snapshots captured
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// OverheadPct is the vfs-vs-os slowdown in percent (vfs rows only).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+// FaultBenchReport is the BENCH_fault.json schema.
+type FaultBenchReport struct {
+	Group     string             `json:"group"`
+	Generated string             `json:"generated"`
+	CPUs      int                `json:"cpus"`
+	Results   []FaultBenchResult `json:"results"`
+}
+
+// streamWriter is the subset of vfs.File both modes share; *os.File
+// satisfies it directly, so the "os" rows dispatch no interface beyond
+// what bufio itself costs.
+type streamWriter interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// writeWALStream writes n framed 64-byte records through w with a
+// flush every 100 — the WAL commit loop's I/O shape without its
+// encoding work, so the measured delta is dispatch, not CPU.
+func writeWALStream(w streamWriter, n int) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var rec [64]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		if i%100 == 99 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// FaultBench runs the vfs-seam overhead group and returns a printable
+// table plus the JSON report.
+func FaultBench(cfg Config) (*Table, *FaultBenchReport) {
+	records := cfg.scale(400000, 40000)
+	snapFeatures := cfg.scale(20000, 2000)
+	iters := cfg.scale(12, 6)
+
+	t := &Table{
+		ID:     "FAULT",
+		Title:  "vfs seam overhead: direct os calls vs the storage filesystem interface",
+		Header: []string{"workload", "mode", "ops", "wall_ms", "overhead_pct"},
+		Notes:  "os = *os.File directly; vfs = the same operations through vfs.OS (the production default under WAL and snapshots)",
+	}
+	rep := &FaultBenchReport{
+		Group:     "fault",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	dir, err := os.MkdirTemp("", "eebench-fault-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	record := func(name, mode string, ops int, dur time.Duration, base time.Duration) {
+		overhead := 0.0
+		cell := ""
+		if mode == "vfs" && base > 0 {
+			overhead = (float64(dur)/float64(base) - 1) * 100
+			cell = f2(overhead)
+		}
+		t.Rows = append(t.Rows, []string{name, mode, i0(ops), ms(dur), cell})
+		rep.Results = append(rep.Results, FaultBenchResult{
+			Name: name, Mode: mode, Ops: ops, Iters: iters,
+			NsPerOp: dur.Nanoseconds() / int64(max(ops, 1)), OverheadPct: overhead,
+		})
+	}
+
+	// WAL-shaped buffered stream: open, framed writes, flush cadence.
+	streamVia := func(open func(path string) (streamWriter, error)) func() {
+		return func() {
+			w, err := open(filepath.Join(dir, "stream.log"))
+			if err != nil {
+				panic(err)
+			}
+			if err := writeWALStream(w, records); err != nil {
+				panic(err)
+			}
+		}
+	}
+	osStream, vfsStream := measurePair(iters,
+		streamVia(func(path string) (streamWriter, error) {
+			return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		}),
+		streamVia(func(path string) (streamWriter, error) {
+			return vfs.OS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		}))
+	record("wal_stream", "os", records, osStream, 0)
+	record("wal_stream", "vfs", records, vfsStream, osStream)
+
+	// Snapshot capture: the full create → stream → fsync → rename →
+	// dirsync sequence. The os mode hand-codes what writeSnapshotData
+	// did before the seam existed; the vfs mode is the production path.
+	st := rdf.NewStore()
+	for i := 0; i < snapFeatures; i++ {
+		st.Add(
+			rdf.NewIRI(fmt.Sprintf("http://extremeearth.eu/feature/%d", i)),
+			rdf.NewIRI("http://extremeearth.eu/ontology#value"),
+			rdf.NewIntLiteral(int64(i)))
+	}
+	terms, triples, version := st.SnapshotData()
+	snapPath := filepath.Join(dir, "bench.snap")
+
+	osSnap, vfsSnap := measurePair(iters, func() {
+		tmp := snapPath + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			panic(err)
+		}
+		w := bufio.NewWriterSize(f, 1<<16)
+		if err := storage.WriteSnapshotTo(w, terms, triples, version); err != nil {
+			panic(err)
+		}
+		if err := f.Sync(); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		if err := os.Rename(tmp, snapPath); err != nil {
+			panic(err)
+		}
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}, func() {
+		if err := writeSnapshotThroughVFS(snapPath, terms, triples, version); err != nil {
+			panic(err)
+		}
+	})
+	record("snapshot_write", "os", len(triples), osSnap, 0)
+	record("snapshot_write", "vfs", len(triples), vfsSnap, osSnap)
+
+	return t, rep
+}
+
+// writeSnapshotThroughVFS is the production snapshot write shape over
+// vfs.OS (same sequence writeSnapshotData performs inside storage).
+func writeSnapshotThroughVFS(path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
+	tmp := path + ".tmp"
+	f, err := vfs.OS.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := storage.WriteSnapshotTo(w, terms, triples, version); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := vfs.OS.Rename(tmp, path); err != nil {
+		return err
+	}
+	return vfs.OS.SyncDir(filepath.Dir(path))
+}
+
+// measurePair times two implementations of the same workload in
+// interleaved rounds after an untimed warm-up of each, so neither mode
+// pays first-run costs (page-cache population, allocator warm-up) that
+// would masquerade as seam overhead. It returns each mode's best round:
+// both modes issue the same syscalls, so the minimum is the run least
+// disturbed by scheduling and writeback noise and the fairest basis
+// for the overhead ratio.
+func measurePair(iters int, a, b func()) (da, db time.Duration) {
+	a()
+	b()
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		a()
+		ta := time.Since(start)
+		start = time.Now()
+		b()
+		tb := time.Since(start)
+		if i == 0 || ta < da {
+			da = ta
+		}
+		if i == 0 || tb < db {
+			db = tb
+		}
+	}
+	return da, db
+}
+
+// WriteFaultBenchJSON writes the report to path (the conventional name
+// is BENCH_fault.json).
+func WriteFaultBenchJSON(path string, rep *FaultBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -74,10 +74,17 @@ func (s *Store) Add(sub, pred, obj Term) {
 func (s *Store) AddTriple(t Triple) { s.Add(t.S, t.P, t.O) }
 
 // AddEncoded inserts an already-encoded triple; the IDs must come from this
-// store's dictionary.
+// store's dictionary. Once the journal has failed (JournalErr non-nil)
+// the store is read-only: accepting the triple in memory while the log
+// cannot record it would silently diverge from what a restart recovers,
+// so the insert is dropped and the next CommitJournal reports the
+// sticky error.
 func (s *Store) AddEncoded(t EncTriple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.jerr != nil {
+		return
+	}
 	if s.seen == nil {
 		s.rebuildSeenLocked()
 	}

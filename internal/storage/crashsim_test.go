@@ -1,0 +1,373 @@
+package storage
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
+	"repro/internal/telemetry"
+)
+
+// This file is the crash-simulation property harness: a scripted
+// commit/snapshot/rotate workload runs against the fault-injecting
+// filesystem, a counting pass establishes the space of injection
+// points, and then every point is hit with every fault kind, the plug
+// is pulled, and recovery must reconstruct exactly the batches whose
+// commits were acknowledged — never a partial batch, never a missing
+// acknowledged one.
+
+// crashBatches is the scripted workload: each batch commits as one
+// journal record (SyncEvery 1, so an acknowledged commit is durable),
+// with snapshot compactions interleaved after batches 2 and 4 to cover
+// rotation, snapshot publication, and pruning among the injection
+// points.
+const (
+	crashNumBatches = 6
+	crashBatchSize  = 3
+)
+
+func crashBatch(k int) []rdf.Triple {
+	out := make([]rdf.Triple, crashBatchSize)
+	for j := range out {
+		out[j] = tr(k*crashBatchSize + j)
+	}
+	return out
+}
+
+func crashSnapshotAfter(k int) bool { return k == 2 || k == 4 }
+
+// runCrashWorkload drives the scripted workload over fsys and reports
+// how many batch commits were acknowledged. Failures are expected —
+// the injected fault makes the WAL sticky-broken or kills the
+// filesystem — so every error just ends the corresponding activity.
+func runCrashWorkload(fsys vfs.FS) (acked int) {
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		return 0
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		return 0
+	}
+	st.SetJournal(db.Log())
+	for k := 0; k < crashNumBatches; k++ {
+		if err := st.AddBatch(crashBatch(k)); err != nil {
+			break
+		}
+		acked++
+		if crashSnapshotAfter(k) {
+			db.Snapshot(st) // failure keeps the store serviceable
+		}
+	}
+	return acked
+}
+
+// recoverCrashed reopens the directory after the power cut and returns
+// the recovered store.
+func recoverCrashed(t *testing.T, fsys vfs.FS) *rdf.Store {
+	t.Helper()
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatalf("recover after crash: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	return st
+}
+
+// wantPrefix is the canonical triple set of the first k batches.
+func wantPrefix(k int) []string {
+	var out []string
+	for i := 0; i < k; i++ {
+		for _, t := range crashBatch(i) {
+			out = append(out, t.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashSimulation is the property test: for every injection point
+// the counting pass finds and every fault kind, the store recovered
+// after a power cut holds exactly the acknowledged-batch prefix.
+func TestCrashSimulation(t *testing.T) {
+	// Counting pass: no faults, full workload, record the op space.
+	count := vfs.NewErrFS()
+	if acked := runCrashWorkload(count); acked != crashNumBatches {
+		t.Fatalf("clean workload acked %d of %d batches", acked, crashNumBatches)
+	}
+	total := count.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously small injection space: %d ops", total)
+	}
+	// The clean run must also survive a plain power cut at the end.
+	count.PowerCut()
+	if got := sortedTriples(recoverCrashed(t, count)); !equalStrings(got, wantPrefix(crashNumBatches)) {
+		t.Fatalf("clean run lost data: %d triples recovered, want %d",
+			len(got), crashNumBatches*crashBatchSize)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 3 // bounded sweep for the -race CI job
+	}
+
+	kinds := []struct {
+		name  string
+		fault func(op vfs.Op) error
+	}{
+		{"eio", func(vfs.Op) error { return vfs.ErrInjected }},
+		{"enospc", func(vfs.Op) error { return vfs.ErrNoSpace }},
+		{"powercut", func(vfs.Op) error { return vfs.ErrPowerCut }},
+		{"torn", func(op vfs.Op) error {
+			if op == vfs.OpWrite {
+				return &vfs.TornWrite{Keep: 1, Err: vfs.ErrPowerCut}
+			}
+			return vfs.ErrPowerCut
+		}},
+	}
+
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.name, func(t *testing.T) {
+			for point := 0; point < total; point += stride {
+				fsys := vfs.NewErrFS()
+				fsys.SetFault(func(seq int, op vfs.Op, path string) error {
+					if seq == point {
+						return kind.fault(op)
+					}
+					return nil
+				})
+				acked := runCrashWorkload(fsys)
+				fsys.PowerCut()
+				got := sortedTriples(recoverCrashed(t, fsys))
+				if !equalStrings(got, wantPrefix(acked)) {
+					t.Fatalf("point %d: recovered %d triples, want the %d-batch prefix (%d); recovered set diverges",
+						point, len(got), acked, acked*crashBatchSize)
+				}
+			}
+		})
+	}
+}
+
+// TestWALStickyFailure pins the no-silent-retry contract: after one
+// fsync failure the log refuses all further writes with the same
+// error, the store goes read-only, and the degraded state is visible
+// on DB.Degraded and the storage metrics.
+func TestWALStickyFailure(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	if err := st.AddBatch(crashBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Degraded(); err != nil {
+		t.Fatalf("healthy store reports degraded: %v", err)
+	}
+
+	// One fsync failure, then a healthy filesystem again: the log must
+	// not try its luck against the same file.
+	fsys.SetFault(func(seq int, op vfs.Op, path string) error {
+		if op == vfs.OpSync {
+			return vfs.ErrInjected
+		}
+		return nil
+	})
+	err = st.AddBatch(crashBatch(1))
+	if !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("AddBatch under fsync fault = %v, want injected error", err)
+	}
+	fsys.SetFault(nil)
+	opsAfterFailure := fsys.Ops()
+
+	// Sticky: same error back, no new filesystem traffic, store frozen.
+	lenBefore := st.Len()
+	if err2 := st.AddBatch(crashBatch(2)); !errors.Is(err2, vfs.ErrInjected) {
+		t.Fatalf("retry after sticky failure = %v, want the original error", err2)
+	}
+	if got := fsys.Ops(); got != opsAfterFailure {
+		t.Fatalf("sticky-failed WAL touched the filesystem again: %d ops, had %d", got, opsAfterFailure)
+	}
+	if st.Len() != lenBefore {
+		t.Fatalf("read-only store grew from %d to %d triples", lenBefore, st.Len())
+	}
+	if err := db.Degraded(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("Degraded = %v, want the sticky failure", err)
+	}
+
+	// Reads still serve everything in memory — batch 0 plus the batch
+	// whose commit failed (memory may run ahead of the log, never
+	// behind; only restart reconciles them).
+	if got := len(st.Triples()); got != lenBefore {
+		t.Fatalf("degraded store serves %d triples, want %d", got, lenBefore)
+	}
+
+	// The failure surface is on the metrics.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	expo := b.String()
+	for _, want := range []string{
+		`storage_degraded 1`,
+		`storage_io_errors_total{op="fsync"} 1`,
+	} {
+		if !containsLine(expo, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+
+	// A restart recovers everything that was acknowledged.
+	fsys.PowerCut()
+	if got := sortedTriples(recoverCrashed(t, fsys)); !equalStrings(got, wantPrefix(1)) {
+		t.Fatalf("recovery after sticky failure: %d triples, want batch 0 only", len(got))
+	}
+}
+
+// TestSnapshotENOSPCKeepsPreviousGeneration covers the disk-full
+// snapshot: the write fails with a typed *SnapshotWriteError (not a
+// corruption error), the .tmp file is cleaned up, and the previous
+// generation still recovers the full store.
+func TestSnapshotENOSPCKeepsPreviousGeneration(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	if err := st.AddBatch(crashBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddBatch(crashBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second snapshot hits a full disk while streaming the new
+	// generation's bytes.
+	fsys.SetFault(func(seq int, op vfs.Op, path string) error {
+		if op == vfs.OpWrite {
+			return vfs.ErrNoSpace
+		}
+		return nil
+	})
+	_, err = db.Snapshot(st)
+	var swe *SnapshotWriteError
+	if !errors.As(err, &swe) {
+		t.Fatalf("Snapshot under ENOSPC = %v, want *SnapshotWriteError", err)
+	}
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("cause not preserved: %v", err)
+	}
+	if swe.Op != "write" {
+		t.Fatalf("failed op = %q, want write", swe.Op)
+	}
+	fsys.SetFault(nil)
+
+	// No .tmp litter, and the WAL is still healthy (snapshot failure
+	// must not degrade the write path).
+	if tmps, _ := fsys.Glob("db/*.tmp"); len(tmps) != 0 {
+		t.Fatalf(".tmp files left behind: %v", tmps)
+	}
+	if err := db.Degraded(); err != nil {
+		t.Fatalf("snapshot failure degraded the store: %v", err)
+	}
+	if err := st.AddBatch(crashBatch(2)); err != nil {
+		t.Fatalf("write after failed snapshot: %v", err)
+	}
+
+	// The previous generation plus retained WAL segments recover
+	// everything acknowledged.
+	fsys.PowerCut()
+	if got := sortedTriples(recoverCrashed(t, fsys)); !equalStrings(got, wantPrefix(3)) {
+		t.Fatalf("recovery after failed snapshot: %d triples, want all 3 batches", len(got))
+	}
+}
+
+// TestSnapshotDirSyncErrorPropagates is the syncDir regression test:
+// the directory fsync after the publishing rename used to be silently
+// discarded; now it must surface as a dirsync-typed write error.
+func TestSnapshotDirSyncErrorPropagates(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	if err := st.AddBatch(crashBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetFault(func(seq int, op vfs.Op, path string) error {
+		if op == vfs.OpSyncDir {
+			return vfs.ErrInjected
+		}
+		return nil
+	})
+	_, err = db.Snapshot(st)
+	var swe *SnapshotWriteError
+	if !errors.As(err, &swe) || swe.Op != "dirsync" {
+		t.Fatalf("Snapshot under dirsync fault = %v, want *SnapshotWriteError{Op: dirsync}", err)
+	}
+}
+
+// containsLine reports whether expo has a line starting with want.
+func containsLine(expo, want string) bool {
+	for _, line := range splitLines(expo) {
+		if line == want {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

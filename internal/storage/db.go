@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
 )
 
 // DB manages one durable data directory:
@@ -27,7 +28,8 @@ type DB struct {
 	mu       sync.Mutex
 	dir      string
 	opts     Options
-	lockFile *os.File // holds the flock guarding the directory
+	fsys     vfs.FS   // opts.fsys(), resolved once at Open
+	lockFile vfs.File // holds the flock guarding the directory
 	log      *Log
 	seq      int // active WAL segment sequence number
 	// prevSnapSeq is the rotation boundary of the previous (second
@@ -113,18 +115,19 @@ func (s RecoveryStats) LogValue() slog.Value {
 // a crashed process never blocks recovery). Data files are not touched
 // until Recover.
 func Open(dir string, opts Options) (*DB, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.fsys()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
-	lf, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	lf, err := fsys.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
-	if err := flockExclusive(lf); err != nil {
+	if err := lf.Lock(); err != nil {
 		lf.Close()
 		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
 	}
-	return &DB{dir: dir, opts: opts, lockFile: lf}, nil
+	return &DB{dir: dir, opts: opts, fsys: fsys, lockFile: lf}, nil
 }
 
 // Dir returns the managed directory.
@@ -143,7 +146,7 @@ func (db *DB) segPath(seq int) string {
 // version are returned separately so Recover can warn about them —
 // they would otherwise be silently invisible to recovery and pruning.
 func (db *DB) listSnapshots() (snaps []SnapshotInfo, unparsable []string, err error) {
-	paths, err := filepath.Glob(filepath.Join(db.dir, "snap-*.snap"))
+	paths, err := db.fsys.Glob(filepath.Join(db.dir, "snap-*.snap"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -164,7 +167,7 @@ func (db *DB) listSegments() ([]struct {
 	Path string
 	Seq  int
 }, error) {
-	paths, err := filepath.Glob(filepath.Join(db.dir, "wal-*.log"))
+	paths, err := db.fsys.Glob(filepath.Join(db.dir, "wal-*.log"))
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +215,7 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 	}
 	for _, s := range snaps {
 		loadStart := time.Now()
-		info, err := LoadSnapshotFile(s.Path, st)
+		info, err := loadSnapshotFileFS(db.fsys, s.Path, st)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "storage: skipping unreadable snapshot %s: %v\n", s.Path, err)
 			stats.SnapshotsSkipped++
@@ -224,7 +227,7 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 		stats.SnapshotLoadDuration = time.Since(loadStart)
 		if m := db.opts.Metrics; m != nil {
 			m.snapshotLoad.ObserveDuration(stats.SnapshotLoadDuration)
-			if fi, statErr := os.Stat(s.Path); statErr == nil {
+			if fi, statErr := db.fsys.Stat(s.Path); statErr == nil {
 				m.snapshotBytes.Set(fi.Size())
 			}
 		}
@@ -254,7 +257,7 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 		stats.WALSegments = 1
 	} else {
 		for _, s := range segs[:len(segs)-1] {
-			dropped, err := ReplayLog(s.Path, replay)
+			dropped, err := replayLogFS(db.fsys, s.Path, replay)
 			if err != nil {
 				return stats, err
 			}
@@ -287,6 +290,21 @@ func (db *DB) Recover(st *rdf.Store) (RecoveryStats, error) {
 // Log returns the active WAL, ready to attach as the store's journal.
 // Only valid after Recover.
 func (db *DB) Log() *Log { return db.log }
+
+// Degraded reports the WAL's sticky failure, nil while healthy. Once
+// non-nil the store is read-only: queries keep working against the
+// in-memory state, writes are refused, and the only way back is a
+// restart (Recover replays what was durably committed). Serving layers
+// poll this to gate write endpoints and report health.
+func (db *DB) Degraded() error {
+	db.mu.Lock()
+	log := db.log
+	db.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Err()
+}
 
 // SinceSnapshot returns the number of triples journaled since the last
 // snapshot (or since recovery). Serving layers use it to trigger
@@ -346,14 +364,18 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 	}
 	path := db.snapPath(nameVer)
 	writeStart := time.Now()
-	if err := writeSnapshotData(path, terms, triples, version); err != nil {
+	if err := writeSnapshotData(db.fsys, db.opts.Metrics, path, terms, triples, version); err != nil {
+		// The write path cleaned up its .tmp; the previous snapshot
+		// generation and every WAL segment are untouched, so the store is
+		// fully recoverable — the caller just retries later. The rotation
+		// above stands (harmless: an extra small segment).
 		return "", err
 	}
 	if m := db.opts.Metrics; m != nil {
 		m.snapshotWrite.ObserveDuration(time.Since(writeStart))
 		m.snapshotWrites.Inc()
 		m.compactions.Inc()
-		if fi, err := os.Stat(path); err == nil {
+		if fi, err := db.fsys.Stat(path); err == nil {
 			m.snapshotBytes.Set(fi.Size())
 		}
 	}
@@ -365,7 +387,7 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 	if segs, err := db.listSegments(); err == nil {
 		for _, s := range segs {
 			if s.Seq <= db.prevSnapSeq {
-				if os.Remove(s.Path) == nil && db.opts.Metrics != nil {
+				if db.fsys.Remove(s.Path) == nil && db.opts.Metrics != nil {
 					db.opts.Metrics.segmentsPruned.Inc()
 				}
 			}
@@ -379,7 +401,7 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 			}
 			kept++
 			if kept > 1 {
-				os.Remove(s.Path)
+				db.fsys.Remove(s.Path)
 			}
 		}
 	}

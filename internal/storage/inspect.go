@@ -2,10 +2,11 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
+
+	"repro/internal/storage/vfs"
 )
 
 // This file is the storage engine's introspection surface: a lock-free
@@ -50,7 +51,11 @@ type DirStats struct {
 // directory another process is serving from (sizes and ages are a
 // point-in-time read).
 func InspectDir(dir string) (*DirStats, error) {
-	fi, err := os.Stat(dir)
+	return inspectDirFS(vfs.OS, dir)
+}
+
+func inspectDirFS(fsys vfs.FS, dir string) (*DirStats, error) {
+	fi, err := fsys.Stat(dir)
 	if err != nil {
 		return nil, fmt.Errorf("storage: inspect %s: %w", dir, err)
 	}
@@ -60,7 +65,7 @@ func InspectDir(dir string) (*DirStats, error) {
 	now := time.Now()
 	st := &DirStats{Dir: dir}
 
-	segPaths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	segPaths, err := fsys.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +74,7 @@ func InspectDir(dir string) (*DirStats, error) {
 		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &seq); err != nil {
 			continue
 		}
-		info, err := os.Stat(p)
+		info, err := fsys.Stat(p)
 		if err != nil {
 			continue // raced with pruning
 		}
@@ -86,7 +91,7 @@ func InspectDir(dir string) (*DirStats, error) {
 		st.Segments[n-1].Active = true
 	}
 
-	snapPaths, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	snapPaths, err := fsys.Glob(filepath.Join(dir, "snap-*.snap"))
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +100,7 @@ func InspectDir(dir string) (*DirStats, error) {
 		if _, err := fmt.Sscanf(filepath.Base(p), "snap-%d.snap", &v); err != nil {
 			continue
 		}
-		info, err := os.Stat(p)
+		info, err := fsys.Stat(p)
 		if err != nil {
 			continue
 		}
@@ -115,7 +120,7 @@ func InspectDir(dir string) (*DirStats, error) {
 // compaction state (SinceSnapshot, active segment marking by sequence
 // rather than by youngest file).
 func (db *DB) Stats() (*DirStats, error) {
-	st, err := InspectDir(db.dir)
+	st, err := inspectDirFS(db.fsys, db.dir)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,20 @@ type Metrics struct {
 	compactions    *telemetry.Counter
 	segmentsPruned *telemetry.Counter
 	snapshotBytes  *telemetry.Gauge // size of the newest snapshot file
+
+	// Failure surface (see README "Failure modes & degraded operation"):
+	// degraded flips to 1 when the WAL takes its sticky write failure and
+	// the store stops accepting writes; ioErrors counts every failed
+	// filesystem operation by op label, snapshot failures included.
+	degraded      *telemetry.Gauge
+	ioErrors      map[string]*telemetry.Counter
+	ioErrorsOther *telemetry.Counter
 }
+
+// ioErrorOps is the fixed label space of storage_io_errors_total: the
+// vfs operations the WAL and snapshot writers perform. Failures outside
+// the set land on op="other" rather than minting unbounded labels.
+var ioErrorOps = []string{"create", "write", "fsync", "close", "rename", "remove", "dirsync", "rotate"}
 
 // NewMetrics registers the storage metric families on reg and returns
 // the instrument set.
@@ -66,7 +79,37 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.compactions = reg.Counter("storage_snapshot_compactions_total", "WAL compaction runs (snapshot + prune).")
 	m.segmentsPruned = reg.Counter("storage_wal_segments_pruned_total", "WAL segment files deleted by compaction.")
 	m.snapshotBytes = reg.Gauge("storage_snapshot_last_bytes", "Size in bytes of the newest snapshot file.")
+	m.degraded = reg.Gauge("storage_degraded",
+		"1 once the WAL has taken its sticky write failure and the store refuses writes; restart to recover.")
+	ef := reg.CounterFamily("storage_io_errors_total",
+		"Filesystem operation failures in the WAL and snapshot paths, by operation.")
+	m.ioErrors = make(map[string]*telemetry.Counter, len(ioErrorOps))
+	for _, op := range ioErrorOps {
+		m.ioErrors[op] = ef.Counter("op", op)
+	}
+	m.ioErrorsOther = ef.Counter("op", "other")
 	return m
+}
+
+// ioError counts one failed filesystem operation. Safe on a nil
+// receiver so error paths need no metrics guard.
+func (m *Metrics) ioError(op string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.ioErrors[op]; ok {
+		c.Inc()
+		return
+	}
+	m.ioErrorsOther.Inc()
+}
+
+// setDegraded flips the degraded gauge; nil-safe like ioError.
+func (m *Metrics) setDegraded() {
+	if m == nil {
+		return
+	}
+	m.degraded.Set(1)
 }
 
 // observeCommit records one sealed WAL record. Called with the log's

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
 )
 
 // snapshotMagic identifies format version 02 snapshot files:
@@ -79,50 +80,76 @@ func WriteSnapshotTo(w *bufio.Writer, terms []rdf.Term, triples []rdf.EncTriple,
 	return w.Flush()
 }
 
+// SnapshotWriteError reports a failed snapshot capture: which
+// filesystem operation failed while writing which file. It is
+// distinguishable (by errors.As) from the corruption errors the read
+// path returns, so callers can tell "the disk refused the new
+// generation" — previous generation intact, retry later — from "the
+// bytes on disk are damaged". Unwrap exposes the underlying cause, so
+// errors.Is still sees ENOSPC and friends through it.
+type SnapshotWriteError struct {
+	Op   string // create | write | fsync | close | rename | dirsync
+	Path string // the file the operation ran against
+	Err  error
+}
+
+func (e *SnapshotWriteError) Error() string {
+	return fmt.Sprintf("storage: snapshot %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *SnapshotWriteError) Unwrap() error { return e.Err }
+
 // WriteSnapshotFile captures st and writes it atomically to path: the
 // bytes go to path+".tmp", are fsynced, and then renamed over path.
 func WriteSnapshotFile(path string, st *rdf.Store) error {
 	terms, triples, version := st.SnapshotData()
-	return writeSnapshotData(path, terms, triples, version)
+	return writeSnapshotData(vfs.OS, nil, path, terms, triples, version)
 }
 
-func writeSnapshotData(path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
+// writeSnapshotData writes one snapshot generation through fsys. Every
+// failure path removes the .tmp file and leaves whatever was at path
+// before untouched — the rename is the only operation that can change
+// it, and a failed rename changes nothing. Failures count on
+// storage_io_errors_total (m may be nil) and come back as
+// *SnapshotWriteError.
+func writeSnapshotData(fsys vfs.FS, m *Metrics, path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	fail := func(op, p string, err error) error {
+		m.ioError(op)
+		return &SnapshotWriteError{Op: op, Path: p, Err: err}
+	}
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: write snapshot: %w", err)
+		return fail("create", tmp, err)
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	if err := WriteSnapshotTo(w, terms, triples, version); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("storage: write snapshot: %w", err)
+		fsys.Remove(tmp)
+		return fail("write", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("storage: sync snapshot: %w", err)
+		fsys.Remove(tmp)
+		return fail("fsync", tmp, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("storage: close snapshot: %w", err)
+		fsys.Remove(tmp)
+		return fail("close", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("storage: publish snapshot: %w", err)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fail("rename", tmp, err)
 	}
-	syncDir(filepath.Dir(path))
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		// The rename happened but its durability is unknown: a crash now
+		// could resurrect the old directory entry. Report it — recovery
+		// falls back to the previous generation plus its WAL segments, but
+		// callers must not prune those segments believing this snapshot is
+		// on disk.
+		return fail("dirsync", filepath.Dir(path), err)
+	}
 	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Failures are ignored: not all platforms support it, and the
-// rename itself already happened.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }
 
 // ReadSnapshotFile loads and verifies a snapshot file, returning the
@@ -130,7 +157,7 @@ func syncDir(dir string) {
 // framing, CRC, or decoding failure is an error — callers fall back to
 // an older snapshot generation.
 func ReadSnapshotFile(path string) (terms []rdf.Term, triples []rdf.EncTriple, version uint64, err error) {
-	terms, _, triples, version, err = readSnapshot(path, false)
+	terms, _, triples, version, err = readSnapshot(vfs.OS, path, false)
 	return terms, triples, version, err
 }
 
@@ -139,7 +166,11 @@ func ReadSnapshotFile(path string) (terms []rdf.Term, triples []rdf.EncTriple, v
 // segment, the triple segment, and the term→ID index all build on
 // separate cores. On error the store is untouched.
 func LoadSnapshotFile(path string, st *rdf.Store) (SnapshotInfo, error) {
-	terms, byTerm, triples, version, err := readSnapshot(path, true)
+	return loadSnapshotFileFS(vfs.OS, path, st)
+}
+
+func loadSnapshotFileFS(fsys vfs.FS, path string, st *rdf.Store) (SnapshotInfo, error) {
+	terms, byTerm, triples, version, err := readSnapshot(fsys, path, true)
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
@@ -152,8 +183,8 @@ func LoadSnapshotFile(path string, st *rdf.Store) (SnapshotInfo, error) {
 // readSnapshot decodes a snapshot file; with buildIndex it additionally
 // constructs the term→ID map on a third goroutine, pipelined behind the
 // dictionary decode.
-func readSnapshot(path string, buildIndex bool) (terms []rdf.Term, byTerm map[rdf.Term]rdf.ID, triples []rdf.EncTriple, version uint64, err error) {
-	raw, err := os.ReadFile(path)
+func readSnapshot(fsys vfs.FS, path string, buildIndex bool) (terms []rdf.Term, byTerm map[rdf.Term]rdf.ID, triples []rdf.EncTriple, version uint64, err error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, nil, nil, 0, fmt.Errorf("storage: read snapshot: %w", err)
 	}

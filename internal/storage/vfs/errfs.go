@@ -1,0 +1,497 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op classifies one mutating filesystem operation for fault injection.
+// Read-side operations are never injected: recovery code must be able
+// to read back whatever the simulated crash left behind.
+type Op string
+
+const (
+	OpCreate   Op = "create"   // OpenFile with a writable flag set
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "fsync"    // File.Sync
+	OpTruncate Op = "truncate" // File.Truncate
+	OpRename   Op = "rename"   // FS.Rename
+	OpRemove   Op = "remove"   // FS.Remove
+	OpSyncDir  Op = "dirsync"  // FS.SyncDir
+)
+
+// FaultFunc decides the fate of mutating operation seq (0-based, in
+// execution order): return nil to let it through, or an error to fail
+// it. Returning an error wrapping ErrPowerCut kills the filesystem —
+// every later operation fails until PowerCut resets it. Wrapping the
+// error in TornWrite (write ops only) applies a prefix of the write
+// before failing, simulating a torn sector.
+type FaultFunc func(seq int, op Op, path string) error
+
+var (
+	// ErrPowerCut marks a simulated machine death: the op (beyond any
+	// torn prefix) did not happen, and the filesystem is dead until
+	// PowerCut rolls volatile state back.
+	ErrPowerCut = errors.New("errfs: simulated power cut")
+	// ErrNoSpace simulates ENOSPC.
+	ErrNoSpace = errors.New("errfs: no space left on device")
+	// ErrInjected is a generic injected I/O failure (EIO-like).
+	ErrInjected = errors.New("errfs: injected I/O error")
+)
+
+// TornWrite wraps a write fault so that Keep bytes of the attempted
+// write are applied before Err is returned — a torn sector.
+type TornWrite struct {
+	Keep int
+	Err  error
+}
+
+func (e *TornWrite) Error() string {
+	return fmt.Sprintf("torn write after %d bytes: %v", e.Keep, e.Err)
+}
+func (e *TornWrite) Unwrap() error { return e.Err }
+
+// ErrFS is a deterministic in-memory filesystem with fault injection
+// and power-cut simulation. Every file tracks its durable (fsynced)
+// content separately from its current content, and the namespace tracks
+// durable directory entries separately from current ones; PowerCut
+// discards everything volatile, modeling the conservative POSIX
+// contract (see the package comment for the one journaling concession).
+// All methods are safe for concurrent use.
+type ErrFS struct {
+	mu    sync.Mutex
+	cur   map[string]*memInode // current namespace
+	dur   map[string]*memInode // namespace that survives a power cut
+	dirs  map[string]bool
+	fault FaultFunc
+	seq   int // mutating ops performed (incl. failed ones)
+	dead  bool
+	gen   int // bumped by PowerCut; stale handles error
+}
+
+type memInode struct {
+	data   []byte
+	synced []byte // content as of the last successful Sync
+	mtime  time.Time
+	locked bool
+}
+
+// NewErrFS returns an empty filesystem with no faults armed.
+func NewErrFS() *ErrFS {
+	return &ErrFS{
+		cur:  make(map[string]*memInode),
+		dur:  make(map[string]*memInode),
+		dirs: make(map[string]bool),
+	}
+}
+
+// SetFault arms (or, with nil, disarms) the fault hook and resets the
+// operation counter, so seq 0 is the next mutating operation.
+func (f *ErrFS) SetFault(fn FaultFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = fn
+	f.seq = 0
+}
+
+// Ops returns how many mutating operations have run (including failed
+// ones) since the last SetFault or PowerCut. A counting pass with a nil
+// fault hook gives the injection-point space for a workload.
+func (f *ErrFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// PowerCut simulates pulling the plug: every un-fsynced byte and every
+// un-synced directory entry is discarded, open handles become stale,
+// advisory locks are released, and any armed fault is cleared. The
+// filesystem is then alive again, holding exactly the durable state.
+func (f *ErrFS) PowerCut() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gen++
+	f.dead = false
+	f.fault = nil
+	f.seq = 0
+	cur := make(map[string]*memInode, len(f.dur))
+	for name, ino := range f.dur {
+		ino.data = append([]byte(nil), ino.synced...)
+		ino.locked = false
+		cur[name] = ino
+	}
+	f.cur = cur
+}
+
+// injectLocked counts the op and consults the fault hook. Caller holds
+// f.mu.
+func (f *ErrFS) injectLocked(op Op, path string) error {
+	if f.dead {
+		return fmt.Errorf("errfs: %s %s: %w", op, path, ErrPowerCut)
+	}
+	seq := f.seq
+	f.seq++
+	if f.fault == nil {
+		return nil
+	}
+	err := f.fault(seq, op, path)
+	if err != nil && errors.Is(err, ErrPowerCut) {
+		f.dead = true
+	}
+	return err
+}
+
+func (f *ErrFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	writable := flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0
+	if writable {
+		if err := f.injectLocked(OpCreate, name); err != nil {
+			return nil, fmt.Errorf("errfs: open %s: %w", name, err)
+		}
+	} else if f.dead {
+		return nil, fmt.Errorf("errfs: open %s: %w", name, ErrPowerCut)
+	}
+	ino := f.cur[name]
+	if ino == nil {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		ino = &memInode{mtime: time.Now()}
+		f.cur[name] = ino
+	} else if flag&os.O_TRUNC != 0 {
+		// Truncation-at-open is volatile like any write: the old synced
+		// content still comes back after a power cut.
+		ino.data = nil
+		ino.mtime = time.Now()
+	}
+	h := &errFile{fs: f, name: name, ino: ino, gen: f.gen, rdonly: !writable}
+	if flag&os.O_APPEND != 0 {
+		h.off = int64(len(ino.data))
+	}
+	return h, nil
+}
+
+func (f *ErrFS) Open(name string) (File, error) {
+	return f.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (f *ErrFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil, fmt.Errorf("errfs: read %s: %w", name, ErrPowerCut)
+	}
+	ino := f.cur[name]
+	if ino == nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func (f *ErrFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.injectLocked(OpRename, oldpath); err != nil {
+		return fmt.Errorf("errfs: rename %s: %w", oldpath, err)
+	}
+	ino := f.cur[oldpath]
+	if ino == nil {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(f.cur, oldpath)
+	f.cur[newpath] = ino
+	ino.mtime = time.Now()
+	return nil
+}
+
+func (f *ErrFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.injectLocked(OpRemove, name); err != nil {
+		return fmt.Errorf("errfs: remove %s: %w", name, err)
+	}
+	if _, ok := f.cur[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.cur, name)
+	return nil
+}
+
+func (f *ErrFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil, fmt.Errorf("errfs: stat %s: %w", name, ErrPowerCut)
+	}
+	if f.dirs[name] {
+		return memFileInfo{name: filepath.Base(name), dir: true, mtime: time.Now()}, nil
+	}
+	ino := f.cur[name]
+	if ino == nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return memFileInfo{name: filepath.Base(name), size: int64(len(ino.data)), mtime: ino.mtime}, nil
+}
+
+func (f *ErrFS) Glob(pattern string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name := range f.cur {
+		ok, err := filepath.Match(pattern, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (f *ErrFS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return fmt.Errorf("errfs: mkdir %s: %w", path, ErrPowerCut)
+	}
+	for p := path; p != "." && p != string(filepath.Separator) && p != ""; p = filepath.Dir(p) {
+		f.dirs[p] = true
+	}
+	return nil
+}
+
+// SyncDir makes dir's current entries durable: created and renamed
+// names now survive a power cut, and removed names stay gone.
+func (f *ErrFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.injectLocked(OpSyncDir, dir); err != nil {
+		return fmt.Errorf("errfs: sync dir %s: %w", dir, err)
+	}
+	for name, ino := range f.cur {
+		if filepath.Dir(name) == dir {
+			f.dur[name] = ino
+		}
+	}
+	for name := range f.dur {
+		if filepath.Dir(name) == dir {
+			if _, ok := f.cur[name]; !ok {
+				delete(f.dur, name)
+			}
+		}
+	}
+	return nil
+}
+
+// DurableLen reports the size name would have after a power cut (-1 if
+// the name itself would not survive). Test helper.
+func (f *ErrFS) DurableLen(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino := f.dur[name]
+	if ino == nil {
+		return -1
+	}
+	return len(ino.synced)
+}
+
+// errFile is an open handle on an ErrFS inode.
+type errFile struct {
+	fs     *ErrFS
+	name   string
+	ino    *memInode
+	off    int64
+	gen    int
+	rdonly bool
+	closed bool
+}
+
+// checkLocked validates the handle under fs.mu.
+func (h *errFile) checkLocked() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.gen != h.fs.gen {
+		return fmt.Errorf("errfs: %s: stale handle (crashed filesystem): %w", h.name, fs.ErrClosed)
+	}
+	return nil
+}
+
+func (h *errFile) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return 0, err
+	}
+	if h.fs.dead {
+		return 0, fmt.Errorf("errfs: read %s: %w", h.name, ErrPowerCut)
+	}
+	if h.off >= int64(len(h.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *errFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return 0, err
+	}
+	if h.rdonly {
+		return 0, &fs.PathError{Op: "write", Path: h.name, Err: fs.ErrPermission}
+	}
+	err := h.fs.injectLocked(OpWrite, h.name)
+	keep := len(p)
+	if err != nil {
+		keep = 0
+		var torn *TornWrite
+		if errors.As(err, &torn) {
+			keep = min(max(torn.Keep, 0), len(p))
+		}
+	}
+	if keep > 0 {
+		end := h.off + int64(keep)
+		if grow := end - int64(len(h.ino.data)); grow > 0 {
+			h.ino.data = append(h.ino.data, make([]byte, grow)...)
+		}
+		copy(h.ino.data[h.off:end], p[:keep])
+		h.off = end
+		h.ino.mtime = time.Now()
+	}
+	if err != nil {
+		return keep, fmt.Errorf("errfs: write %s: %w", h.name, err)
+	}
+	return len(p), nil
+}
+
+func (h *errFile) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.ino.data)) + offset
+	default:
+		return 0, fmt.Errorf("errfs: seek %s: bad whence %d", h.name, whence)
+	}
+	if h.off < 0 {
+		return 0, fmt.Errorf("errfs: seek %s: negative offset", h.name)
+	}
+	return h.off, nil
+}
+
+// Sync makes the file's current content durable. Per the journaling
+// concession in the package comment, it also makes the file's own
+// directory entry durable.
+func (h *errFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return err
+	}
+	if err := h.fs.injectLocked(OpSync, h.name); err != nil {
+		return fmt.Errorf("errfs: sync %s: %w", h.name, err)
+	}
+	h.ino.synced = append([]byte(nil), h.ino.data...)
+	if h.fs.cur[h.name] == h.ino {
+		h.fs.dur[h.name] = h.ino
+	}
+	return nil
+}
+
+func (h *errFile) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return err
+	}
+	if err := h.fs.injectLocked(OpTruncate, h.name); err != nil {
+		return fmt.Errorf("errfs: truncate %s: %w", h.name, err)
+	}
+	if size < 0 {
+		return fmt.Errorf("errfs: truncate %s: negative size", h.name)
+	}
+	if int64(len(h.ino.data)) > size {
+		h.ino.data = h.ino.data[:size]
+	} else {
+		h.ino.data = append(h.ino.data, make([]byte, size-int64(len(h.ino.data)))...)
+	}
+	h.ino.mtime = time.Now()
+	return nil
+}
+
+func (h *errFile) Stat() (fs.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return nil, err
+	}
+	return memFileInfo{name: filepath.Base(h.name), size: int64(len(h.ino.data)), mtime: h.ino.mtime}, nil
+}
+
+func (h *errFile) Name() string { return h.name }
+
+func (h *errFile) Lock() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.checkLocked(); err != nil {
+		return err
+	}
+	if h.ino.locked {
+		return fmt.Errorf("errfs: %s: already locked", h.name)
+	}
+	h.ino.locked = true
+	return nil
+}
+
+func (h *errFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	if h.gen == h.fs.gen {
+		h.ino.locked = false
+	}
+	return nil
+}
+
+// memFileInfo implements fs.FileInfo for ErrFS entries.
+type memFileInfo struct {
+	name  string
+	size  int64
+	mtime time.Time
+	dir   bool
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return i.size }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return i.mtime }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package vfs
+
+// Lock is a no-op on platforms without flock; the lock file still
+// exists as documentation but offers no mutual exclusion there.
+func (f *osFile) Lock() error { return nil }

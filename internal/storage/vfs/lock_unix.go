@@ -1,0 +1,12 @@
+//go:build unix
+
+package vfs
+
+import "syscall"
+
+// Lock takes a non-blocking exclusive advisory flock on the file. The
+// kernel releases it automatically when the holding process exits, so a
+// crash never leaves a stale lock behind.
+func (f *osFile) Lock() error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

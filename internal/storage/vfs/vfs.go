@@ -1,0 +1,119 @@
+// Package vfs is the filesystem seam under the storage engine: an FS /
+// File interface pair covering exactly the operations WAL, snapshot,
+// lock, and inspection code perform, with two implementations — OS, a
+// thin delegation to the os package (the production default, zero
+// allocation beyond the handle), and ErrFS, a deterministic
+// fault-injecting in-memory filesystem for crash-simulation tests (fail
+// the Nth operation, return ENOSPC, tear a write at an arbitrary byte,
+// fail fsync or rename, simulate a power cut that discards every
+// un-fsynced byte).
+//
+// The durability model ErrFS simulates is the conservative POSIX one:
+// written bytes are volatile until File.Sync; a renamed, removed, or
+// newly created directory entry is volatile until FS.SyncDir — with the
+// single journal-filesystem concession that Sync on a freshly created
+// file also makes its own directory entry durable (ext4/xfs ordered
+// journaling behaves this way, and the WAL relies on it).
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle capability the storage engine needs: sequential
+// and seeked reads/writes, truncation, fsync, and an advisory lock.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Stat describes the open file.
+	Stat() (fs.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+	// Lock takes a non-blocking exclusive advisory lock on the file,
+	// released when the file is closed (or the process dies). It fails if
+	// another holder has the lock.
+	Lock() error
+}
+
+// FS is the filesystem capability the storage engine needs. All paths
+// are interpreted like os package paths.
+type FS interface {
+	// OpenFile opens name with os.OpenFile-style flags.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadFile reads the whole of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath. Durable only
+	// after SyncDir on the containing directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// Glob lists paths matching pattern (filepath.Glob semantics).
+	Glob(pattern string) ([]string, error)
+	// MkdirAll creates dir and its parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renamed/created/removed entries
+	// in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: direct delegation to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f}, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{f}, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir fsyncs the directory so directory-entry mutations (renames,
+// creations, removals) are durable. A rename is not crash-safe until
+// this returns.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// osFile wraps *os.File with the File lock capability (flock on unix, a
+// no-op elsewhere — see lock_unix.go / lock_other.go).
+type osFile struct {
+	*os.File
+}

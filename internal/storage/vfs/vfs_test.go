@@ -1,0 +1,236 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, fsys FS, name, content string) {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOSAndErrFSAgree drives the same operation script through the real
+// filesystem and the in-memory one and compares what each observes, so
+// the fault-injection substrate cannot drift from production semantics.
+func TestOSAndErrFSAgree(t *testing.T) {
+	tmp := t.TempDir()
+	for name, fsys := range map[string]FS{"os": OS, "errfs": NewErrFS()} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(tmp, name, "data")
+			if err := fsys.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(dir, "wal-000001.log")
+			write(t, fsys, p, "hello world")
+
+			// Seeked read-back.
+			f, err := fsys.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Seek(6, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(f)
+			if err != nil || string(got) != "world" {
+				t.Fatalf("seeked read = %q, %v", got, err)
+			}
+			f.Close()
+
+			// Stat, Glob.
+			fi, err := fsys.Stat(p)
+			if err != nil || fi.Size() != 11 || fi.IsDir() {
+				t.Fatalf("stat = %+v, %v", fi, err)
+			}
+			if fi, err := fsys.Stat(dir); err != nil || !fi.IsDir() {
+				t.Fatalf("dir stat = %+v, %v", fi, err)
+			}
+			matches, err := fsys.Glob(filepath.Join(dir, "wal-*.log"))
+			if err != nil || len(matches) != 1 || matches[0] != p {
+				t.Fatalf("glob = %v, %v", matches, err)
+			}
+
+			// Truncate via an open handle, then ReadFile.
+			f, err = fsys.OpenFile(p, os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if b, err := fsys.ReadFile(p); err != nil || string(b) != "hello" {
+				t.Fatalf("after truncate = %q, %v", b, err)
+			}
+
+			// Rename + dir sync + remove.
+			q := filepath.Join(dir, "wal-000002.log")
+			if err := fsys.Rename(p, q); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.Stat(p); err == nil {
+				t.Fatal("old name still present after rename")
+			}
+			if err := fsys.Remove(q); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.Stat(q); err == nil {
+				t.Fatal("file still present after remove")
+			}
+
+			// Lock exclusivity: a second handle cannot lock.
+			lk := filepath.Join(dir, "LOCK")
+			f1, err := fsys.OpenFile(lk, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f1.Lock(); err != nil {
+				t.Fatal(err)
+			}
+			// The os flock is per-process (re-locking the same file from the
+			// same process succeeds), so exclusivity against a second holder
+			// is only assertable on errfs.
+			if name == "errfs" {
+				f2, err := fsys.OpenFile(lk, os.O_RDWR|os.O_CREATE, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f2.Lock(); err == nil {
+					t.Fatal("second Lock succeeded while held")
+				}
+				f2.Close()
+			}
+			f1.Close()
+		})
+	}
+}
+
+// TestErrFSPowerCutDiscardsUnsynced is the durability contract: synced
+// bytes survive, unsynced bytes vanish, and an unsynced rename rolls
+// back to the synced directory state.
+func TestErrFSPowerCutDiscardsUnsynced(t *testing.T) {
+	fsys := NewErrFS()
+	f, err := fsys.OpenFile("a.log", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable|"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	fsys.PowerCut()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("stale handle usable after power cut")
+	}
+	b, err := fsys.ReadFile("a.log")
+	if err != nil || string(b) != "durable|" {
+		t.Fatalf("after power cut = %q, %v; want synced prefix only", b, err)
+	}
+
+	// tmp-write + sync + rename, no dir sync: the crash rolls the
+	// namespace back to tmp.
+	write(t, fsys, "snap.tmp", "snapshot-bytes")
+	if err := fsys.Rename("snap.tmp", "snap.final"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.PowerCut()
+	if _, err := fsys.Stat("snap.final"); err == nil {
+		t.Fatal("unsynced rename survived the power cut")
+	}
+	if b, _ := fsys.ReadFile("snap.tmp"); string(b) != "snapshot-bytes" {
+		t.Fatalf("tmp content = %q, want synced bytes", b)
+	}
+
+	// Same sequence with a dir sync: the rename survives.
+	write(t, fsys, "snap2.tmp", "gen2")
+	if err := fsys.Rename("snap2.tmp", "snap2.final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	fsys.PowerCut()
+	if b, err := fsys.ReadFile("snap2.final"); err != nil || string(b) != "gen2" {
+		t.Fatalf("synced rename lost: %q, %v", b, err)
+	}
+	if _, err := fsys.Stat("snap2.tmp"); err == nil {
+		t.Fatal("old name survived a synced rename")
+	}
+}
+
+// TestErrFSFaultInjection covers the injector: exact-op targeting, torn
+// writes, ENOSPC, and the dead-after-power-cut state.
+func TestErrFSFaultInjection(t *testing.T) {
+	fsys := NewErrFS()
+
+	// Torn write: 3 of 8 bytes land, then the filesystem dies.
+	fsys.SetFault(func(seq int, op Op, path string) error {
+		if op == OpWrite {
+			return &TornWrite{Keep: 3, Err: ErrPowerCut}
+		}
+		return nil
+	})
+	f, err := fsys.OpenFile("t.log", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("12345678"))
+	if n != 3 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("torn write = %d, %v; want 3, power cut", n, err)
+	}
+	if err := fsys.SyncDir("."); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("op on dead filesystem = %v, want power cut", err)
+	}
+	fsys.PowerCut()
+	if _, err := fsys.Stat("t.log"); err == nil {
+		t.Fatal("never-synced file survived the cut")
+	}
+
+	// ENOSPC on the second write only.
+	fsys.SetFault(func(seq int, op Op, path string) error {
+		if op == OpWrite && seq == 2 {
+			return ErrNoSpace
+		}
+		return nil
+	})
+	f, err = fsys.OpenFile("e.log", os.O_RDWR|os.O_CREATE, 0o644) // seq 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil { // seq 1
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrNoSpace) { // seq 2
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("fine")); err != nil { // seq 3: not sticky
+		t.Fatalf("post-ENOSPC write = %v", err)
+	}
+
+	// Op counting: a counting pass reports the injection-point space.
+	fsys.SetFault(nil)
+	write(t, fsys, "c.log", "x") // create + write + sync
+	if got := fsys.Ops(); got != 3 {
+		t.Fatalf("ops = %d, want 3", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
 )
 
 // Options tunes the write-ahead log's durability/throughput trade-off.
@@ -26,6 +27,17 @@ type Options struct {
 	// The per-triple Record path is never instrumented: nil or not, it
 	// costs the same.
 	Metrics *Metrics
+	// FS is the filesystem everything runs against; nil means the real
+	// one (vfs.OS). Tests substitute a fault-injecting implementation.
+	FS vfs.FS
+}
+
+// fsys returns the effective filesystem.
+func (o Options) fsys() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS
 }
 
 // Log is an append-only, dictionary-encoded write-ahead log over one
@@ -35,7 +47,7 @@ type Options struct {
 // methods are safe for concurrent use.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    vfs.File
 	w    *bufio.Writer
 	opts Options
 
@@ -58,14 +70,15 @@ type Log struct {
 
 // CreateLog creates (truncating) a fresh WAL segment at path.
 func CreateLog(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := opts.fsys().OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		opts.Metrics.ioError("create")
 		return nil, fmt.Errorf("storage: create WAL: %w", err)
 	}
 	return newLog(f, opts), nil
 }
 
-func newLog(f *os.File, opts Options) *Log {
+func newLog(f vfs.File, opts Options) *Log {
 	return &Log{
 		f:      f,
 		w:      bufio.NewWriterSize(f, 1<<16),
@@ -81,8 +94,9 @@ func newLog(f *os.File, opts Options) *Log {
 // writer after the last valid record with the segment dictionary
 // reconstructed. A missing file behaves like an empty one.
 func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := opts.fsys().OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		opts.Metrics.ioError("create")
 		return nil, fmt.Errorf("storage: open WAL: %w", err)
 	}
 	terms, good, err := replayRecords(f, fn)
@@ -118,7 +132,11 @@ func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log
 // the youngest segment after a crash) from corruption inside a sealed
 // segment (worth reporting).
 func ReplayLog(path string, fn func(batch []rdf.Triple) error) (dropped int64, err error) {
-	f, err := os.Open(path)
+	return replayLogFS(vfs.OS, path, fn)
+}
+
+func replayLogFS(fsys vfs.FS, path string, fn func(batch []rdf.Triple) error) (dropped int64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("storage: replay WAL: %w", err)
 	}
@@ -140,7 +158,7 @@ func ReplayLog(path string, fn func(batch []rdf.Triple) error) (dropped int64, e
 // that does not decode) ends the scan without error: everything from
 // the damaged record on is an uncommitted tail. Only fn errors and I/O
 // errors other than EOF are reported.
-func replayRecords(f *os.File, fn func(batch []rdf.Triple) error) (terms []rdf.Term, good int64, err error) {
+func replayRecords(f vfs.File, fn func(batch []rdf.Triple) error) (terms []rdf.Term, good int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("storage: seek WAL: %w", err)
 	}
@@ -302,17 +320,17 @@ func (l *Log) commitLocked() error {
 		// Only reachable with a single term encoding near maxRecordLen
 		// (Record seals well before the soft cap otherwise); refuse
 		// rather than write a record replay would discard as torn.
-		return l.fail(fmt.Errorf("record payload %d exceeds limit %d", len(payload), maxRecordLen))
+		return l.fail("write", fmt.Errorf("record payload %d exceeds limit %d", len(payload), maxRecordLen))
 	}
 
 	var header [8]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := l.w.Write(header[:]); err != nil {
-		return l.fail(err)
+		return l.fail("write", err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return l.fail(err)
+		return l.fail("write", err)
 	}
 	l.defs, l.nDefs = l.defs[:0], 0
 	l.triples, l.nTrip = l.triples[:0], 0
@@ -321,7 +339,7 @@ func (l *Log) commitLocked() error {
 	// survive a process crash (only machine crashes wait on the
 	// group-commit fsync below).
 	if err := l.w.Flush(); err != nil {
-		return l.fail(err)
+		return l.fail("write", err)
 	}
 	if l.opts.Metrics != nil {
 		l.opts.Metrics.observeCommit(time.Since(commitStart), nTrip)
@@ -345,7 +363,7 @@ func (l *Log) Sync() error {
 
 func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
-		return l.fail(err)
+		return l.fail("write", err)
 	}
 	if !l.opts.NoSync {
 		var syncStart time.Time
@@ -353,7 +371,7 @@ func (l *Log) syncLocked() error {
 			syncStart = time.Now()
 		}
 		if err := l.f.Sync(); err != nil {
-			return l.fail(err)
+			return l.fail("fsync", err)
 		}
 		if l.opts.Metrics != nil {
 			l.opts.Metrics.observeFsync(time.Since(syncStart))
@@ -378,19 +396,19 @@ func (l *Log) Rotate(path string) error {
 		return err
 	}
 	if err := l.w.Flush(); err != nil {
-		return l.fail(err)
+		return l.fail("write", err)
 	}
 	if !l.opts.NoSync {
 		if err := l.f.Sync(); err != nil {
-			return l.fail(err)
+			return l.fail("fsync", err)
 		}
 	}
 	if err := l.f.Close(); err != nil {
-		return l.fail(err)
+		return l.fail("close", err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.opts.fsys().OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return l.fail(err)
+		return l.fail("rotate", err)
 	}
 	l.f = f
 	l.w = bufio.NewWriterSize(f, 1<<16)
@@ -440,11 +458,25 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
+// Err returns the log's sticky failure, nil while healthy. Once set,
+// every subsequent Record/Commit/Sync/Rotate returns it unchanged: the
+// log never retries against the same file, because a failed write or
+// fsync leaves the on-disk tail in an unknown state and appending past
+// it could frame a record that replay would trust.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
 // fail marks the log broken so later calls fail fast instead of
-// interleaving partial records after a write error.
-func (l *Log) fail(err error) error {
+// interleaving partial records after a write error, and surfaces the
+// transition on the storage_io_errors_total / storage_degraded metrics.
+func (l *Log) fail(op string, err error) error {
+	l.opts.Metrics.ioError(op)
 	if l.broken == nil {
-		l.broken = fmt.Errorf("storage: WAL write failed: %w", err)
+		l.broken = fmt.Errorf("storage: WAL %s failed: %w", op, err)
+		l.opts.Metrics.setDegraded()
 	}
 	return l.broken
 }
