@@ -1,0 +1,121 @@
+// Command eevet runs the project's analyzer suite (see
+// internal/analysis/checks) over Go packages in this module and reports
+// violations of the engine's concurrency, durability, and telemetry
+// invariants.
+//
+// Usage:
+//
+//	go run ./cmd/eevet [flags] [packages]
+//
+// Packages default to ./... . Flags:
+//
+//	-only a,b   run only the named analyzers
+//	-list       print the available analyzers and exit
+//	-fix        apply suggested fixes in place (vfsonly, ctxthread)
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	flag.Parse()
+
+	all := checks.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", " "))
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(all, *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eevet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eevet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eevet:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eevet: %s: %v\n", pkg.PkgPath, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	if *fix {
+		n, err := analysis.ApplyFixes(pkgs, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eevet:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("eevet: applied %d fix(es)\n", n)
+	}
+
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.Position, f.Analyzer, f.Diagnostic.Message)
+	}
+	if len(findings) > 0 && !*fix {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

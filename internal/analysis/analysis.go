@@ -1,0 +1,231 @@
+// Package analysis is a dependency-free static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis, built so the engine's
+// concurrency, durability, and telemetry invariants can be
+// machine-checked on every change without adding a module dependency
+// (the container builds offline; see README "Static analysis").
+//
+// The API mirrors x/tools deliberately — Analyzer, Pass, Diagnostic,
+// SuggestedFix — so the suite can migrate to the real framework by
+// swapping imports if the module ever grows the dependency. Packages
+// are loaded through `go list -test -deps -export -json` (offline,
+// build-cache backed) and type-checked from source against the go
+// command's export data, giving every analyzer full types.Info.
+//
+// Two marker comments steer the suite:
+//
+//	//eevet:hotpath            marks a function (or function literal)
+//	                           as a per-row hot path; the hotpathalloc
+//	                           analyzer checks only marked bodies.
+//	//eevet:ignore [names] why suppresses diagnostics reported on the
+//	                           same or next line, either from every
+//	                           analyzer (bare) or the comma-separated
+//	                           list; the trailing text documents why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package and
+// reports findings through pass.Report; returning an error aborts the
+// whole run (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "vfsonly"
+	Doc  string // one-paragraph description, shown by eevet -list
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path analyzers scope on. For testdata
+	// packages it is synthesized from the directory layout, so
+	// path-scoped analyzers behave identically under analysistest.
+	PkgPath string
+	// TestFile reports whether the file containing pos is a _test.go
+	// file (analyzers that exempt tests call this per diagnostic site).
+	TestFile func(pos token.Pos) bool
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos // zero when the finding has no extent
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a mechanical rewrite that resolves the diagnostic;
+// eevet -fix applies every fix of every finding it reports.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Finding pairs a diagnostic with the analyzer that produced it and its
+// resolved position, ready for printing or fixing.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Diagnostic
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// sortFindings orders findings by file, line, column, then analyzer so
+// output is deterministic across runs and map iteration orders.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// --- marker comments ---
+
+const (
+	ignoreMarker  = "eevet:ignore"
+	hotpathMarker = "eevet:hotpath"
+)
+
+// Markers indexes a package's eevet marker comments by file and line.
+// The runner builds one per package for ignore suppression; analyzers
+// that honor //eevet:hotpath build their own via CollectMarkers.
+type Markers struct {
+	fset *token.FileSet
+	// ignore maps filename → line → analyzer names ("" = all).
+	ignore map[string]map[int][]string
+	// hotpath maps filename → set of lines carrying the hotpath marker.
+	hotpath map[string]map[int]bool
+}
+
+// CollectMarkers scans every comment of every file once.
+func CollectMarkers(fset *token.FileSet, files []*ast.File) *Markers {
+	m := &Markers{
+		fset:    fset,
+		ignore:  make(map[string]map[int][]string),
+		hotpath: make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				pos := fset.Position(c.Pos())
+				switch {
+				case strings.HasPrefix(text, ignoreMarker):
+					rest := strings.TrimPrefix(text, ignoreMarker)
+					names := parseIgnoreNames(rest)
+					byLine := m.ignore[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]string)
+						m.ignore[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], names...)
+				case strings.HasPrefix(text, hotpathMarker):
+					byLine := m.hotpath[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]bool)
+						m.hotpath[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// parseIgnoreNames extracts the analyzer list from the text following
+// "eevet:ignore". The first field, when it looks like a lower-case
+// comma-separated identifier list, selects analyzers; everything else
+// is free-text justification. A bare marker yields [""], matching all.
+func parseIgnoreNames(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return []string{""}
+	}
+	first := strings.Fields(rest)[0]
+	if !isAnalyzerList(first) {
+		return []string{""}
+	}
+	return strings.Split(first, ",")
+}
+
+func isAnalyzerList(s string) bool {
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && r != ',' {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// Suppressed reports whether a diagnostic from analyzer name at pos is
+// covered by an ignore marker on the same line or the line above.
+func (m *Markers) Suppressed(name string, pos token.Position) bool {
+	byLine := m.ignore[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, n := range byLine[line] {
+			if n == "" || n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HotpathMarked reports whether fn (a *ast.FuncDecl or *ast.FuncLit)
+// carries the //eevet:hotpath marker: in the FuncDecl doc comment, on
+// the func line itself, or on the line immediately above it.
+func (m *Markers) HotpathMarked(fn ast.Node) bool {
+	if d, ok := fn.(*ast.FuncDecl); ok && d.Doc != nil {
+		for _, c := range d.Doc.List {
+			if strings.Contains(c.Text, hotpathMarker) {
+				return true
+			}
+		}
+	}
+	pos := m.fset.Position(fn.Pos())
+	byLine := m.hotpath[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line] || byLine[pos.Line-1]
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTestdata loads the fixture package at <testdata>/src/<pkgRel>,
+// runs the analyzer over it, and matches the findings against the
+// fixture's "// want" expectations, x/tools analysistest style:
+//
+//	os.Create("x") // want `direct os\.Create`
+//
+// Each expectation is a back-quoted or double-quoted regular expression
+// on the line the diagnostic must land on; several expectations on one
+// line must all be matched, in any order. Unmatched diagnostics and
+// unsatisfied expectations both fail the test. moduleDir is the
+// repository root (fixture imports resolve against its go.mod). The
+// loaded package is returned for follow-up assertions (suggested-fix
+// tests).
+func RunTestdata(t *testing.T, moduleDir, testdata, pkgRel string, a *Analyzer) (*Package, []Finding) {
+	t.Helper()
+	pkg, err := LoadTestdata(moduleDir, testdata, pkgRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	expects := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, perr := parseWant(c.Text)
+				if perr != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), perr)
+				}
+				if len(pats) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				expects[k] = append(expects[k], pats...)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Position.Filename, f.Position.Line}
+		matched := -1
+		for i, re := range expects[k] {
+			if re != nil && re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+			continue
+		}
+		expects[k][matched] = nil // consumed
+	}
+	for k, res := range expects {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+	return pkg, findings
+}
+
+// parseWant extracts the regexp expectations from a "// want" comment.
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var pats []*regexp.Regexp
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '`', '"':
+			quote = rest[0]
+		default:
+			return nil, fmt.Errorf("malformed want expectation %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation %q", rest)
+		}
+		re, err := regexp.Compile(rest[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern: %v", err)
+		}
+		pats = append(pats, re)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return pats, nil
+}
+
+// FindingAt returns the first finding whose position matches file
+// suffix and line, for fix assertions in analyzer tests.
+func FindingAt(findings []Finding, fileSuffix string, line int) (Finding, bool) {
+	for _, f := range findings {
+		if f.Position.Line == line && strings.HasSuffix(f.Position.Filename, fileSuffix) {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+// EditText renders a suggested fix's first edit as "old -> new" against
+// the package source, so tests can assert mechanical rewrites without
+// golden files.
+func EditText(pkg *Package, f Finding) (string, error) {
+	if len(f.SuggestedFixes) == 0 || len(f.SuggestedFixes[0].TextEdits) == 0 {
+		return "", fmt.Errorf("finding %s has no suggested fix", f)
+	}
+	te := f.SuggestedFixes[0].TextEdits[0]
+	file := pkg.Fset.File(te.Pos)
+	if file == nil {
+		return "", fmt.Errorf("fix position outside package")
+	}
+	return te.NewText, nil
+}

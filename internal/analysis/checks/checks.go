@@ -1,0 +1,149 @@
+// Package checks holds the eevet analyzer suite: six project-specific
+// static checks that turn the engine's comment-and-test invariants into
+// machine-enforced ones (see README "Static analysis").
+//
+//	vfsonly       storage I/O must route through the vfs.FS seam
+//	nodroppederr  vfs / journal / WAL error results may not be discarded
+//	hotpathalloc  //eevet:hotpath bodies stay allocation- and clock-free
+//	ctxthread     query/load paths thread context.Context, no Background
+//	metricsreg    metric names are package-level consts, labels closed
+//	locksafe      nothing blocking or re-entrant under rdf.Store's lock
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Vfsonly,
+		Nodroppederr,
+		Hotpathalloc,
+		Ctxthread,
+		Metricsreg,
+		Locksafe,
+	}
+}
+
+// pathHasDir reports whether the slash-separated import path contains
+// dir as a complete segment sequence ("internal/storage" matches
+// "repro/internal/storage/x" but not "repro/internal/storagex").
+func pathHasDir(path, dir string) bool {
+	for i := 0; i+len(dir) <= len(path); i++ {
+		if path[i:i+len(dir)] != dir {
+			continue
+		}
+		startOK := i == 0 || path[i-1] == '/'
+		end := i + len(dir)
+		endOK := end == len(path) || path[end] == '/'
+		if startOK && endOK {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses (ast.Unparen needs go1.22; the module
+// still declares go1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeObj resolves the function or method a call invokes, nil for
+// calls of function-typed values and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+			if _, ok := obj.(*types.Builtin); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified function: os.Create, fmt.Sprintf.
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// objPkgPath returns the import path of the package declaring obj, ""
+// for builtins and universe objects.
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// errorResultIndexes returns the positions of error-typed results in a
+// call's result tuple (empty when none).
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	var idx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			idx = append(idx, 0)
+		}
+	}
+	return idx
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// enclosingFuncs returns the stack of FuncDecl/FuncLit nodes containing
+// pos, outermost first.
+func enclosingFuncs(files []*ast.File, pos ast.Node) []ast.Node {
+	var stack []ast.Node
+	for _, f := range files {
+		if f.Pos() <= pos.Pos() && pos.Pos() < f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				if n.Pos() > pos.Pos() || pos.End() > n.End() {
+					return n.Pos() <= pos.Pos() // prune subtrees left of pos
+				}
+				switch n.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					stack = append(stack, n)
+				}
+				return true
+			})
+		}
+	}
+	return stack
+}

@@ -1,0 +1,134 @@
+package checks_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+// roots locates the module root and this package's testdata tree from
+// the test file's own position.
+func roots(t *testing.T) (moduleRoot, testdata string) {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	dir := filepath.Dir(file) // internal/analysis/checks
+	return filepath.Dir(filepath.Dir(filepath.Dir(dir))), filepath.Join(dir, "testdata")
+}
+
+// findingWith returns the first finding whose message contains substr.
+func findingWith(t *testing.T, findings []analysis.Finding, substr string) analysis.Finding {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Contains(f.Message, substr) {
+			return f
+		}
+	}
+	t.Fatalf("no finding containing %q (have %d findings)", substr, len(findings))
+	return analysis.Finding{}
+}
+
+// TestVfsonlyFixture runs vfsonly over a storage-pathed fixture; the
+// seeded raw os.Create is among the wants, and the os.Stat finding
+// must carry the mechanical vfs.OS rewrite.
+func TestVfsonlyFixture(t *testing.T) {
+	root, testdata := roots(t)
+	pkg, findings := analysis.RunTestdata(t, root, testdata, "internal/storage/fixwal", checks.Vfsonly)
+	stat := findingWith(t, findings, "os.Stat")
+	text, err := analysis.EditText(pkg, stat)
+	if err != nil {
+		t.Fatalf("os.Stat finding: %v", err)
+	}
+	if text != "vfs.OS.Stat" {
+		t.Errorf("os.Stat suggested fix = %q, want %q", text, "vfs.OS.Stat")
+	}
+	// os.Create has no identically-shaped vfs.FS method, so no fix.
+	create := findingWith(t, findings, "os.Create")
+	if len(create.SuggestedFixes) != 0 {
+		t.Errorf("os.Create finding should have no suggested fix, has %d", len(create.SuggestedFixes))
+	}
+}
+
+// TestNodroppederrFixture covers the seeded discarded-fsync class:
+// bare durability calls and blanked error results.
+func TestNodroppederrFixture(t *testing.T) {
+	root, testdata := roots(t)
+	_, findings := analysis.RunTestdata(t, root, testdata, "internal/storage/fixerr", checks.Nodroppederr)
+	findingWith(t, findings, "result of Sync is a durability error")
+}
+
+// TestHotpathallocFixture covers the seeded fmt.Sprintf-in-hot-loop
+// class plus clock, allocation, and mutex sites; unmarked siblings and
+// //eevet:ignore-carrying lines stay silent (enforced by the fixture's
+// want annotations).
+func TestHotpathallocFixture(t *testing.T) {
+	root, testdata := roots(t)
+	_, findings := analysis.RunTestdata(t, root, testdata, "internal/rdf/fixhot", checks.Hotpathalloc)
+	findingWith(t, findings, "fmt.Sprintf allocates in a hot path")
+}
+
+// TestCtxthreadFixture checks the suggested fix forwards the context
+// parameter by name.
+func TestCtxthreadFixture(t *testing.T) {
+	root, testdata := roots(t)
+	pkg, findings := analysis.RunTestdata(t, root, testdata, "internal/sparql/fixctx", checks.Ctxthread)
+	drop := findingWith(t, findings, "drops the caller's context")
+	text, err := analysis.EditText(pkg, drop)
+	if err != nil {
+		t.Fatalf("Background finding: %v", err)
+	}
+	if text != "ctx" {
+		t.Errorf("Background suggested fix = %q, want %q", text, "ctx")
+	}
+}
+
+func TestMetricsregFixture(t *testing.T) {
+	root, testdata := roots(t)
+	_, findings := analysis.RunTestdata(t, root, testdata, "internal/endpoint/fixmet", checks.Metricsreg)
+	findingWith(t, findings, "must be a package-level constant")
+	findingWith(t, findings, "not closed at registration")
+}
+
+func TestLocksafeFixture(t *testing.T) {
+	root, testdata := roots(t)
+	_, findings := analysis.RunTestdata(t, root, testdata, "internal/rdf/fixlock", checks.Locksafe)
+	findingWith(t, findings, "re-acquires the Store lock")
+	findingWith(t, findings, "goroutine launched while holding the Store write lock")
+}
+
+// TestOutOfScopePackageClean runs every path-scoped analyzer over a
+// package holding the exact shapes they flag, but outside their
+// directories: zero findings (the fixture has no want annotations, so
+// any diagnostic fails the run).
+func TestOutOfScopePackageClean(t *testing.T) {
+	root, testdata := roots(t)
+	for _, a := range []*analysis.Analyzer{checks.Vfsonly, checks.Ctxthread, checks.Locksafe, checks.Nodroppederr} {
+		_, findings := analysis.RunTestdata(t, root, testdata, "internal/other/fixscope", a)
+		if len(findings) != 0 {
+			t.Errorf("%s: %d findings in out-of-scope package", a.Name, len(findings))
+		}
+	}
+}
+
+// TestRepoClean is the meta-check behind CI's lint-eevet job: the full
+// suite over the whole module must report nothing — every invariant
+// the analyzers encode holds in the tree that ships them.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every package in the module")
+	}
+	root, _ := roots(t)
+	findings, err := analysis.Check(root, []string{"./..."}, checks.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

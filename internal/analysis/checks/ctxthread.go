@@ -1,0 +1,194 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ctxDirs are the layers below the HTTP handler boundary: inside them a
+// fresh root context is almost always a bug — it detaches the work from
+// the request deadline the endpoint threaded down (PR 5/6 wired ctx
+// through morsel dispatch precisely so timeouts stop runaway queries).
+var ctxDirs = []string{
+	"internal/endpoint",
+	"internal/geostore",
+	"internal/sparql",
+	"internal/rdf",
+	"internal/storage",
+}
+
+// Ctxthread enforces context threading on the query and load paths:
+//
+//   - a function that already receives a context.Context may not call
+//     context.Background() or context.TODO() — that drops the caller's
+//     deadline and request ID (suggested fix: forward the parameter);
+//   - elsewhere in the covered packages Background()/TODO() is allowed
+//     only in an exported no-ctx compatibility shim that passes it
+//     directly to a *Context sibling (geostore.Query wrapping
+//     QueryContext), keeping root contexts at API entry points;
+//   - an exported *Context function must take context.Context first.
+//
+// Test files are exempt (tests are their own entry points).
+var Ctxthread = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: "query/load entry points accept and forward context.Context; no\n" +
+		"context.Background() below the handler layer",
+	Run: runCtxthread,
+}
+
+func runCtxthread(pass *analysis.Pass) error {
+	covered := false
+	for _, dir := range ctxDirs {
+		if pathHasDir(pass.PkgPath, dir) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxSignature(pass, fn)
+			if fn.Body == nil {
+				continue
+			}
+			ctxParam := contextParamName(pass, fn)
+			shim := isCtxShim(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := rootContextCall(pass, call)
+				if name == "" {
+					return true
+				}
+				switch {
+				case ctxParam != "":
+					d := analysis.Diagnostic{
+						Pos:     call.Pos(),
+						End:     call.End(),
+						Message: "context." + name + "() drops the caller's context; forward the " + ctxParam + " parameter",
+					}
+					d.SuggestedFixes = []analysis.SuggestedFix{{
+						Message:   "forward the context parameter",
+						TextEdits: []analysis.TextEdit{{Pos: call.Pos(), End: call.End(), NewText: ctxParam}},
+					}}
+					pass.Report(d)
+				case shim && isArgOfContextCall(fn.Body, call):
+					// Exported no-ctx wrapper delegating to its *Context
+					// sibling: the sanctioned place to mint a root context.
+				default:
+					pass.Reportf(call.Pos(), "context.%s() below the handler layer: accept a context.Context and forward it", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxSignature reports exported *Context functions whose first
+// parameter is not context.Context.
+func checkCtxSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || !strings.HasSuffix(fn.Name.Name, "Context") {
+		return
+	}
+	params := fn.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if t, ok := pass.TypesInfo.Types[params.List[0].Type]; ok && isContextType(t.Type) {
+			return
+		}
+	}
+	pass.Reportf(fn.Name.Pos(), "%s is a *Context entry point but does not take context.Context as its first parameter", fn.Name.Name)
+}
+
+// contextParamName returns the name of fn's context.Context parameter,
+// "" when it has none (or only a blank one).
+func contextParamName(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(t.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isCtxShim reports whether fn is an exported function without a ctx
+// parameter — the only shape allowed to mint a root context, and only
+// to hand it straight to a *Context sibling.
+func isCtxShim(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	return fn.Name.IsExported() && contextParamName(pass, fn) == ""
+}
+
+// isArgOfContextCall reports whether call appears directly as an
+// argument of a call to a function or method whose name ends in
+// "Context".
+func isArgOfContextCall(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		outer, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		name := ""
+		switch fun := unparen(outer.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if !strings.HasSuffix(name, "Context") {
+			return true
+		}
+		for _, arg := range outer.Args {
+			if unparen(arg) == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootContextCall returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), "" otherwise.
+func rootContextCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil || objPkgPath(obj) != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,113 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Hotpathalloc keeps //eevet:hotpath bodies allocation- and
+// syscall-free. The executor's per-row closures and step loops (see
+// internal/rdf/exec.go) run hundreds of millions of times per query;
+// the invariant behind the PR 3/5 benchmark numbers is that they never
+// allocate, never read the clock, and never touch a mutex. Inside a
+// marked function (nested function literals inherit the mark) the
+// analyzer reports:
+//
+//   - calls into package fmt (Sprintf and friends allocate and reflect)
+//   - time.Now / time.Since (vDSO clock reads on the per-row path)
+//   - map and slice composite literals, and make()
+//   - explicit conversions of concrete values to interface types
+//   - sync.Mutex / sync.RWMutex acquisition
+//
+// Instrumented slow paths live in unmarked siblings (runInstrumented);
+// the rare deliberate exception carries //eevet:ignore with a reason.
+var Hotpathalloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "no fmt, time.Now, map/slice literals, make, interface conversions,\n" +
+		"or mutex acquisition inside //eevet:hotpath-marked functions",
+	Run: runHotpathalloc,
+}
+
+func runHotpathalloc(pass *analysis.Pass) error {
+	marks := analysis.CollectMarkers(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if marks.HotpathMarked(fn) && fn.Body != nil {
+					checkHotBody(pass, fn.Body)
+					return false // nested literals already covered
+				}
+			case *ast.FuncLit:
+				if marks.HotpathMarked(fn) {
+					checkHotBody(pass, fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, e)
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(e.Pos(), "map literal allocates in a hot path")
+				case *types.Slice:
+					pass.Reportf(e.Pos(), "slice literal allocates in a hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok {
+				if _, argIface := atv.Type.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "conversion to interface type %s allocates in a hot path", tv.Type)
+				}
+			}
+		}
+		return
+	}
+
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return
+	}
+	if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		if obj.Name() == "make" {
+			pass.Reportf(call.Pos(), "make allocates in a hot path")
+		}
+		return
+	}
+	switch objPkgPath(obj) {
+	case "fmt":
+		pass.Reportf(call.Pos(), "fmt.%s allocates in a hot path", obj.Name())
+	case "time":
+		if obj.Name() == "Now" || obj.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s reads the clock in a hot path", obj.Name())
+		}
+	case "sync":
+		switch obj.Name() {
+		case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+			pass.Reportf(call.Pos(), "mutex %s in a hot path", obj.Name())
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Locksafe guards the rdf.Store locking protocol. The store has one
+// RWMutex (`mu`) and a documented discipline: the read lock is held for
+// an entire plan run (emit and filter callbacks execute under it), the
+// write lock covers short index mutations, and journal.Record runs
+// under the write lock by design. What must never happen while either
+// lock is held:
+//
+//   - calling another Store method that acquires s.mu (directly or
+//     transitively) — self-deadlock with a write lock, and a latent one
+//     with read locks once a writer queues between them;
+//   - a channel send or receive — unbounded blocking while readers or
+//     writers are barred.
+//
+// Additionally, under the *write* lock:
+//
+//   - calling a function-typed value (callbacks are only contracted to
+//     run under the read lock; an arbitrary func under the write lock
+//     can call back into the store);
+//   - launching a goroutine (go + write lock is a hand-off smell; the
+//     parallel executor launches workers under the read lock only).
+//
+// Function literals are not scanned as part of the locked region: their
+// bodies execute when called, typically on worker goroutines that do
+// not hold the caller's lock. Interface method calls (journal, sink)
+// are part of the locked contract and exempt.
+var Locksafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "no blocking or re-entrant operations while holding rdf.Store's\n" +
+		"lock in executor run paths",
+	Run: runLocksafe,
+}
+
+// lockState tracks which of the Store's locks are held at a statement.
+type lockState struct {
+	read, write bool
+}
+
+func (st lockState) held() bool { return st.read || st.write }
+
+func runLocksafe(pass *analysis.Pass) error {
+	if !pathHasDir(pass.PkgPath, "internal/rdf") {
+		return nil
+	}
+	storeType := lookupNamed(pass.Pkg, "Store")
+	if storeType == nil {
+		return nil
+	}
+	acquirers := storeLockAcquirers(pass, storeType)
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			scanLockedStmts(pass, storeType, acquirers, fn.Body.List, lockState{})
+		}
+	}
+	return nil
+}
+
+// lookupNamed finds the package-level named type with the given name.
+func lookupNamed(pkg *types.Package, name string) *types.Named {
+	if pkg == nil {
+		return nil
+	}
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := obj.Type().(*types.Named)
+	return named
+}
+
+// storeLockAcquirers computes the set of Store methods that acquire
+// s.mu, directly or through other Store methods (Add → AddEncoded →
+// mu.Lock). The fixpoint runs over the package's own declarations.
+func storeLockAcquirers(pass *analysis.Pass, store *types.Named) map[string]bool {
+	methods := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isStoreMethod(pass, store, fn) {
+				continue
+			}
+			methods[fn.Name.Name] = fn
+		}
+	}
+	acq := map[string]bool{}
+	for name, fn := range methods {
+		found := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, _ := storeMuOp(pass, store, call); op == "Lock" || op == "RLock" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			acq[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fn := range methods {
+			if acq[name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if acq[name] {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if m := storeMethodCall(pass, store, call); m != "" && acq[m] {
+						acq[name] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return acq
+}
+
+func isStoreMethod(pass *analysis.Pass, store *types.Named, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	return ok && isStoreType(store, tv.Type)
+}
+
+func isStoreType(store *types.Named, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == store.Obj()
+}
+
+// storeMuOp matches calls of the form <storeExpr>.mu.Lock() (and
+// RLock/Unlock/RUnlock), returning the operation name and receiver
+// expression text position; op is "" for anything else.
+func storeMuOp(pass *analysis.Pass, store *types.Named, call *ast.CallExpr) (op string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	mu, isSel := unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || mu.Sel.Name != "mu" {
+		return "", false
+	}
+	tv, okT := pass.TypesInfo.Types[mu.X]
+	if !okT || !isStoreType(store, tv.Type) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// storeMethodCall returns the method name when call invokes a method
+// whose receiver is the Store type, "" otherwise.
+func storeMethodCall(pass *analysis.Pass, store *types.Named, call *ast.CallExpr) string {
+	obj := calleeObj(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isStoreType(store, sig.Recv().Type()) {
+		return ""
+	}
+	return fn.Name()
+}
+
+// scanLockedStmts walks a statement list tracking the Store lock state,
+// reporting protocol violations inside locked regions. Nested blocks
+// are scanned with the current state; lock transitions inside them
+// (CommitJournal's error branch) stay local to the nesting.
+func scanLockedStmts(pass *analysis.Pass, store *types.Named, acquirers map[string]bool, stmts []ast.Stmt, st lockState) lockState {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if op, ok := storeMuOp(pass, store, call); ok {
+					switch op {
+					case "Lock":
+						st.write = true
+					case "RLock":
+						st.read = true
+					case "Unlock":
+						st.write = false
+					case "RUnlock":
+						st.read = false
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer s.mu.Unlock() keeps the lock held to function end;
+			// the state simply stays set for the remaining statements.
+			if _, ok := storeMuOp(pass, store, s.Call); ok {
+				continue
+			}
+		}
+		if st.held() {
+			checkLockedStmt(pass, store, acquirers, stmt, st)
+		}
+		st = scanNested(pass, store, acquirers, stmt, st)
+	}
+	return st
+}
+
+// scanNested recurses into the block structure of stmt, threading the
+// lock state through sequential composition.
+func scanNested(pass *analysis.Pass, store *types.Named, acquirers map[string]bool, stmt ast.Stmt, st lockState) lockState {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return scanLockedStmts(pass, store, acquirers, s.List, st)
+	case *ast.IfStmt:
+		scanLockedStmts(pass, store, acquirers, s.Body.List, st)
+		if s.Else != nil {
+			scanNested(pass, store, acquirers, s.Else, st)
+		}
+	case *ast.ForStmt:
+		scanLockedStmts(pass, store, acquirers, s.Body.List, st)
+	case *ast.RangeStmt:
+		scanLockedStmts(pass, store, acquirers, s.Body.List, st)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockedStmts(pass, store, acquirers, cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLockedStmts(pass, store, acquirers, cc.Body, st)
+			}
+		}
+	case *ast.LabeledStmt:
+		return scanNested(pass, store, acquirers, s.Stmt, st)
+	}
+	return st
+}
+
+// checkLockedStmt reports violations in the expressions of one
+// statement executed under the lock. FuncLit bodies are pruned: they
+// run when invoked, not here.
+func checkLockedStmt(pass *analysis.Pass, store *types.Named, acquirers map[string]bool, stmt ast.Stmt, st lockState) {
+	if g, ok := stmt.(*ast.GoStmt); ok && st.write {
+		pass.Reportf(g.Pos(), "goroutine launched while holding the Store write lock")
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			return false // nested statements get their own visit
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding the Store lock can block all %s", blockedParties(st))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while holding the Store lock can block all %s", blockedParties(st))
+			}
+		case *ast.CallExpr:
+			if m := storeMethodCall(pass, store, n); m != "" && acquirers[m] {
+				pass.Reportf(n.Pos(), "%s re-acquires the Store lock already held here: deadlock", m)
+				return true
+			}
+			if st.write && isFuncValueCall(pass, n) {
+				pass.Reportf(n.Pos(), "function-value call under the Store write lock: callbacks are only contracted to run under the read lock")
+			}
+		}
+		return true
+	})
+}
+
+func blockedParties(st lockState) string {
+	if st.write {
+		return "readers and writers"
+	}
+	return "writers"
+}
+
+// isFuncValueCall reports calls of function-typed values: not a
+// declared function or method, not a builtin, not a conversion, not an
+// interface method (those are part of the locked contract).
+func isFuncValueCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	fun := unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return false // concrete or interface method
+		}
+	}
+	return calleeObj(pass.TypesInfo, call) == nil
+}

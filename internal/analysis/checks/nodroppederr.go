@@ -1,0 +1,141 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// trackedErrDirs are the packages whose error results carry durability
+// meaning: discarding one silently un-acknowledges a write (the exact
+// bug class PR 8 patched in snapshot dirsync).
+var trackedErrDirs = []string{
+	"internal/storage",
+	"internal/storage/vfs",
+	"internal/rdf",
+}
+
+// Nodroppederr flags discarded error results from the storage engine's
+// durability surface: vfs.FS / vfs.File operations, rdf.Journal and
+// journaled-store methods, and the WAL / snapshot / DB methods of
+// internal/storage. A call whose error is neither consumed nor
+// explicitly propagated — a bare expression statement, or an assignment
+// blanking the error position — is reported. Deferred calls are exempt
+// (deferred Close on read paths is idiomatic and cannot propagate), as
+// are _test.go files; genuinely intentional discards carry an
+// //eevet:ignore marker naming the reason.
+var Nodroppederr = &analysis.Analyzer{
+	Name: "nodroppederr",
+	Doc: "error results from vfs.FS/vfs.File, rdf.Journal, and WAL/snapshot\n" +
+		"methods may not be discarded",
+	Run: runNodroppederr,
+}
+
+func runNodroppederr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || !trackedErrCall(pass, call) {
+					return true
+				}
+				if len(errorResultIndexes(pass.TypesInfo, call)) == 0 {
+					return true
+				}
+				pass.Reportf(call.Pos(), "result of %s is a durability error and is silently discarded", calleeLabel(pass, call))
+			case *ast.AssignStmt:
+				checkBlankedErr(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankedErr reports tracked calls whose error result lands on a
+// blank identifier.
+func checkBlankedErr(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	// Tuple form: lhs... = call().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || !trackedErrCall(pass, call) {
+			return
+		}
+		for _, i := range errorResultIndexes(pass.TypesInfo, call) {
+			if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+				pass.Reportf(stmt.Lhs[i].Pos(), "error result of %s assigned to _", calleeLabel(pass, call))
+			}
+		}
+		return
+	}
+	// 1:1 form: a, b = f(), g().
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		if trackedErrCall(pass, call) && len(errorResultIndexes(pass.TypesInfo, call)) > 0 {
+			pass.Reportf(stmt.Lhs[i].Pos(), "error result of %s assigned to _", calleeLabel(pass, call))
+		}
+	}
+}
+
+// trackedErrCall reports whether the call's callee is declared in one
+// of the durability packages — either directly, or as a method invoked
+// through a receiver whose named type lives there (vfs.File.Close is
+// spelled io.Closer.Close through embedding, but the handle is still
+// the durability surface).
+func trackedErrCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil {
+		return false
+	}
+	if trackedPkgPath(objPkgPath(obj)) {
+		return true
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			return trackedPkgPath(namedTypePkgPath(s.Recv()))
+		}
+	}
+	return false
+}
+
+func trackedPkgPath(path string) bool {
+	for _, dir := range trackedErrDirs {
+		if pathHasDir(path, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedTypePkgPath returns the import path declaring t's named type
+// (through one pointer), "" for unnamed types.
+func namedTypePkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+func calleeLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	if obj := calleeObj(pass.TypesInfo, call); obj != nil {
+		return obj.Name()
+	}
+	return "call"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

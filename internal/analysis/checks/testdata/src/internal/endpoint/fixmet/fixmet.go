@@ -1,0 +1,36 @@
+// Package fixmet is the metricsreg fixture: inline metric names and
+// open label sets (flagged) against the const-name, closed-label
+// registration idiom the engine uses (clean).
+package fixmet
+
+import "repro/internal/telemetry"
+
+const (
+	metricRequests = "fixmet_requests_total"
+	metricErrors   = "fixmet_errors_total"
+	metricQueue    = "fixmet_queue_depth"
+)
+
+var opNames = []string{"read", "write"}
+
+func register(reg *telemetry.Registry, mode string) {
+	reg.Counter(metricRequests, "Requests served.")
+	reg.Counter("fixmet_inline_total", "Inline-named counter.") // want `metric name for Counter must be a package-level constant`
+
+	name := "fixmet_dyn_depth"
+	reg.Gauge(name, "Runtime-built name.") // want `metric name for Gauge must be a package-level constant`
+	reg.Gauge(metricQueue+"_hwm", "Suffixed const name is fine.")
+
+	cf := reg.CounterFamily(metricErrors, "Errors by op.")
+	for _, op := range opNames {
+		cf.Counter("op", op) // closed: range over a fixed package-level list
+	}
+	for _, idx := range []string{"spo", "pos"} {
+		cf.Counter("index", idx) // closed: range over a literal list
+	}
+	cf.Counter("mode", mode) // want `label value for CounterFamily\.Counter is not closed at registration`
+
+	gf := reg.GaugeFamily(metricRequests+"_by_mode", "Requests by mode.")
+	gf.Const(1, "mode", "http")
+	gf.Const(1, "mode", mode) // want `label value for GaugeFamily\.Const is not closed at registration`
+}

@@ -1,0 +1,41 @@
+// Package fixscope holds the same shapes the scoped analyzers flag,
+// in a package outside their directories: every analyzer must report
+// zero findings here.
+package fixscope
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// Store shadows the engine's store name; locksafe only engages inside
+// internal/rdf.
+type Store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *Store) Add(v int) {
+	s.mu.Lock()
+	s.n += v
+	s.mu.Unlock()
+}
+
+func (s *Store) reenter(v int) {
+	s.mu.Lock()
+	s.Add(v) // locksafe: out of scope
+	s.mu.Unlock()
+}
+
+func touch(path string) error {
+	f, err := os.Create(path) // vfsonly: out of scope
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func root() context.Context {
+	return context.Background() // ctxthread: out of scope
+}

@@ -1,0 +1,72 @@
+// Package fixhot is the hotpathalloc fixture: allocation, clock, and
+// mutex use inside //eevet:hotpath bodies (flagged), with identical
+// code in unmarked siblings (clean).
+package fixhot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type row struct{ slot int }
+
+var sink any
+
+var mu sync.Mutex
+
+// scanRows is the seeded violation: per-row formatting inside a
+// hotpath-marked loop.
+//
+//eevet:hotpath
+func scanRows(rows []row) {
+	for _, r := range rows {
+		s := fmt.Sprintf("row %d", r.slot) // want `fmt\.Sprintf allocates in a hot path`
+		_ = s
+	}
+}
+
+//eevet:hotpath
+func hotClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the clock in a hot path`
+	return time.Since(t0) // want `time\.Since reads the clock in a hot path`
+}
+
+//eevet:hotpath
+func hotAlloc(n int) {
+	m := map[string]int{"a": 1} // want `map literal allocates in a hot path`
+	s := []int{1, 2}            // want `slice literal allocates in a hot path`
+	b := make([]byte, n)        // want `make allocates in a hot path`
+	sink = any(n)               // want `conversion to interface type .* allocates in a hot path`
+	mu.Lock()                   // want `mutex Lock in a hot path`
+	mu.Unlock()                 // want `mutex Unlock in a hot path`
+	_, _, _ = m, s, b
+}
+
+// hotNested checks that function literals inherit the enclosing mark.
+//
+//eevet:hotpath
+func hotNested() func() string {
+	return func() string {
+		return fmt.Sprint("x") // want `fmt\.Sprint allocates in a hot path`
+	}
+}
+
+// hotIgnored carries a scoped suppression with a reason; the runner
+// drops the diagnostic.
+//
+//eevet:hotpath
+func hotIgnored() {
+	//eevet:ignore hotpathalloc one-time warm-up formatting
+	_ = fmt.Sprintf("once")
+}
+
+// scanRowsInstrumented is the unmarked slow-path sibling (the
+// run/runInstrumented pattern): identical body, no findings.
+func scanRowsInstrumented(rows []row) {
+	start := time.Now()
+	for _, r := range rows {
+		_ = fmt.Sprintf("row %d", r.slot)
+	}
+	_ = time.Since(start)
+}

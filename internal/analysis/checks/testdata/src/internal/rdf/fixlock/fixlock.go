@@ -1,0 +1,99 @@
+// Package fixlock mirrors rdf.Store's locking protocol for the
+// locksafe analyzer: re-entrant method calls, channel operations, and
+// write-lock callback/goroutine hand-offs are flagged; the read-lock
+// executor contract (callbacks and workers under RLock) stays clean.
+package fixlock
+
+import "sync"
+
+// Store mirrors the engine's store: one RWMutex guarding the indexes.
+type Store struct {
+	mu     sync.RWMutex
+	n      int
+	notify chan int
+}
+
+// Add acquires the write lock directly.
+func (s *Store) Add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+}
+
+// AddAll acquires transitively through Add — the fixpoint must mark it
+// an acquirer too.
+func (s *Store) AddAll(vs []int) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+func (s *Store) reenter(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Add(v) // want `Add re-acquires the Store lock already held here: deadlock`
+}
+
+func (s *Store) reenterTransitive(vs []int) {
+	s.mu.RLock()
+	s.AddAll(vs) // want `AddAll re-acquires the Store lock already held here: deadlock`
+	s.mu.RUnlock()
+}
+
+func (s *Store) sendLocked(v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.notify <- v // want `channel send while holding the Store lock can block all writers`
+}
+
+func (s *Store) recvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.notify // want `channel receive while holding the Store lock can block all readers and writers`
+}
+
+func (s *Store) callbackWrite(fn func(int)) {
+	s.mu.Lock()
+	fn(s.n) // want `function-value call under the Store write lock`
+	s.mu.Unlock()
+}
+
+// callbackRead is the contracted shape: callbacks run under the read
+// lock (the plan executor's emit path).
+func (s *Store) callbackRead(fn func(int)) {
+	s.mu.RLock()
+	fn(s.n)
+	s.mu.RUnlock()
+}
+
+func (s *Store) spawnWrite() {
+	s.mu.Lock()
+	go s.drain() // want `goroutine launched while holding the Store write lock`
+	s.mu.Unlock()
+}
+
+func (s *Store) drain() {
+	for range s.notify {
+	}
+}
+
+// spawnRead matches the parallel executor: workers launch under the
+// read lock, and their literals' bodies are not part of the locked
+// region — the Add and send inside run on the worker goroutine.
+func (s *Store) spawnRead(fn func(int)) {
+	s.mu.RLock()
+	go func() {
+		s.Add(1)
+		s.notify <- 1
+	}()
+	fn(0)
+	s.mu.RUnlock()
+}
+
+// unlockFirst releases before re-entering: clean.
+func (s *Store) unlockFirst(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.Add(v)
+}

@@ -1,0 +1,42 @@
+// Package fixctx is the ctxthread fixture: root contexts minted below
+// the handler layer (flagged) and the sanctioned shim shape (clean).
+package fixctx
+
+import "context"
+
+func run(ctx context.Context, q string) error { return ctx.Err() }
+
+// evalCtx already receives a context and must forward it; the test
+// asserts the suggested fix rewrites the call to the parameter.
+func evalCtx(ctx context.Context, q string) error {
+	c := context.Background() // want `context\.Background\(\) drops the caller's context; forward the ctx parameter`
+	_ = c
+	return run(ctx, q)
+}
+
+// Query is the sanctioned no-ctx shim: exported, mints the root
+// context only to hand it straight to its *Context sibling.
+func Query(q string) error {
+	return QueryContext(context.Background(), q)
+}
+
+// QueryContext is a conforming *Context entry point.
+func QueryContext(ctx context.Context, q string) error { return run(ctx, q) }
+
+// helper sits below the handler layer without a context at all.
+func helper(q string) error {
+	return run(context.TODO(), q) // want `context\.TODO\(\) below the handler layer: accept a context\.Context and forward it`
+}
+
+// Rebuild is exported but squirrels the root context away instead of
+// delegating to a *Context sibling — still flagged.
+func Rebuild(q string) error {
+	ctx := context.Background() // want `context\.Background\(\) below the handler layer`
+	return run(ctx, q)
+}
+
+// BadContext is a *Context entry point missing the context-first
+// parameter.
+func BadContext(q string) error { // want `BadContext is a \*Context entry point but does not take context\.Context as its first parameter`
+	return nil
+}

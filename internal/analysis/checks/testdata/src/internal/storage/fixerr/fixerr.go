@@ -1,0 +1,49 @@
+// Package fixerr is the nodroppederr fixture: durability error
+// results discarded (flagged) and consumed or deferred (clean).
+package fixerr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/storage/vfs"
+)
+
+// persist mimics the WAL commit path; because this package is
+// storage-pathed, bare calls to it are durability discards too.
+func persist(f vfs.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// dropSync is the seeded violation class: the fsync that acknowledged
+// a commit, silently discarded.
+func dropSync(f vfs.File) {
+	f.Sync()   // want `result of Sync is a durability error and is silently discarded`
+	f.Close()  // want `result of Close is a durability error and is silently discarded`
+	persist(f) // want `result of persist is a durability error and is silently discarded`
+}
+
+func blankErr(fsys vfs.FS, f vfs.File, path string) {
+	_ = f.Sync()                     // want `error result of Sync assigned to _`
+	_, _ = fsys.OpenFile(path, 0, 0) // want `error result of OpenFile assigned to _`
+}
+
+// consume is the conforming shape: every durability error is checked
+// or deliberately deferred (read-path defer Close cannot propagate and
+// is exempt).
+func consume(f vfs.File) error {
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// untracked: error results outside the durability surface stay the
+// developer's call.
+func untracked() {
+	fmt.Fprintln(io.Discard, "telemetry only")
+}

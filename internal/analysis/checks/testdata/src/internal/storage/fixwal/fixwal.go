@@ -1,0 +1,39 @@
+// Package fixwal is the vfsonly fixture: a storage-pathed package
+// mixing direct os calls (flagged) with seam-routed ones (clean).
+package fixwal
+
+import (
+	"io/ioutil" // want `io/ioutil import in internal/storage`
+	"os"
+
+	"repro/internal/storage/vfs"
+)
+
+var discard = ioutil.Discard
+
+// openRaw is the seeded violation class: WAL code opening files with
+// the os package directly instead of the injected seam.
+func openRaw(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create in internal/storage`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// statRaw has a mechanical fix (os.Stat -> vfs.OS.Stat); the test
+// asserts the suggested edit text.
+func statRaw(path string) error {
+	_, err := os.Stat(path) // want `direct os\.Stat in internal/storage`
+	return err
+}
+
+func removeRaw(path string) error {
+	return os.Remove(path) // want `direct os\.Remove in internal/storage`
+}
+
+// openSeam is the conforming shape: the same operation through vfs.OS.
+// os-package constants stay fine — only file operations are fenced.
+func openSeam(path string) (vfs.File, error) {
+	return vfs.OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}

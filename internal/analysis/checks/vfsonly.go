@@ -1,0 +1,107 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// osFileOps is the set of os-package functions that touch the
+// filesystem. Everything the storage engine needs has a vfs.FS or
+// vfs.File counterpart; anything else (CreateTemp, WriteFile, ...) must
+// go through a helper built on the seam.
+var osFileOps = map[string]bool{
+	"Chdir": true, "Chmod": true, "Chown": true, "Chtimes": true,
+	"Create": true, "CreateTemp": true, "Link": true, "Lstat": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "NewFile": true,
+	"Open": true, "OpenFile": true, "ReadDir": true, "ReadFile": true,
+	"Readlink": true, "Remove": true, "RemoveAll": true, "Rename": true,
+	"Stat": true, "Symlink": true, "Truncate": true, "WriteFile": true,
+}
+
+// vfsFSOps are the os operations with an identically-shaped method on
+// vfs.FS, for which the suggested fix is a pure selector rewrite.
+var vfsFSOps = map[string]bool{
+	"Open": true, "OpenFile": true, "ReadFile": true, "Rename": true,
+	"Remove": true, "Stat": true, "MkdirAll": true,
+}
+
+// Vfsonly enforces the PR 8 filesystem seam: inside internal/storage
+// (the vfs package itself excepted) no code — tests included — may call
+// os-package file operations or import io/ioutil. Production code takes
+// an injected vfs.FS; tests go through vfs.OS so the fault-injection
+// harness stays the only place that decides what "the filesystem" is.
+var Vfsonly = &analysis.Analyzer{
+	Name: "vfsonly",
+	Doc: "storage I/O must route through the vfs.FS seam: no direct os.* file\n" +
+		"operations or io/ioutil inside internal/storage outside the vfs package",
+	Run: runVfsonly,
+}
+
+func runVfsonly(pass *analysis.Pass) error {
+	if !pathHasDir(pass.PkgPath, "internal/storage") || pathHasDir(pass.PkgPath, "internal/storage/vfs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"io/ioutil"` {
+				pass.Reportf(imp.Pos(), "io/ioutil import in internal/storage: use the vfs.FS seam (vfs.OS in tests)")
+			}
+		}
+		vfsName := vfsImportName(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			if !osFileOps[sel.Sel.Name] {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: sel.Pos(),
+				End: sel.End(),
+				Message: "direct os." + sel.Sel.Name + " in internal/storage: route through the vfs.FS seam " +
+					"(Options.FS in production code, vfs.OS in tests)",
+			}
+			if vfsFSOps[sel.Sel.Name] && vfsName != "" {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: "call the operation on vfs.OS",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     sel.Pos(),
+						End:     sel.End(),
+						NewText: vfsName + ".OS." + sel.Sel.Name,
+					}},
+				}}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil
+}
+
+// vfsImportName returns the local name under which f imports the vfs
+// package, "" when it does not.
+func vfsImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"repro/internal/storage/vfs"` {
+			if imp.Name != nil {
+				if imp.Name.Name == "_" || imp.Name.Name == "." {
+					return ""
+				}
+				return imp.Name.Name
+			}
+			return "vfs"
+		}
+	}
+	return ""
+}

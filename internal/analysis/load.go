@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a package of the module,
+// with in-package _test.go files folded in (the go command's "test
+// variant"), or an external _test package.
+type Package struct {
+	PkgPath   string // import path (test variants keep the base path)
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	testFiles map[*token.File]bool
+}
+
+// IsTestFile reports whether pos lies in a _test.go file of the unit.
+func (p *Package) IsTestFile(pos token.Pos) bool {
+	return p.testFiles[p.Fset.File(pos)]
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+}
+
+// Load type-checks the module packages matching patterns (relative to
+// dir), including their test files, and returns them ready for
+// analysis. It shells out to `go list` — offline and build-cache
+// backed — for package metadata and export data, then parses and
+// type-checks each module package from source so analyzers see full
+// syntax with types.Info.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-test", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Imports,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	// Pick the analysis units: module packages, preferring the test
+	// variant "pkg [pkg.test]" (it folds the in-package test files in)
+	// over the plain entry, plus external _test packages. Synthesized
+	// test mains ("pkg.test") are skipped.
+	variantOf := make(map[string]bool) // base paths that have a test variant
+	for _, lp := range order {
+		if lp.ForTest != "" && strings.HasPrefix(lp.ImportPath, lp.ForTest+" [") {
+			variantOf[lp.ForTest] = true
+		}
+	}
+	var units []*listPackage
+	for _, lp := range order {
+		switch {
+		case lp.Standard || lp.Module == nil:
+			continue
+		case lp.Error != nil:
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		case strings.HasSuffix(lp.ImportPath, ".test"):
+			continue // synthesized test main
+		case lp.ForTest != "" && strings.HasSuffix(lp.Name, "_test"):
+			units = append(units, lp) // external _test package
+		case lp.ForTest != "":
+			units = append(units, lp) // in-package test variant
+		case variantOf[lp.ImportPath]:
+			continue // superseded by its test variant
+		default:
+			units = append(units, lp)
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].ImportPath < units[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range units {
+		p, err := typeCheckUnit(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// typeCheckUnit parses a unit's files and type-checks them against the
+// export data of its dependencies.
+func typeCheckUnit(fset *token.FileSet, lp *listPackage, byPath map[string]*listPackage) (*Package, error) {
+	// The go list entry's GoFiles is already the unit's complete file
+	// list: test variants fold their in-package _test.go files in, and
+	// external _test packages list exactly their own files.
+	names := lp.GoFiles
+
+	pkg := &Package{
+		PkgPath:   basePath(lp.ImportPath),
+		Dir:       lp.Dir,
+		Fset:      fset,
+		testFiles: make(map[*token.File]bool),
+	}
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.testFiles[fset.File(f.Pos())] = true
+		}
+	}
+
+	// Bracketed import spellings in go list output ("p [q.test]") name
+	// the test variants this unit must link against; source files spell
+	// the plain path, so map plain → variant for the importer.
+	redirect := make(map[string]string)
+	for _, imp := range lp.Imports {
+		if base := basePath(imp); base != imp {
+			redirect[base] = imp
+		}
+	}
+	imp, err := newExportImporter(fset, byPath, redirect)
+	if err != nil {
+		return nil, err
+	}
+
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.PkgPath, fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// newInfo allocates every types.Info map analyzers may consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// basePath strips the " [pkg.test]" variant suffix go list appends.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// exportImporter resolves imports from the export data files the go
+// command wrote (build-cache paths from `go list -export`).
+type exportImporter struct {
+	inner    types.Importer
+	byPath   map[string]*listPackage
+	redirect map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, byPath map[string]*listPackage, redirect map[string]string) (*exportImporter, error) {
+	ei := &exportImporter{byPath: byPath, redirect: redirect}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if v, ok := ei.redirect[path]; ok {
+			path = v
+		}
+		lp := ei.byPath[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	ei.inner = importer.ForCompiler(fset, "gc", lookup)
+	return ei, nil
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.inner.Import(path)
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this source file's
+// position (internal/analysis/load_test.go → two directories up).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestLoadTypesResolve loads a storage package (which has in-package
+// test files) and an xtest package (endpoint_test) and checks that the
+// type checker resolved selector methods across package boundaries —
+// the property every analyzer depends on.
+func TestLoadTypesResolve(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./internal/storage/vfs", "./internal/endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string][]*Package)
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = append(byPath[p.PkgPath], p)
+	}
+	vfsPkgs := byPath["repro/internal/storage/vfs"]
+	if len(vfsPkgs) == 0 {
+		t.Fatalf("vfs package not loaded; got %v", keys(byPath))
+	}
+	vfs := vfsPkgs[0]
+	// The vfs package has in-package tests; the loaded unit must carry
+	// both flavors of file and mark the test ones.
+	var prod, test int
+	for _, f := range vfs.Files {
+		if vfs.IsTestFile(f.Pos()) {
+			test++
+		} else {
+			prod++
+		}
+	}
+	if prod == 0 || test == 0 {
+		t.Fatalf("vfs unit should fold test files in: prod=%d test=%d", prod, test)
+	}
+	// Every selector in the package must have resolved (types.Info is
+	// complete when Uses covers the imported identifiers).
+	sawUse := false
+	for id, obj := range vfs.TypesInfo.Uses {
+		if id.Name == "OpenFile" && obj != nil {
+			sawUse = true
+			break
+		}
+	}
+	if !sawUse {
+		t.Fatal("vfs type info has no resolved OpenFile use")
+	}
+	if len(byPath["repro/internal/endpoint_test"]) == 0 {
+		t.Fatalf("external test package repro/internal/endpoint_test not loaded; got %v", keys(byPath))
+	}
+}
+
+func keys(m map[string][]*Package) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMarkers checks ignore scoping and hotpath detection on a
+// synthetic file.
+func TestMarkers(t *testing.T) {
+	src := `package p
+
+//eevet:hotpath
+func hot() {}
+
+func cold() {
+	_ = 1 //eevet:ignore vfsonly legacy call
+	_ = 2 //eevet:ignore
+}
+`
+	fset := token.NewFileSet()
+	f := mustParse(t, fset, src)
+	m := CollectMarkers(fset, []*ast.File{f})
+
+	var hot, cold *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			switch fd.Name.Name {
+			case "hot":
+				hot = fd
+			case "cold":
+				cold = fd
+			}
+		}
+	}
+	if !m.HotpathMarked(hot) {
+		t.Error("hot() should be hotpath-marked")
+	}
+	if m.HotpathMarked(cold) {
+		t.Error("cold() should not be hotpath-marked")
+	}
+	if !m.Suppressed("vfsonly", token.Position{Filename: fset.Position(f.Pos()).Filename, Line: 7}) {
+		t.Error("scoped ignore on line 7 should suppress vfsonly")
+	}
+	if m.Suppressed("locksafe", token.Position{Filename: fset.Position(f.Pos()).Filename, Line: 7}) {
+		t.Error("scoped ignore on line 7 should not suppress locksafe")
+	}
+	if !m.Suppressed("locksafe", token.Position{Filename: fset.Position(f.Pos()).Filename, Line: 8}) {
+		t.Error("bare ignore on line 8 should suppress any analyzer")
+	}
+}
+
+func mustParse(t *testing.T, fset *token.FileSet, src string) *ast.File {
+	t.Helper()
+	f, err := parseSource(fset, "test.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// RunPackage applies every analyzer to one loaded package and returns
+// the surviving findings (those not covered by an //eevet:ignore
+// marker), sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	marks := CollectMarkers(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			PkgPath:   pkg.PkgPath,
+			TestFile:  pkg.IsTestFile,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if marks.Suppressed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Diagnostic: d})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// Check loads the packages matching patterns under dir and runs the
+// analyzers over each; the concatenated findings come back sorted.
+func Check(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// ApplyFixes rewrites the files named in the findings' suggested fixes.
+// Edits are applied file by file in reverse position order so earlier
+// offsets stay valid; overlapping edits abort with an error. It returns
+// the number of edits applied.
+func ApplyFixes(pkgs []*Package, findings []Finding) (int, error) {
+	type edit struct {
+		start, end int // byte offsets within the file
+		newText    string
+	}
+	byFile := make(map[string][]edit)
+	for _, f := range findings {
+		fset := pkgFset(pkgs, f)
+		if fset == nil {
+			continue
+		}
+		for _, fix := range f.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				pos := fset.Position(te.Pos)
+				end := fset.Position(te.End)
+				if pos.Filename == "" || pos.Filename != end.Filename {
+					return 0, fmt.Errorf("analysis: fix for %s spans files", f)
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	applied := 0
+	for name, edits := range byFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return applied, fmt.Errorf("analysis: overlapping fixes in %s", name)
+			}
+		}
+		for _, e := range edits {
+			src = append(src[:e.start], append([]byte(e.newText), src[e.end:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+func pkgFset(pkgs []*Package, f Finding) *token.FileSet {
+	for _, p := range pkgs {
+		if p.Fset.File(f.Diagnostic.Pos) != nil {
+			return p.Fset
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LoadTestdata type-checks one analyzer-fixture package. Fixtures live
+// in testdata trees the go tool ignores, laid out x/tools style as
+// <testdata>/src/<pkgRel>/*.go; pkgRel doubles as the package's import
+// path so path-scoped analyzers (vfsonly on internal/storage, locksafe
+// on internal/rdf) exercise the same matching logic they run with in
+// the repository. Imports in fixture files — standard library or real
+// module packages such as repro/internal/storage/vfs — resolve against
+// export data from `go list -export`, invoked from moduleDir.
+func LoadTestdata(moduleDir, testdata, pkgRel string) (*Package, error) {
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgRel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: testdata package %s: %v", pkgRel, err)
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{
+		PkgPath:   pkgRel,
+		Dir:       dir,
+		Fset:      fset,
+		testFiles: make(map[*token.File]bool),
+	}
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			pkg.testFiles[fset.File(f.Pos())] = true
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	byPath, err := exportDataFor(moduleDir, imports)
+	if err != nil {
+		return nil, err
+	}
+	imp, err := newExportImporter(fset, byPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.PkgPath, fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check testdata %s: %v", pkgRel, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// exportCache memoizes `go list -export` metadata across fixture loads
+// in one test process (every fixture pulls roughly the same stdlib
+// slice).
+var exportCache struct {
+	sync.Mutex
+	byDir map[string]map[string]*listPackage
+}
+
+// exportDataFor returns go list metadata (with export files) for the
+// transitive dependencies of the given import paths.
+func exportDataFor(moduleDir string, imports map[string]bool) (map[string]*listPackage, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if exportCache.byDir == nil {
+		exportCache.byDir = make(map[string]map[string]*listPackage)
+	}
+	cached := exportCache.byDir[moduleDir]
+	if cached == nil {
+		cached = make(map[string]*listPackage)
+		exportCache.byDir[moduleDir] = cached
+	}
+	var missing []string
+	for p := range imports {
+		if p != "unsafe" && cached[p] == nil {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return cached, nil
+	}
+	sort.Strings(missing)
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Imports,Module,Error",
+		"--",
+	}, missing...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(missing, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		cached[lp.ImportPath] = lp
+	}
+	return cached, nil
+}
+
+// parseSource parses one in-memory file (test support).
+func parseSource(fset *token.FileSet, name, src string) (*ast.File, error) {
+	return parser.ParseFile(fset, name, src, parser.ParseComments)
+}

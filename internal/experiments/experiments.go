@@ -10,6 +10,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/storage/vfs"
 )
 
 // Table is one experiment's result table.
@@ -67,6 +69,11 @@ func pad(s string, w int) string {
 type Config struct {
 	// Quick shrinks workloads for tests and smoke runs.
 	Quick bool
+	// FS is the filesystem the seam-mode arms of FaultBench run
+	// through; nil means vfs.OS, the production default. Injecting a
+	// fault-injecting vfs implementation runs the same workloads over
+	// it without touching the direct-os baseline arms.
+	FS vfs.FS
 }
 
 func (c Config) scale(full, quick int) int {

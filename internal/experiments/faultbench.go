@@ -95,6 +95,14 @@ func FaultBench(cfg Config) (*Table, *FaultBenchReport) {
 		CPUs:      runtime.NumCPU(),
 	}
 
+	// The seam arms run through the injected filesystem (vfs.OS when
+	// unset); the "os" arms stay raw os calls on purpose — they are the
+	// baseline the seam's overhead is measured against.
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+
 	dir, err := os.MkdirTemp("", "eebench-fault-*")
 	if err != nil {
 		panic(err)
@@ -132,7 +140,7 @@ func FaultBench(cfg Config) (*Table, *FaultBenchReport) {
 			return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		}),
 		streamVia(func(path string) (streamWriter, error) {
-			return vfs.OS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			return fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		}))
 	record("wal_stream", "os", records, osStream, 0)
 	record("wal_stream", "vfs", records, vfsStream, osStream)
@@ -174,7 +182,7 @@ func FaultBench(cfg Config) (*Table, *FaultBenchReport) {
 			d.Close()
 		}
 	}, func() {
-		if err := writeSnapshotThroughVFS(snapPath, terms, triples, version); err != nil {
+		if err := writeSnapshotThroughVFS(fsys, snapPath, terms, triples, version); err != nil {
 			panic(err)
 		}
 	})
@@ -185,10 +193,11 @@ func FaultBench(cfg Config) (*Table, *FaultBenchReport) {
 }
 
 // writeSnapshotThroughVFS is the production snapshot write shape over
-// vfs.OS (same sequence writeSnapshotData performs inside storage).
-func writeSnapshotThroughVFS(path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
+// the injected filesystem (same sequence writeSnapshotData performs
+// inside storage).
+func writeSnapshotThroughVFS(fsys vfs.FS, path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
 	tmp := path + ".tmp"
-	f, err := vfs.OS.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -202,10 +211,10 @@ func writeSnapshotThroughVFS(path string, terms []rdf.Term, triples []rdf.EncTri
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := vfs.OS.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	return vfs.OS.SyncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // measurePair times two implementations of the same workload in

@@ -713,6 +713,8 @@ type execState struct {
 
 // pollCancel returns true when the run's cancellation hook fired; the
 // budget keeps the poll off the per-extension hot path.
+//
+//eevet:hotpath
 func (st *execState) pollCancel() bool {
 	if st.tick--; st.tick > 0 {
 		return false
@@ -793,6 +795,8 @@ seedLoop:
 }
 
 // run executes steps[i:] against row; false aborts the whole pipeline.
+//
+//eevet:hotpath
 func (st *execState) run(i int, row Row) bool {
 	if i == len(st.plan.steps) {
 		if st.stats != nil {
@@ -820,6 +824,8 @@ func (st *execState) runInstrumented(i int, row Row) bool {
 }
 
 // dispatch selects the step's access strategy.
+//
+//eevet:hotpath
 func (st *execState) dispatch(i int, step *planStep, row Row) bool {
 	if step.probe != nil {
 		return st.runProbe(i, step, row)
@@ -837,6 +843,8 @@ func (st *execState) dispatch(i int, step *planStep, row Row) bool {
 // exact candidates for the unbound slot from the bound slot's ID, and
 // each candidate extends the row depth-first (preserving the stream's
 // outer sort order, like a nested-loop extension).
+//
+//eevet:hotpath
 func (st *execState) runProbe(i int, step *planStep, row Row) bool {
 	pr := step.probe
 	ok := true
@@ -866,6 +874,7 @@ func (st *execState) runProbe(i int, step *planStep, row Row) bool {
 	return ok
 }
 
+//eevet:hotpath
 func resolveRef(r slotRef, row Row) ID {
 	switch r.kind {
 	case refConst:
@@ -877,6 +886,7 @@ func resolveRef(r slotRef, row Row) ID {
 	}
 }
 
+//eevet:hotpath
 func (st *execState) runScan(i int, step *planStep, row Row) bool {
 	es := resolveRef(step.s, row)
 	ep := resolveRef(step.p, row)
@@ -927,6 +937,8 @@ func (st *execState) runScan(i int, step *planStep, row Row) bool {
 
 // runMergeS advances the sorted POS(p,o) subject cursor in lock-step with
 // the stream (sorted semi-join: the pattern binds nothing new).
+//
+//eevet:hotpath
 func (st *execState) runMergeS(i int, step *planStep, row Row) bool {
 	seg, c := st.segs[i], st.cursors[i]
 	k := row[step.mergeSlot]
@@ -959,6 +971,8 @@ func (st *execState) runMergeS(i int, step *planStep, row Row) bool {
 // nothing), POS(p) when S is a fresh variable (binds S per group
 // member). The cursor rests at the start of the current O-group so
 // duplicate stream keys revisit it.
+//
+//eevet:hotpath
 func (st *execState) runMergeO(i int, step *planStep, row Row) bool {
 	seg, c := st.segs[i], st.cursors[i]
 	k := row[step.mergeSlot]

@@ -425,6 +425,8 @@ func (p *BGPPlan) firstStepRangeLocked(s *Store) morselSource {
 
 // runMorsel executes one morsel's slice of first-step work through the
 // whole pipeline.
+//
+//eevet:hotpath
 func (p *BGPPlan) runMorsel(st *execState, src morselSource, m int, row Row) {
 	switch {
 	case src.whole:
@@ -463,19 +465,26 @@ func (p *BGPPlan) runMorsel(st *execState, src morselSource, m int, row Row) {
 			hi = len(src.seg)
 		}
 		if st.stats != nil {
-			// The morsel slice bypasses run(0), so step 0's counters are
-			// kept here: one rows-in per morsel (each morsel is one slice
-			// of the single logical first-step invocation), inclusive
-			// elapsed around the whole slice.
-			sr := &st.stats.Steps[0]
-			sr.RowsIn++
-			start := time.Now()
-			st.runScanSlice(&p.steps[0], src, src.seg[lo:hi], row)
-			sr.ElapsedNs += int64(time.Since(start))
+			st.runScanSliceTimed(&p.steps[0], src, src.seg[lo:hi], row)
 			return
 		}
 		st.runScanSlice(&p.steps[0], src, src.seg[lo:hi], row)
 	}
+}
+
+// runScanSliceTimed wraps runScanSlice with step 0's profile counters
+// (EXPLAIN ANALYZE runs only). The morsel slice bypasses run(0), so
+// step 0's accounting is kept here: one rows-in per morsel (each morsel
+// is one slice of the single logical first-step invocation), inclusive
+// elapsed around the whole slice. Split out of runMorsel so the
+// hotpath-marked default path stays clock-free, mirroring
+// run/runInstrumented.
+func (st *execState) runScanSliceTimed(step *planStep, src morselSource, seg []EncTriple, row Row) {
+	sr := &st.stats.Steps[0]
+	sr.RowsIn++
+	start := time.Now()
+	st.runScanSlice(step, src, seg, row)
+	sr.ElapsedNs += int64(time.Since(start))
 }
 
 // runScanSlice is runScan over an explicit first-step slice: the same

@@ -145,6 +145,7 @@ func CompilePlan(st *rdf.Store, q *Query, opt PlanOpts) (*Plan, error) {
 		pred, slot := r.Pred, sl
 		filters = append(filters, rdf.PlanFilter{
 			Slots: []int{slot},
+			//eevet:hotpath
 			Pred:  func(row rdf.Row) bool { return pred(row[slot]) },
 			Label: r.Label,
 		})
@@ -468,6 +469,9 @@ func (p *Plan) compileFilter(f Expr) rdf.PlanFilter {
 	}
 	return rdf.PlanFilter{
 		Slots: slots,
+		// The expression tree behind eval may allocate on its error
+		// paths, but the per-row dispatch itself must not.
+		//eevet:hotpath
 		Pred: func(row rdf.Row) bool {
 			v, err := eval(row)
 			return err == nil && v.Bool()

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"errors"
+	iofs "io/fs"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -344,6 +346,90 @@ func TestSnapshotDirSyncErrorPropagates(t *testing.T) {
 	var swe *SnapshotWriteError
 	if !errors.As(err, &swe) || swe.Op != "dirsync" {
 		t.Fatalf("Snapshot under dirsync fault = %v, want *SnapshotWriteError{Op: dirsync}", err)
+	}
+}
+
+// TestSnapshotCleanupFailureCounted is the regression test for the
+// nodroppederr audit: a failed snapshot write triggers best-effort
+// cleanup of the .tmp file, and a cleanup failure used to vanish
+// without a trace. It must now land on storage_io_errors_total.
+func TestSnapshotCleanupFailureCounted(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	m := NewMetrics(telemetry.NewRegistry())
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	st.SetJournal(db.Log())
+	if err := st.AddBatch(crashBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	failedWrite := false
+	fsys.SetFault(func(seq int, op vfs.Op, path string) error {
+		switch op {
+		case vfs.OpWrite:
+			failedWrite = true
+			return vfs.ErrInjected
+		case vfs.OpRemove:
+			return vfs.ErrInjected
+		}
+		return nil
+	})
+	if _, err := db.Snapshot(st); err == nil {
+		t.Fatal("Snapshot under write fault succeeded")
+	}
+	if !failedWrite {
+		t.Fatal("fault hook never saw the snapshot write")
+	}
+	if got := m.ioErrors["write"].Load(); got != 1 {
+		t.Errorf("io_errors{op=write} = %d, want 1", got)
+	}
+	if got := m.ioErrors["remove"].Load(); got != 1 {
+		t.Errorf("io_errors{op=remove} = %d, want 1 (cleanup failure must be counted)", got)
+	}
+}
+
+// closeFailFS makes Close fail on files whose base name matches; ErrFS
+// has no close fault of its own. Wraps any vfs.FS.
+type closeFailFS struct {
+	vfs.FS
+	base string
+}
+
+func (f closeFailFS) OpenFile(name string, flag int, perm iofs.FileMode) (vfs.File, error) {
+	h, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil || filepath.Base(name) != f.base {
+		return h, err
+	}
+	return closeFailFile{h}, nil
+}
+
+type closeFailFile struct{ vfs.File }
+
+func (f closeFailFile) Close() error {
+	f.File.Close()
+	return vfs.ErrInjected
+}
+
+// TestDBCloseLockFileError: DB.Close used to discard the LOCK file's
+// close error; it must now be returned (the flock may still be held)
+// while the WAL close error, when present, stays primary.
+func TestDBCloseLockFileError(t *testing.T) {
+	fsys := closeFailFS{FS: vfs.NewErrFS(), base: "LOCK"}
+	db, err := Open("db", Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("Close = %v, want LOCK close failure", err)
 	}
 }
 

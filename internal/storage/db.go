@@ -124,7 +124,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
 	if err := lf.Lock(); err != nil {
-		lf.Close()
+		closeDiscard(opts.Metrics, lf)
 		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
 	}
 	return &DB{dir: dir, opts: opts, fsys: fsys, lockFile: lf}, nil
@@ -401,7 +401,12 @@ func (db *DB) Snapshot(st *rdf.Store) (string, error) {
 			}
 			kept++
 			if kept > 1 {
-				db.fsys.Remove(s.Path)
+				// Pruning is best-effort — a stale snapshot is harmless for
+				// correctness (recovery picks the newest) — but a failed
+				// delete still counts, or the directory grows unseen.
+				if err := db.fsys.Remove(s.Path); err != nil {
+					db.opts.Metrics.ioError("remove")
+				}
 			}
 		}
 	}
@@ -421,7 +426,15 @@ func (db *DB) Close() error {
 		db.log = nil
 	}
 	if db.lockFile != nil {
-		db.lockFile.Close() // dropping the fd releases the flock
+		// Dropping the fd releases the flock; the WAL close error stays
+		// primary, but a LOCK-file close failure is still worth returning
+		// (and counting) rather than losing — the flock may linger.
+		if cerr := db.lockFile.Close(); cerr != nil {
+			db.opts.Metrics.ioError("close")
+			if err == nil {
+				err = fmt.Errorf("storage: close LOCK: %w", cerr)
+			}
+		}
 		db.lockFile = nil
 	}
 	return err

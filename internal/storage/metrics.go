@@ -57,31 +57,50 @@ type Metrics struct {
 // the set land on op="other" rather than minting unbounded labels.
 var ioErrorOps = []string{"create", "write", "fsync", "close", "rename", "remove", "dirsync", "rotate"}
 
+// Metric family names, one const per family so the namespace is
+// greppable and the eevet metricsreg check can verify registrations.
+const (
+	metricWALAppendSeconds   = "storage_wal_append_duration_seconds"
+	metricWALFsyncSeconds    = "storage_wal_fsync_duration_seconds"
+	metricWALBatchTriples    = "storage_wal_batch_triples"
+	metricWALCommits         = "storage_wal_commits_total"
+	metricWALSyncs           = "storage_wal_syncs_total"
+	metricWALRotations       = "storage_wal_rotations_total"
+	metricWALRecordedTriples = "storage_wal_recorded_triples_total"
+	metricSnapshotSeconds    = "storage_snapshot_duration_seconds"
+	metricSnapshotWrites     = "storage_snapshot_writes_total"
+	metricCompactions        = "storage_snapshot_compactions_total"
+	metricSegmentsPruned     = "storage_wal_segments_pruned_total"
+	metricSnapshotBytes      = "storage_snapshot_last_bytes"
+	metricDegraded           = "storage_degraded"
+	metricIOErrors           = "storage_io_errors_total"
+)
+
 // NewMetrics registers the storage metric families on reg and returns
 // the instrument set.
 func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m := &Metrics{}
-	m.appendSeconds = reg.DurationHistogram("storage_wal_append_duration_seconds",
+	m.appendSeconds = reg.DurationHistogram(metricWALAppendSeconds,
 		"WAL record commit latency: encode, CRC, buffered write and flush (excludes fsync).", walLatencyBuckets)
-	m.fsyncSeconds = reg.DurationHistogram("storage_wal_fsync_duration_seconds",
+	m.fsyncSeconds = reg.DurationHistogram(metricWALFsyncSeconds,
 		"WAL fsync latency (group commit; see -wal-sync-every).", walLatencyBuckets)
-	m.batchTriples = reg.ValueHistogram("storage_wal_batch_triples",
+	m.batchTriples = reg.ValueHistogram(metricWALBatchTriples,
 		"Triples per committed WAL record (group-commit batch size).", batchSizeBuckets)
-	m.commits = reg.Counter("storage_wal_commits_total", "WAL records committed.")
-	m.syncs = reg.Counter("storage_wal_syncs_total", "WAL fsync calls.")
-	m.rotations = reg.Counter("storage_wal_rotations_total", "WAL segment rotations.")
-	m.recorded = reg.Counter("storage_wal_recorded_triples_total", "Triples sealed into committed WAL records.")
-	hf := reg.DurationHistogramFamily("storage_snapshot_duration_seconds",
+	m.commits = reg.Counter(metricWALCommits, "WAL records committed.")
+	m.syncs = reg.Counter(metricWALSyncs, "WAL fsync calls.")
+	m.rotations = reg.Counter(metricWALRotations, "WAL segment rotations.")
+	m.recorded = reg.Counter(metricWALRecordedTriples, "Triples sealed into committed WAL records.")
+	hf := reg.DurationHistogramFamily(metricSnapshotSeconds,
 		"Snapshot file operation durations by op (write = capture to disk, load = recovery decode).", snapshotLatencyBuckets)
 	m.snapshotWrite = hf.Histogram("op", "write")
 	m.snapshotLoad = hf.Histogram("op", "load")
-	m.snapshotWrites = reg.Counter("storage_snapshot_writes_total", "Snapshot files written.")
-	m.compactions = reg.Counter("storage_snapshot_compactions_total", "WAL compaction runs (snapshot + prune).")
-	m.segmentsPruned = reg.Counter("storage_wal_segments_pruned_total", "WAL segment files deleted by compaction.")
-	m.snapshotBytes = reg.Gauge("storage_snapshot_last_bytes", "Size in bytes of the newest snapshot file.")
-	m.degraded = reg.Gauge("storage_degraded",
+	m.snapshotWrites = reg.Counter(metricSnapshotWrites, "Snapshot files written.")
+	m.compactions = reg.Counter(metricCompactions, "WAL compaction runs (snapshot + prune).")
+	m.segmentsPruned = reg.Counter(metricSegmentsPruned, "WAL segment files deleted by compaction.")
+	m.snapshotBytes = reg.Gauge(metricSnapshotBytes, "Size in bytes of the newest snapshot file.")
+	m.degraded = reg.Gauge(metricDegraded,
 		"1 once the WAL has taken its sticky write failure and the store refuses writes; restart to recover.")
-	ef := reg.CounterFamily("storage_io_errors_total",
+	ef := reg.CounterFamily(metricIOErrors,
 		"Filesystem operation failures in the WAL and snapshot paths, by operation.")
 	m.ioErrors = make(map[string]*telemetry.Counter, len(ioErrorOps))
 	for _, op := range ioErrorOps {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
 	"repro/internal/telemetry"
 )
 
@@ -121,7 +122,7 @@ func TestRecoveryStatsTimeline(t *testing.T) {
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments (err %v)", err)
 	}
-	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	f, err := vfs.OS.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,6 +112,23 @@ func WriteSnapshotFile(path string, st *rdf.Store) error {
 // it, and a failed rename changes nothing. Failures count on
 // storage_io_errors_total (m may be nil) and come back as
 // *SnapshotWriteError.
+// discardTemp abandons a half-written snapshot temp file on a failure
+// path. The write error being returned to the caller stays primary;
+// close/remove failures here are best-effort cleanup, but they still
+// count on storage_io_errors_total so a directory slowly filling with
+// orphaned .tmp files is visible to operators. Pass f nil when the
+// handle is already closed.
+func discardTemp(fsys vfs.FS, m *Metrics, f vfs.File, tmp string) {
+	if f != nil {
+		if err := f.Close(); err != nil {
+			m.ioError("close")
+		}
+	}
+	if err := fsys.Remove(tmp); err != nil {
+		m.ioError("remove")
+	}
+}
+
 func writeSnapshotData(fsys vfs.FS, m *Metrics, path string, terms []rdf.Term, triples []rdf.EncTriple, version uint64) error {
 	tmp := path + ".tmp"
 	fail := func(op, p string, err error) error {
@@ -124,21 +141,19 @@ func writeSnapshotData(fsys vfs.FS, m *Metrics, path string, terms []rdf.Term, t
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	if err := WriteSnapshotTo(w, terms, triples, version); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
+		discardTemp(fsys, m, f, tmp)
 		return fail("write", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
+		discardTemp(fsys, m, f, tmp)
 		return fail("fsync", tmp, err)
 	}
 	if err := f.Close(); err != nil {
-		fsys.Remove(tmp)
+		discardTemp(fsys, m, nil, tmp)
 		return fail("close", tmp, err)
 	}
 	if err := fsys.Rename(tmp, path); err != nil {
-		fsys.Remove(tmp)
+		discardTemp(fsys, m, nil, tmp)
 		return fail("rename", tmp, err)
 	}
 	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
@@ -342,11 +357,15 @@ func readSnapshot(fsys vfs.FS, path string, buildIndex bool) (terms []rdf.Term, 
 // InspectSnapshot reads only enough of a snapshot to describe it (the
 // whole file is still CRC-verified).
 func InspectSnapshot(path string) (SnapshotInfo, error) {
-	terms, triples, version, err := ReadSnapshotFile(path)
+	return inspectSnapshotFS(vfs.OS, path)
+}
+
+func inspectSnapshotFS(fsys vfs.FS, path string) (SnapshotInfo, error) {
+	terms, _, triples, version, err := readSnapshot(fsys, path, false)
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
-	fi, err := os.Stat(path)
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return SnapshotInfo{}, err
 	}

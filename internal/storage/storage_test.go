@@ -13,7 +13,23 @@ import (
 	"repro/internal/geom"
 	"repro/internal/geostore"
 	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
 )
+
+// writeFileVFS is os.WriteFile through the vfs seam (vfs.FS carries no
+// WriteFile; storage tests stay on the seam per the eevet vfsonly
+// check, so fault-injection runs see every byte the tests plant).
+func writeFileVFS(path string, data []byte, perm os.FileMode) error {
+	f, err := vfs.OS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func tr(i int) rdf.Triple {
 	return rdf.NewTriple(
@@ -128,7 +144,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 		if err := l.Sync(); err != nil {
 			t.Fatal(err)
 		}
-		fi, err := os.Stat(path)
+		fi, err := vfs.OS.Stat(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +153,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(path)
+	full, err := vfs.OS.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +175,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 	lastStart := boundaries[batches-2]
 	for cut := lastStart; cut <= int64(len(full)); cut++ {
 		truncated := filepath.Join(dir, "cut.log")
-		if err := os.WriteFile(truncated, full[:cut], 0o644); err != nil {
+		if err := writeFileVFS(truncated, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		gotBatches := 0
@@ -221,14 +237,14 @@ func TestWALMidFileCorruption(t *testing.T) {
 			t.Fatal(err)
 		}
 		if b == 0 {
-			fi, _ := os.Stat(path)
+			fi, _ := vfs.OS.Stat(path)
 			firstEnd = fi.Size()
 		}
 	}
 	l.Close()
-	raw, _ := os.ReadFile(path)
+	raw, _ := vfs.OS.ReadFile(path)
 	raw[firstEnd+10] ^= 0xff // inside record 2's payload
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := writeFileVFS(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	n := 0
@@ -373,12 +389,12 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 	if err := WriteSnapshotFile(path, src); err != nil {
 		t.Fatal(err)
 	}
-	raw, _ := os.ReadFile(path)
+	raw, _ := vfs.OS.ReadFile(path)
 	for _, off := range []int{0, len(snapshotMagic) + 3, len(raw) / 2, len(raw) - 1} {
 		mut := append([]byte(nil), raw...)
 		mut[off] ^= 0x55
 		bad := filepath.Join(t.TempDir(), "bad.snap")
-		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		if err := writeFileVFS(bad, mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if _, _, _, err := ReadSnapshotFile(bad); err == nil {
@@ -446,7 +462,7 @@ func TestDBRecoverLifecycle(t *testing.T) {
 	if db.SinceSnapshot() != 0 {
 		t.Errorf("SinceSnapshot after snapshot = %d", db.SinceSnapshot())
 	}
-	if _, err := os.Stat(snapPath); err != nil {
+	if _, err := vfs.OS.Stat(snapPath); err != nil {
 		t.Fatal(err)
 	}
 
@@ -549,12 +565,12 @@ func TestDBRecoverFallsBackToOlderSnapshot(t *testing.T) {
 	// Bit-rot the NEWEST snapshot: recovery must fall back to the
 	// previous generation and rebuild the full state from the retained
 	// WAL segments (this is why two generations are kept).
-	raw, err := os.ReadFile(snap2)
+	raw, err := vfs.OS.ReadFile(snap2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw[len(raw)-2] ^= 0xff
-	if err := os.WriteFile(snap2, raw, 0o644); err != nil {
+	if err := writeFileVFS(snap2, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -101,19 +101,19 @@ func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log
 	}
 	terms, good, err := replayRecords(f, fn)
 	if err != nil {
-		f.Close()
+		closeDiscard(opts.Metrics, f)
 		return nil, err
 	}
 	var torn int64
 	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > good {
 		torn = fi.Size() - good
 		if err := f.Truncate(good); err != nil {
-			f.Close()
+			closeDiscard(opts.Metrics, f)
 			return nil, fmt.Errorf("storage: truncate torn WAL tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
+		closeDiscard(opts.Metrics, f)
 		return nil, fmt.Errorf("storage: seek WAL: %w", err)
 	}
 	l := newLog(f, opts)
@@ -444,18 +444,27 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
-		l.f.Close()
+		closeDiscard(l.opts.Metrics, l.f)
 		return l.broken
 	}
 	if err := l.commitLocked(); err != nil {
-		l.f.Close()
+		closeDiscard(l.opts.Metrics, l.f)
 		return err
 	}
 	if err := l.syncLocked(); err != nil {
-		l.f.Close()
+		closeDiscard(l.opts.Metrics, l.f)
 		return err
 	}
 	return l.f.Close()
+}
+
+// closeDiscard closes f on a path already returning another error; the
+// original error stays primary, but a close failure is still counted on
+// storage_io_errors_total so leaked handles are observable.
+func closeDiscard(m *Metrics, f vfs.File) {
+	if err := f.Close(); err != nil {
+		m.ioError("close")
+	}
 }
 
 // Err returns the log's sticky failure, nil while healthy. Once set,
