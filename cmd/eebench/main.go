@@ -15,6 +15,8 @@
 //	                                      # EXPLAIN ANALYZE overhead group
 //	eebench -bench-group fault -bench-out BENCH_fault.json
 //	                                      # vfs seam overhead group
+//	eebench -bench-group repl -bench-out BENCH_repl.json
+//	                                      # WAL-shipping replication group
 package main
 
 import (
@@ -35,7 +37,7 @@ func main() {
 	benchOut := flag.String("bench-out", "",
 		"run a benchmark group and write its JSON report to this path (e.g. BENCH_query.json)")
 	benchGroup := flag.String("bench-group", "query",
-		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join), parallel (morsel-driven executor), analyze (EXPLAIN ANALYZE overhead) or fault (vfs seam overhead)")
+		"benchmark group for -bench-out: query (slot executor), spatial (index spatial join), parallel (morsel-driven executor), analyze (EXPLAIN ANALYZE overhead), fault (vfs seam overhead) or repl (WAL-shipping replication)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick}
@@ -72,8 +74,14 @@ func main() {
 			if err := experiments.WriteFaultBenchJSON(*benchOut, rep); err != nil {
 				log.Fatalf("eebench: write %s: %v", *benchOut, err)
 			}
+		case "repl":
+			table, rep := experiments.ReplBench(cfg)
+			table.Fprint(os.Stdout)
+			if err := experiments.WriteReplBenchJSON(*benchOut, rep); err != nil {
+				log.Fatalf("eebench: write %s: %v", *benchOut, err)
+			}
 		default:
-			log.Fatalf("eebench: unknown bench group %q (use query, spatial, parallel, analyze or fault)", *benchGroup)
+			log.Fatalf("eebench: unknown bench group %q (use query, spatial, parallel, analyze, fault or repl)", *benchGroup)
 		}
 		fmt.Printf("\nwrote %s (%v)\n", *benchOut, time.Since(start).Round(time.Millisecond))
 		return

@@ -23,6 +23,17 @@
 //	eeserve -pprof-addr localhost:6060  # admin mux: net/http/pprof +
 //	                                    # /metrics + /debug/{queries,store,cache}
 //
+// Replication (requires -data-dir on both sides):
+//
+//	eeserve -data-dir /var/lib/primary -replication-token s3cret
+//	                                    # primary: bumps the epoch fence and
+//	                                    # serves /replication/{wal,snapshot}
+//	eeserve -data-dir /var/lib/replica -replica-of http://primary:8080 \
+//	        -replication-token s3cret -max-replica-lag 30s
+//	                                    # read-only replica: bootstraps from
+//	                                    # the primary's snapshot, streams its
+//	                                    # WAL, serves queries with lag gating
+//
 // Example queries:
 //
 //	curl 'localhost:8080/sparql?query=SELECT+?f+WHERE+{+?f+a+ee:Feature+}+LIMIT+3'
@@ -35,7 +46,6 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +56,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/geostore"
 	"repro/internal/rdf"
+	"repro/internal/replication"
+	"repro/internal/retry"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
@@ -78,6 +90,10 @@ func run(args []string) error {
 	logFormat := fs.String("log-format", "", "structured access log format: text, json or empty (no access log)")
 	slowThreshold := fs.Duration("slow-query-threshold", 0, "capture EXPLAIN ANALYZE profiles of queries slower than this at /debug/queries (0 disables)")
 	pprofAddr := fs.String("pprof-addr", "", "listen address for the admin mux (net/http/pprof, /metrics, /debug/queries); empty disables")
+	replicaOf := fs.String("replica-of", "", "primary base URL to replicate from; turns this node into a read-only streaming replica (requires -data-dir and -replication-token)")
+	replToken := fs.String("replication-token", "", "shared secret for /replication endpoints; on a primary with -data-dir it enables WAL shipping, on a replica it authenticates to the primary")
+	maxReplicaLag := fs.Duration("max-replica-lag", 0, "replica staleness budget; queries on a replica lagging beyond this trigger -replica-lag-policy (0 = serve any lag silently)")
+	lagPolicy := fs.String("replica-lag-policy", "warn", "what an over-budget replica does with queries: warn (serve with a Warning header) or reject (503 + Retry-After)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -87,6 +103,25 @@ func run(args []string) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *lagPolicy != endpoint.LagPolicyWarn && *lagPolicy != endpoint.LagPolicyReject {
+		fs.Usage()
+		return fmt.Errorf("unknown replica lag policy %q (want warn or reject)", *lagPolicy)
+	}
+	isReplica := *replicaOf != ""
+	if isReplica {
+		if *dataDir == "" || *replToken == "" {
+			return fmt.Errorf("-replica-of requires -data-dir and -replication-token")
+		}
+		if *mode == "partitioned" {
+			return fmt.Errorf("-replica-of is only supported with indexed/naive modes")
+		}
+		if *load != "" || *loadToken != "" {
+			return fmt.Errorf("a replica is read-only; drop -load/-load-token and ingest on the primary")
+		}
+		// The stream is a replica's only data source: local synthetic
+		// loads would fork its state from the primary's.
+		*n = 0
 	}
 
 	var logger *slog.Logger
@@ -124,6 +159,8 @@ func run(args []string) error {
 	if *queryWorkers >= 2 {
 		pool = rdf.NewWorkerPool(*queryWorkers)
 	}
+	var feed *replication.Feed
+	var rep *replication.Replica
 	switch *mode {
 	case "indexed", "naive":
 		m := geostore.ModeIndexed
@@ -137,6 +174,19 @@ func run(args []string) error {
 		st.SetLogger(logger)
 
 		if *dataDir != "" {
+			if isReplica {
+				// A fresh replica seeds its directory from the primary's
+				// newest snapshot before opening storage, so Recover below
+				// boots from exactly the primary's compacted prefix.
+				fetched, err := replication.Bootstrap(nil, *replicaOf, *replToken, nil, *dataDir)
+				if err != nil {
+					return fmt.Errorf("replica bootstrap: %w", err)
+				}
+				if fetched {
+					boot.Info("replica bootstrapped from primary snapshot",
+						slog.String("primary", *replicaOf), slog.String("dir", *dataDir))
+				}
+			}
 			var err error
 			db, err = storage.Open(*dataDir, storage.Options{SyncEvery: *walSyncEvery, Metrics: storage.NewMetrics(reg)})
 			if err != nil {
@@ -185,10 +235,41 @@ func run(args []string) error {
 					boot.Info("boot snapshot", slog.String("path", path))
 				}
 			}
+			switch {
+			case isReplica:
+				r, rerr := replication.NewReplica(replication.ReplicaConfig{
+					PrimaryURL: *replicaOf,
+					Token:      *replToken,
+					Store:      st,
+					DB:         db,
+					Metrics:    replication.NewMetrics(reg),
+					Logger:     boot,
+				})
+				if rerr != nil {
+					return rerr
+				}
+				rep = r
+				go rep.Run()
+			case *replToken != "":
+				// Every primary incarnation takes a fresh epoch before
+				// serving, so a revived predecessor's frames are fenced off
+				// by replicas (no split-brain).
+				epoch, eerr := db.BumpEpoch()
+				if eerr != nil {
+					return eerr
+				}
+				feed = replication.NewFeed(replication.FeedConfig{
+					DB:      db,
+					Token:   *replToken,
+					Metrics: replication.NewMetrics(reg),
+					Logger:  boot,
+				})
+				boot.Info("replication feed enabled", slog.Uint64("epoch", epoch))
+			}
 			if *snapshotEvery > 0 {
 				go snapshotLoop(db, st, *snapshotEvery, boot)
 			}
-			shutdownOnSignal(db, boot)
+			shutdownOnSignal(db, feed, rep, boot)
 		}
 	case "partitioned":
 		if *load != "" {
@@ -238,6 +319,24 @@ func run(args []string) error {
 		// but refuses ingestion and reports degraded health.
 		cfg.Degraded = db.Degraded
 	}
+	if feed != nil {
+		cfg.Replication = feed
+	}
+	if rep != nil {
+		cfg.Replica = func() endpoint.ReplicaStatus {
+			rs := rep.Status()
+			return endpoint.ReplicaStatus{
+				Primary:    rs.Primary,
+				Connected:  rs.Connected,
+				LagBytes:   rs.LagBytes,
+				LagSeconds: rs.LagSeconds,
+				Err:        rs.Err,
+			}
+		}
+		cfg.MaxReplicaLag = *maxReplicaLag
+		cfg.LagPolicy = *lagPolicy
+		cfg.ReadOnly = "this node replicates " + *replicaOf + "; ingest on the primary"
+	}
 	srv := endpoint.New(engine, cfg)
 	if *pprofAddr != "" {
 		// The admin mux (pprof, metrics, debug routes) binds separately so
@@ -254,11 +353,19 @@ func run(args []string) error {
 	if db != nil {
 		durable = "durable:" + *dataDir
 	}
+	role := "standalone"
+	switch {
+	case rep != nil:
+		role = "replica:" + *replicaOf
+	case feed != nil:
+		role = "primary"
+	}
 	boot.Info("listening", slog.String("addr", *addr),
 		slog.Int("triples", engine.Len()),
 		slog.Uint64("store_version", engine.Version()),
 		slog.String("mode", *mode),
-		slog.String("storage", durable))
+		slog.String("storage", durable),
+		slog.String("role", role))
 	return http.ListenAndServe(*addr, srv)
 }
 
@@ -281,20 +388,18 @@ func loadNTriplesFile(st *geostore.Store, path string) error {
 // snapshotLoop periodically compacts the WAL into a fresh snapshot once
 // enough triples have been journaled since the last one. Snapshot
 // failures (a full disk, most likely) back off exponentially with
-// jitter instead of retrying at the full poll rate: each failed
-// attempt rewrites the entire store to disk, so hammering a sick disk
-// every five seconds makes the outage worse. The interval doubles per
-// consecutive failure from snapshotPollInterval up to snapshotBackoffCap
-// and resets on the first success.
+// jitter via retry.Backoff instead of retrying at the full poll rate:
+// each failed attempt rewrites the entire store to disk, so hammering
+// a sick disk every five seconds makes the outage worse. The first
+// retry waits 2× the poll interval (the historical spacing), doubling
+// up to snapshotBackoffCap, and the backoff resets on success.
 const (
 	snapshotPollInterval = 5 * time.Second
 	snapshotBackoffCap   = 5 * time.Minute
 )
 
 func snapshotLoop(db *storage.DB, st *geostore.Store, every int, log *slog.Logger) {
-	// The jitter source is deliberately cheap and unseeded: spreading
-	// retry times across restarted replicas is all it is for.
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	bo := retry.Backoff{Base: 2 * snapshotPollInterval, Cap: snapshotBackoffCap, Jitter: 0.2}
 	delay := snapshotPollInterval
 	for {
 		time.Sleep(delay)
@@ -309,28 +414,37 @@ func snapshotLoop(db *storage.DB, st *geostore.Store, every int, log *slog.Logge
 		start := time.Now()
 		path, err := db.Snapshot(st.RDF())
 		if err != nil {
-			next := min(delay*2, snapshotBackoffCap)
-			// ±20% jitter so replicas that failed together retry apart.
-			jittered := next + time.Duration((rng.Float64()-0.5)*0.4*float64(next))
+			delay = bo.Next()
 			log.Error("background snapshot failed", slog.Any("err", err),
-				slog.Duration("retry_in", jittered.Round(time.Second)))
-			delay = jittered
+				slog.Duration("retry_in", delay.Round(time.Second)))
 			continue
 		}
+		bo.Reset()
 		delay = snapshotPollInterval
 		log.Info("snapshot", slog.String("path", path),
 			slog.Duration("elapsed", time.Since(start).Round(time.Millisecond)))
 	}
 }
 
-// shutdownOnSignal flushes and closes the WAL on SIGINT/SIGTERM so the
-// final group-commit window is not lost on an orderly stop.
-func shutdownOnSignal(db *storage.DB, log *slog.Logger) {
+// shutdownOnSignal runs the orderly stop on SIGINT/SIGTERM: the feed
+// (if primary) seals its streams so replicas persist their cursors and
+// resume after the restart, the replica applier (if replica) stops and
+// persists its position, and finally the WAL flushes and closes so the
+// last group-commit window is not lost. This ordering is what makes a
+// rolling restart of either role resume mid-stream instead of forcing
+// a re-bootstrap.
+func shutdownOnSignal(db *storage.DB, feed *replication.Feed, rep *replication.Replica, log *slog.Logger) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
 		log.Info("shutting down, sealing WAL")
+		if feed != nil {
+			feed.Close()
+		}
+		if rep != nil {
+			rep.Stop()
+		}
 		if err := db.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "eeserve:", err)
 			os.Exit(1)

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,51 @@ type Config struct {
 	// refuses POST /load with 503 + Retry-After, and /healthz reports
 	// status "degraded" with the cause.
 	Degraded func() error
+	// Replication, when non-nil, is the primary-side WAL-shipping
+	// service mounted under /replication/ (the handler enforces its own
+	// token auth). /healthz then reports role "primary".
+	Replication http.Handler
+	// Replica, when non-nil, marks this server a streaming read replica
+	// and supplies its live status (eeserve passes a closure over
+	// replication.Replica.Status). Query responses carry X-Replica-Lag,
+	// /healthz reports role "replica" with the stream health, and lag
+	// gating below applies.
+	Replica func() ReplicaStatus
+	// MaxReplicaLag is the staleness budget for a replica's answers:
+	// once the replica has not been caught up for longer than this (or
+	// its stream has parked on a sticky failure), responses degrade per
+	// LagPolicy. 0 disables the lag threshold (sticky failures still
+	// degrade).
+	MaxReplicaLag time.Duration
+	// LagPolicy selects what an over-budget replica does with queries:
+	// LagPolicyWarn (default) answers them with a Warning header,
+	// LagPolicyReject answers 503 + Retry-After so balancers move the
+	// traffic to fresher nodes.
+	LagPolicy string
+	// ReadOnly, when non-empty, refuses POST /load with 403 and this
+	// reason — replicas only apply writes from their primary's stream.
+	ReadOnly string
+}
+
+// Lag-gating policies for replicas beyond MaxReplicaLag.
+const (
+	LagPolicyWarn   = "warn"
+	LagPolicyReject = "reject"
+)
+
+// ReplicaStatus is the slice of a replica's health the serving layer
+// consumes; the replication package's Status converts to it in eeserve.
+type ReplicaStatus struct {
+	// Primary is the upstream base URL.
+	Primary string
+	// Connected reports whether the WAL stream is currently open.
+	Connected bool
+	// LagBytes is the last observed durable-bytes-behind figure.
+	LagBytes int64
+	// LagSeconds is how long the replica has not been fully caught up.
+	LagSeconds float64
+	// Err is the sticky failure that parked replication, nil otherwise.
+	Err error
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +181,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DebugRingSize <= 0 {
 		c.DebugRingSize = 64
+	}
+	if c.LagPolicy != LagPolicyReject {
+		c.LagPolicy = LagPolicyWarn
 	}
 	return c
 }
@@ -191,6 +240,12 @@ func New(engine Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/queries", s.debugAuth(s.handleDebugQueries))
 	s.mux.HandleFunc("/debug/store", s.debugAuth(s.handleDebugStore))
 	s.mux.HandleFunc("/debug/cache", s.debugAuth(s.handleDebugCache))
+	if cfg.Replication != nil {
+		// The feed does its own (replication-token) auth and streaming;
+		// it never shares the query semaphore — shipping must not compete
+		// with queries for admission.
+		s.mux.Handle("/replication/", cfg.Replication)
+	}
 	return s
 }
 
@@ -224,6 +279,13 @@ func (s *Server) AdminMux() http.Handler {
 // addressable the moment the load lands (the result cache needs no
 // explicit flush).
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly != "" {
+		// Replicas take writes only from their primary's stream; a 403
+		// (not 404) tells the operator the route exists but this node is
+		// the wrong place for it.
+		http.Error(w, "read-only: "+s.cfg.ReadOnly, http.StatusForbidden)
+		return
+	}
 	if s.cfg.Loader == nil || s.cfg.LoadToken == "" {
 		http.Error(w, "ingestion not enabled", http.StatusNotFound)
 		return
@@ -277,6 +339,38 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		n, s.engine.Len(), s.engine.Version(), time.Since(start).Milliseconds())
 }
 
+// admitReplicaQuery applies replica lag gating: every query response
+// from a replica carries X-Replica-Lag (seconds), and once the replica
+// is over its staleness budget — lag beyond MaxReplicaLag, or the
+// stream parked on a sticky failure — the answer degrades per
+// LagPolicy: a Warning header ("serve stale, say so", the default) or
+// a 503 with Retry-After so balancers move on. Returns false when the
+// request was rejected.
+func (s *Server) admitReplicaQuery(w http.ResponseWriter) bool {
+	if s.cfg.Replica == nil {
+		return true
+	}
+	rs := s.cfg.Replica()
+	w.Header().Set("X-Replica-Lag", strconv.FormatFloat(rs.LagSeconds, 'f', 3, 64))
+	over := rs.Err != nil ||
+		(s.cfg.MaxReplicaLag > 0 && rs.LagSeconds > s.cfg.MaxReplicaLag.Seconds())
+	if !over {
+		return true
+	}
+	if s.cfg.LagPolicy == LagPolicyReject {
+		s.metrics.replicaRejected.Inc()
+		w.Header().Set("Retry-After", "5")
+		reason := fmt.Sprintf("replica is %.1fs behind its primary", rs.LagSeconds)
+		if rs.Err != nil {
+			reason = "replication is degraded: " + rs.Err.Error()
+		}
+		http.Error(w, reason+"; query the primary or another replica", http.StatusServiceUnavailable)
+		return false
+	}
+	w.Header().Set("Warning", `199 - "replica results may be stale"`)
+	return true
+}
+
 // authorizedLoad accepts the configured token via "Authorization:
 // Bearer <token>" or an X-Load-Token header, compared in constant time.
 func (s *Server) authorizedLoad(r *http.Request) bool {
@@ -319,6 +413,9 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.admitReplicaQuery(w) {
 		return
 	}
 

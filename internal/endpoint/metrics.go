@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -24,6 +25,7 @@ const (
 	metricCacheHits      = "sparql_cache_hits_total"
 	metricCacheMisses    = "sparql_cache_misses_total"
 	metricRejected       = "sparql_rejected_total"
+	metricReplicaLagGate = "sparql_replica_rejected_total"
 	metricTimeouts       = "sparql_timeouts_total"
 	metricLoads          = "sparql_loads_total"
 	metricLoadErrors     = "sparql_load_errors_total"
@@ -65,6 +67,12 @@ type metrics struct {
 	cacheMisses *telemetry.Counter
 	rejected    *telemetry.Counter // admission-control 503s
 	timeouts    *telemetry.Counter // per-query deadline expirations
+
+	// replicaRejected counts queries bounced by the replica lag gate
+	// (LagPolicyReject only). Registered in registerRuntimeMetrics when
+	// the server fronts a replica; nil elsewhere, where admitReplicaQuery
+	// returns before touching it.
+	replicaRejected *telemetry.Counter
 
 	// Per-kind breakdown of errors; timeouts above is the fifth kind.
 	errParse     *telemetry.Counter
@@ -185,6 +193,10 @@ type MemoryStatser interface {
 // New, after newMetrics, preserving the historical family order.
 func (s *Server) registerRuntimeMetrics() {
 	reg := s.reg
+	if s.cfg.Replica != nil {
+		s.metrics.replicaRejected = reg.Counter(metricReplicaLagGate,
+			"Queries rejected because this replica exceeded its staleness budget (lag-policy reject).")
+	}
 	if pc, ok := s.engine.(PlanCacheStatser); ok {
 		reg.CounterFunc(metricPlanCacheHits, "Queries evaluated with a cached compiled plan.",
 			func() uint64 { hits, _ := pc.PlanCacheStats(); return hits })
@@ -275,6 +287,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // but stays 200: queries still serve, and draining read traffic away
 // from a store that can answer it would turn a partial failure into a
 // full one.
+// Replication adds a role field ("primary" or "replica"); a replica
+// additionally reports its lag, and a sticky stream failure surfaces
+// as status "degraded" with the cause — still 200, same reasoning as a
+// degraded store: the replica keeps answering from its last applied
+// state, and the lag-policy gate (not liveness) decides whether that
+// is acceptable per query.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	status, cause := "ok", ""
@@ -283,15 +301,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			status, cause = "degraded", derr.Error()
 		}
 	}
+	role, lagField := "", ""
+	if s.cfg.Replica != nil {
+		role = "replica"
+		rs := s.cfg.Replica()
+		lagField = fmt.Sprintf(",\"replica_lag_seconds\":%.3f", rs.LagSeconds)
+		if rs.Err != nil && status == "ok" {
+			status, cause = "degraded", rs.Err.Error()
+		}
+	} else if s.cfg.Replication != nil {
+		role = "primary"
+	}
 	if cap(s.sem) > 0 && len(s.sem) >= cap(s.sem) {
 		status = "overloaded"
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	doc := fmt.Sprintf("{\"status\":%q", status)
 	if cause != "" {
-		fmt.Fprintf(w, "{\"status\":%q,\"cause\":%q,\"triples\":%d,\"store_version\":%d}\n",
-			status, cause, s.engine.Len(), s.engine.Version())
-		return
+		doc += fmt.Sprintf(",\"cause\":%q", cause)
 	}
-	fmt.Fprintf(w, "{\"status\":%q,\"triples\":%d,\"store_version\":%d}\n",
-		status, s.engine.Len(), s.engine.Version())
+	if role != "" {
+		doc += fmt.Sprintf(",\"role\":%q", role) + lagField
+	}
+	doc += fmt.Sprintf(",\"triples\":%d,\"store_version\":%d}\n", s.engine.Len(), s.engine.Version())
+	io.WriteString(w, doc)
 }

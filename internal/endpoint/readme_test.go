@@ -25,6 +25,12 @@ func TestMetricsDocumentedInReadme(t *testing.T) {
 	if len(names) < 15 {
 		t.Fatalf("only %d metric families in /metrics; exposition broken?\n%s", len(names), body)
 	}
+	// A replica registers one more family (the lag-gate rejection
+	// counter); scrape that shape too so its row can't drift.
+	replica := replicaServer(t, endpoint.ReplicaStatus{Connected: true}, endpoint.Config{})
+	replicaBody := get(t, replica, "/metrics", nil).Body.String()
+	names = append(names,
+		regexp.MustCompile(`(?m)^# TYPE (\S+) `).FindAllStringSubmatch(replicaBody, -1)...)
 	doc := string(readme)
 	for _, m := range names {
 		if !regexp.MustCompile(`\b` + regexp.QuoteMeta(m[1]) + `\b`).MatchString(doc) {

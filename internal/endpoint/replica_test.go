@@ -1,0 +1,162 @@
+package endpoint_test
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/endpoint"
+)
+
+// replicaServer builds an endpoint fronting a replica whose stream
+// status is supplied by the test.
+func replicaServer(t *testing.T, status endpoint.ReplicaStatus, cfg endpoint.Config) *endpoint.Server {
+	t.Helper()
+	cfg.Replica = func() endpoint.ReplicaStatus { return status }
+	if cfg.ReadOnly == "" {
+		cfg.ReadOnly = "this node is a replica; load data on the primary"
+	}
+	return endpoint.New(testStore(t), cfg)
+}
+
+// TestReplicaReadOnly checks a replica refuses POST /load with 403 —
+// local writes would fork the replica's state from the stream.
+func TestReplicaReadOnly(t *testing.T) {
+	srv := replicaServer(t, endpoint.ReplicaStatus{Connected: true}, endpoint.Config{})
+	rec := postLoad(srv, "<http://a> <http://b> <http://c> .", nil)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("POST /load on replica: status = %d, want 403", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "read-only") {
+		t.Fatalf("POST /load on replica: body = %q, want read-only explanation", rec.Body.String())
+	}
+}
+
+// TestReplicaLagWarn checks the default lag policy: queries over the
+// staleness budget still answer, carrying X-Replica-Lag plus a Warning
+// header; fresh replicas get the lag header but no warning.
+func TestReplicaLagWarn(t *testing.T) {
+	fresh := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 0.2},
+		endpoint.Config{MaxReplicaLag: 5 * time.Second})
+	rec := get(t, fresh, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fresh replica query: status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Replica-Lag"); got != "0.200" {
+		t.Fatalf("X-Replica-Lag = %q, want %q", got, "0.200")
+	}
+	if rec.Header().Get("Warning") != "" {
+		t.Fatalf("fresh replica set Warning = %q", rec.Header().Get("Warning"))
+	}
+
+	stale := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 42},
+		endpoint.Config{MaxReplicaLag: 5 * time.Second})
+	rec = get(t, stale, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale replica query under warn policy: status = %d, want 200", rec.Code)
+	}
+	if w := rec.Header().Get("Warning"); !strings.Contains(w, "stale") {
+		t.Fatalf("stale replica Warning = %q, want staleness warning", w)
+	}
+
+	// No budget configured: arbitrarily stale is still silently fine.
+	unbounded := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 9999},
+		endpoint.Config{})
+	rec = get(t, unbounded, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusOK || rec.Header().Get("Warning") != "" {
+		t.Fatalf("unbounded replica: status = %d, Warning = %q", rec.Code, rec.Header().Get("Warning"))
+	}
+}
+
+// TestReplicaLagReject checks the strict policy: over-budget queries
+// bounce with 503 + Retry-After so balancers fail over to the primary
+// or a healthier replica, and the rejection is counted.
+func TestReplicaLagReject(t *testing.T) {
+	srv := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 42},
+		endpoint.Config{MaxReplicaLag: 5 * time.Second, LagPolicy: endpoint.LagPolicyReject})
+	rec := get(t, srv, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stale replica query under reject policy: status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	metrics := get(t, srv, "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, "sparql_replica_rejected_total 1") {
+		t.Fatalf("metrics missing rejected count:\n%s", metrics)
+	}
+
+	// Under budget: same server config admits queries.
+	ok := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 1},
+		endpoint.Config{MaxReplicaLag: 5 * time.Second, LagPolicy: endpoint.LagPolicyReject})
+	if rec := get(t, ok, sparqlURL(spatialQuery, ""), nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy replica under reject policy: status = %d", rec.Code)
+	}
+}
+
+// TestReplicaStickyErrorGates checks that a sticky stream failure
+// trips the gate regardless of the lag number — the lag measurement
+// itself is no longer trustworthy once the stream is parked.
+func TestReplicaStickyErrorGates(t *testing.T) {
+	status := endpoint.ReplicaStatus{LagSeconds: 0, Err: errors.New("frame CRC mismatch")}
+	srv := replicaServer(t, status,
+		endpoint.Config{MaxReplicaLag: time.Hour, LagPolicy: endpoint.LagPolicyReject})
+	rec := get(t, srv, sparqlURL(spatialQuery, ""), nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded replica query: status = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("degraded replica body = %q", rec.Body.String())
+	}
+}
+
+// TestReplicaHealthzRole checks /healthz reports the node's role, the
+// replica's lag, and surfaces a sticky stream failure as degraded.
+func TestReplicaHealthzRole(t *testing.T) {
+	rep := replicaServer(t, endpoint.ReplicaStatus{Connected: true, LagSeconds: 1.5},
+		endpoint.Config{})
+	body := get(t, rep, "/healthz", nil).Body.String()
+	if !strings.Contains(body, `"role":"replica"`) || !strings.Contains(body, `"replica_lag_seconds":1.500`) {
+		t.Fatalf("replica healthz = %q", body)
+	}
+
+	degraded := replicaServer(t, endpoint.ReplicaStatus{Err: errors.New("stale epoch")}, endpoint.Config{})
+	rec := get(t, degraded, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded replica healthz status = %d, want 200 (still serving reads)", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"status":"degraded"`) ||
+		!strings.Contains(body, "stale epoch") {
+		t.Fatalf("degraded replica healthz = %q", body)
+	}
+
+	primary := endpoint.New(testStore(t), endpoint.Config{
+		Replication: http.NotFoundHandler(),
+	})
+	if body := get(t, primary, "/healthz", nil).Body.String(); !strings.Contains(body, `"role":"primary"`) {
+		t.Fatalf("primary healthz = %q", body)
+	}
+
+	standalone := endpoint.New(testStore(t), endpoint.Config{})
+	if body := get(t, standalone, "/healthz", nil).Body.String(); strings.Contains(body, `"role"`) {
+		t.Fatalf("standalone healthz should omit role, got %q", body)
+	}
+}
+
+// TestReplicationMount checks the configured replication handler is
+// reachable under /replication/.
+func TestReplicationMount(t *testing.T) {
+	hit := false
+	srv := endpoint.New(testStore(t), endpoint.Config{
+		Replication: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hit = true
+			w.WriteHeader(http.StatusTeapot)
+		}),
+	})
+	rec := get(t, srv, "/replication/wal", nil)
+	if !hit || rec.Code != http.StatusTeapot {
+		t.Fatalf("replication mount: hit = %v, status = %d", hit, rec.Code)
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+	"repro/internal/replication"
+	"repro/internal/storage"
+	"repro/internal/storage/vfs"
+)
+
+// This file implements the replication group behind
+// `eebench -bench-group repl -bench-out BENCH_repl.json`: WAL shipping
+// must not tax the primary's commit path (the feed reads the durable
+// WAL asynchronously), and a replica must both catch up faster than
+// the primary ingests and answer queries at parity once caught up.
+// Three measurements pin that: synchronized ingest (primary committing
+// while a live replica follows) against solo ingest, cold-start
+// catch-up throughput over a pre-written WAL, and a full-store scan on
+// each node.
+
+// ReplBenchResult is one measured (workload, mode) cell.
+type ReplBenchResult struct {
+	Name    string `json:"name"` // workload name
+	Mode    string `json:"mode"` // "direct", "replicated", "replica", "primary"
+	Triples int    `json:"triples"`
+	NsPerOp int64  `json:"ns_per_op"` // per triple
+	// TriplesPerSec is the derived throughput.
+	TriplesPerSec float64 `json:"triples_per_sec"`
+	// OverheadPct is the replicated-vs-direct slowdown in percent
+	// (replicated rows only).
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+// ReplBenchReport is the BENCH_repl.json schema.
+type ReplBenchReport struct {
+	Group     string            `json:"group"`
+	Generated string            `json:"generated"`
+	CPUs      int               `json:"cpus"`
+	Results   []ReplBenchResult `json:"results"`
+}
+
+const replBenchToken = "eebench-repl"
+
+// replBenchNode is one side of the benchmarked pair on a real temp
+// directory (the bench measures production I/O, not the in-memory
+// fault filesystem).
+type replBenchNode struct {
+	dir string
+	db  *storage.DB
+	st  *geostore.Store
+}
+
+func openReplBenchNode(dir string) (*replBenchNode, error) {
+	db, err := storage.Open(dir, storage.Options{SyncEvery: 1, FS: vfs.OS})
+	if err != nil {
+		return nil, err
+	}
+	st := geostore.New(geostore.ModeIndexed)
+	if _, err := db.Recover(st.RDF()); err != nil {
+		if cerr := db.Close(); cerr != nil {
+			return nil, fmt.Errorf("%w (and closing: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	st.RDF().SetJournal(db.Log())
+	return &replBenchNode{dir: dir, db: db, st: st}, nil
+}
+
+func (n *replBenchNode) close() {
+	if err := n.db.Close(); err != nil {
+		panic(err)
+	}
+}
+
+// commitBatches ingests numBatches batches of batchSize triples each,
+// one journal commit per batch — the primary's production write shape.
+func (n *replBenchNode) commitBatches(numBatches, batchSize int) error {
+	for k := 0; k < numBatches; k++ {
+		for j := 0; j < batchSize; j++ {
+			i := k*batchSize + j
+			if err := n.st.Add(
+				rdf.NewIRI(fmt.Sprintf("http://extremeearth.eu/feature/%d", i)),
+				rdf.NewIRI("http://extremeearth.eu/ontology#value"),
+				rdf.NewIntLiteral(int64(i))); err != nil {
+				return err
+			}
+		}
+		if err := n.st.RDF().CommitJournal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replBenchFeed builds a feed at bench cadence: aggressive polling so
+// the measured lag is shipping cost, not timer granularity.
+func replBenchFeed(db *storage.DB) *replication.Feed {
+	return replication.NewFeed(replication.FeedConfig{
+		DB:             db,
+		Token:          replBenchToken,
+		PollInterval:   time.Millisecond,
+		HeartbeatEvery: 5 * time.Millisecond,
+	})
+}
+
+// waitReplConverged blocks until the replica has applied exactly want
+// triples and reports itself caught up, or the deadline passes.
+func waitReplConverged(rep *replication.Replica, st *geostore.Store, want int, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		s := rep.Status()
+		if s.Err == nil && s.Connected && s.LagBytes == 0 && st.RDF().Len() == want {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// ReplBench runs the replication group and returns a printable table
+// plus the JSON report.
+func ReplBench(cfg Config) (*Table, *ReplBenchReport) {
+	numBatches := cfg.scale(1000, 100)
+	batchSize := 8
+	triples := numBatches * batchSize
+	scanIters := cfg.scale(20, 5)
+
+	t := &Table{
+		ID:     "REPL",
+		Title:  "WAL-shipping replication: ingest overhead, catch-up throughput, read parity",
+		Header: []string{"workload", "mode", "triples", "wall_ms", "triples_per_sec", "overhead_pct"},
+		Notes:  "replicated ingest waits for the replica to confirm zero lag; catchup streams a cold WAL into a bootstrapped replica",
+	}
+	rep := &ReplBenchReport{
+		Group:     "repl",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+	}
+
+	record := func(name, mode string, n int, dur time.Duration, base time.Duration) {
+		overhead := 0.0
+		cell := ""
+		if base > 0 {
+			overhead = (float64(dur)/float64(base) - 1) * 100
+			cell = f2(overhead)
+		}
+		perSec := float64(n) / dur.Seconds()
+		t.Rows = append(t.Rows, []string{name, mode, i0(n), ms(dur), f1(perSec), cell})
+		rep.Results = append(rep.Results, ReplBenchResult{
+			Name: name, Mode: mode, Triples: n,
+			NsPerOp: dur.Nanoseconds() / int64(max(n, 1)), TriplesPerSec: perSec,
+			OverheadPct: overhead,
+		})
+	}
+
+	root, err := os.MkdirTemp("", "eebench-repl-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(root)
+
+	// Solo ingest: the baseline commit path with no feed attached.
+	solo, err := openReplBenchNode(root + "/solo")
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	if err := solo.commitBatches(numBatches, batchSize); err != nil {
+		panic(err)
+	}
+	directDur := time.Since(start)
+	soloStore := solo.st
+	solo.close()
+	record("ingest", "direct", triples, directDur, 0)
+
+	// Replicated ingest: the same workload while a live replica follows
+	// over a real socket; the clock stops when the replica confirms it
+	// holds everything. The delta over direct is the full cost of
+	// synchronous visibility on a replica, an upper bound on what the
+	// async feed can ever add to the commit path itself.
+	primary, err := openReplBenchNode(root + "/primary")
+	if err != nil {
+		panic(err)
+	}
+	defer primary.close()
+	if _, err := primary.db.BumpEpoch(); err != nil {
+		panic(err)
+	}
+	feed := replBenchFeed(primary.db)
+	defer feed.Close()
+	srv := httptest.NewServer(feed)
+	defer srv.Close()
+
+	rdir := root + "/replica"
+	if _, err := replication.Bootstrap(srv.Client(), srv.URL, replBenchToken, vfs.OS, rdir); err != nil {
+		panic(err)
+	}
+	replicaNode, err := openReplBenchNode(rdir)
+	if err != nil {
+		panic(err)
+	}
+	defer replicaNode.close()
+	follower, err := replication.NewReplica(replication.ReplicaConfig{
+		PrimaryURL: srv.URL,
+		Token:      replBenchToken,
+		Store:      replicaNode.st,
+		DB:         replicaNode.db,
+	})
+	if err != nil {
+		panic(err)
+	}
+	go follower.Run()
+	defer follower.Stop()
+
+	start = time.Now()
+	if err := primary.commitBatches(numBatches, batchSize); err != nil {
+		panic(err)
+	}
+	if !waitReplConverged(follower, replicaNode.st, triples, 2*time.Minute) {
+		panic(fmt.Sprintf("replica never converged: %+v", follower.Status()))
+	}
+	record("ingest", "replicated", triples, time.Since(start), directDur)
+
+	// Cold catch-up: a second, freshly bootstrapped replica streams the
+	// primary's whole WAL from its start cursor — the failover-rebuild
+	// rate an operator waits on.
+	cdir := root + "/catchup"
+	if _, err := replication.Bootstrap(srv.Client(), srv.URL, replBenchToken, vfs.OS, cdir); err != nil {
+		panic(err)
+	}
+	catchNode, err := openReplBenchNode(cdir)
+	if err != nil {
+		panic(err)
+	}
+	defer catchNode.close()
+	catcher, err := replication.NewReplica(replication.ReplicaConfig{
+		PrimaryURL: srv.URL,
+		Token:      replBenchToken,
+		Store:      catchNode.st,
+		DB:         catchNode.db,
+	})
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	go catcher.Run()
+	defer catcher.Stop()
+	if !waitReplConverged(catcher, catchNode.st, triples, 2*time.Minute) {
+		panic(fmt.Sprintf("catch-up replica never converged: %+v", catcher.Status()))
+	}
+	record("catchup", "replica", triples, time.Since(start), 0)
+
+	// Read parity: a full-store scan on the primary and on the caught-up
+	// replica — the replica serves from the same in-memory structures,
+	// so anything beyond noise here would mean the apply path built a
+	// degraded store.
+	scan := func(st *geostore.Store) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < scanIters; i++ {
+			s := time.Now()
+			n := 0
+			for range st.RDF().Triples() {
+				n++
+			}
+			d := time.Since(s)
+			if n != triples {
+				panic(fmt.Sprintf("scan saw %d triples, want %d", n, triples))
+			}
+			if i == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	primaryScan := scan(soloStore)
+	record("scan", "primary", triples, primaryScan, 0)
+	record("scan", "replica", triples, scan(replicaNode.st), primaryScan)
+
+	return t, rep
+}
+
+// WriteReplBenchJSON writes the report to path (the conventional name
+// is BENCH_repl.json).
+func WriteReplBenchJSON(path string, rep *ReplBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

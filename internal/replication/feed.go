@@ -1,0 +1,261 @@
+package replication
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// FeedConfig configures the primary-side shipping service.
+type FeedConfig struct {
+	// DB is the primary's storage; the feed only ever reads from it
+	// (segment files, the durable cursor, the epoch), so a slow or
+	// stuck replica can never backpressure the commit path.
+	DB *storage.DB
+	// Token authenticates replicas (Bearer or X-Replication-Token).
+	// Required: NewFeed panics on an empty token rather than shipping
+	// the whole dataset to anyone who asks.
+	Token string
+	// PollInterval is how often a caught-up stream re-checks the
+	// durable end for new records. Default 250ms.
+	PollInterval time.Duration
+	// HeartbeatEvery is the cadence of heartbeat frames on a caught-up
+	// stream (they carry the replica's lag and prove liveness through
+	// idle periods). Default 2s.
+	HeartbeatEvery time.Duration
+	// Metrics instruments shipping; nil disables.
+	Metrics *Metrics
+	// Logger receives per-connection lifecycle events; nil discards.
+	Logger *slog.Logger
+}
+
+// Feed is the primary-side replication service: an http.Handler
+// serving /replication/wal and /replication/snapshot. Close terminates
+// every open stream with a Sealed frame so replicas persist their
+// cursors and reconnect instead of re-bootstrapping.
+type Feed struct {
+	cfg    FeedConfig
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewFeed builds the shipping service over cfg.DB.
+func NewFeed(cfg FeedConfig) *Feed {
+	if cfg.DB == nil {
+		panic("replication: FeedConfig.DB is required")
+	}
+	if cfg.Token == "" {
+		panic("replication: FeedConfig.Token is required")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Feed{cfg: cfg, closed: make(chan struct{})}
+}
+
+// Close seals every open stream (each gets a final Sealed frame) and
+// waits for the handlers to drain. Safe to call more than once.
+func (f *Feed) Close() {
+	f.once.Do(func() { close(f.closed) })
+	f.wg.Wait()
+}
+
+// ServeHTTP routes the feed's two endpoints. Mount under /replication/.
+func (f *Feed) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !f.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="replication"`)
+		http.Error(w, "missing or invalid replication token", http.StatusUnauthorized)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/wal"):
+		f.handleWAL(w, r)
+	case strings.HasSuffix(r.URL.Path, "/snapshot"):
+		f.handleSnapshot(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// authorized checks the replication token (constant-time, like the
+// endpoint's load token).
+func (f *Feed) authorized(r *http.Request) bool {
+	token := r.Header.Get("X-Replication-Token")
+	if auth := r.Header.Get("Authorization"); token == "" && strings.HasPrefix(auth, "Bearer ") {
+		token = strings.TrimPrefix(auth, "Bearer ")
+	}
+	return subtle.ConstantTimeCompare([]byte(token), []byte(f.cfg.Token)) == 1
+}
+
+// handleSnapshot serves the newest snapshot file for replica
+// bootstrap, with the epoch and the post-install resume cursor in
+// headers. 204 when the primary has not snapshotted yet (the replica
+// starts empty from the stream's beginning).
+func (f *Feed) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	db := f.cfg.DB
+	info, resume, ok, err := db.LatestSnapshot()
+	if err != nil {
+		http.Error(w, "snapshot listing failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-Replication-Epoch", u64str(db.Epoch()))
+	w.Header().Set("X-Replication-Cursor", resume.String())
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("X-Snapshot-Version", u64str(info.Version))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	sf, err := db.FS().Open(info.Path)
+	if err != nil {
+		http.Error(w, "snapshot unreadable", http.StatusInternalServerError)
+		return
+	}
+	defer sf.Close()
+	if _, err := io.Copy(w, sf); err != nil {
+		// Mid-body failure: the client sees a short/broken download and
+		// retries; nothing to send at this point.
+		f.cfg.Logger.Warn("replication: snapshot download aborted", "err", err)
+	}
+}
+
+// handleWAL streams frames from the requested cursor until the client
+// disconnects or the feed closes. All flow control is pull-from-disk:
+// the handler holds no references into the commit path.
+func (f *Feed) handleWAL(w http.ResponseWriter, r *http.Request) {
+	db := f.cfg.DB
+	cursor, err := db.StartCursor()
+	if err != nil {
+		http.Error(w, "WAL listing failed", http.StatusInternalServerError)
+		return
+	}
+	if s := r.URL.Query().Get("cursor"); s != "" {
+		cursor, err = storage.ParseCursor(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	select {
+	case <-f.closed:
+		http.Error(w, "feed is shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+
+	sr, err := db.OpenSegmentReader(cursor)
+	if errors.Is(err, storage.ErrCursorTruncated) {
+		// Pre-stream detection of a pruned cursor: 410 tells the replica
+		// the position is gone for good (sticky, re-bootstrap), unlike a
+		// 5xx it would retry forever.
+		http.Error(w, "cursor pruned by compaction; re-bootstrap from /replication/snapshot", http.StatusGone)
+		return
+	}
+	if err != nil {
+		http.Error(w, "cannot open WAL stream", http.StatusInternalServerError)
+		return
+	}
+	defer sr.Close()
+
+	f.wg.Add(1)
+	defer f.wg.Done()
+	f.cfg.Metrics.connection(1)
+	defer f.cfg.Metrics.connection(-1)
+	log := f.cfg.Logger.With("remote", r.RemoteAddr, "cursor", cursor.String())
+	log.Info("replication: stream opened")
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Replication-Epoch", u64str(db.Epoch()))
+	flusher, _ := w.(http.Flusher)
+	send := func(fr Frame) bool {
+		fr.Epoch = db.Epoch()
+		buf := appendFrame(nil, fr)
+		if _, err := w.Write(buf); err != nil {
+			return false // client went away; it will reconnect
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		f.cfg.Metrics.shipped(fr.Type, len(buf))
+		return true
+	}
+
+	var lastHeartbeat time.Time
+	ctx := r.Context()
+	for {
+		select {
+		case <-f.closed:
+			send(Frame{Type: FrameSealed, Cursor: sr.Cursor()})
+			log.Info("replication: stream sealed by shutdown")
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		batch, next, err := sr.Next()
+		switch {
+		case err == nil:
+			if !send(Frame{Type: FrameBatch, Cursor: next, Body: storage.EncodeBatch(batch)}) {
+				return
+			}
+		case errors.Is(err, storage.ErrCaughtUp):
+			if time.Since(lastHeartbeat) >= f.cfg.HeartbeatEvery {
+				lag, lagErr := db.LagBytes(sr.Cursor())
+				if lagErr != nil {
+					lag = 0
+				}
+				if !send(Frame{Type: FrameHeartbeat, Cursor: sr.Cursor(), Body: uvarint(uint64(lag))}) {
+					return
+				}
+				lastHeartbeat = time.Now()
+			}
+			select {
+			case <-f.closed:
+				send(Frame{Type: FrameSealed, Cursor: sr.Cursor()})
+				log.Info("replication: stream sealed by shutdown")
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(f.cfg.PollInterval):
+			}
+		case errors.Is(err, storage.ErrCursorTruncated):
+			// Compaction pruned the reader's position mid-stream (the
+			// replica lagged across two snapshots). Tell it explicitly:
+			// this is sticky on its side.
+			send(Frame{Type: FrameGone, Cursor: sr.Cursor()})
+			log.Warn("replication: stream cursor pruned; replica must re-bootstrap")
+			return
+		default:
+			// Real I/O trouble on the primary (reads failing). Drop the
+			// connection; the replica reconnects with backoff while the
+			// operator deals with the disk.
+			log.Warn("replication: stream read failed", "err", err)
+			return
+		}
+	}
+}
+
+func u64str(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// uvarint encodes v as a standalone varint (heartbeat body).
+func uvarint(v uint64) []byte { return binary.AppendUvarint(nil, v) }

@@ -1,0 +1,132 @@
+package replication
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Metric family names; one const per family (see README "Metrics
+// reference" — TestMetricsDocumentedInReadme keeps the table honest).
+const (
+	metricFramesShipped   = "replication_frames_shipped_total"
+	metricBytesShipped    = "replication_bytes_shipped_total"
+	metricFeedConnections = "replication_feed_connections"
+	metricFramesApplied   = "replication_frames_applied_total"
+	metricTriplesApplied  = "replication_triples_applied_total"
+	metricReconnects      = "replication_reconnects_total"
+	metricEpochRejections = "replication_epoch_rejections_total"
+	metricLagBytes        = "replication_lag_bytes"
+	metricLagSeconds      = "replication_lag_seconds"
+	metricDegraded        = "replication_degraded"
+	metricEpoch           = "replication_epoch"
+)
+
+// Metrics instruments both sides of WAL shipping; a primary only moves
+// the feed-side instruments and a replica the apply-side ones, but the
+// set registers together so dashboards address one namespace. nil
+// disables instrumentation like storage.Metrics does.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	// Feed (primary) side.
+	framesShipped map[byte]*telemetry.Counter
+	bytesShipped  *telemetry.Counter
+	connections   *telemetry.Gauge
+
+	// Replica (apply) side.
+	framesApplied   *telemetry.Counter
+	triplesApplied  *telemetry.Counter
+	reconnects      *telemetry.Counter
+	epochRejections *telemetry.Counter
+}
+
+// NewMetrics registers the replication families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{reg: reg}
+	ff := reg.CounterFamily(metricFramesShipped,
+		"Frames written to replica WAL streams, by frame type.")
+	m.framesShipped = map[byte]*telemetry.Counter{
+		FrameBatch:     ff.Counter("type", "batch"),
+		FrameHeartbeat: ff.Counter("type", "heartbeat"),
+		FrameSealed:    ff.Counter("type", "sealed"),
+		FrameGone:      ff.Counter("type", "gone"),
+	}
+	m.bytesShipped = reg.Counter(metricBytesShipped,
+		"Bytes written to replica WAL streams (frames + payloads).")
+	m.connections = reg.Gauge(metricFeedConnections,
+		"Replica WAL stream connections currently open on this primary.")
+	m.framesApplied = reg.Counter(metricFramesApplied,
+		"Batch frames this replica has applied and acknowledged in its cursor.")
+	m.triplesApplied = reg.Counter(metricTriplesApplied,
+		"Triples applied from the replication stream.")
+	m.reconnects = reg.Counter(metricReconnects,
+		"Reconnect attempts by the replica after a retryable stream failure.")
+	m.epochRejections = reg.Counter(metricEpochRejections,
+		"Frames rejected because they carried an epoch below the replica's fence (stale primary).")
+	return m
+}
+
+// attachReplicaStatus registers the replica's live lag/health gauges,
+// computed from fn at scrape time so a stalled replica still reports
+// growing lag rather than a frozen sample.
+func (m *Metrics) attachReplicaStatus(fn func() Status) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeFunc(metricLagSeconds,
+		"Seconds since this replica was last caught up with its primary's durable WAL end.",
+		func() float64 { return fn().LagSeconds })
+	m.reg.IntGaugeFunc(metricLagBytes,
+		"Durable primary WAL bytes not yet applied by this replica (last observed).",
+		func() int64 { return fn().LagBytes })
+	m.reg.IntGaugeFunc(metricDegraded,
+		"1 once replication has hit a sticky failure (CRC/epoch/pruned cursor/local storage); restart or re-bootstrap to recover.",
+		func() int64 {
+			if fn().Err != nil {
+				return 1
+			}
+			return 0
+		})
+	m.reg.IntGaugeFunc(metricEpoch,
+		"Highest replication epoch this node has durably observed.",
+		func() int64 { return int64(fn().Epoch) })
+}
+
+// shipped counts one frame of n wire bytes; nil-safe.
+func (m *Metrics) shipped(frameType byte, n int) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.framesShipped[frameType]; ok {
+		c.Inc()
+	}
+	m.bytesShipped.Add(uint64(n))
+}
+
+func (m *Metrics) connection(delta int64) {
+	if m == nil {
+		return
+	}
+	m.connections.Add(delta)
+}
+
+func (m *Metrics) applied(triples int) {
+	if m == nil {
+		return
+	}
+	m.framesApplied.Inc()
+	m.triplesApplied.Add(uint64(triples))
+}
+
+func (m *Metrics) reconnect() {
+	if m == nil {
+		return
+	}
+	m.reconnects.Inc()
+}
+
+func (m *Metrics) epochRejected() {
+	if m == nil {
+		return
+	}
+	m.epochRejections.Inc()
+}

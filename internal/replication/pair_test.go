@@ -1,0 +1,189 @@
+package replication
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geostore"
+	"repro/internal/rdf"
+	"repro/internal/retry"
+	"repro/internal/storage"
+	"repro/internal/storage/vfs"
+)
+
+// Shared scaffolding for the pair tests: a primary and a replica, each
+// a full storage.DB + geostore.Store over its own fault-injecting
+// filesystem, connected through a real HTTP server so the stream
+// crosses an actual socket.
+
+const (
+	testToken      = "repl-secret"
+	pairNumBatches = 6
+	pairBatchSize  = 3
+)
+
+func pairTriple(i int) rdf.Triple {
+	return rdf.NewTriple(
+		rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i)),
+		rdf.NewIRI("http://example.org/p"),
+		rdf.NewIntLiteral(int64(i)),
+	)
+}
+
+func pairBatch(k int) []rdf.Triple {
+	out := make([]rdf.Triple, pairBatchSize)
+	for j := range out {
+		out[j] = pairTriple(k*pairBatchSize + j)
+	}
+	return out
+}
+
+// wantPairPrefix is the canonical triple set of the first k batches.
+func wantPairPrefix(k int) []string {
+	var out []string
+	for i := 0; i < k; i++ {
+		for _, t := range pairBatch(i) {
+			out = append(out, t.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStoreTriples(st *geostore.Store) []string {
+	var out []string
+	for _, t := range st.RDF().Triples() {
+		out = append(out, t.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// node is one side of the pair: durable storage plus the store it
+// recovers into, journal attached.
+type node struct {
+	fsys *vfs.ErrFS
+	db   *storage.DB
+	st   *geostore.Store
+}
+
+func openNode(fsys *vfs.ErrFS) (*node, error) {
+	db, err := storage.Open("db", storage.Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		return nil, err
+	}
+	st := geostore.New(geostore.ModeIndexed)
+	if _, err := db.Recover(st.RDF()); err != nil {
+		db.Close()
+		return nil, err
+	}
+	st.RDF().SetJournal(db.Log())
+	return &node{fsys: fsys, db: db, st: st}, nil
+}
+
+func mustOpenNode(t *testing.T, fsys *vfs.ErrFS) *node {
+	t.Helper()
+	n, err := openNode(fsys)
+	if err != nil {
+		t.Fatalf("openNode: %v", err)
+	}
+	return n
+}
+
+func (n *node) addBatch(k int) error {
+	for _, t := range pairBatch(k) {
+		if err := n.st.Add(t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return n.st.RDF().CommitJournal()
+}
+
+func (n *node) close() {
+	n.db.Close() // error irrelevant: the tests assert on recovered state
+}
+
+// fastFeed builds a feed with test-speed intervals.
+func fastFeed(db *storage.DB, m *Metrics) *Feed {
+	return NewFeed(FeedConfig{
+		DB:             db,
+		Token:          testToken,
+		PollInterval:   time.Millisecond,
+		HeartbeatEvery: 2 * time.Millisecond,
+		Metrics:        m,
+	})
+}
+
+// fastReplicaConfig is the test-speed replica configuration; the
+// per-frame cursor sync maximizes state-file injection coverage.
+func fastReplicaConfig(n *node, url string, m *Metrics) ReplicaConfig {
+	return ReplicaConfig{
+		PrimaryURL:      url,
+		Token:           testToken,
+		Store:           n.st,
+		DB:              n.db,
+		CursorSyncEvery: 1,
+		Backoff:         retry.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Jitter: 0.2},
+		Metrics:         m,
+	}
+}
+
+// swappableServer serves whatever handler is currently installed, so a
+// test can restart the "primary" behind a stable URL. The box keeps
+// atomic.Value's concrete type constant across swaps.
+type handlerBox struct{ h http.Handler }
+
+type swappableServer struct {
+	h   atomic.Value // handlerBox
+	srv *httptest.Server
+}
+
+func newSwappableServer(h http.Handler) *swappableServer {
+	s := &swappableServer{}
+	s.h.Store(handlerBox{h})
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.h.Load().(handlerBox).h.ServeHTTP(w, r)
+	}))
+	return s
+}
+
+func (s *swappableServer) URL() string         { return s.srv.URL }
+func (s *swappableServer) Swap(h http.Handler) { s.h.Store(handlerBox{h}) }
+func (s *swappableServer) Close()              { s.srv.Close() }
+
+// waitFor polls cond once per millisecond until it holds or d elapses.
+func waitFor(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// converged reports whether rep has applied exactly the k-batch prefix
+// and the stream is caught up (lag zero proven by a heartbeat).
+func converged(rep *Replica, n *node, k int) bool {
+	s := rep.Status()
+	return s.Err == nil && s.Connected && s.LagBytes == 0 &&
+		n.st.RDF().Len() == k*pairBatchSize
+}

@@ -1,0 +1,37 @@
+package replication
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestReplicationMetricsDocumented guards the README metrics table
+// against drift on the replication families: every family NewMetrics
+// registers (plus the status gauges attached on a replica) must be
+// named in README.md. The endpoint package runs the same check for the
+// families its servers register.
+func TestReplicationMetricsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	m.attachReplicaStatus(func() Status { return Status{} })
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	names := regexp.MustCompile(`(?m)^# TYPE (\S+) `).FindAllStringSubmatch(buf.String(), -1)
+	if len(names) < 10 {
+		t.Fatalf("only %d replication metric families; registration broken?\n%s", len(names), buf.String())
+	}
+	doc := string(readme)
+	for _, fam := range names {
+		if !regexp.MustCompile(`\b` + regexp.QuoteMeta(fam[1]) + `\b`).MatchString(doc) {
+			t.Errorf("replication metric %s registered but not documented in README.md", fam[1])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package replication implements WAL shipping between an eeserve
+// primary and streaming read replicas.
+//
+// The primary side (Feed) serves two authenticated HTTP routes:
+//
+//	GET /replication/snapshot          newest snapshot file + resume cursor
+//	GET /replication/wal?cursor=S:O    endless stream of CRC-framed records
+//
+// The WAL stream is backed by storage's SegmentReader, which only ever
+// exposes the fsynced prefix of the log — a replica can never apply a
+// record the primary itself could lose — and each batch is re-encoded
+// self-contained (storage.EncodeBatch) so any durable (segment, offset)
+// cursor is a valid resume point. The replica side (Replica) bootstraps
+// from the snapshot route, applies batches through the store's normal
+// journal path into its own WAL, persists its applied cursor, and
+// reconnects with exponential backoff on retryable failures.
+//
+// Fencing: every frame carries the primary's epoch, a monotonically
+// increasing token persisted in the data directory's MANIFEST
+// (storage.BumpEpoch at primary boot). A replica rejects frames whose
+// epoch is below the highest it has durably observed, so a demoted
+// primary coming back from the dead cannot rewind a replica that has
+// already followed its successor. Failures split sticky vs retryable
+// exactly like the storage layer: connection loss and primary restarts
+// reconnect and resume; CRC damage, epoch regressions, pruned cursors,
+// and local storage failures park the replica degraded (serving stale
+// reads, reporting the cause on /healthz) until an operator intervenes.
+package replication
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// Frame types. Batch carries one self-contained record; Heartbeat
+// carries the primary-computed lag so an idle caught-up replica keeps
+// fresh lag numbers; Sealed announces a graceful feed shutdown (the
+// replica persists its cursor and reconnects later); Gone tells a
+// resuming replica its cursor was pruned by compaction (sticky:
+// re-bootstrap required).
+const (
+	FrameBatch     byte = 1
+	FrameHeartbeat byte = 2
+	FrameSealed    byte = 3
+	FrameGone      byte = 4
+)
+
+// Frame is one unit of the replication stream. Cursor is the position
+// just past the frame's batch (the replica's resume point once it has
+// durably applied the frame); for non-batch frames it is simply the
+// stream position at send time.
+type Frame struct {
+	Type   byte
+	Epoch  uint64
+	Cursor storage.Cursor
+	Body   []byte
+}
+
+// maxFrameLen mirrors the WAL's record limit plus framing headroom; a
+// length prefix beyond it means the stream is corrupt, not that a
+// giant frame is coming.
+const maxFrameLen = 1 << 28
+
+// ErrFrameCorrupt reports a frame whose CRC or structure failed to
+// verify. It is sticky on the replica: the transport (TCP) should have
+// caught random damage, so a mismatch means something rewrote the
+// stream and nothing downstream of it can be trusted.
+var ErrFrameCorrupt = errors.New("replication: frame fails checksum or decode")
+
+// appendFrame encodes f onto buf in the wire format:
+// u32 payload length, u32 CRC32(payload), payload =
+// (u8 type, uvarint epoch, uvarint seq, uvarint offset, body).
+func appendFrame(buf []byte, f Frame) []byte {
+	payload := make([]byte, 0, 32+len(f.Body))
+	payload = append(payload, f.Type)
+	payload = binary.AppendUvarint(payload, f.Epoch)
+	payload = binary.AppendUvarint(payload, uint64(f.Cursor.Seq))
+	payload = binary.AppendUvarint(payload, uint64(f.Cursor.Offset))
+	payload = append(payload, f.Body...)
+
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, header[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame off r. io.EOF (clean close between frames)
+// passes through for the caller's reconnect logic; a mid-frame cut
+// surfaces as io.ErrUnexpectedEOF (also retryable); CRC or structure
+// damage is ErrFrameCorrupt.
+func readFrame(r *bufio.Reader) (Frame, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return Frame{}, err
+	}
+	plen := binary.LittleEndian.Uint32(header[0:4])
+	want := binary.LittleEndian.Uint32(header[4:8])
+	if plen == 0 || plen > maxFrameLen {
+		return Frame{}, fmt.Errorf("%w: length prefix %d", ErrFrameCorrupt, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return Frame{}, ErrFrameCorrupt
+	}
+	f := Frame{Type: payload[0]}
+	rest := payload[1:]
+	var fields [3]uint64
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Frame{}, fmt.Errorf("%w: truncated header varint", ErrFrameCorrupt)
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	f.Epoch = fields[0]
+	f.Cursor = storage.Cursor{Seq: int(fields[1]), Offset: int64(fields[2])}
+	f.Body = rest
+	return f, nil
+}

@@ -1,0 +1,150 @@
+package replication
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/storage/vfs"
+	"repro/internal/telemetry"
+)
+
+// Split-brain pins: a demoted primary must never feed a replica that
+// has followed a newer epoch, no matter how plausible its stream
+// position looks.
+
+// TestStaleEpochFrameRejected is the direct unit pin on the fence:
+// applyFrame refuses any frame below the durable epoch, counts it, and
+// the rejection is sticky.
+func TestStaleEpochFrameRejected(t *testing.T) {
+	rn := mustOpenNode(t, vfs.NewErrFS())
+	defer rn.close()
+	if err := saveState(rn.fsys, "db", State{Epoch: 5, Cursor: storage.Cursor{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	rep, err := NewReplica(fastReplicaConfig(rn, "http://unused.invalid", m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rep.applyFrame(Frame{Type: FrameHeartbeat, Epoch: 4, Body: []byte{0}})
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("applyFrame(epoch 4 under fence 5) = %v, want ErrStaleEpoch", err)
+	}
+	if !isSticky(err) {
+		t.Fatal("stale-epoch rejection must be sticky")
+	}
+	if got := m.epochRejections.Load(); got != 1 {
+		t.Fatalf("epochRejections = %d, want 1", got)
+	}
+	if rep.Status().Epoch != 5 {
+		t.Fatalf("fence moved to %d on a rejected frame", rep.Status().Epoch)
+	}
+}
+
+// TestSplitBrainFenced is the end-to-end regression: two primaries
+// share a WAL prefix, the replica follows the one with the higher
+// epoch, and when it is later pointed at the demoted one — whose
+// divergent tail sits at a byte-for-byte plausible cursor — it parks
+// on ErrStaleEpoch without applying anything.
+func TestSplitBrainFenced(t *testing.T) {
+	// The demoted primary: epoch 1, three shared batches, then a
+	// divergent commit made after the split.
+	oldP := mustOpenNode(t, vfs.NewErrFS())
+	defer oldP.close()
+	if _, err := oldP.db.BumpEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	// The promoted primary: the same three batches replayed (identical
+	// WAL bytes, so cursors transfer), fenced two bumps ahead.
+	newP := mustOpenNode(t, vfs.NewErrFS())
+	defer newP.close()
+	for _, n := range []*node{oldP, newP} {
+		for k := 0; k < 3; k++ {
+			if err := n.addBatch(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var newEpoch uint64
+	for i := 0; i < 2; i++ {
+		e, err := newP.db.BumpEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		newEpoch = e
+	}
+
+	oldFeed := fastFeed(oldP.db, nil)
+	defer oldFeed.Close()
+	oldSrv := newSwappableServer(oldFeed)
+	defer oldSrv.Close()
+	newFeed := fastFeed(newP.db, nil)
+	defer newFeed.Close()
+	newSrv := newSwappableServer(newFeed)
+	defer newSrv.Close()
+
+	// The replica follows the promoted primary and raises its fence.
+	rfs := vfs.NewErrFS()
+	if _, err := Bootstrap(nil, newSrv.URL(), testToken, rfs, "db"); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	rn := mustOpenNode(t, rfs)
+	defer rn.close()
+	rep, err := NewReplica(fastReplicaConfig(rn, newSrv.URL(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rep.Run()
+	if !waitFor(2*time.Second, func() bool { return converged(rep, rn, 3) }) {
+		t.Fatalf("replica never converged on the new primary: %+v", rep.Status())
+	}
+	if s := rep.Status(); s.Epoch != newEpoch {
+		t.Fatalf("replica fence = %d, want %d", s.Epoch, newEpoch)
+	}
+	rep.Stop()
+
+	// Meanwhile the demoted primary keeps taking writes it can never
+	// legitimately replicate.
+	divergent := pairTriple(100)
+	if err := oldP.st.Add(divergent.S, divergent.P, divergent.O); err != nil {
+		t.Fatal(err)
+	}
+	if err := oldP.st.RDF().CommitJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Misdirect the replica at the demoted primary. Its cursor lands
+	// exactly on the divergent batch in the old WAL, so without the
+	// fence this would silently apply split-brain data.
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	rep2, err := NewReplica(fastReplicaConfig(rn, oldSrv.URL(), m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rep2.Run()
+	defer rep2.Stop()
+	if !waitFor(2*time.Second, func() bool { return rep2.Status().Err != nil }) {
+		t.Fatalf("replica never parked on the stale primary: %+v", rep2.Status())
+	}
+	if s := rep2.Status(); !errors.Is(s.Err, ErrStaleEpoch) {
+		t.Fatalf("parked on %v, want ErrStaleEpoch", s.Err)
+	}
+	if got := m.epochRejections.Load(); got == 0 {
+		t.Fatal("stale-primary frames were not counted as epoch rejections")
+	}
+	if s := rep2.Status(); s.Epoch != newEpoch {
+		t.Fatalf("fence regressed to %d after stale reconnect, want %d", s.Epoch, newEpoch)
+	}
+	for _, tr := range sortedStoreTriples(rn.st) {
+		if tr == divergent.String() {
+			t.Fatal("divergent split-brain triple leaked into the replica")
+		}
+	}
+	if got := sortedStoreTriples(rn.st); !equalStrings(got, wantPairPrefix(3)) {
+		t.Fatalf("replica no longer holds exactly the shared prefix: %d triples", len(got))
+	}
+}

@@ -1,0 +1,115 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+	"repro/internal/storage/vfs"
+)
+
+// The REPLICA file in a replica's data directory persists its applied
+// cursor and the highest epoch it has observed, via tmp + rename +
+// dirsync like every other durable state in the system. A stale cursor
+// is safe — resuming earlier just re-delivers batches the store
+// deduplicates (the MANIFEST separately double-books the epoch fence).
+// A missing or corrupt file is not: the WAL's beginning moves as the
+// primary compacts, so "restart from the beginning" can silently skip
+// the pruned prefix. NewReplica therefore refuses to run without a
+// loadable state file and demands a re-bootstrap instead.
+const (
+	stateName  = "REPLICA"
+	stateMagic = "EEREPL01"
+)
+
+// State is the replica's durable stream position.
+type State struct {
+	Epoch  uint64
+	Cursor storage.Cursor
+}
+
+// loadState reads dir's REPLICA file. A missing file returns ok=false,
+// and so does a corrupt one: trusting a damaged cursor could skip
+// records, so the caller treats both as "no position" and requires a
+// re-bootstrap.
+func loadState(fsys vfs.FS, dir string) (State, bool, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, stateName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return State{}, false, nil
+		}
+		return State{}, false, fmt.Errorf("replication: read state: %w", err)
+	}
+	if len(data) < len(stateMagic)+4 || string(data[:len(stateMagic)]) != stateMagic {
+		return State{}, false, nil
+	}
+	body := data[len(stateMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return State{}, false, nil
+	}
+	var s State
+	var fields [3]uint64
+	rest := body
+	for i := range fields {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return State{}, false, nil
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	s.Epoch = fields[0]
+	s.Cursor = storage.Cursor{Seq: int(fields[1]), Offset: int64(fields[2])}
+	return s, true, nil
+}
+
+// saveState durably persists s into dir's REPLICA file.
+func saveState(fsys vfs.FS, dir string, s State) error {
+	body := binary.AppendUvarint(nil, s.Epoch)
+	body = binary.AppendUvarint(body, uint64(s.Cursor.Seq))
+	body = binary.AppendUvarint(body, uint64(s.Cursor.Offset))
+	buf := make([]byte, 0, len(stateMagic)+len(body)+4)
+	buf = append(buf, stateMagic...)
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+
+	path := filepath.Join(dir, stateName)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replication: write state: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		closeRemove(fsys, f, tmp)
+		return fmt.Errorf("replication: write state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		closeRemove(fsys, f, tmp)
+		return fmt.Errorf("replication: sync state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("replication: close state: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("replication: publish state: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("replication: sync state directory: %w", err)
+	}
+	return nil
+}
+
+// closeRemove abandons a temp file on an error path; the original
+// error stays primary.
+func closeRemove(fsys vfs.FS, f vfs.File, tmp string) {
+	if err := f.Close(); err != nil {
+		return // the rename never happens; the .tmp is inert either way
+	}
+	if err := fsys.Remove(tmp); err != nil {
+		return
+	}
+}

@@ -1,0 +1,81 @@
+// Package retry provides the shared exponential-backoff policy used by
+// eeserve's background loops: the snapshot/compaction loop and the
+// replication reconnect loop. It was extracted from the hand-rolled
+// backoff in cmd/eeserve so both loops (and their tests) share one
+// jitter and capping implementation.
+package retry
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes successive retry delays: Base doubles per attempt up
+// to Cap, with a symmetric ±Jitter fraction applied so independent
+// retriers do not synchronize. The zero value is usable but degenerate
+// (zero delays); callers normally set at least Base and Cap.
+//
+// A Backoff is not safe for concurrent use; each retry loop owns one.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Cap bounds the un-jittered delay; 0 means no bound.
+	Cap time.Duration
+	// Jitter is the fraction of the delay used as the half-width of the
+	// uniform jitter window (0.2 → ±20%). 0 disables jitter.
+	Jitter float64
+	// Rand supplies uniform values in [0, 1) for the jitter; nil uses
+	// math/rand's global source. Tests inject a deterministic function.
+	Rand func() float64
+
+	attempt int
+}
+
+// Next returns the jittered delay for the next retry and advances the
+// attempt counter.
+func (b *Backoff) Next() time.Duration {
+	// ceiling keeps the doubling (and the jitter applied below, which
+	// can add up to Jitter*d on top) clear of int64 overflow even when
+	// no Cap is configured.
+	const ceiling = time.Duration(math.MaxInt64) / 4
+	d := b.Base
+	for i := 0; i < b.attempt; i++ {
+		if b.Cap > 0 && d >= b.Cap {
+			break
+		}
+		if d >= ceiling {
+			d = ceiling
+			break
+		}
+		d *= 2
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	b.attempt++
+	if b.Jitter > 0 && d > 0 {
+		r := rand.Float64
+		if b.Rand != nil {
+			r = b.Rand
+		}
+		// Uniform in [-Jitter, +Jitter): the expected delay stays d, so
+		// capacity planning reads the configured schedule.
+		d += time.Duration((r()*2 - 1) * b.Jitter * float64(d))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Reset returns the schedule to its first-retry delay. Call it after a
+// success so the next failure starts the ramp from Base again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns how many delays Next has handed out since the last
+// Reset. Loops use it to log "retry #n" without keeping their own count.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,83 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// noJitter pins the jitter draw to the midpoint so delays are exact.
+func noJitter() float64 { return 0.5 }
+
+func TestBackoffDoublesToCap(t *testing.T) {
+	b := Backoff{Base: 5 * time.Second, Cap: 5 * time.Minute, Jitter: 0.2, Rand: noJitter}
+	want := []time.Duration{
+		5 * time.Second, 10 * time.Second, 20 * time.Second, 40 * time.Second,
+		80 * time.Second, 160 * time.Second, 5 * time.Minute, 5 * time.Minute,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: Next() = %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("Attempts() = %d, want %d", b.Attempts(), len(want))
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := Backoff{Base: time.Second, Cap: time.Minute, Rand: noJitter}
+	b.Next()
+	b.Next()
+	b.Reset()
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("Next() after Reset = %v, want %v", got, time.Second)
+	}
+	if b.Attempts() != 1 {
+		t.Fatalf("Attempts() after Reset+Next = %d, want 1", b.Attempts())
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		b := Backoff{Base: 10 * time.Second, Cap: time.Minute, Jitter: 0.2,
+			Rand: func() float64 { return r }}
+		got := b.Next()
+		lo, hi := 8*time.Second, 12*time.Second
+		if got < lo || got > hi {
+			t.Fatalf("Rand=%v: Next() = %v, want within [%v, %v]", r, got, lo, hi)
+		}
+	}
+}
+
+// TestBackoffJitterSpread checks the jitter actually varies the delay:
+// two draws at opposite ends of the window must differ.
+func TestBackoffJitterSpread(t *testing.T) {
+	low := Backoff{Base: time.Minute, Jitter: 0.2, Rand: func() float64 { return 0 }}
+	high := Backoff{Base: time.Minute, Jitter: 0.2, Rand: func() float64 { return 0.999 }}
+	if l, h := low.Next(), high.Next(); l >= h {
+		t.Fatalf("jitter window collapsed: low draw %v >= high draw %v", l, h)
+	}
+}
+
+func TestBackoffNoOverflow(t *testing.T) {
+	b := Backoff{Base: time.Second, Cap: time.Hour, Rand: noJitter}
+	for i := 0; i < 200; i++ {
+		if got := b.Next(); got < 0 || got > time.Hour {
+			t.Fatalf("attempt %d: Next() = %v out of [0, 1h]", i, got)
+		}
+	}
+	// Without a cap the shift still must not overflow into negatives.
+	u := Backoff{Base: time.Second, Rand: noJitter}
+	for i := 0; i < 200; i++ {
+		if got := u.Next(); got < 0 {
+			t.Fatalf("uncapped attempt %d: Next() = %v negative", i, got)
+		}
+	}
+}
+
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != 0 {
+		t.Fatalf("zero-value Next() = %v, want 0", got)
+	}
+}

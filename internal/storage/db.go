@@ -38,6 +38,7 @@ type DB struct {
 	prevSnapSeq int
 	mark        uint64 // log.Recorded() at the last snapshot (or recovery)
 	recovered   bool
+	epoch       uint64 // replication fencing epoch, mirrored from MANIFEST
 }
 
 // RecoveryStats is the structured timeline of what Recover found on
@@ -127,8 +128,22 @@ func Open(dir string, opts Options) (*DB, error) {
 		closeDiscard(opts.Metrics, lf)
 		return nil, fmt.Errorf("storage: %s is in use by another process: %w", dir, err)
 	}
-	return &DB{dir: dir, opts: opts, fsys: fsys, lockFile: lf}, nil
+	epoch, err := readManifestFS(fsys, dir)
+	if err != nil {
+		// A manifest that exists but cannot be trusted must stop the
+		// boot: guessing an epoch would undermine the fencing it exists
+		// to provide.
+		closeDiscard(opts.Metrics, lf)
+		return nil, err
+	}
+	return &DB{dir: dir, opts: opts, fsys: fsys, lockFile: lf, epoch: epoch}, nil
 }
+
+// FS returns the filesystem the DB runs against (vfs.OS unless the
+// Options injected another). The replication layer uses it so feed-side
+// snapshot serving and replica-side state files live behind the same
+// fault-injection seam as the rest of storage.
+func (db *DB) FS() vfs.FS { return db.fsys }
 
 // Dir returns the managed directory.
 func (db *DB) Dir() string { return db.dir }

@@ -143,3 +143,42 @@ func (d *decoder) term() (rdf.Term, error) {
 }
 
 func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+// EncodeBatch encodes batch as one self-contained record payload: the
+// same wire format as a WAL record, but with every term defined inline
+// (no segment-local dictionary context needed to decode it). The
+// replication feed re-encodes each shipped record this way, so a
+// replica can resume mid-segment without replaying the definitions
+// that preceded the cursor.
+func EncodeBatch(batch []rdf.Triple) []byte {
+	dict := make(map[rdf.Term]uint64, len(batch))
+	var defs []byte
+	ids := make([]uint64, 0, 3*len(batch))
+	for _, t := range batch {
+		for _, term := range [3]rdf.Term{t.S, t.P, t.O} {
+			id, ok := dict[term]
+			if !ok {
+				id = uint64(len(dict) + 1)
+				dict[term] = id
+				defs = appendTerm(defs, term)
+			}
+			ids = append(ids, id)
+		}
+	}
+	payload := make([]byte, 0, 16+len(defs)+2*len(ids))
+	payload = binary.AppendUvarint(payload, uint64(len(dict)))
+	payload = append(payload, defs...)
+	payload = binary.AppendUvarint(payload, uint64(len(batch)))
+	for _, id := range ids {
+		payload = binary.AppendUvarint(payload, id)
+	}
+	return payload
+}
+
+// DecodeBatch decodes a payload produced by EncodeBatch. It rejects
+// payloads that reference terms they do not define — such a frame was
+// encoded against context the receiver does not have.
+func DecodeBatch(payload []byte) ([]rdf.Triple, error) {
+	_, batch, err := decodeRecord(payload, nil)
+	return batch, err
+}

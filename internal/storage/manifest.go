@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage/vfs"
+)
+
+// The MANIFEST file persists the directory's replication epoch: a
+// monotonically increasing fencing token. A primary bumps it durably at
+// boot before serving its WAL feed; a replica raises its own copy to
+// every higher epoch it observes on the stream. Frames carrying an
+// epoch below the highest a node has persisted are rejected, so a
+// demoted primary that comes back with an old epoch can never feed a
+// replica that has already followed a newer one (split-brain fencing).
+//
+// Layout: 8-byte magic, u64 little-endian epoch, u32 CRC over the
+// epoch bytes. Written via tmp + rename + dirsync like snapshots, so a
+// crash leaves either the old or the new epoch, never a torn one.
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "EEMANIF1"
+)
+
+// readManifestFS returns the epoch persisted in dir, 0 when the file
+// does not exist yet. A corrupt manifest is an error: epochs are
+// fencing tokens, and silently restarting from 0 could let a stale
+// primary's stream back in.
+func readManifestFS(fsys vfs.FS, dir string) (uint64, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	if len(data) != len(manifestMagic)+12 || string(data[:len(manifestMagic)]) != manifestMagic {
+		return 0, fmt.Errorf("storage: manifest %s is malformed", filepath.Join(dir, manifestName))
+	}
+	body := data[len(manifestMagic):]
+	epoch := binary.LittleEndian.Uint64(body[:8])
+	if crc32.ChecksumIEEE(body[:8]) != binary.LittleEndian.Uint32(body[8:12]) {
+		return 0, fmt.Errorf("storage: manifest %s fails its checksum", filepath.Join(dir, manifestName))
+	}
+	return epoch, nil
+}
+
+// writeManifestFS durably persists epoch into dir's MANIFEST via
+// tmp-file + rename + dirsync. I/O failures are counted on
+// storage_io_errors_total like every other storage write path.
+func writeManifestFS(fsys vfs.FS, m *Metrics, dir string, epoch uint64) error {
+	buf := make([]byte, 0, len(manifestMagic)+12)
+	buf = append(buf, manifestMagic...)
+	var num [12]byte
+	binary.LittleEndian.PutUint64(num[:8], epoch)
+	binary.LittleEndian.PutUint32(num[8:12], crc32.ChecksumIEEE(num[:8]))
+	buf = append(buf, num[:]...)
+
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		m.ioError("create")
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		m.ioError("write")
+		discardTemp(fsys, m, f, tmp)
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		m.ioError("fsync")
+		discardTemp(fsys, m, f, tmp)
+		return fmt.Errorf("storage: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		m.ioError("close")
+		return fmt.Errorf("storage: close manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		m.ioError("rename")
+		return fmt.Errorf("storage: publish manifest: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		m.ioError("dirsync")
+		return fmt.Errorf("storage: sync manifest directory: %w", err)
+	}
+	return nil
+}
+
+// Epoch returns the directory's persisted replication epoch (0 until a
+// primary has ever bumped it or a replica has followed one).
+func (db *DB) Epoch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.epoch
+}
+
+// BumpEpoch durably increments the epoch and returns the new value. A
+// node serving as primary calls it once at boot, before opening its
+// replication feed: any replica that follows this node then rejects
+// frames from every earlier primary. The bump is persisted before it is
+// visible, so a crash can repeat an epoch number only if it was never
+// served.
+func (db *DB) BumpEpoch() (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	next := db.epoch + 1
+	if err := writeManifestFS(db.fsys, db.opts.Metrics, db.dir, next); err != nil {
+		return db.epoch, err
+	}
+	db.epoch = next
+	return next, nil
+}
+
+// EnsureEpoch raises the persisted epoch to at least e; it never
+// lowers it. Replicas call it when the stream presents a higher epoch,
+// so a later promotion (BumpEpoch) fences everything the replica ever
+// followed.
+func (db *DB) EnsureEpoch(e uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if e <= db.epoch {
+		return nil
+	}
+	if err := writeManifestFS(db.fsys, db.opts.Metrics, db.dir, e); err != nil {
+		return err
+	}
+	db.epoch = e
+	return nil
+}

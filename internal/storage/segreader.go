@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
+)
+
+// This file is the storage half of WAL shipping: a cursor type naming a
+// durable position in the segment sequence, and a SegmentReader that
+// streams committed records from any cursor forward — across sealed
+// segments and into the live tail — without ever touching the writer's
+// lock for longer than a field read. The replication feed drives it;
+// nothing here can block or fail the commit path.
+
+// Cursor identifies a position in the WAL stream: the byte offset just
+// past the last consumed record of segment Seq. The zero Cursor is
+// "before everything".
+type Cursor struct {
+	Seq    int   // WAL segment sequence number (wal-<seq>.log)
+	Offset int64 // byte offset just past the last consumed record
+}
+
+// String renders the cursor in the "seq:offset" wire form used by the
+// replication protocol's query parameter and state files.
+func (c Cursor) String() string { return fmt.Sprintf("%d:%d", c.Seq, c.Offset) }
+
+// ParseCursor parses the "seq:offset" form produced by String.
+func ParseCursor(s string) (Cursor, error) {
+	var c Cursor
+	if _, err := fmt.Sscanf(s, "%d:%d", &c.Seq, &c.Offset); err != nil {
+		return Cursor{}, fmt.Errorf("storage: malformed cursor %q: %w", s, err)
+	}
+	if c.Seq < 0 || c.Offset < 0 {
+		return Cursor{}, fmt.Errorf("storage: malformed cursor %q: negative component", s)
+	}
+	return c, nil
+}
+
+// Before reports whether c is strictly earlier in the stream than o.
+func (c Cursor) Before(o Cursor) bool {
+	return c.Seq < o.Seq || (c.Seq == o.Seq && c.Offset < o.Offset)
+}
+
+// ErrCursorTruncated reports that the segment a cursor points into has
+// been pruned by compaction: the stream cannot resume from there and
+// the consumer must re-bootstrap from a snapshot.
+var ErrCursorTruncated = errors.New("storage: cursor position pruned by compaction")
+
+// ErrCaughtUp is returned by SegmentReader.Next when every durable
+// record at or before the end cursor has been delivered. The consumer
+// polls again later; more may have become durable.
+var ErrCaughtUp = errors.New("storage: caught up with durable WAL end")
+
+// StartCursor returns the earliest position still on disk: offset 0 of
+// the oldest retained WAL segment. A consumer with no state starts
+// here (after installing the snapshot that compaction left covering
+// everything earlier).
+func (db *DB) StartCursor() (Cursor, error) {
+	segs, err := db.listSegments()
+	if err != nil {
+		return Cursor{}, err
+	}
+	if len(segs) == 0 {
+		// Before Recover creates the first segment; position at the
+		// segment it will create.
+		return Cursor{Seq: 1}, nil
+	}
+	return Cursor{Seq: segs[0].Seq}, nil
+}
+
+// EndCursor returns the durable end of the stream: the active segment's
+// sequence number and its fsynced byte length. Everything before this
+// cursor survives a primary power cut, so it is the exact prefix a
+// replica is allowed to see.
+func (db *DB) EndCursor() Cursor {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return Cursor{Seq: db.seq}
+	}
+	return Cursor{Seq: db.seq, Offset: db.log.DurableOffset()}
+}
+
+// LagBytes returns how many durable WAL bytes lie past c — the
+// replication lag of a consumer positioned there. Segments already
+// pruned under the cursor contribute nothing (the consumer is beyond
+// them if it read them, or needs a re-bootstrap which lag cannot
+// express anyway).
+func (db *DB) LagBytes(c Cursor) (int64, error) {
+	end := db.EndCursor()
+	segs, err := db.listSegments()
+	if err != nil {
+		return 0, err
+	}
+	var lag int64
+	for _, s := range segs {
+		if s.Seq < c.Seq || s.Seq > end.Seq {
+			continue
+		}
+		var size int64
+		if s.Seq == end.Seq {
+			size = end.Offset
+		} else {
+			fi, err := db.fsys.Stat(s.Path)
+			if err != nil {
+				return 0, err
+			}
+			size = fi.Size()
+		}
+		if s.Seq == c.Seq {
+			size -= c.Offset
+		}
+		if size > 0 {
+			lag += size
+		}
+	}
+	return lag, nil
+}
+
+// LatestSnapshot returns the newest snapshot on disk together with the
+// cursor a consumer should resume from after installing it (the oldest
+// retained segment — every pruned segment is covered by the snapshot).
+// ok is false when no snapshot exists yet; the returned cursor is then
+// simply the start of the stream.
+func (db *DB) LatestSnapshot() (info SnapshotInfo, resume Cursor, ok bool, err error) {
+	resume, err = db.StartCursor()
+	if err != nil {
+		return SnapshotInfo{}, Cursor{}, false, err
+	}
+	snaps, _, err := db.listSnapshots()
+	if err != nil {
+		return SnapshotInfo{}, Cursor{}, false, err
+	}
+	if len(snaps) == 0 {
+		return SnapshotInfo{}, resume, false, nil
+	}
+	return snaps[0], resume, true, nil
+}
+
+// SegmentReader streams committed WAL records from a cursor forward at
+// record granularity. It re-reads segment files independently of the
+// writer (reads are never blocked by, and never block, commits) and
+// refuses to cross the durable end returned by EndCursor, so a
+// consumer can apply everything it is handed without waiting for the
+// primary's next fsync. Not safe for concurrent use; each feed
+// connection owns one.
+type SegmentReader struct {
+	db    *DB
+	f     vfs.File
+	terms []rdf.Term // segment-local dictionary built while scanning
+	cur   Cursor     // position just past the last returned record
+}
+
+// OpenSegmentReader positions a reader at from. The segment holding
+// the cursor must still exist (ErrCursorTruncated otherwise), and the
+// reader re-scans it from the start to rebuild the segment-local term
+// dictionary, tolerating a cursor that lands inside a record by
+// rounding down to the previous record boundary (re-delivery is safe:
+// the apply path deduplicates).
+func (db *DB) OpenSegmentReader(from Cursor) (*SegmentReader, error) {
+	segs, err := db.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("storage: no WAL segments to read")
+	}
+	idx := -1
+	for i, s := range segs {
+		if s.Seq == from.Seq {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		if from.Seq < segs[0].Seq || (from.Seq == 0 && from.Offset == 0) {
+			// Zero cursor means "from the beginning"; if that beginning
+			// has been compacted away the consumer needs the snapshot
+			// first, which is the same re-bootstrap signal.
+			if from.Seq == 0 && from.Offset == 0 {
+				return db.OpenSegmentReader(Cursor{Seq: segs[0].Seq})
+			}
+			return nil, ErrCursorTruncated
+		}
+		return nil, fmt.Errorf("storage: cursor %s points past the newest segment", from)
+	}
+	r := &SegmentReader{db: db, cur: Cursor{Seq: from.Seq}}
+	if err := r.open(segs[idx].Path); err != nil {
+		return nil, err
+	}
+	// Skip forward to the cursor, rebuilding the dictionary as we go.
+	// If the cursor lands mid-record (or past the decodable prefix),
+	// the loop stops at the last record boundary below it.
+	for r.cur.Offset < from.Offset {
+		_, fits, err := r.readRecord(from.Offset)
+		if err != nil {
+			r.closeFile()
+			return nil, err
+		}
+		if !fits {
+			break
+		}
+	}
+	return r, nil
+}
+
+func (r *SegmentReader) open(path string) error {
+	f, err := r.db.fsys.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: open WAL segment for shipping: %w", err)
+	}
+	r.f = f
+	r.terms = r.terms[:0]
+	return nil
+}
+
+func (r *SegmentReader) closeFile() {
+	if r.f != nil {
+		// Read-only handle; a close error leaks nothing durable.
+		if err := r.f.Close(); err != nil {
+			r.db.opts.Metrics.ioError("close")
+		}
+		r.f = nil
+	}
+}
+
+// Cursor returns the position just past the last record Next returned.
+func (r *SegmentReader) Cursor() Cursor { return r.cur }
+
+// Close releases the reader's file handle.
+func (r *SegmentReader) Close() error {
+	r.closeFile()
+	return nil
+}
+
+// Next returns the next committed batch and the cursor just past it.
+// It returns ErrCaughtUp once every durable record has been delivered
+// (poll again later), ErrCursorTruncated if compaction pruned the
+// reader's position between polls, and other errors for real I/O
+// failures (the connection should drop; the consumer reconnects).
+func (r *SegmentReader) Next() ([]rdf.Triple, Cursor, error) {
+	end := r.db.EndCursor()
+	for {
+		if r.cur.Seq > end.Seq {
+			// Rotation raced our EndCursor sample; simply not caught up
+			// yet from the sample's point of view.
+			return nil, r.cur, ErrCaughtUp
+		}
+		limit := int64(-1) // sealed segment: every byte is durable
+		if r.cur.Seq == end.Seq {
+			limit = end.Offset
+		}
+		batch, fits, err := r.readRecord(limit)
+		if err != nil {
+			return nil, r.cur, err
+		}
+		if fits {
+			if len(batch) == 0 {
+				continue // defs-only record: nothing to ship
+			}
+			return batch, r.cur, nil
+		}
+		if r.cur.Seq == end.Seq {
+			return nil, r.cur, ErrCaughtUp
+		}
+		// A sealed segment ended (or is damaged past this point — the
+		// same bytes recovery would skip); move to the next segment.
+		if err := r.advanceSegment(); err != nil {
+			return nil, r.cur, err
+		}
+	}
+}
+
+// advanceSegment closes the current segment file and opens the
+// immediately following segment, resetting the dictionary. Segment
+// numbers are contiguous (Rotate always allocates seq+1), so a missing
+// successor below the active segment means compaction pruned the
+// reader's position: skipping ahead would silently drop records, so
+// that is ErrCursorTruncated and the consumer re-bootstraps.
+func (r *SegmentReader) advanceSegment() error {
+	segs, err := r.db.listSegments()
+	if err != nil {
+		return err
+	}
+	want := r.cur.Seq + 1
+	for _, s := range segs {
+		if s.Seq == want {
+			r.closeFile()
+			r.cur = Cursor{Seq: want}
+			return r.open(s.Path)
+		}
+	}
+	for _, s := range segs {
+		if s.Seq > want {
+			return ErrCursorTruncated
+		}
+	}
+	return ErrCaughtUp
+}
+
+// readRecord attempts to decode one record at cur.Offset, refusing to
+// read past limit (limit < 0 means the whole file). It returns
+// fits=false — without advancing — when no complete valid record lies
+// below the limit: in the live tail that means "not durable yet", in a
+// sealed segment "end of segment or damage". Real read errors (a dead
+// filesystem, a vanished file) are returned as err.
+func (r *SegmentReader) readRecord(limit int64) (batch []rdf.Triple, fits bool, err error) {
+	if limit >= 0 && r.cur.Offset+8 > limit {
+		return nil, false, nil
+	}
+	var header [8]byte
+	if ok, err := r.readFull(header[:], r.cur.Offset); err != nil || !ok {
+		return nil, false, err
+	}
+	plen := binary.LittleEndian.Uint32(header[0:4])
+	want := binary.LittleEndian.Uint32(header[4:8])
+	if plen == 0 || plen > maxRecordLen {
+		return nil, false, nil // torn or damaged length prefix
+	}
+	end := r.cur.Offset + 8 + int64(plen)
+	if limit >= 0 && end > limit {
+		return nil, false, nil
+	}
+	payload := make([]byte, plen)
+	if ok, err := r.readFull(payload, r.cur.Offset+8); err != nil || !ok {
+		return nil, false, err
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false, nil
+	}
+	terms, batch, derr := decodeRecord(payload, r.terms)
+	if derr != nil {
+		return nil, false, nil // same treatment recovery gives it
+	}
+	r.terms = terms
+	r.cur.Offset = end
+	return batch, true, nil
+}
+
+// readFull reads len(p) bytes at off, reporting ok=false on a clean
+// short read (EOF before the bytes exist) and err only for real I/O
+// failures.
+func (r *SegmentReader) readFull(p []byte, off int64) (ok bool, err error) {
+	if _, err := r.f.Seek(off, io.SeekStart); err != nil {
+		return false, fmt.Errorf("storage: seek WAL segment: %w", err)
+	}
+	n, err := io.ReadFull(r.f, p)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("storage: read WAL segment: %w", err)
+	}
+	return n == len(p), nil
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/storage/vfs"
+)
+
+// openTestDB opens a DB over an in-memory filesystem, recovers it into
+// a fresh store, and attaches the journal.
+func openTestDB(t *testing.T, fsys vfs.FS, dir string) (*DB, *rdf.Store) {
+	t.Helper()
+	db, err := Open(dir, Options{SyncEvery: 1, FS: fsys})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	st.SetJournal(db.Log())
+	return db, st
+}
+
+// drain reads every available batch from a fresh reader at from.
+func drain(t *testing.T, db *DB, from Cursor) (batches [][]rdf.Triple, end Cursor) {
+	t.Helper()
+	sr, err := db.OpenSegmentReader(from)
+	if err != nil {
+		t.Fatalf("OpenSegmentReader(%v): %v", from, err)
+	}
+	defer sr.Close()
+	for {
+		batch, next, err := sr.Next()
+		if errors.Is(err, ErrCaughtUp) {
+			return batches, sr.Cursor()
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		batches = append(batches, batch)
+		end = next
+	}
+}
+
+func TestCursorStringRoundTrip(t *testing.T) {
+	c := Cursor{Seq: 12, Offset: 34567}
+	got, err := ParseCursor(c.String())
+	if err != nil || got != c {
+		t.Fatalf("ParseCursor(%q) = %v, %v; want %v", c.String(), got, err, c)
+	}
+	for _, bad := range []string{"", "x", "1:", "1:-2", "-1:0", "nope:3"} {
+		if _, err := ParseCursor(bad); err == nil {
+			t.Errorf("ParseCursor(%q) accepted", bad)
+		}
+	}
+	if !(Cursor{Seq: 1, Offset: 5}).Before(Cursor{Seq: 2}) {
+		t.Fatal("1:5 should be before 2:0")
+	}
+	if (Cursor{Seq: 2}).Before(Cursor{Seq: 2}) {
+		t.Fatal("cursor is not before itself")
+	}
+}
+
+// TestSegmentReaderStreamsAcrossRotation checks a reader delivers every
+// committed batch in order across a Snapshot's segment rotation, and
+// that resuming from a mid-stream cursor re-delivers exactly the rest.
+func TestSegmentReaderStreamsAcrossRotation(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, st := openTestDB(t, fsys, "db")
+	defer db.Close()
+
+	var want []rdf.Triple
+	addBatch := func(lo, hi int) {
+		var batch []rdf.Triple
+		for i := lo; i < hi; i++ {
+			batch = append(batch, tr(i))
+		}
+		if err := st.AddBatch(batch); err != nil {
+			t.Fatalf("AddBatch: %v", err)
+		}
+		want = append(want, batch...)
+	}
+
+	addBatch(0, 3)
+	addBatch(3, 5)
+	start, err := db.StartCursor()
+	if err != nil {
+		t.Fatalf("StartCursor: %v", err)
+	}
+	batches, mid := drain(t, db, start)
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches before rotation, want 2", len(batches))
+	}
+
+	if _, err := db.Snapshot(st); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	addBatch(5, 9)
+
+	// Resume from the pre-rotation cursor: only the new batch arrives.
+	tail, end := drain(t, db, mid)
+	if len(tail) != 1 || len(tail[0]) != 4 {
+		t.Fatalf("resumed batches = %v, want one batch of 4", tail)
+	}
+	if end != db.EndCursor() {
+		t.Fatalf("drained cursor %v != EndCursor %v", end, db.EndCursor())
+	}
+
+	// A full drain from the start re-delivers everything still on disk.
+	all, _ := drain(t, db, start)
+	var got []rdf.Triple
+	for _, b := range all {
+		got = append(got, b...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("full drain = %d triples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	lag, err := db.LagBytes(mid)
+	if err != nil || lag <= 0 {
+		t.Fatalf("LagBytes(mid) = %d, %v; want > 0", lag, err)
+	}
+	caught, err := db.LagBytes(db.EndCursor())
+	if err != nil || caught != 0 {
+		t.Fatalf("LagBytes(end) = %d, %v; want 0", caught, err)
+	}
+}
+
+// TestSegmentReaderStopsAtDurableBoundary checks the reader never ships
+// bytes past the fsynced prefix: with group commit deferring the sync,
+// a flushed-but-unsynced record stays invisible until Sync.
+func TestSegmentReaderStopsAtDurableBoundary(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, err := Open("db", Options{SyncEvery: 100, FS: fsys})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	st := rdf.NewStore()
+	if _, err := db.Recover(st); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	st.SetJournal(db.Log())
+
+	if err := st.AddBatch([]rdf.Triple{tr(1), tr(2)}); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	start, _ := db.StartCursor()
+	if batches, _ := drain(t, db, start); len(batches) != 0 {
+		t.Fatalf("unsynced record visible to reader: %d batches", len(batches))
+	}
+	if err := db.Log().Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if batches, _ := drain(t, db, start); len(batches) != 1 {
+		t.Fatalf("synced record not visible: got %d batches, want 1", len(batches))
+	}
+}
+
+// TestSegmentReaderTruncatedCursor checks that a cursor whose segment
+// was pruned by compaction reports ErrCursorTruncated instead of
+// silently skipping records.
+func TestSegmentReaderTruncatedCursor(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, st := openTestDB(t, fsys, "db")
+	defer db.Close()
+
+	if err := st.AddBatch([]rdf.Triple{tr(1)}); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := db.StartCursor()
+	// Two snapshots: the second prunes every segment up to the first
+	// snapshot's rotation boundary, including the stale cursor's.
+	for i := 0; i < 2; i++ {
+		if err := st.AddBatch([]rdf.Triple{tr(10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Snapshot(st); err != nil {
+			t.Fatalf("Snapshot %d: %v", i, err)
+		}
+	}
+	if _, err := db.OpenSegmentReader(stale); !errors.Is(err, ErrCursorTruncated) {
+		t.Fatalf("OpenSegmentReader(stale) = %v, want ErrCursorTruncated", err)
+	}
+}
+
+func TestEpochManifest(t *testing.T) {
+	fsys := vfs.NewErrFS()
+	db, _ := openTestDB(t, fsys, "db")
+	if db.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", db.Epoch())
+	}
+	if e, err := db.BumpEpoch(); err != nil || e != 1 {
+		t.Fatalf("BumpEpoch = %d, %v; want 1", e, err)
+	}
+	if err := db.EnsureEpoch(5); err != nil {
+		t.Fatalf("EnsureEpoch(5): %v", err)
+	}
+	if err := db.EnsureEpoch(3); err != nil { // raise-only: no-op
+		t.Fatalf("EnsureEpoch(3): %v", err)
+	}
+	if db.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", db.Epoch())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The epoch survives reopen, and a corrupt manifest refuses to boot.
+	db2, _ := openTestDB(t, fsys, "db")
+	if db2.Epoch() != 5 {
+		t.Fatalf("reopened epoch = %d, want 5", db2.Epoch())
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := fsys.OpenFile("db/MANIFEST", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("corrupt manifest: %v", err)
+	}
+	if _, err := f.Write([]byte("garbage")); err != nil {
+		t.Fatalf("corrupt manifest: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("corrupt manifest: %v", err)
+	}
+	if _, err := Open("db", Options{FS: fsys}); err == nil {
+		t.Fatal("Open accepted a corrupt MANIFEST")
+	}
+}
+
+func TestEncodeBatchRoundTrip(t *testing.T) {
+	batch := []rdf.Triple{tr(1), tr(2), tr(1)} // duplicate shares dict IDs
+	got, err := DecodeBatch(EncodeBatch(batch))
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("round trip = %d triples, want %d", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Fatalf("triple %d = %v, want %v", i, got[i], batch[i])
+		}
+	}
+	if _, err := DecodeBatch([]byte{0x00, 0x01, 0x01, 0x01, 0x01}); err == nil {
+		t.Fatal("DecodeBatch accepted a payload referencing undefined terms")
+	}
+}

@@ -360,6 +360,13 @@ func InspectSnapshot(path string) (SnapshotInfo, error) {
 	return inspectSnapshotFS(vfs.OS, path)
 }
 
+// InspectSnapshotFS is InspectSnapshot over an injected filesystem;
+// the replication bootstrap uses it to verify a downloaded snapshot
+// before trusting it as the replica's seed.
+func InspectSnapshotFS(fsys vfs.FS, path string) (SnapshotInfo, error) {
+	return inspectSnapshotFS(fsys, path)
+}
+
 func inspectSnapshotFS(fsys vfs.FS, path string) (SnapshotInfo, error) {
 	terms, _, triples, version, err := readSnapshot(fsys, path, false)
 	if err != nil {

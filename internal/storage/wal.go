@@ -66,6 +66,15 @@ type Log struct {
 	recorded  uint64 // triples recorded since open (monotonic across Rotate)
 	torn      int64  // bytes truncated from a torn tail at OpenLog
 	broken    error  // sticky write failure
+
+	// flushed is the byte offset of the last record handed to the kernel
+	// (survives process crash); durable is the prefix also covered by an
+	// fsync (survives power loss). The replication feed ships only up to
+	// durable: a replica must never apply a record the primary could
+	// itself lose and truncate at the next recovery. Both reset on
+	// Rotate (they are offsets within the current segment).
+	flushed int64
+	durable int64
 }
 
 // CreateLog creates (truncating) a fresh WAL segment at path.
@@ -118,6 +127,9 @@ func OpenLog(path string, opts Options, fn func(batch []rdf.Triple) error) (*Log
 	}
 	l := newLog(f, opts)
 	l.torn = torn
+	// Everything replay accepted is on disk and (having survived
+	// whatever ended the previous process) treated as durable.
+	l.flushed, l.durable = good, good
 	for i, t := range terms {
 		l.dict[t] = uint64(i + 1)
 	}
@@ -341,6 +353,12 @@ func (l *Log) commitLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return l.fail("write", err)
 	}
+	l.flushed += int64(8 + len(payload))
+	if l.opts.NoSync {
+		// With fsync disabled there is no stronger durability point to
+		// wait for; the flushed prefix is as durable as this log gets.
+		l.durable = l.flushed
+	}
 	if l.opts.Metrics != nil {
 		l.opts.Metrics.observeCommit(time.Since(commitStart), nTrip)
 	}
@@ -377,8 +395,19 @@ func (l *Log) syncLocked() error {
 			l.opts.Metrics.observeFsync(time.Since(syncStart))
 		}
 	}
+	l.durable = l.flushed
 	l.sinceSync = 0
 	return nil
+}
+
+// DurableOffset returns the byte offset within the current segment up
+// to which records are fsynced (or merely flushed under NoSync, where
+// that is the strongest durability available). The replication feed
+// never ships bytes past this point.
+func (l *Log) DurableOffset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
 }
 
 // Rotate seals and syncs the current segment, closes it, and starts a
@@ -415,6 +444,7 @@ func (l *Log) Rotate(path string) error {
 	l.dict = make(map[rdf.Term]uint64)
 	l.nextID = 1
 	l.sinceSync = 0
+	l.flushed, l.durable = 0, 0
 	if l.opts.Metrics != nil {
 		l.opts.Metrics.rotations.Inc()
 	}
